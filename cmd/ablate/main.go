@@ -1,0 +1,66 @@
+// Command ablate runs the ablation studies for the design choices the
+// paper leans on: the redirect-back optimization, the Stall conflict
+// policy, and the 2 Kbit Bloom-signature sizing.
+//
+// Usage:
+//
+//	ablate                 # all three studies on the high-contention apps
+//	ablate -redirectback | -policy | -sigbits
+//	ablate -apps yada,labyrinth -scale 0.5
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"suvtm/internal/experiments"
+	"suvtm/internal/workload"
+)
+
+func main() {
+	var (
+		rb      = flag.Bool("redirectback", false, "redirect-back ablation only")
+		policy  = flag.Bool("policy", false, "conflict-policy ablation only")
+		sigbits = flag.Bool("sigbits", false, "signature-size ablation only")
+		cores   = flag.Int("cores", 16, "simulated cores")
+		seed    = flag.Uint64("seed", 1, "simulation seed")
+		scale   = flag.Float64("scale", 1.0, "workload scale factor")
+		apps    = flag.String("apps", "", "comma-separated app subset (default: high-contention five)")
+	)
+	flag.Parse()
+
+	opts := experiments.Options{Cores: *cores, Seed: *seed, Scale: *scale}
+	if *apps != "" {
+		opts.Apps = strings.Split(*apps, ",")
+	} else {
+		opts.Apps = workload.HighContentionApps
+	}
+	fail := func(err error) {
+		fmt.Fprintln(os.Stderr, "ablate:", err)
+		os.Exit(1)
+	}
+	all := !*rb && !*policy && !*sigbits
+	if *rb || all {
+		ab, err := experiments.RunAblationRedirectBack(opts)
+		if err != nil {
+			fail(err)
+		}
+		fmt.Println(ab.Render())
+	}
+	if *policy || all {
+		ab, err := experiments.RunAblationPolicy(opts)
+		if err != nil {
+			fail(err)
+		}
+		fmt.Println(ab.Render())
+	}
+	if *sigbits || all {
+		ab, err := experiments.RunAblationSigBits(opts)
+		if err != nil {
+			fail(err)
+		}
+		fmt.Println(ab.Render())
+	}
+}

@@ -1,0 +1,55 @@
+// Command hwmodel prints the hardware-cost side of the paper's
+// evaluation: Table VI (contemporary processor parameters), Table VII
+// (CACTI-style estimates of the 512-entry fully-associative first-level
+// redirect table across technology nodes) and the Section V-C
+// storage/energy/area arithmetic.
+//
+// Usage:
+//
+//	hwmodel              # everything
+//	hwmodel -table6 | -table7 | -vc
+//	hwmodel -entries 1024 -bits 22 -nm 32   # custom table estimate
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"suvtm/internal/cactimodel"
+)
+
+func main() {
+	var (
+		table6  = flag.Bool("table6", false, "print Table VI only")
+		table7  = flag.Bool("table7", false, "print Table VII only")
+		vc      = flag.Bool("vc", false, "print the Section V-C summary only")
+		entries = flag.Int("entries", 0, "custom estimate: table entries")
+		bits    = flag.Int("bits", 64, "custom estimate: entry width in bits")
+		nm      = flag.Int("nm", 45, "custom estimate: technology node")
+	)
+	flag.Parse()
+
+	if *entries > 0 {
+		est, err := cactimodel.FullyAssociative(*nm, *entries, *bits)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "hwmodel:", err)
+			os.Exit(1)
+		}
+		fmt.Printf("%d-entry x %d-bit fully-associative table at %d nm:\n", est.Entries, est.EntryBit, est.Nm)
+		fmt.Printf("  access time: %.3f ns (%d cycles at 1.2 GHz)\n", est.AccessNs, est.CyclesAt(1.2))
+		fmt.Printf("  dynamic energy: read %.3f nJ, write %.3f nJ\n", est.ReadNj, est.WriteNj)
+		fmt.Printf("  area: %.3f mm2\n", est.AreaMm2)
+		return
+	}
+	any := *table6 || *table7 || *vc
+	if *table6 || !any {
+		fmt.Println(cactimodel.RenderTable6())
+	}
+	if *table7 || !any {
+		fmt.Println(cactimodel.RenderTable7())
+	}
+	if *vc || !any {
+		fmt.Println(cactimodel.RenderSectionVC())
+	}
+}

@@ -1,0 +1,138 @@
+// Command stampbench runs the paper's STAMP-analogue evaluation:
+// Figure 6 (LogTM-SE vs FasTM vs SUV-TM breakdown), Figure 9 (DynTM vs
+// DynTM+SUV), Table I (abort ratios), Table IV (workload
+// characteristics) and Table V (overflow statistics).
+//
+// Usage:
+//
+//	stampbench -fig6 [-scale 1.0] [-cores 16] [-apps bayes,yada]
+//	stampbench -fig9
+//	stampbench -table1 | -table4 | -table5
+//	stampbench -all
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+
+	"suvtm/internal/experiments"
+)
+
+func main() {
+	var (
+		csvDir = flag.String("csv", "", "also write <dir>/fig6.csv and <dir>/fig9.csv for plotting")
+		fig1   = flag.Bool("fig1", false, "measure isolation windows (Figure 1, quantified)")
+		fig6   = flag.Bool("fig6", false, "run the Figure 6 experiment")
+		fig9   = flag.Bool("fig9", false, "run the Figure 9 experiment")
+		table1 = flag.Bool("table1", false, "print Table I (abort ratios)")
+		table4 = flag.Bool("table4", false, "print Table IV (workload characteristics)")
+		table5 = flag.Bool("table5", false, "run the Table V overflow experiment")
+		all    = flag.Bool("all", false, "run every experiment")
+		seeds  = flag.Int("seeds", 0, "run the SUV-vs-LogTM seed-robustness study over N seeds")
+		cores  = flag.Int("cores", 16, "simulated cores")
+		seed   = flag.Uint64("seed", 1, "simulation seed")
+		scale  = flag.Float64("scale", 1.0, "workload scale factor")
+		apps   = flag.String("apps", "", "comma-separated app subset (default: all eight)")
+	)
+	flag.Parse()
+
+	opts := experiments.Options{Cores: *cores, Seed: *seed, Scale: *scale}
+	if *apps != "" {
+		opts.Apps = strings.Split(*apps, ",")
+	}
+	ran := false
+	fail := func(err error) {
+		fmt.Fprintln(os.Stderr, "stampbench:", err)
+		os.Exit(1)
+	}
+	if *fig1 || *all {
+		ran = true
+		res, err := experiments.RunFig1(opts)
+		if err != nil {
+			fail(err)
+		}
+		fmt.Println(res.Render())
+	}
+	if *table4 || *all {
+		ran = true
+		fmt.Println(experiments.RenderTable4())
+	}
+	if *fig6 || *all {
+		ran = true
+		res, err := experiments.RunFig6(opts)
+		if err != nil {
+			fail(err)
+		}
+		fmt.Println(res.Render())
+		if *csvDir != "" {
+			if err := writeCSV(*csvDir, "fig6.csv", res.Matrix); err != nil {
+				fail(err)
+			}
+		}
+	}
+	if *table1 || *all {
+		ran = true
+		out, err := experiments.RunTable1(opts)
+		if err != nil {
+			fail(err)
+		}
+		fmt.Println(out.Render())
+	}
+	if *table5 || *all {
+		ran = true
+		out, err := experiments.RunTable5(opts)
+		if err != nil {
+			fail(err)
+		}
+		fmt.Println(out.Render())
+	}
+	if *fig9 || *all {
+		ran = true
+		res, err := experiments.RunFig9(opts)
+		if err != nil {
+			fail(err)
+		}
+		fmt.Println(res.Render())
+		if *csvDir != "" {
+			if err := writeCSV(*csvDir, "fig9.csv", res.Matrix); err != nil {
+				fail(err)
+			}
+		}
+	}
+	if *seeds > 0 {
+		ran = true
+		list := make([]uint64, *seeds)
+		for i := range list {
+			list[i] = uint64(i + 1)
+		}
+		study, err := experiments.RunSeedStudy(opts, experiments.LogTMSE, experiments.SUVTM, list)
+		if err != nil {
+			fail(err)
+		}
+		fmt.Println(study.Render())
+	}
+	if !ran {
+		flag.Usage()
+		os.Exit(2)
+	}
+}
+
+// writeCSV saves a matrix as dir/name for external plotting.
+func writeCSV(dir, name string, m *experiments.Matrix) error {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return err
+	}
+	f, err := os.Create(filepath.Join(dir, name))
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	if err := m.WriteCSV(f); err != nil {
+		return err
+	}
+	fmt.Println("wrote", filepath.Join(dir, name))
+	return f.Close()
+}

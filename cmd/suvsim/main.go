@@ -1,0 +1,104 @@
+// Command suvsim runs one transactional application under one
+// version-management scheme on the simulated CMP and prints the
+// execution-time breakdown and counters — the smallest way to poke at
+// the simulator.
+//
+// Usage:
+//
+//	suvsim -app intruder -scheme SUV-TM [-cores 16] [-scale 1.0] [-seed 1]
+//	suvsim -config        # print the Table III machine configuration
+//	suvsim -list          # list available applications
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"suvtm"
+)
+
+func main() {
+	var (
+		app    = flag.String("app", "intruder", "application (see -list)")
+		scheme = flag.String("scheme", "SUV-TM", "LogTM-SE | FasTM | SUV-TM | DynTM | DynTM+SUV")
+		cores  = flag.Int("cores", 16, "simulated cores")
+		scale  = flag.Float64("scale", 1.0, "workload scale factor")
+		seed   = flag.Uint64("seed", 1, "simulation seed")
+		config = flag.Bool("config", false, "print the simulated CMP configuration and exit")
+		list   = flag.Bool("list", false, "list available applications and exit")
+		traceN = flag.Int("trace", 0, "dump the last N transaction lifecycle events")
+	)
+	flag.Parse()
+
+	if *list {
+		fmt.Println("applications:", strings.Join(suvtm.Apps(), ", "))
+		fmt.Println("STAMP analogues:", strings.Join(suvtm.StampApps(), ", "))
+		return
+	}
+	if *config {
+		printConfig(suvtm.DefaultConfig(*cores))
+		return
+	}
+
+	out, err := suvtm.Run(suvtm.Spec{
+		App: *app, Scheme: suvtm.Scheme(*scheme),
+		Cores: *cores, Scale: *scale, Seed: *seed,
+		TraceEvents: *traceN,
+	})
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "suvsim:", err)
+		os.Exit(1)
+	}
+	if out.CheckErr != nil {
+		fmt.Fprintln(os.Stderr, "suvsim: INVARIANT VIOLATION:", out.CheckErr)
+		os.Exit(1)
+	}
+	c := out.Counters
+	fmt.Printf("%s under %s (%d cores, scale %.2f, seed %d)\n", *app, *scheme, *cores, *scale, *seed)
+	fmt.Printf("  execution time: %d cycles (%.3f ms at 1.2 GHz)\n", out.Cycles, float64(out.Cycles)/1.2e6)
+	fmt.Printf("  breakdown:      %s\n", out.Breakdown.String())
+	fmt.Printf("  transactions:   %d committed, %d aborted (%.1f%% abort ratio)\n",
+		c.TxCommitted, c.TxAborted, 100*c.AbortRatio())
+	fmt.Printf("  conflicts:      %d NACKs, %d cycle aborts, %d remote aborts, %d false positives\n",
+		c.NACKsReceived, c.CycleAborts, c.RemoteAborts, c.FalsePositive)
+	fmt.Printf("  caches:         L1 %d hits / %d misses, L2 %d hits / %d misses, %d writebacks\n",
+		c.L1Hits, c.L1Misses, c.L2Hits, c.L2Misses, c.Writebacks)
+	fmt.Printf("  overflows:      %d cache-overflow tx, %d table-overflow tx, %d spec evictions\n",
+		c.CacheOverflowTx, c.TableOverflowTx, c.SpecLineEvicted)
+	if c.RedirectLookups > 0 {
+		fmt.Printf("  redirect:       %d lookups (%.1f%% L1-table hits), %d entries added, %d redirect-backs, %d live entries, %d pool pages\n",
+			c.RedirectLookups, 100*(1-c.RedirectL1MissRate()), c.RedirectEntriesAdd, c.RedirectBacks, out.RedirectEn, out.PoolPages)
+	}
+	if c.UndoLogEntries > 0 {
+		fmt.Printf("  undo log:       %d records written, %d replayed, %d software traps\n",
+			c.UndoLogEntries, c.UndoLogRestores, c.SoftwareTraps)
+	}
+	if c.EagerTx+c.LazyTx > 0 {
+		fmt.Printf("  selector:       %d eager, %d lazy transactions (%d merge lines)\n",
+			c.EagerTx, c.LazyTx, c.LazyCommitMerges)
+	}
+	if c.IsoWindows > 0 {
+		fmt.Printf("  isolation:      %.0f-cycle mean writer window over %d windows\n",
+			c.MeanIsolationWindow(), c.IsoWindows)
+	}
+	fmt.Println("  invariants:     OK (serializability checks passed)")
+	if out.Trace != nil {
+		fmt.Printf("\nLast %d lifecycle events (of %d recorded):\n%s",
+			*traceN, out.Trace.Total(), out.Trace.Dump())
+	}
+}
+
+func printConfig(cfg suvtm.MachineConfig) {
+	fmt.Println("Simulated CMP (Table III):")
+	fmt.Printf("  cores:        %d in-order, single issue, 1.2 GHz\n", cfg.Cores)
+	fmt.Printf("  L1 cache:     %d KB %d-way, 64-byte lines, write-back, %d-cycle\n", cfg.L1.SizeBytes>>10, cfg.L1.Ways, cfg.L1Latency)
+	fmt.Printf("  L2 cache:     %d MB %d-way, write-back, %d-cycle\n", cfg.L2.SizeBytes>>20, cfg.L2.Ways, cfg.L2Latency)
+	fmt.Printf("  memory:       %d-cycle latency\n", cfg.MemLatency)
+	fmt.Printf("  directory:    bit vector of sharers, %d-cycle\n", cfg.DirLatency)
+	fmt.Printf("  interconnect: mesh, %d-cycle wire, %d-cycle route\n", cfg.WireLatency, cfg.RouteLatency)
+	fmt.Printf("  signatures:   %d-bit Bloom filters\n", cfg.SigBits)
+	fmt.Printf("  1st-level redirect table: %d-entry zero-latency fully associative\n", cfg.Redirect.L1Entries)
+	fmt.Printf("  2nd-level redirect table: %d-cycle %d-entry %d-way shared\n", cfg.Redirect.L2Latency, cfg.Redirect.L2Entries, cfg.Redirect.L2Ways)
+}

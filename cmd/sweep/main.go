@@ -1,0 +1,105 @@
+// Command sweep runs the paper's redirect-table sensitivity studies:
+// Figure 7 (first-level table size: miss rate and execution time) and
+// Figure 8 (second-level table size and latency).
+//
+// Usage:
+//
+//	sweep -fig7 [-scale 1.0] [-apps bayes,labyrinth,yada]
+//	sweep -fig8size | -fig8lat | -all
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+
+	"suvtm/internal/experiments"
+)
+
+func main() {
+	var (
+		csvDir   = flag.String("csv", "", "also write <dir>/<sweep>.csv for plotting")
+		fig7     = flag.Bool("fig7", false, "sweep the first-level redirect-table size (Figure 7)")
+		fig8size = flag.Bool("fig8size", false, "sweep the second-level table size (Figure 8a)")
+		fig8lat  = flag.Bool("fig8lat", false, "sweep the second-level table latency (Figure 8b)")
+		scaling  = flag.String("scaling", "", "core-count scaling study for one app (e.g. -scaling yada)")
+		all      = flag.Bool("all", false, "run every sweep")
+		cores    = flag.Int("cores", 16, "simulated cores")
+		seed     = flag.Uint64("seed", 1, "simulation seed")
+		scale    = flag.Float64("scale", 1.0, "workload scale factor")
+		apps     = flag.String("apps", "", "comma-separated app subset (default: all eight)")
+	)
+	flag.Parse()
+
+	opts := experiments.Options{Cores: *cores, Seed: *seed, Scale: *scale}
+	if *apps != "" {
+		opts.Apps = strings.Split(*apps, ",")
+	}
+	fail := func(err error) {
+		fmt.Fprintln(os.Stderr, "sweep:", err)
+		os.Exit(1)
+	}
+	ran := false
+	if *fig7 || *all {
+		ran = true
+		sw, err := experiments.RunFig7(opts)
+		if err != nil {
+			fail(err)
+		}
+		fmt.Println(sw.Render())
+		saveCSV(*csvDir, "fig7.csv", sw, fail)
+	}
+	if *fig8size || *all {
+		ran = true
+		sw, err := experiments.RunFig8Size(opts)
+		if err != nil {
+			fail(err)
+		}
+		fmt.Println(sw.Render())
+		saveCSV(*csvDir, "fig8a.csv", sw, fail)
+	}
+	if *scaling != "" {
+		ran = true
+		sc, err := experiments.RunScaling(*scaling,
+			[]experiments.Scheme{experiments.LogTMSE, experiments.SUVTM},
+			nil, *seed, opts.Scale)
+		if err != nil {
+			fail(err)
+		}
+		fmt.Println(sc.Render())
+	}
+	if *fig8lat || *all {
+		ran = true
+		sw, err := experiments.RunFig8Latency(opts)
+		if err != nil {
+			fail(err)
+		}
+		fmt.Println(sw.Render())
+		saveCSV(*csvDir, "fig8b.csv", sw, fail)
+	}
+	if !ran {
+		flag.Usage()
+		os.Exit(2)
+	}
+}
+
+// saveCSV writes a sweep to dir/name when dir is non-empty.
+func saveCSV(dir, name string, sw *experiments.Sweep, fail func(error)) {
+	if dir == "" {
+		return
+	}
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		fail(err)
+	}
+	f, err := os.Create(filepath.Join(dir, name))
+	if err != nil {
+		fail(err)
+	}
+	defer f.Close()
+	if err := sw.WriteCSV(f); err != nil {
+		fail(err)
+	}
+	fmt.Println("wrote", filepath.Join(dir, name))
+}

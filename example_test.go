@@ -1,0 +1,58 @@
+package suvtm_test
+
+import (
+	"fmt"
+
+	"suvtm"
+)
+
+// ExampleRun simulates one STAMP-analogue application under SUV-TM and
+// checks its serializability invariant.
+func ExampleRun() {
+	out, err := suvtm.Run(suvtm.Spec{App: "counter", Scheme: suvtm.SUVTM, Cores: 4, Scale: 0.1})
+	if err != nil {
+		fmt.Println("error:", err)
+		return
+	}
+	fmt.Println("invariants held:", out.CheckErr == nil)
+	fmt.Println("committed:", out.Counters.TxCommitted)
+	// Output:
+	// invariants held: true
+	// committed: 80
+}
+
+// ExampleNewBuilder assembles a custom transactional program and runs it
+// on the simulated CMP.
+func ExampleNewBuilder() {
+	memory := suvtm.NewMemory()
+	alloc := suvtm.NewAllocator(0x100000, 1<<30)
+	region := suvtm.NewRegion(alloc, 1)
+
+	b := suvtm.NewBuilder()
+	b.Begin(0)
+	b.Load(0, region.WordAddr(0, 0))
+	b.AddImm(0, 41)
+	b.AddImm(0, 1)
+	b.Store(region.WordAddr(0, 0), 0)
+	b.Commit()
+	b.Barrier(0)
+
+	vm, _ := suvtm.NewVM(suvtm.SUVTM)
+	m := suvtm.NewMachine(suvtm.DefaultConfig(1), vm, []suvtm.Program{b.Build()}, memory, alloc)
+	if _, err := m.Run(); err != nil {
+		fmt.Println("error:", err)
+		return
+	}
+	fmt.Println("value:", m.ArchMem().Read(region.WordAddr(0, 0)))
+	// Output:
+	// value: 42
+}
+
+// ExampleEstimateTable evaluates the CACTI-style hardware model at the
+// paper's 45 nm design point.
+func ExampleEstimateTable() {
+	est, _ := suvtm.EstimateTable(45, 512, 64)
+	fmt.Printf("access %.3f ns, %d cycle(s) at 1.2 GHz\n", est.AccessNs, est.CyclesAt(1.2))
+	// Output:
+	// access 0.588 ns, 1 cycle(s) at 1.2 GHz
+}

@@ -1,0 +1,108 @@
+// Pathology: reproduce the paper's Figure 1 narrative — the repair
+// pathology. Under an undo-log scheme (LogTM-SE), an aborting
+// transaction spends time in a software handler restoring old values
+// while its signatures keep NACKing everyone else, so the surrounding
+// transactions pile up behind the roll-back. SUV-TM's flash abort
+// removes that window.
+//
+// The workload makes the window visible: coarse transactions with large
+// write-sets over a hot region, so aborts are frequent and roll-backs
+// long.
+//
+//	go run ./examples/pathology
+package main
+
+import (
+	"fmt"
+	"os"
+
+	"suvtm"
+)
+
+func main() {
+	const (
+		cores     = 16
+		hotLines  = 96
+		txPerCore = 12
+		writes    = 48
+	)
+
+	build := func() (*suvtm.Memory, *suvtm.Allocator, []suvtm.Program) {
+		memory := suvtm.NewMemory()
+		alloc := suvtm.NewAllocator(0x10_0000, 1<<30)
+		region := suvtm.NewRegion(alloc, hotLines)
+		progs := make([]suvtm.Program, cores)
+		for c := 0; c < cores; c++ {
+			b := suvtm.NewBuilder()
+			state := uint64(c)*0x9e3779b97f4a7c15 + 11
+			next := func(n int) int {
+				state = state*6364136223846793005 + 1442695040888963407
+				return int((state >> 33) % uint64(n))
+			}
+			for i := 0; i < txPerCore; i++ {
+				b.Begin(0)
+				for k := 0; k < writes; k++ {
+					addr := region.WordAddr(next(hotLines), k%8)
+					b.Load(0, addr)
+					b.AddImm(0, 1)
+					b.Store(addr, 0)
+					if k%8 == 7 {
+						b.Compute(40)
+					}
+				}
+				b.Commit()
+				b.Compute(100)
+			}
+			b.Barrier(0)
+			progs[c] = b.Build()
+		}
+		return memory, alloc, progs
+	}
+
+	type row struct {
+		scheme   suvtm.Scheme
+		cycles   suvtm.Cycles
+		aborting suvtm.Cycles
+		stalled  suvtm.Cycles
+		aborts   uint64
+	}
+	var rows []row
+	for _, s := range []suvtm.Scheme{suvtm.LogTMSE, suvtm.FasTM, suvtm.SUVTM} {
+		memory, alloc, progs := build()
+		vm, err := suvtm.NewVM(s)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "pathology:", err)
+			os.Exit(1)
+		}
+		m := suvtm.NewMachine(suvtm.DefaultConfig(cores), vm, progs, memory, alloc)
+		res, err := m.Run()
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "pathology:", err)
+			os.Exit(1)
+		}
+		rows = append(rows, row{
+			scheme:   s,
+			cycles:   res.Cycles,
+			aborting: res.Breakdown.Cycles[suvtm.Aborting],
+			stalled:  res.Breakdown.Cycles[suvtm.Stalled],
+			aborts:   res.Counters.TxAborted,
+		})
+	}
+
+	fmt.Println("The repair pathology (Figure 1): coarse write-sets + high contention")
+	fmt.Printf("%-9s %12s %12s %12s %8s\n", "scheme", "exec cycles", "Aborting", "Stalled", "aborts")
+	for _, r := range rows {
+		fmt.Printf("%-9s %12d %12d %12d %8d\n", r.scheme, r.cycles, r.aborting, r.stalled, r.aborts)
+	}
+	base, suv := rows[0], rows[len(rows)-1]
+	fmt.Printf("\nLogTM-SE spends %dx more cycles rolling back than SUV-TM;\n", ratio(base.aborting, suv.aborting))
+	fmt.Printf("the stalls behind those roll-backs make it %.2fx slower overall.\n",
+		float64(base.cycles)/float64(suv.cycles))
+}
+
+func ratio(a, b suvtm.Cycles) suvtm.Cycles {
+	if b == 0 {
+		return a
+	}
+	return a / b
+}

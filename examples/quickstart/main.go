@@ -1,0 +1,46 @@
+// Quickstart: run one STAMP-analogue application under the three
+// version-management schemes of the paper's Figure 6 and compare their
+// execution-time breakdowns.
+//
+//	go run ./examples/quickstart [app]
+package main
+
+import (
+	"fmt"
+	"os"
+
+	"suvtm"
+)
+
+func main() {
+	app := "intruder"
+	if len(os.Args) > 1 {
+		app = os.Args[1]
+	}
+	fmt.Printf("running %q on a simulated 16-core CMP under three HTM schemes...\n\n", app)
+
+	schemes := []suvtm.Scheme{suvtm.LogTMSE, suvtm.FasTM, suvtm.SUVTM}
+	var base *suvtm.Outcome
+	for _, s := range schemes {
+		out, err := suvtm.Run(suvtm.Spec{App: app, Scheme: s, Scale: 0.5})
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "quickstart:", err)
+			os.Exit(1)
+		}
+		if out.CheckErr != nil {
+			fmt.Fprintln(os.Stderr, "quickstart: invariant violated:", out.CheckErr)
+			os.Exit(1)
+		}
+		if base == nil {
+			base = out
+		}
+		speedup := float64(base.Cycles)/float64(out.Cycles) - 1
+		fmt.Printf("%-9s %9d cycles  (%+6.1f%% vs %s)\n", s, out.Cycles, 100*speedup, schemes[0])
+		fmt.Printf("          commits=%d aborts=%d (%.1f%% abort ratio)\n",
+			out.Counters.TxCommitted, out.Counters.TxAborted, 100*out.Counters.AbortRatio())
+		fmt.Printf("          %s\n\n", out.Breakdown.String())
+	}
+	fmt.Println("SUV-TM needs exactly one data update per transactional store —")
+	fmt.Println("no undo-log writes, no abort-time repair — so its Aborting")
+	fmt.Println("component all but vanishes and isolation windows shrink.")
+}

@@ -1,0 +1,129 @@
+package suvtm_test
+
+import (
+	"strings"
+	"testing"
+
+	"suvtm"
+)
+
+// TestRunSpec exercises the top-level Run entry point.
+func TestRunSpec(t *testing.T) {
+	out, err := suvtm.Run(suvtm.Spec{App: "counter", Scheme: suvtm.SUVTM, Cores: 4, Scale: 0.2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.CheckErr != nil {
+		t.Fatal(out.CheckErr)
+	}
+	if out.Cycles == 0 || out.Counters.TxCommitted == 0 {
+		t.Fatalf("empty result: %+v", out.Result)
+	}
+	if out.Breakdown.Total() == 0 {
+		t.Fatal("no breakdown")
+	}
+}
+
+// TestRunManyOrder checks outcomes come back in spec order.
+func TestRunManyOrder(t *testing.T) {
+	specs := []suvtm.Spec{
+		{App: "counter", Scheme: suvtm.LogTMSE, Cores: 2, Scale: 0.1},
+		{App: "bank", Scheme: suvtm.SUVTM, Cores: 2, Scale: 0.1},
+		{App: "private", Scheme: suvtm.FasTM, Cores: 2, Scale: 0.1},
+	}
+	outs, err := suvtm.RunMany(specs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, out := range outs {
+		if out.Spec.App != specs[i].App || out.Spec.Scheme != specs[i].Scheme {
+			t.Fatalf("outcome %d out of order: %s/%s", i, out.Spec.App, out.Spec.Scheme)
+		}
+	}
+}
+
+// TestCustomMachine drives the Builder/Machine API end to end.
+func TestCustomMachine(t *testing.T) {
+	memory := suvtm.NewMemory()
+	alloc := suvtm.NewAllocator(0x100000, 1<<30)
+	region := suvtm.NewRegion(alloc, 2)
+	b := suvtm.NewBuilder()
+	b.Begin(0)
+	b.LoadImm(0, 5)
+	b.Store(region.WordAddr(0, 0), 0)
+	b.AddImm(0, 2)
+	b.Store(region.WordAddr(1, 3), 0)
+	b.Commit()
+	b.Barrier(0)
+	vm, err := suvtm.NewVM(suvtm.SUVTM)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := suvtm.NewMachine(suvtm.DefaultConfig(2), vm, []suvtm.Program{b.Build()}, memory, alloc)
+	res, err := m.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Counters.TxCommitted != 1 {
+		t.Fatalf("commits = %d", res.Counters.TxCommitted)
+	}
+	arch := m.ArchMem()
+	if arch.Read(region.WordAddr(0, 0)) != 5 || arch.Read(region.WordAddr(1, 3)) != 7 {
+		t.Fatal("values wrong through ArchMem")
+	}
+}
+
+// TestSchemeList verifies NewVM covers every scheme and rejects unknowns.
+func TestSchemeList(t *testing.T) {
+	for _, s := range []suvtm.Scheme{suvtm.LogTMSE, suvtm.FasTM, suvtm.SUVTM, suvtm.DynTM, suvtm.DynTMSUV} {
+		vm, err := suvtm.NewVM(s)
+		if err != nil {
+			t.Fatalf("NewVM(%s): %v", s, err)
+		}
+		if vm.Name() != string(s) {
+			t.Fatalf("NewVM(%s).Name() = %s", s, vm.Name())
+		}
+	}
+	if _, err := suvtm.NewVM("nonsense"); err == nil {
+		t.Fatal("unknown scheme accepted")
+	}
+}
+
+// TestAppLists checks the registry surface.
+func TestAppLists(t *testing.T) {
+	stamp := suvtm.StampApps()
+	if len(stamp) != 8 {
+		t.Fatalf("StampApps = %v", stamp)
+	}
+	all := strings.Join(suvtm.Apps(), ",")
+	for _, want := range []string{"bayes", "counter", "bank", "private", "yada"} {
+		if !strings.Contains(all, want) {
+			t.Fatalf("Apps() missing %s: %s", want, all)
+		}
+	}
+}
+
+// TestHardwareModelFacade checks the re-exported cost model.
+func TestHardwareModelFacade(t *testing.T) {
+	est, err := suvtm.EstimateTable(45, 512, 22)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if est.AccessNs <= 0 || est.CyclesAt(1.2) != 1 {
+		t.Fatalf("estimate = %+v", est)
+	}
+	cost, err := suvtm.SUVHardwareCost(16, 1.2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cost.PerCoreBytes != 1920 {
+		t.Fatalf("per-core bytes = %v", cost.PerCoreBytes)
+	}
+}
+
+// TestUnknownAppErrors checks error plumbing.
+func TestUnknownAppErrors(t *testing.T) {
+	if _, err := suvtm.Run(suvtm.Spec{App: "nope", Scheme: suvtm.SUVTM}); err == nil {
+		t.Fatal("unknown app accepted")
+	}
+}

@@ -1,0 +1,3 @@
+module suvtm
+
+go 1.22

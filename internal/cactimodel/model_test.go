@@ -1,0 +1,136 @@
+package cactimodel
+
+import (
+	"math"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+// TestTableVIIExact checks the model reproduces the paper's Table VII at
+// the calibration configuration (512 entries x 8 bytes).
+func TestTableVIIExact(t *testing.T) {
+	want := map[int][4]float64{
+		90: {1.382, 0.403, 0.434, 0.951},
+		65: {0.995, 0.239, 0.260, 0.589},
+		45: {0.588, 0.150, 0.163, 0.282},
+		32: {0.412, 0.072, 0.078, 0.143},
+	}
+	for nm, w := range want {
+		est, err := FullyAssociative(nm, 512, 64)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got := [4]float64{est.AccessNs, est.ReadNj, est.WriteNj, est.AreaMm2}
+		for i := range w {
+			if math.Abs(got[i]-w[i]) > 1e-9 {
+				t.Errorf("%d nm field %d = %v, want %v", nm, i, got[i], w[i])
+			}
+		}
+	}
+}
+
+// TestSingleCycleAt45nm checks the paper's claim: a 512-entry access
+// completes in one cycle with the 45 nm process at 1.2 GHz.
+func TestSingleCycleAt45nm(t *testing.T) {
+	est, err := FullyAssociative(45, 512, 64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := est.CyclesAt(1.2); got != 1 {
+		t.Fatalf("cycles = %d, want 1", got)
+	}
+	// At 90 nm the same table does not fit one cycle.
+	est90, _ := FullyAssociative(90, 512, 64)
+	if est90.CyclesAt(1.2) < 2 {
+		t.Fatal("90 nm table implausibly fast")
+	}
+}
+
+// TestScalingMonotonic property-checks that bigger tables are never
+// faster, cheaper or smaller.
+func TestScalingMonotonic(t *testing.T) {
+	f := func(k uint8) bool {
+		entries := 64 << (k % 6)
+		small, err1 := FullyAssociative(45, entries, 64)
+		big, err2 := FullyAssociative(45, entries*2, 64)
+		if err1 != nil || err2 != nil {
+			return false
+		}
+		return big.AccessNs > small.AccessNs &&
+			big.ReadNj > small.ReadNj &&
+			big.AreaMm2 > small.AreaMm2
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestNarrowEntriesCheaper: the real 22-bit entry must cost less than
+// CACTI's 64-bit minimum (the paper's halving argument).
+func TestNarrowEntriesCheaper(t *testing.T) {
+	wide, _ := FullyAssociative(45, 512, 64)
+	narrow, err := FullyAssociative(45, 512, 22)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if narrow.AreaMm2 >= wide.AreaMm2 || narrow.ReadNj >= wide.ReadNj {
+		t.Fatal("22-bit entries not cheaper than 64-bit")
+	}
+}
+
+func TestUnknownNodeErrors(t *testing.T) {
+	if _, err := FullyAssociative(28, 512, 64); err == nil {
+		t.Fatal("unknown node did not error")
+	}
+	if _, err := FullyAssociative(45, 0, 64); err == nil {
+		t.Fatal("zero entries did not error")
+	}
+}
+
+// TestSectionVCNumbers checks the Section V-C arithmetic against the
+// paper: 1.875 KiB per core (5.86% of a 32 KB L1), ~3 W upper-bound
+// search power (~1.2% of Rock's TDP), 2.26 mm^2 (~0.6% of Rock's area).
+func TestSectionVCNumbers(t *testing.T) {
+	cost, err := SectionVC(16, 1.2, 2048, 2048, 512, 22)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cost.PerCoreBytes != 1920 {
+		t.Errorf("per-core bytes = %v, want 1920", cost.PerCoreBytes)
+	}
+	if math.Abs(cost.PctOfL1-0.0586) > 0.001 {
+		t.Errorf("pct of L1 = %v", cost.PctOfL1)
+	}
+	if math.Abs(cost.MaxPowerW-3.0) > 0.01 {
+		t.Errorf("max power = %v W, want ~3", cost.MaxPowerW)
+	}
+	if math.Abs(cost.PctOfRockPower-0.012) > 0.001 {
+		t.Errorf("pct of Rock power = %v", cost.PctOfRockPower)
+	}
+	if math.Abs(cost.TotalTableAreaM2-2.256) > 0.01 {
+		t.Errorf("area = %v mm2, want ~2.26", cost.TotalTableAreaM2)
+	}
+	if math.Abs(cost.PctOfRockArea-0.0057) > 0.001 {
+		t.Errorf("pct of Rock area = %v", cost.PctOfRockArea)
+	}
+}
+
+func TestRenderers(t *testing.T) {
+	t6 := RenderTable6()
+	for _, p := range Table6 {
+		if !strings.Contains(t6, p.Name) {
+			t.Errorf("Table VI missing %s", p.Name)
+		}
+	}
+	t7 := RenderTable7()
+	for _, s := range []string{"90", "65", "45", "32", "1.382", "0.282"} {
+		if !strings.Contains(t7, s) {
+			t.Errorf("Table VII missing %q", s)
+		}
+	}
+	vc := RenderSectionVC()
+	if !strings.Contains(vc, "1.875 KiB") {
+		t.Errorf("Section V-C missing storage:\n%s", vc)
+	}
+}

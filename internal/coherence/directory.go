@@ -1,0 +1,136 @@
+// Package coherence implements the global sharing state of the simulated
+// CMP: a full-map bit-vector directory (Table III) over 64-byte lines.
+// The directory answers, for any line, who owns it in Modified state and
+// which cores hold Shared copies, and performs the bookkeeping for
+// GETS/GETM/eviction transitions of the MESI protocol. Conflict
+// *detection* (signature checks, NACKs) is layered on top by the HTM
+// machine; the directory itself is TM-agnostic.
+package coherence
+
+import "suvtm/internal/sim"
+
+// maxCores bounds the sharer bit-vector width.
+const maxCores = 64
+
+// entry is the directory state for one line.
+type entry struct {
+	owner   int8   // core holding the line Modified, or -1
+	sharers uint64 // bit per core with a Shared copy
+}
+
+// Directory is a full-map directory over all lines ever referenced.
+type Directory struct {
+	cores   int
+	entries map[sim.Line]entry
+}
+
+// NewDirectory creates a directory for the given core count.
+func NewDirectory(cores int) *Directory {
+	if cores <= 0 || cores > maxCores {
+		panic("coherence: unsupported core count")
+	}
+	return &Directory{cores: cores, entries: make(map[sim.Line]entry)}
+}
+
+// Owner returns the core holding line in Modified state, or -1.
+func (d *Directory) Owner(line sim.Line) int {
+	e, ok := d.entries[line]
+	if !ok {
+		return -1
+	}
+	return int(e.owner)
+}
+
+// Sharers returns the bit-vector of cores holding Shared copies.
+func (d *Directory) Sharers(line sim.Line) uint64 {
+	return d.entries[line].sharers
+}
+
+// SharerList returns the sharer core ids in ascending order.
+func (d *Directory) SharerList(line sim.Line) []int {
+	var out []int
+	s := d.entries[line].sharers
+	for c := 0; c < d.cores; c++ {
+		if s&(1<<uint(c)) != 0 {
+			out = append(out, c)
+		}
+	}
+	return out
+}
+
+// AddSharer records a GETS fill: core now holds line Shared. A Modified
+// owner (core itself or a remote one) is downgraded to a sharer — its
+// cache keeps a Shared copy after servicing the read, per MESI.
+func (d *Directory) AddSharer(line sim.Line, core int) {
+	e := d.get(line)
+	if e.owner >= 0 {
+		e.sharers |= 1 << uint(e.owner)
+		e.owner = -1
+	}
+	e.sharers |= 1 << uint(core)
+	d.entries[line] = e
+}
+
+// SetOwner records a GETM fill: core now holds line Modified and every
+// other copy is invalidated. It returns the cores whose copies were
+// invalidated (the previous owner and/or sharers, excluding core itself).
+func (d *Directory) SetOwner(line sim.Line, core int) []int {
+	e := d.get(line)
+	var invalidated []int
+	if e.owner >= 0 && int(e.owner) != core {
+		invalidated = append(invalidated, int(e.owner))
+	}
+	for c := 0; c < d.cores; c++ {
+		if c != core && e.sharers&(1<<uint(c)) != 0 {
+			invalidated = append(invalidated, c)
+		}
+	}
+	e.owner = int8(core)
+	e.sharers = 0
+	d.entries[line] = e
+	return invalidated
+}
+
+// Downgrade converts core's Modified ownership of line into a Shared
+// copy (a remote GETS hit the owner). No-op if core is not the owner.
+func (d *Directory) Downgrade(line sim.Line, core int) {
+	e := d.get(line)
+	if int(e.owner) == core {
+		e.owner = -1
+		e.sharers |= 1 << uint(core)
+		d.entries[line] = e
+	}
+}
+
+// Drop removes core's copy of line (eviction or invalidation).
+func (d *Directory) Drop(line sim.Line, core int) {
+	e, ok := d.entries[line]
+	if !ok {
+		return
+	}
+	if int(e.owner) == core {
+		e.owner = -1
+	}
+	e.sharers &^= 1 << uint(core)
+	if e.owner < 0 && e.sharers == 0 {
+		delete(d.entries, line)
+		return
+	}
+	d.entries[line] = e
+}
+
+// HoldsModified reports whether core owns line in Modified state.
+func (d *Directory) HoldsModified(line sim.Line, core int) bool {
+	return d.Owner(line) == core
+}
+
+// Tracked returns the number of lines with any cached copy (tests).
+func (d *Directory) Tracked() int { return len(d.entries) }
+
+func (d *Directory) get(line sim.Line) entry {
+	e, ok := d.entries[line]
+	if !ok {
+		return entry{owner: -1}
+	}
+	return e
+}

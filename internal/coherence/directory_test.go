@@ -1,0 +1,115 @@
+package coherence
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestDirectoryBasicTransitions(t *testing.T) {
+	d := NewDirectory(4)
+	if d.Owner(10) != -1 {
+		t.Fatal("untracked line has an owner")
+	}
+	d.AddSharer(10, 0)
+	d.AddSharer(10, 2)
+	if got := d.SharerList(10); len(got) != 2 || got[0] != 0 || got[1] != 2 {
+		t.Fatalf("sharers = %v", got)
+	}
+	inv := d.SetOwner(10, 1)
+	if len(inv) != 2 {
+		t.Fatalf("invalidated = %v, want cores 0 and 2", inv)
+	}
+	if d.Owner(10) != 1 || d.Sharers(10) != 0 {
+		t.Fatal("ownership transition wrong")
+	}
+}
+
+func TestDirectoryOwnerToSharerOnGETS(t *testing.T) {
+	d := NewDirectory(4)
+	d.SetOwner(7, 3)
+	d.Downgrade(7, 3)
+	if d.Owner(7) != -1 {
+		t.Fatal("owner survived downgrade")
+	}
+	if got := d.SharerList(7); len(got) != 1 || got[0] != 3 {
+		t.Fatalf("sharers after downgrade = %v", got)
+	}
+	// Downgrading a non-owner is a no-op.
+	d.SetOwner(8, 1)
+	d.Downgrade(8, 2)
+	if d.Owner(8) != 1 {
+		t.Fatal("downgrade by non-owner changed state")
+	}
+}
+
+func TestDirectorySetOwnerSelf(t *testing.T) {
+	d := NewDirectory(4)
+	d.SetOwner(5, 2)
+	inv := d.SetOwner(5, 2)
+	if len(inv) != 0 {
+		t.Fatalf("self re-own invalidated %v", inv)
+	}
+}
+
+func TestDirectoryDrop(t *testing.T) {
+	d := NewDirectory(4)
+	d.AddSharer(1, 0)
+	d.AddSharer(1, 1)
+	d.Drop(1, 0)
+	if got := d.SharerList(1); len(got) != 1 || got[0] != 1 {
+		t.Fatalf("sharers after drop = %v", got)
+	}
+	d.Drop(1, 1)
+	if d.Tracked() != 0 {
+		t.Fatal("empty line still tracked")
+	}
+	d.Drop(1, 2) // dropping an untracked line is a no-op
+}
+
+func TestDirectoryAddSharerDowngradesSelfOwner(t *testing.T) {
+	d := NewDirectory(4)
+	d.SetOwner(9, 1)
+	d.AddSharer(9, 1)
+	if d.Owner(9) != -1 {
+		t.Fatal("owner survived self GETS downgrade")
+	}
+	if d.HoldsModified(9, 1) {
+		t.Fatal("owner kept Modified after self GETS downgrade")
+	}
+}
+
+// TestDirectoryInvariant property-checks that a line never has both an
+// owner and sharers after arbitrary operation sequences.
+func TestDirectoryInvariant(t *testing.T) {
+	f := func(ops []uint16) bool {
+		d := NewDirectory(8)
+		for _, op := range ops {
+			line := uint64(op % 13)
+			core := int(op>>4) % 8
+			switch op % 3 {
+			case 0:
+				d.AddSharer(line, core)
+			case 1:
+				d.SetOwner(line, core)
+			case 2:
+				d.Drop(line, core)
+			}
+			if d.Owner(line) >= 0 && d.Sharers(line) != 0 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestDirectoryBadCoresPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("no panic for 0 cores")
+		}
+	}()
+	NewDirectory(0)
+}

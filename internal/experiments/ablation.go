@@ -1,0 +1,154 @@
+package experiments
+
+import (
+	"fmt"
+	"strings"
+
+	"suvtm/internal/htm"
+	"suvtm/internal/stats"
+)
+
+// Ablation studies for the design choices DESIGN.md calls out: the
+// redirect-back optimization (Section IV-A), the Stall conflict policy
+// (Section V-A) and the 2 Kbit signature sizing (Table III). These are
+// not paper figures; they quantify why the paper's choices are what they
+// are.
+
+// AblationRow is one configuration of an ablation study.
+type AblationRow struct {
+	Label    string
+	Outcomes map[string]*Outcome // per app
+}
+
+// Ablation is a rendered study over a set of apps.
+type Ablation struct {
+	Name string
+	Apps []string
+	Rows []AblationRow
+}
+
+// runAblation simulates each app under each labelled configuration.
+func runAblation(opts Options, name string, scheme Scheme, configs []struct {
+	label string
+	tweak func(*htm.Config)
+}) (*Ablation, error) {
+	apps := opts.apps()
+	var specs []Spec
+	for _, c := range configs {
+		for _, app := range apps {
+			specs = append(specs, Spec{
+				App: app, Scheme: scheme,
+				Cores: opts.Cores, Seed: opts.Seed, Scale: opts.Scale,
+				Tweak: c.tweak,
+			})
+		}
+	}
+	outs, err := RunMany(specs)
+	if err != nil {
+		return nil, err
+	}
+	ab := &Ablation{Name: name, Apps: apps}
+	i := 0
+	for _, c := range configs {
+		row := AblationRow{Label: c.label, Outcomes: make(map[string]*Outcome, len(apps))}
+		for _, app := range apps {
+			out := outs[i]
+			i++
+			if out.CheckErr != nil {
+				return nil, fmt.Errorf("%s (%s): %w", app, c.label, out.CheckErr)
+			}
+			row.Outcomes[app] = out
+		}
+		ab.Rows = append(ab.Rows, row)
+	}
+	return ab, nil
+}
+
+// TotalCycles sums a row's cycles over all apps.
+func (r AblationRow) TotalCycles() uint64 {
+	var t uint64
+	for _, o := range r.Outcomes {
+		t += o.Cycles
+	}
+	return t
+}
+
+// RunAblationRedirectBack compares SUV-TM with and without the
+// redirect-back optimization: without it, re-redirected lines chain to
+// fresh pool lines forever, so the committed entry count and preserved
+// pool keep growing and the tables thrash.
+func RunAblationRedirectBack(opts Options) (*Ablation, error) {
+	return runAblation(opts, "Ablation: redirect-back optimization (SUV-TM)", SUVTM,
+		[]struct {
+			label string
+			tweak func(*htm.Config)
+		}{
+			{"redirect-back ON (paper)", nil},
+			{"redirect-back OFF", func(cfg *htm.Config) { cfg.Redirect.DisableRedirectBack = true }},
+		})
+}
+
+// RunAblationPolicy compares the Stall policy against OlderWins (abort
+// the younger holder) under SUV-TM.
+func RunAblationPolicy(opts Options) (*Ablation, error) {
+	return runAblation(opts, "Ablation: conflict-resolution policy (SUV-TM)", SUVTM,
+		[]struct {
+			label string
+			tweak func(*htm.Config)
+		}{
+			{"Stall (paper)", nil},
+			{"OlderWins", func(cfg *htm.Config) { cfg.Policy = htm.PolicyOlderWins }},
+		})
+}
+
+// SigBitsSweep is the signature-size ablation domain.
+var SigBitsSweep = []uint32{256, 512, 1024, 2048, 4096}
+
+// RunAblationSigBits sweeps the Bloom-signature width: small signatures
+// alias heavily, turning false positives into false conflicts.
+func RunAblationSigBits(opts Options) (*Ablation, error) {
+	var configs []struct {
+		label string
+		tweak func(*htm.Config)
+	}
+	for _, bits := range SigBitsSweep {
+		bits := bits
+		label := fmt.Sprintf("%d-bit signatures", bits)
+		if bits == 2048 {
+			label += " (paper)"
+		}
+		configs = append(configs, struct {
+			label string
+			tweak func(*htm.Config)
+		}{label, func(cfg *htm.Config) { cfg.SigBits = bits }})
+	}
+	return runAblation(opts, "Ablation: signature size (SUV-TM)", SUVTM, configs)
+}
+
+// Render prints the study: per configuration, total cycles (normalized
+// to the first row), aborts, false-positive conflicts and redirect-state
+// footprint.
+func (a *Ablation) Render() string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "%s (apps: %s)\n", a.Name, strings.Join(a.Apps, ", "))
+	tab := stats.NewTable("configuration", "total cycles", "norm", "aborts", "false-pos", "entries", "pool pages")
+	base := float64(a.Rows[0].TotalCycles())
+	for _, row := range a.Rows {
+		var aborts, falsePos, entries, pages uint64
+		for _, o := range row.Outcomes {
+			aborts += o.Counters.TxAborted
+			falsePos += o.Counters.FalsePositive
+			entries += uint64(o.RedirectEn)
+			pages += o.PoolPages
+		}
+		tab.AddRow(row.Label,
+			fmt.Sprintf("%d", row.TotalCycles()),
+			stats.F3(float64(row.TotalCycles())/base),
+			fmt.Sprintf("%d", aborts),
+			fmt.Sprintf("%d", falsePos),
+			fmt.Sprintf("%d", entries),
+			fmt.Sprintf("%d", pages))
+	}
+	sb.WriteString(tab.String())
+	return sb.String()
+}

@@ -1,0 +1,80 @@
+package experiments
+
+import (
+	"encoding/csv"
+	"fmt"
+	"io"
+
+	"suvtm/internal/stats"
+)
+
+// WriteCSV emits the matrix as tidy rows (one per app x scheme) for
+// external plotting: cycles, normalized time, the full breakdown and the
+// headline counters.
+func (m *Matrix) WriteCSV(w io.Writer) error {
+	cw := csv.NewWriter(w)
+	header := []string{"app", "scheme", "cycles", "norm_time"}
+	for comp := stats.Component(0); comp < stats.NumComponents; comp++ {
+		header = append(header, "frac_"+comp.String())
+	}
+	header = append(header, "commits", "aborts", "abort_ratio",
+		"cache_overflow_tx", "table_overflow_tx", "redirect_entries", "pool_pages")
+	if err := cw.Write(header); err != nil {
+		return err
+	}
+	for _, app := range m.Apps {
+		base := m.Get(app, m.Schemes[0])
+		for _, s := range m.Schemes {
+			out := m.Get(app, s)
+			if out == nil {
+				continue
+			}
+			row := []string{
+				app, string(s),
+				fmt.Sprintf("%d", out.Cycles),
+				fmt.Sprintf("%.6f", float64(out.Cycles)/float64(base.Cycles)),
+			}
+			fr := out.Breakdown.Fractions()
+			for comp := stats.Component(0); comp < stats.NumComponents; comp++ {
+				row = append(row, fmt.Sprintf("%.6f", fr[comp]))
+			}
+			row = append(row,
+				fmt.Sprintf("%d", out.Counters.TxCommitted),
+				fmt.Sprintf("%d", out.Counters.TxAborted),
+				fmt.Sprintf("%.6f", out.Counters.AbortRatio()),
+				fmt.Sprintf("%d", out.Counters.CacheOverflowTx),
+				fmt.Sprintf("%d", out.Counters.TableOverflowTx),
+				fmt.Sprintf("%d", out.RedirectEn),
+				fmt.Sprintf("%d", out.PoolPages),
+			)
+			if err := cw.Write(row); err != nil {
+				return err
+			}
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}
+
+// WriteCSV emits the sweep as (param, total_cycles, norm_time,
+// miss_rate) rows.
+func (s *Sweep) WriteCSV(w io.Writer) error {
+	cw := csv.NewWriter(w)
+	if err := cw.Write([]string{"param", "total_cycles", "norm_time", "l1_table_miss_rate"}); err != nil {
+		return err
+	}
+	base := float64(s.Points[0].TotalCycles)
+	for _, pt := range s.Points {
+		err := cw.Write([]string{
+			fmt.Sprintf("%d", pt.Param),
+			fmt.Sprintf("%d", pt.TotalCycles),
+			fmt.Sprintf("%.6f", float64(pt.TotalCycles)/base),
+			fmt.Sprintf("%.6f", pt.MissRate),
+		})
+		if err != nil {
+			return err
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}

@@ -1,0 +1,36 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+)
+
+// TestFig1IsolationWindows verifies the paper's central mechanism as a
+// measurement: under coarse, high-contention workloads, LogTM-SE's mean
+// writer isolation window must exceed SUV-TM's (its abort roll-back
+// keeps isolation in force), and window counts must match attempts that
+// wrote something.
+func TestFig1IsolationWindows(t *testing.T) {
+	fig, err := RunFig1(Options{Scale: 0.2, Apps: []string{"yada", "bayes"}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, app := range fig.Apps {
+		logtm := fig.MeanWindow(app, LogTMSE)
+		suv := fig.MeanWindow(app, SUVTM)
+		if logtm <= 0 || suv <= 0 {
+			t.Fatalf("%s: zero windows measured (logtm=%v suv=%v)", app, logtm, suv)
+		}
+		if logtm <= suv {
+			t.Errorf("%s: LogTM-SE window (%.0f) not longer than SUV-TM's (%.0f)", app, logtm, suv)
+		}
+		out := fig.Get(app, LogTMSE)
+		attempts := out.Counters.TxCommitted + out.Counters.TxAborted
+		if out.Counters.IsoWindows == 0 || out.Counters.IsoWindows > attempts {
+			t.Errorf("%s: window count %d vs %d attempts", app, out.Counters.IsoWindows, attempts)
+		}
+	}
+	if !strings.Contains(fig.Render(), "isolation window") {
+		t.Fatal("render missing title")
+	}
+}

@@ -1,0 +1,102 @@
+package experiments
+
+import (
+	"fmt"
+	"strings"
+
+	"suvtm/internal/stats"
+)
+
+// Fig6 is the paper's headline experiment: the execution-time breakdown
+// of the eight STAMP-analogue applications under LogTM-SE (L), FasTM (F)
+// and SUV-TM (S). The paper reports SUV-TM outperforming LogTM-SE and
+// FasTM by 56% and 9% over all applications, and by 95% and 12% over the
+// five high-contention applications.
+type Fig6 struct {
+	*Matrix
+}
+
+// PaperFig6 records the paper's headline speedups for EXPERIMENTS.md
+// comparisons.
+var PaperFig6 = struct {
+	OverLogTMAll, OverFasTMAll   float64
+	OverLogTMHigh, OverFasTMHigh float64
+}{0.56, 0.09, 0.95, 0.12}
+
+// RunFig6 executes the Figure 6 matrix.
+func RunFig6(opts Options) (*Fig6, error) {
+	mtx, err := RunMatrix(opts, Fig6Schemes)
+	if err != nil {
+		return nil, err
+	}
+	return &Fig6{Matrix: mtx}, nil
+}
+
+// Render prints the normalized breakdown and the headline speedup
+// summary next to the paper's numbers.
+func (f *Fig6) Render() string {
+	var sb strings.Builder
+	sb.WriteString(f.RenderBreakdown("Figure 6: execution-time breakdown (normalized to LogTM-SE)"))
+	sb.WriteByte('\n')
+	sb.WriteString(f.RenderBars("Figure 6 (stacked bars, width = time normalized to LogTM-SE):", 60))
+	sb.WriteString("\nHeadline speedups (geometric mean of cycle ratios - 1):\n")
+	tab := stats.NewTable("comparison", "scope", "measured", "paper")
+	tab.AddRow("SUV-TM vs LogTM-SE", "all apps", stats.Pct(f.MeanSpeedup(LogTMSE, SUVTM, false)), stats.Pct(PaperFig6.OverLogTMAll))
+	tab.AddRow("SUV-TM vs FasTM", "all apps", stats.Pct(f.MeanSpeedup(FasTM, SUVTM, false)), stats.Pct(PaperFig6.OverFasTMAll))
+	tab.AddRow("SUV-TM vs LogTM-SE", "high-contention 5", stats.Pct(f.MeanSpeedup(LogTMSE, SUVTM, true)), stats.Pct(PaperFig6.OverLogTMHigh))
+	tab.AddRow("SUV-TM vs FasTM", "high-contention 5", stats.Pct(f.MeanSpeedup(FasTM, SUVTM, true)), stats.Pct(PaperFig6.OverFasTMHigh))
+	sb.WriteString(tab.String())
+	sb.WriteString("\nPer-app speedup of SUV-TM:\n")
+	tab2 := stats.NewTable("app", "vs LogTM-SE", "vs FasTM")
+	overL := f.SpeedupOver(LogTMSE, SUVTM)
+	overF := f.SpeedupOver(FasTM, SUVTM)
+	for _, app := range f.Apps {
+		tab2.AddRow(app, stats.Pct(overL[app]), stats.Pct(overF[app]))
+	}
+	sb.WriteString(tab2.String())
+	return sb.String()
+}
+
+// Fig9 compares the original DynTM (D: FasTM version management) with
+// DynTM+SUV (D+S). The paper reports D+S outperforming D by 9.8% over
+// all applications and 18.6% over the high-contention five.
+type Fig9 struct {
+	*Matrix
+}
+
+// PaperFig9 records the paper's DynTM speedups.
+var PaperFig9 = struct {
+	All, High float64
+}{0.098, 0.186}
+
+// RunFig9 executes the Figure 9 matrix.
+func RunFig9(opts Options) (*Fig9, error) {
+	mtx, err := RunMatrix(opts, Fig9Schemes)
+	if err != nil {
+		return nil, err
+	}
+	return &Fig9{Matrix: mtx}, nil
+}
+
+// Render prints the D vs D+S breakdown (including the Committing
+// component) and the speedup summary.
+func (f *Fig9) Render() string {
+	var sb strings.Builder
+	sb.WriteString(f.RenderBreakdown("Figure 9: DynTM (D) vs DynTM+SUV (D+S), normalized to DynTM"))
+	sb.WriteByte('\n')
+	sb.WriteString(f.RenderBars("Figure 9 (stacked bars, width = time normalized to DynTM):", 60))
+	sb.WriteString("\nHeadline speedups:\n")
+	tab := stats.NewTable("comparison", "scope", "measured", "paper")
+	tab.AddRow("DynTM+SUV vs DynTM", "all apps", stats.Pct(f.MeanSpeedup(DynTM, DynTMSUV, false)), stats.Pct(PaperFig9.All))
+	tab.AddRow("DynTM+SUV vs DynTM", "high-contention 5", stats.Pct(f.MeanSpeedup(DynTM, DynTMSUV, true)), stats.Pct(PaperFig9.High))
+	sb.WriteString(tab.String())
+	var eager, lazy uint64
+	for _, app := range f.Apps {
+		if out := f.Get(app, DynTM); out != nil {
+			eager += out.Counters.EagerTx
+			lazy += out.Counters.LazyTx
+		}
+	}
+	fmt.Fprintf(&sb, "\nDynTM selector: %d transactions ran eager, %d lazy\n", eager, lazy)
+	return sb.String()
+}

@@ -1,0 +1,76 @@
+package experiments
+
+import (
+	"fmt"
+	"strings"
+
+	"suvtm/internal/stats"
+)
+
+// componentGlyphs renders each breakdown component as one letter in the
+// stacked bars (the paper's Figure 6/9 legend, compressed to ASCII):
+// NoTrans, Trans, bArrier, bacKoff, Stalled, Wasted, abOrting,
+// Committing.
+var componentGlyphs = [stats.NumComponents]byte{'N', 'T', 'a', 'k', 'S', 'W', 'O', 'C'}
+
+// RenderBars draws the matrix as horizontal stacked bars, one per
+// (app, scheme), scaled so the first scheme's bar is barWidth characters
+// — the ASCII rendition of the paper's Figure 6/9 stacked columns.
+func (m *Matrix) RenderBars(title string, barWidth int) string {
+	if barWidth <= 0 {
+		barWidth = 60
+	}
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "%s\n", title)
+	sb.WriteString("legend: N=NoTrans T=Trans a=Barrier k=Backoff S=Stalled W=Wasted O=Aborting C=Committing\n\n")
+	for _, app := range m.Apps {
+		base := m.Get(app, m.Schemes[0])
+		if base == nil {
+			continue
+		}
+		for _, s := range m.Schemes {
+			out := m.Get(app, s)
+			if out == nil {
+				continue
+			}
+			norm := float64(out.Cycles) / float64(base.Cycles)
+			total := float64(out.Breakdown.Total())
+			width := int(norm*float64(barWidth) + 0.5)
+			if width < 1 {
+				width = 1
+			}
+			var bar []byte
+			for comp := stats.Component(0); comp < stats.NumComponents; comp++ {
+				share := 0.0
+				if total > 0 {
+					share = float64(out.Breakdown.Cycles[comp]) / total
+				}
+				n := int(share*float64(width) + 0.5)
+				for i := 0; i < n; i++ {
+					bar = append(bar, componentGlyphs[comp])
+				}
+			}
+			if len(bar) == 0 {
+				// Everything rounded away (very narrow bar): show the
+				// largest component.
+				max := stats.Component(0)
+				for comp := stats.Component(1); comp < stats.NumComponents; comp++ {
+					if out.Breakdown.Cycles[comp] > out.Breakdown.Cycles[max] {
+						max = comp
+					}
+				}
+				bar = append(bar, componentGlyphs[max])
+			}
+			// Rounding can drift by a character or two; clamp to width.
+			if len(bar) > width {
+				bar = bar[:width]
+			}
+			for len(bar) < width {
+				bar = append(bar, bar[len(bar)-1])
+			}
+			fmt.Fprintf(&sb, "%-10s %-9s |%s| %.3f\n", app, s, string(bar), norm)
+		}
+		sb.WriteByte('\n')
+	}
+	return sb.String()
+}

@@ -1,0 +1,58 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+)
+
+// TestRenderBars checks the ASCII Figure 6 rendition: bars exist for
+// every (app, scheme), the baseline bar is full width, and faster
+// schemes get proportionally shorter bars.
+func TestRenderBars(t *testing.T) {
+	mtx, err := RunMatrix(Options{Scale: 0.15, Apps: []string{"counter"}, Cores: 8},
+		[]Scheme{LogTMSE, SUVTM})
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := mtx.RenderBars("test", 40)
+	lines := strings.Split(out, "\n")
+	var bars []string
+	for _, l := range lines {
+		if strings.Contains(l, "|") {
+			bars = append(bars, l)
+		}
+	}
+	if len(bars) != 2 {
+		t.Fatalf("bars = %d:\n%s", len(bars), out)
+	}
+	width := func(l string) int {
+		open := strings.Index(l, "|")
+		close := strings.LastIndex(l, "|")
+		return close - open - 1
+	}
+	if width(bars[0]) != 40 {
+		t.Fatalf("baseline bar width = %d, want 40:\n%s", width(bars[0]), bars[0])
+	}
+	base := mtx.Get("counter", LogTMSE)
+	mine := mtx.Get("counter", SUVTM)
+	wantShorter := mine.Cycles < base.Cycles
+	if wantShorter && width(bars[1]) >= width(bars[0]) {
+		t.Fatalf("faster scheme's bar not shorter:\n%s", out)
+	}
+	if !strings.Contains(out, "legend:") {
+		t.Fatal("missing legend")
+	}
+}
+
+// TestRenderBarsNarrow exercises the rounding guard at tiny widths.
+func TestRenderBarsNarrow(t *testing.T) {
+	mtx, err := RunMatrix(Options{Scale: 0.05, Apps: []string{"private"}, Cores: 2},
+		[]Scheme{SUVTM})
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := mtx.RenderBars("narrow", 1)
+	if !strings.Contains(out, "|") {
+		t.Fatalf("no bar rendered:\n%s", out)
+	}
+}

@@ -1,0 +1,71 @@
+package experiments
+
+import (
+	"testing"
+
+	"suvtm/internal/htm"
+	"suvtm/internal/mem"
+	"suvtm/internal/sim"
+	"suvtm/internal/workload"
+)
+
+// FuzzDifferentialSingleCore is the go-fuzz entry point over the
+// sequential reference oracle: for any seed and hardware starvation
+// level, every scheme's single-core architectural memory must match the
+// interpreter word-for-word. Run with:
+//
+//	go test ./internal/experiments -fuzz FuzzDifferentialSingleCore
+func FuzzDifferentialSingleCore(f *testing.F) {
+	f.Add(uint64(1), uint8(0))
+	f.Add(uint64(42), uint8(3))
+	f.Add(uint64(0xdeadbeef), uint8(7))
+	f.Fuzz(func(t *testing.T, seed uint64, starve uint8) {
+		const lines = 8
+		refMem := mem.NewMemory()
+		refAlloc := mem.NewAllocator(0x100000, 1<<30)
+		refRegion := workload.NewRegion(refAlloc, lines)
+		refProg := randomProgram(seed, refRegion, 250)
+		if err := workload.Interpret(refProg, refMem); err != nil {
+			t.Fatalf("reference: %v", err)
+		}
+		for _, scheme := range allSchemes {
+			memory := mem.NewMemory()
+			alloc := mem.NewAllocator(0x100000, 1<<30)
+			region := workload.NewRegion(alloc, lines)
+			prog := randomProgram(seed, region, 250)
+			vm, err := NewVM(scheme)
+			if err != nil {
+				t.Fatal(err)
+			}
+			cfg := htm.DefaultConfig(1)
+			switch starve % 4 {
+			case 1:
+				cfg.L1 = mem.CacheConfig{SizeBytes: 4 * sim.LineBytes, Ways: 2}
+			case 2:
+				cfg.Redirect.L1Entries = 2
+				cfg.Redirect.L2Entries = 4
+				cfg.Redirect.L2Ways = 2
+			case 3:
+				cfg.L1 = mem.CacheConfig{SizeBytes: 8 * sim.LineBytes, Ways: 2}
+				cfg.Redirect.L1Entries = 3
+				cfg.Redirect.L2Entries = 4
+				cfg.Redirect.L2Ways = 2
+			}
+			m := htm.New(cfg, vm, []workload.Program{prog}, memory, alloc)
+			if _, err := m.Run(); err != nil {
+				t.Fatalf("%s: %v", scheme, err)
+			}
+			arch := m.ArchMem()
+			for l := 0; l < lines; l++ {
+				for w := 0; w < 8; w++ {
+					got := arch.Read(region.WordAddr(l, w))
+					want := refMem.Read(refRegion.WordAddr(l, w))
+					if got != want {
+						t.Fatalf("%s (starve %d): line %d word %d = %d, want %d",
+							scheme, starve%4, l, w, got, want)
+					}
+				}
+			}
+		}
+	})
+}

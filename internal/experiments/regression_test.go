@@ -1,0 +1,49 @@
+package experiments
+
+import (
+	"testing"
+
+	"suvtm/internal/htm"
+	"suvtm/internal/htm/suvtm"
+	"suvtm/internal/mem"
+	"suvtm/internal/workload"
+)
+
+// TestSUVSingleCoreRMW bisects the SUV value path with one core and no
+// conflicts: repeated transactional increments of a few words must sum
+// exactly.
+func TestSUVSingleCoreRMW(t *testing.T) {
+	memory := mem.NewMemory()
+	alloc := mem.NewAllocator(0x100000, 1<<30)
+	region := workload.NewRegion(alloc, 8)
+	b := workload.NewBuilder()
+	const txs = 50
+	for i := 0; i < txs; i++ {
+		b.Begin(0)
+		for k := 0; k < 4; k++ {
+			addr := region.WordAddr((i+k)%8, (i*3+k)%8)
+			b.Load(0, addr)
+			b.AddImm(0, 1)
+			b.Store(addr, 0)
+		}
+		b.Commit()
+	}
+	b.Barrier(0)
+	prog := b.Build()
+
+	cfg := htm.DefaultConfig(1)
+	m := htm.New(cfg, suvtm.New(), []workload.Program{prog}, memory, alloc)
+	if _, err := m.Run(); err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	arch := m.ArchMem()
+	var sum int64
+	for i := 0; i < 8; i++ {
+		for w := 0; w < 8; w++ {
+			sum += int64(arch.Read(region.WordAddr(i, w)))
+		}
+	}
+	if sum != txs*4 {
+		t.Fatalf("sum = %d, want %d", sum, txs*4)
+	}
+}

@@ -1,0 +1,193 @@
+// Package experiments reproduces every table and figure of the paper's
+// evaluation: the Figure 6 and Figure 9 execution-time breakdowns, the
+// Table V overflow statistics, the Figure 7/8 redirect-table sensitivity
+// sweeps, the Table I abort-ratio survey, and the Table VI/VII hardware
+// model. Independent simulations run concurrently on a bounded worker
+// pool; each simulation itself is single-goroutine and deterministic.
+package experiments
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+
+	"suvtm/internal/htm"
+	"suvtm/internal/htm/dyntm"
+	"suvtm/internal/htm/fastm"
+	"suvtm/internal/htm/logtmse"
+	"suvtm/internal/htm/suvtm"
+	"suvtm/internal/mem"
+	"suvtm/internal/trace"
+	"suvtm/internal/workload"
+)
+
+// Scheme identifies a version-management scheme under test.
+type Scheme string
+
+// The schemes the paper evaluates.
+const (
+	LogTMSE  Scheme = "LogTM-SE"
+	FasTM    Scheme = "FasTM"
+	SUVTM    Scheme = "SUV-TM"
+	DynTM    Scheme = "DynTM"
+	DynTMSUV Scheme = "DynTM+SUV"
+)
+
+// Fig6Schemes are the schemes of Figure 6, in the paper's L/F/S order.
+var Fig6Schemes = []Scheme{LogTMSE, FasTM, SUVTM}
+
+// Fig9Schemes are the schemes of Figure 9 (D and D+S).
+var Fig9Schemes = []Scheme{DynTM, DynTMSUV}
+
+// NewVM constructs a fresh version manager for a scheme.
+func NewVM(s Scheme) (htm.VersionManager, error) {
+	switch s {
+	case LogTMSE:
+		return logtmse.New(), nil
+	case FasTM:
+		return fastm.New(), nil
+	case SUVTM:
+		return suvtm.New(), nil
+	case DynTM:
+		return dyntm.New(), nil
+	case DynTMSUV:
+		return dyntm.NewWithSUV(), nil
+	}
+	return nil, fmt.Errorf("experiments: unknown scheme %q", s)
+}
+
+// heapBase is where simulated workload data begins; heapSize bounds the
+// simulated physical address space handed to one run.
+const (
+	heapBase = 0x10_0000
+	heapSize = 1 << 33
+)
+
+// Spec describes one simulation run.
+type Spec struct {
+	App    string
+	Scheme Scheme
+	Cores  int     // 0 = paper default (16)
+	Seed   uint64  // 0 = 1
+	Scale  float64 // 0 = 1.0
+	// Tweak, if non-nil, adjusts the machine configuration (sensitivity
+	// sweeps resize the redirect tables here).
+	Tweak func(*htm.Config)
+	// TraceEvents, when positive, records the last N transaction
+	// lifecycle events into Outcome.Trace.
+	TraceEvents int
+}
+
+// Outcome is the result of one run plus identification and the
+// post-run invariant check.
+type Outcome struct {
+	Spec Spec
+	*htm.Result
+	AppMeta    *workload.App
+	CheckErr   error // nil when the serializability invariants held
+	PoolPages  uint64
+	RedirectEn int             // live redirect entries at end of run
+	Trace      *trace.Recorder // non-nil when Spec.TraceEvents > 0
+}
+
+// Run executes one simulation.
+func Run(spec Spec) (*Outcome, error) {
+	cores := spec.Cores
+	if cores == 0 {
+		cores = 16
+	}
+	seed := spec.Seed
+	if seed == 0 {
+		seed = 1
+	}
+	scale := spec.Scale
+	if scale == 0 {
+		scale = 1.0
+	}
+	gen, err := workload.Get(spec.App)
+	if err != nil {
+		return nil, err
+	}
+	vm, err := NewVM(spec.Scheme)
+	if err != nil {
+		return nil, err
+	}
+
+	memory := mem.NewMemory()
+	alloc := mem.NewAllocator(heapBase, heapSize)
+	app := gen(workload.GenConfig{Cores: cores, Seed: seed, Scale: scale}, alloc, memory)
+
+	cfg := htm.DefaultConfig(cores)
+	cfg.Seed = seed
+	if spec.Tweak != nil {
+		spec.Tweak(&cfg)
+	}
+	machine := htm.New(cfg, vm, app.Programs, memory, alloc)
+	var rec *trace.Recorder
+	if spec.TraceEvents > 0 {
+		rec = trace.NewRecorder(spec.TraceEvents)
+		machine.SetTracer(rec)
+	}
+	res, err := machine.Run()
+	if err != nil {
+		return nil, fmt.Errorf("%s under %s: %w", spec.App, spec.Scheme, err)
+	}
+	out := &Outcome{
+		Spec:       spec,
+		Result:     res,
+		AppMeta:    app,
+		PoolPages:  machine.Redirect.Pool().Pages(),
+		RedirectEn: machine.Redirect.EntryCount(),
+		Trace:      rec,
+	}
+	if app.Check != nil {
+		out.CheckErr = app.Check(machine.ArchMem())
+	}
+	return out, nil
+}
+
+// RunMany executes the specs concurrently on a worker pool sized to the
+// machine (simulations are CPU-bound) and returns outcomes in spec order.
+// The first simulation error aborts the batch.
+func RunMany(specs []Spec) ([]*Outcome, error) {
+	workers := runtime.GOMAXPROCS(0)
+	if workers > len(specs) {
+		workers = len(specs)
+	}
+	if workers < 1 {
+		workers = 1
+	}
+	outcomes := make([]*Outcome, len(specs))
+	errs := make([]error, len(specs))
+	var wg sync.WaitGroup
+	next := make(chan int)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range next {
+				outcomes[i], errs[i] = Run(specs[i])
+			}
+		}()
+	}
+	for i := range specs {
+		next <- i
+	}
+	close(next)
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return outcomes, err
+		}
+	}
+	return outcomes, nil
+}
+
+// Speedup returns how much faster b completed than a (the paper's
+// "outperforms by N%": cycles(a)/cycles(b) - 1).
+func Speedup(a, b *Outcome) float64 {
+	if b.Cycles == 0 {
+		return 0
+	}
+	return float64(a.Cycles)/float64(b.Cycles) - 1
+}

@@ -1,0 +1,151 @@
+package experiments
+
+import (
+	"fmt"
+	"math"
+	"strings"
+
+	"suvtm/internal/stats"
+)
+
+// SeedStats summarizes one (app, scheme) configuration over several
+// seeds: simulation results are deterministic per seed, so the spread
+// here is the workload's sensitivity to interleaving, not measurement
+// noise.
+type SeedStats struct {
+	Spec     Spec
+	Seeds    []uint64
+	Cycles   []float64
+	AbortPct []float64
+}
+
+// RunSeeds executes spec once per seed.
+func RunSeeds(spec Spec, seeds []uint64) (*SeedStats, error) {
+	specs := make([]Spec, len(seeds))
+	for i, s := range seeds {
+		sp := spec
+		sp.Seed = s
+		specs[i] = sp
+	}
+	outs, err := RunMany(specs)
+	if err != nil {
+		return nil, err
+	}
+	st := &SeedStats{Spec: spec, Seeds: append([]uint64(nil), seeds...)}
+	for _, out := range outs {
+		if out.CheckErr != nil {
+			return nil, fmt.Errorf("seed %d: %w", out.Spec.Seed, out.CheckErr)
+		}
+		st.Cycles = append(st.Cycles, float64(out.Cycles))
+		st.AbortPct = append(st.AbortPct, 100*out.Counters.AbortRatio())
+	}
+	return st, nil
+}
+
+// MeanCycles returns the mean simulated cycles across seeds.
+func (s *SeedStats) MeanCycles() float64 { return stats.Mean(s.Cycles) }
+
+// StdevCycles returns the sample standard deviation of cycles.
+func (s *SeedStats) StdevCycles() float64 { return stdev(s.Cycles) }
+
+// CV returns the coefficient of variation of cycles (stdev/mean).
+func (s *SeedStats) CV() float64 {
+	m := s.MeanCycles()
+	if m == 0 {
+		return 0
+	}
+	return s.StdevCycles() / m
+}
+
+func stdev(xs []float64) float64 {
+	if len(xs) < 2 {
+		return 0
+	}
+	m := stats.Mean(xs)
+	var ss float64
+	for _, x := range xs {
+		ss += (x - m) * (x - m)
+	}
+	return math.Sqrt(ss / float64(len(xs)-1))
+}
+
+// SeedStudy is a multi-seed Figure 6 style comparison: per-app speedups
+// with seed spread, establishing that the headline numbers are not an
+// artifact of one interleaving.
+type SeedStudy struct {
+	Apps    []string
+	Seeds   []uint64
+	Base    Scheme
+	Mine    Scheme
+	PerSeed map[uint64]map[string]float64 // seed -> app -> speedup
+}
+
+// RunSeedStudy measures mine-vs-base speedups per app per seed.
+func RunSeedStudy(opts Options, base, mine Scheme, seeds []uint64) (*SeedStudy, error) {
+	apps := opts.apps()
+	study := &SeedStudy{Apps: apps, Seeds: seeds, Base: base, Mine: mine, PerSeed: map[uint64]map[string]float64{}}
+	var specs []Spec
+	for _, seed := range seeds {
+		for _, app := range apps {
+			for _, s := range []Scheme{base, mine} {
+				specs = append(specs, Spec{App: app, Scheme: s, Cores: opts.Cores, Seed: seed, Scale: opts.Scale})
+			}
+		}
+	}
+	outs, err := RunMany(specs)
+	if err != nil {
+		return nil, err
+	}
+	i := 0
+	for _, seed := range seeds {
+		row := map[string]float64{}
+		for _, app := range apps {
+			b, m := outs[i], outs[i+1]
+			i += 2
+			if b.CheckErr != nil || m.CheckErr != nil {
+				return nil, fmt.Errorf("%s seed %d: %v %v", app, seed, b.CheckErr, m.CheckErr)
+			}
+			row[app] = Speedup(b, m)
+		}
+		study.PerSeed[seed] = row
+	}
+	return study, nil
+}
+
+// MeanSpeedup returns the across-seed mean of per-app geometric-mean
+// speedups and its standard deviation.
+func (s *SeedStudy) MeanSpeedup() (mean, sd float64) {
+	var perSeed []float64
+	for _, seed := range s.Seeds {
+		var ratios []float64
+		for _, app := range s.Apps {
+			ratios = append(ratios, 1+s.PerSeed[seed][app])
+		}
+		perSeed = append(perSeed, stats.GeoMean(ratios)-1)
+	}
+	return stats.Mean(perSeed), stdev(perSeed)
+}
+
+// Render prints the per-seed speedups and the summary.
+func (s *SeedStudy) Render() string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "Seed study: %s vs %s over %d seeds\n", s.Mine, s.Base, len(s.Seeds))
+	header := append([]string{"seed"}, s.Apps...)
+	header = append(header, "geomean")
+	tab := stats.NewTable(header...)
+	for _, seed := range s.Seeds {
+		row := []string{fmt.Sprintf("%d", seed)}
+		var ratios []float64
+		for _, app := range s.Apps {
+			sp := s.PerSeed[seed][app]
+			ratios = append(ratios, 1+sp)
+			row = append(row, stats.Pct(sp))
+		}
+		row = append(row, stats.Pct(stats.GeoMean(ratios)-1))
+		tab.AddRow(row...)
+	}
+	sb.WriteString(tab.String())
+	mean, sd := s.MeanSpeedup()
+	fmt.Fprintf(&sb, "mean speedup %.1f%% (stdev %.1f%% across seeds)\n", 100*mean, 100*sd)
+	return sb.String()
+}

@@ -1,0 +1,89 @@
+package experiments
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"suvtm/internal/htm"
+)
+
+// TestRunSeeds checks per-seed stats aggregation.
+func TestRunSeeds(t *testing.T) {
+	st, err := RunSeeds(Spec{App: "counter", Scheme: SUVTM, Cores: 4, Scale: 0.2}, []uint64{1, 2, 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(st.Cycles) != 3 {
+		t.Fatalf("cycles = %v", st.Cycles)
+	}
+	if st.MeanCycles() <= 0 {
+		t.Fatal("zero mean")
+	}
+	if st.CV() < 0 || st.CV() > 1 {
+		t.Fatalf("implausible CV %v", st.CV())
+	}
+	// Different seeds must actually change the interleaving.
+	if st.Cycles[0] == st.Cycles[1] && st.Cycles[1] == st.Cycles[2] {
+		t.Fatal("seeds had no effect")
+	}
+}
+
+// TestSeedStudyStable: the SUV-vs-LogTM win must hold across seeds, not
+// just at seed 1.
+func TestSeedStudyStable(t *testing.T) {
+	study, err := RunSeedStudy(Options{Scale: 0.15, Apps: []string{"intruder", "yada"}},
+		LogTMSE, SUVTM, []uint64{1, 2, 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	mean, sd := study.MeanSpeedup()
+	if mean <= 0 {
+		t.Fatalf("SUV-TM does not beat LogTM-SE across seeds: mean %.1f%% (sd %.1f%%)", 100*mean, 100*sd)
+	}
+	out := study.Render()
+	if !strings.Contains(out, "mean speedup") {
+		t.Fatalf("render missing summary:\n%s", out)
+	}
+}
+
+// TestMatrixCSV checks the tidy export round-trips structurally.
+func TestMatrixCSV(t *testing.T) {
+	mtx, err := RunMatrix(Options{Scale: 0.1, Apps: []string{"counter", "bank"}, Cores: 4},
+		[]Scheme{LogTMSE, SUVTM})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := mtx.WriteCSV(&buf); err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimSpace(buf.String()), "\n")
+	if len(lines) != 1+2*2 {
+		t.Fatalf("csv lines = %d:\n%s", len(lines), buf.String())
+	}
+	if !strings.HasPrefix(lines[0], "app,scheme,cycles,norm_time") {
+		t.Fatalf("header = %s", lines[0])
+	}
+	for _, l := range lines[1:] {
+		if n := strings.Count(l, ","); n != strings.Count(lines[0], ",") {
+			t.Fatalf("ragged row: %s", l)
+		}
+	}
+}
+
+// TestSweepCSV checks the sweep export.
+func TestSweepCSV(t *testing.T) {
+	sw, err := runSweep(Options{Scale: 0.05, Apps: []string{"counter"}, Cores: 4},
+		"test", []int{64, 128}, func(cfg *htm.Config, entries int) { cfg.Redirect.L1Entries = entries })
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := sw.WriteCSV(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if got := strings.Count(buf.String(), "\n"); got != 3 {
+		t.Fatalf("csv lines = %d:\n%s", got, buf.String())
+	}
+}

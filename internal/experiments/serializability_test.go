@@ -1,0 +1,115 @@
+package experiments
+
+import (
+	"testing"
+
+	"suvtm/internal/htm"
+)
+
+// allSchemes lists every scheme under test.
+var allSchemes = []Scheme{LogTMSE, FasTM, SUVTM, DynTM, DynTMSUV}
+
+// TestSerializabilityMicro hammers the micro-workloads and the
+// high-contention STAMP parameter variants with several seeds: the
+// generators' sum invariants fail on any lost or phantom update.
+func TestSerializabilityMicro(t *testing.T) {
+	for _, app := range []string{"counter", "bank", "list", "kmeans-high", "vacation-high"} {
+		for _, s := range allSchemes {
+			for seed := uint64(1); seed <= 3; seed++ {
+				out, err := Run(Spec{App: app, Scheme: s, Cores: 16, Scale: 1, Seed: seed})
+				if err != nil {
+					t.Fatalf("%s/%s seed %d: %v", app, s, seed, err)
+				}
+				if out.CheckErr != nil {
+					t.Errorf("%s/%s seed %d: %v (aborts=%d)", app, s, seed, out.CheckErr, out.Counters.TxAborted)
+				}
+			}
+		}
+	}
+}
+
+// TestSerializabilityStamp runs every STAMP-analogue application under
+// every scheme at reduced scale and checks the generator invariants.
+func TestSerializabilityStamp(t *testing.T) {
+	scale := 0.3
+	if testing.Short() {
+		scale = 0.1
+	}
+	var specs []Spec
+	for _, app := range StampAppsForTest() {
+		for _, s := range allSchemes {
+			specs = append(specs, Spec{App: app, Scheme: s, Cores: 16, Scale: scale})
+		}
+	}
+	outs, err := RunMany(specs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, out := range outs {
+		if out.CheckErr != nil {
+			t.Errorf("%s under %s: %v", out.Spec.App, out.Spec.Scheme, out.CheckErr)
+		}
+	}
+}
+
+// TestSerializabilityCoarseFullScale is the regression test for the
+// isolation bugs found during bring-up (stale directory state after
+// undo-log restores; premature lazy dooms): the coarse-grained apps at
+// full scale with 16 cores.
+func TestSerializabilityCoarseFullScale(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full-scale coarse apps are slow")
+	}
+	for _, app := range []string{"labyrinth", "yada", "bayes"} {
+		for _, s := range allSchemes {
+			out, err := Run(Spec{App: app, Scheme: s, Cores: 16, Scale: 1})
+			if err != nil {
+				t.Fatalf("%s/%s: %v", app, s, err)
+			}
+			if out.CheckErr != nil {
+				t.Errorf("%s/%s: %v", app, s, out.CheckErr)
+			}
+		}
+	}
+}
+
+// TestDynTMCoarseNoLivelock is the regression test for the lazy-overflow
+// livelock: yada and labyrinth must finish under both DynTM variants
+// within a bounded cycle budget.
+func TestDynTMCoarseNoLivelock(t *testing.T) {
+	for _, app := range []string{"yada", "labyrinth"} {
+		for _, s := range []Scheme{DynTM, DynTMSUV} {
+			out, err := Run(Spec{App: app, Scheme: s, Cores: 16, Scale: 0.2,
+				Tweak: func(cfg *htm.Config) { cfg.MaxCycles = 80_000_000 }})
+			if err != nil {
+				t.Fatalf("%s/%s: %v", app, s, err)
+			}
+			if out.CheckErr != nil {
+				t.Errorf("%s/%s: %v", app, s, out.CheckErr)
+			}
+		}
+	}
+}
+
+// TestDeterministicAcrossRuns: the same spec must give bit-identical
+// results regardless of scheduling of other goroutines.
+func TestDeterministicAcrossRuns(t *testing.T) {
+	spec := Spec{App: "intruder", Scheme: SUVTM, Cores: 16, Scale: 0.2, Seed: 7}
+	a, err := Run(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Run(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Cycles != b.Cycles || a.Breakdown != b.Breakdown || a.Counters != b.Counters {
+		t.Fatalf("non-deterministic results: %d vs %d cycles", a.Cycles, b.Cycles)
+	}
+}
+
+// StampAppsForTest returns the STAMP-analogue app list (indirection so
+// the test does not import workload).
+func StampAppsForTest() []string {
+	return []string{"bayes", "genome", "intruder", "kmeans", "labyrinth", "ssca2", "vacation", "yada"}
+}

@@ -1,0 +1,27 @@
+package experiments
+
+import "testing"
+
+// TestSmokeAllSchemes runs the counter and bank micro-workloads under
+// every scheme and checks the serializability invariants.
+func TestSmokeAllSchemes(t *testing.T) {
+	schemes := []Scheme{LogTMSE, FasTM, SUVTM, DynTM, DynTMSUV}
+	for _, app := range []string{"counter", "bank", "private"} {
+		for _, s := range schemes {
+			t.Run(app+"/"+string(s), func(t *testing.T) {
+				out, err := Run(Spec{App: app, Scheme: s, Cores: 4, Scale: 0.3})
+				if err != nil {
+					t.Fatalf("run: %v", err)
+				}
+				if out.CheckErr != nil {
+					t.Fatalf("invariant: %v", out.CheckErr)
+				}
+				if out.Counters.TxCommitted == 0 {
+					t.Fatal("no transactions committed")
+				}
+				t.Logf("cycles=%d commits=%d aborts=%d breakdown=%s",
+					out.Cycles, out.Counters.TxCommitted, out.Counters.TxAborted, out.Breakdown.String())
+			})
+		}
+	}
+}

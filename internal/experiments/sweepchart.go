@@ -1,0 +1,82 @@
+package experiments
+
+import (
+	"fmt"
+	"strings"
+)
+
+// RenderChart draws the sweep as an ASCII scatter of normalized
+// execution time (marker '*', left axis) and first-level-table miss rate
+// (marker 'o', right axis) against the swept parameter — the terminal
+// rendition of Figures 7 and 8.
+func (s *Sweep) RenderChart(height int) string {
+	if height <= 0 {
+		height = 12
+	}
+	n := len(s.Points)
+	if n == 0 {
+		return ""
+	}
+	times := s.NormTime()
+	misses := s.MissRates()
+
+	minT, maxT := times[0], times[0]
+	for _, v := range times {
+		if v < minT {
+			minT = v
+		}
+		if v > maxT {
+			maxT = v
+		}
+	}
+	if maxT == minT {
+		maxT = minT + 1e-9
+	}
+	// Each point gets a fixed-width column.
+	const colW = 8
+	grid := make([][]byte, height)
+	for r := range grid {
+		grid[r] = []byte(strings.Repeat(" ", n*colW))
+	}
+	put := func(col, row int, ch byte) {
+		if row < 0 {
+			row = 0
+		}
+		if row >= height {
+			row = height - 1
+		}
+		grid[height-1-row][col*colW+colW/2] = ch
+	}
+	for i := range s.Points {
+		tRow := int(float64(height-1) * (times[i] - minT) / (maxT - minT))
+		put(i, tRow, '*')
+		mRow := int(float64(height-1) * misses[i]) // miss rate is already 0..1
+		if grid[height-1-clampRow(mRow, height)][i*colW+colW/2] == ' ' {
+			put(i, mRow, 'o')
+		}
+	}
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "%s\n", s.Name)
+	fmt.Fprintf(&sb, "'*' = normalized time [%.3f..%.3f]   'o' = L1-table miss rate [0..1]\n", minT, maxT)
+	for _, row := range grid {
+		sb.WriteString("  |")
+		sb.Write(row)
+		sb.WriteByte('\n')
+	}
+	sb.WriteString("  +" + strings.Repeat("-", n*colW) + "\n   ")
+	for _, pt := range s.Points {
+		fmt.Fprintf(&sb, "%-*d", colW, pt.Param)
+	}
+	sb.WriteByte('\n')
+	return sb.String()
+}
+
+func clampRow(r, height int) int {
+	if r < 0 {
+		return 0
+	}
+	if r >= height {
+		return height - 1
+	}
+	return r
+}

@@ -1,0 +1,41 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestRenderChart(t *testing.T) {
+	s := &Sweep{
+		Name: "test sweep",
+		Points: []SweepPoint{
+			{Param: 64, TotalCycles: 1000, MissRate: 0.5},
+			{Param: 128, TotalCycles: 900, MissRate: 0.3},
+			{Param: 256, TotalCycles: 800, MissRate: 0.2},
+		},
+	}
+	out := s.RenderChart(8)
+	if !strings.Contains(out, "*") || !strings.Contains(out, "o") {
+		t.Fatalf("chart missing markers:\n%s", out)
+	}
+	for _, p := range []string{"64", "128", "256"} {
+		if !strings.Contains(out, p) {
+			t.Fatalf("axis missing %s:\n%s", p, out)
+		}
+	}
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	if len(lines) != 2+8+2 {
+		t.Fatalf("chart rows = %d:\n%s", len(lines), out)
+	}
+}
+
+func TestRenderChartDegenerate(t *testing.T) {
+	s := &Sweep{Name: "flat", Points: []SweepPoint{{Param: 1, TotalCycles: 100}}}
+	if out := s.RenderChart(4); !strings.Contains(out, "*") {
+		t.Fatalf("flat chart missing marker:\n%s", out)
+	}
+	empty := &Sweep{Name: "empty"}
+	if empty.RenderChart(4) != "" {
+		t.Fatal("empty sweep rendered a chart")
+	}
+}

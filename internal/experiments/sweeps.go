@@ -1,0 +1,144 @@
+package experiments
+
+import (
+	"fmt"
+	"strings"
+
+	"suvtm/internal/htm"
+	"suvtm/internal/sim"
+	"suvtm/internal/stats"
+)
+
+// Fig7Sizes are the first-level redirect-table sizes swept in Figure 7.
+var Fig7Sizes = []int{64, 128, 256, 512, 1024, 2048}
+
+// Fig8Sizes are the second-level table sizes swept in Figure 8(a).
+var Fig8Sizes = []int{1024, 2048, 4096, 8192, 16384, 32768}
+
+// Fig8Latencies are the second-level access latencies swept in Figure 8(b).
+var Fig8Latencies = []sim.Cycles{0, 5, 10, 15, 20, 30}
+
+// SweepPoint is one configuration of a sensitivity sweep, aggregated
+// over the sweep's applications.
+type SweepPoint struct {
+	Param       int
+	TotalCycles sim.Cycles
+	MissRate    float64 // first-level redirect-table miss rate
+	PerApp      map[string]*Outcome
+}
+
+// Sweep holds a parameter sweep's results in parameter order.
+type Sweep struct {
+	Name   string
+	Apps   []string
+	Points []SweepPoint
+}
+
+// runSweep executes SUV-TM over the apps for every parameter value.
+func runSweep(opts Options, name string, params []int, tweak func(*htm.Config, int)) (*Sweep, error) {
+	apps := opts.apps()
+	var specs []Spec
+	for _, p := range params {
+		p := p
+		for _, app := range apps {
+			specs = append(specs, Spec{
+				App: app, Scheme: SUVTM,
+				Cores: opts.Cores, Seed: opts.Seed, Scale: opts.Scale,
+				Tweak: func(cfg *htm.Config) { tweak(cfg, p) },
+			})
+		}
+	}
+	outcomes, err := RunMany(specs)
+	if err != nil {
+		return nil, err
+	}
+	sw := &Sweep{Name: name, Apps: apps}
+	i := 0
+	for _, p := range params {
+		pt := SweepPoint{Param: p, PerApp: make(map[string]*Outcome, len(apps))}
+		var lookups, misses uint64
+		for range apps {
+			out := outcomes[i]
+			i++
+			if out.CheckErr != nil {
+				return nil, fmt.Errorf("%s (param %d): %w", out.Spec.App, p, out.CheckErr)
+			}
+			pt.PerApp[out.Spec.App] = out
+			pt.TotalCycles += out.Cycles
+			lookups += out.Counters.RedirectLookups
+			misses += out.Counters.RedirectLookups - out.Counters.RedirectL1Hits
+		}
+		if lookups > 0 {
+			pt.MissRate = float64(misses) / float64(lookups)
+		}
+		sw.Points = append(sw.Points, pt)
+	}
+	return sw, nil
+}
+
+// RunFig7 sweeps the first-level redirect-table size: Figure 7(a) plots
+// the miss rate, Figure 7(b) the execution time. The paper finds a
+// 512-entry table sufficient (no improvement beyond it).
+func RunFig7(opts Options) (*Sweep, error) {
+	return runSweep(opts, "Figure 7: first-level redirect-table size", Fig7Sizes,
+		func(cfg *htm.Config, entries int) { cfg.Redirect.L1Entries = entries })
+}
+
+// RunFig8Size sweeps the shared second-level table size (Figure 8(a):
+// gains plateau beyond 16K entries).
+func RunFig8Size(opts Options) (*Sweep, error) {
+	return runSweep(opts, "Figure 8(a): second-level redirect-table size", Fig8Sizes,
+		func(cfg *htm.Config, entries int) { cfg.Redirect.L2Entries = entries })
+}
+
+// RunFig8Latency sweeps the second-level table access latency
+// (Figure 8(b): execution time rises sharply past 10 cycles, while a
+// zero-latency table helps by less than 5%).
+func RunFig8Latency(opts Options) (*Sweep, error) {
+	params := make([]int, len(Fig8Latencies))
+	for i, l := range Fig8Latencies {
+		params[i] = int(l)
+	}
+	return runSweep(opts, "Figure 8(b): second-level redirect-table latency", params,
+		func(cfg *htm.Config, lat int) { cfg.Redirect.L2Latency = sim.Cycles(lat) })
+}
+
+// Render prints the sweep as parameter vs normalized execution time and
+// miss rate (normalized to the first point), followed by the ASCII chart.
+func (s *Sweep) Render() string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "%s (apps: %s)\n", s.Name, strings.Join(s.Apps, ", "))
+	tab := stats.NewTable("param", "total cycles", "norm time", "L1-table miss rate")
+	base := float64(s.Points[0].TotalCycles)
+	for _, pt := range s.Points {
+		tab.AddRow(
+			fmt.Sprintf("%d", pt.Param),
+			fmt.Sprintf("%d", pt.TotalCycles),
+			stats.F3(float64(pt.TotalCycles)/base),
+			stats.Pct(pt.MissRate),
+		)
+	}
+	sb.WriteString(tab.String())
+	sb.WriteByte('\n')
+	sb.WriteString(s.RenderChart(10))
+	return sb.String()
+}
+
+// NormTime returns each point's total cycles normalized to the first.
+func (s *Sweep) NormTime() []float64 {
+	out := make([]float64, len(s.Points))
+	base := float64(s.Points[0].TotalCycles)
+	for i, pt := range s.Points {
+		out[i] = float64(pt.TotalCycles) / base
+	}
+	return out
+}
+
+// MissRates returns the per-point first-level table miss rates.
+func (s *Sweep) MissRates() []float64 {
+	out := make([]float64, len(s.Points))
+	for i, pt := range s.Points {
+		out[i] = pt.MissRate
+	}
+	return out
+}

@@ -1,0 +1,57 @@
+package htm
+
+import (
+	"fmt"
+
+	"suvtm/internal/mem"
+	"suvtm/internal/sim"
+)
+
+// CheckCoherence audits the global coherence state and returns the
+// first violated invariant, or nil. It is a debugging facility for the
+// simulator itself (used by tests; O(total cached lines)):
+//
+//  1. single-writer: at most one cache holds any line Modified, and the
+//     directory agrees on who;
+//  2. directory-cache agreement: every cached copy is tracked by the
+//     directory, and every directory-tracked copy exists;
+//  3. no Modified line coexists with Shared copies elsewhere.
+func (m *Machine) CheckCoherence() error {
+	type holder struct {
+		core  int
+		state mem.LineState
+	}
+	copies := make(map[sim.Line][]holder)
+	for _, c := range m.Cores {
+		c.L1.ForEach(func(line sim.Line, state mem.LineState, dirty, spec bool) {
+			copies[line] = append(copies[line], holder{c.ID, state})
+		})
+	}
+	for line, hs := range copies {
+		modified := -1
+		shared := 0
+		for _, h := range hs {
+			switch h.state {
+			case mem.Modified:
+				if modified >= 0 {
+					return fmt.Errorf("line %#x: cores %d and %d both Modified", line, modified, h.core)
+				}
+				modified = h.core
+			case mem.Shared:
+				shared++
+			}
+		}
+		if modified >= 0 && shared > 0 {
+			return fmt.Errorf("line %#x: Modified in core %d alongside %d Shared copies", line, modified, shared)
+		}
+		if modified >= 0 && m.Dir.Owner(line) != modified {
+			return fmt.Errorf("line %#x: core %d Modified but directory owner is %d", line, modified, m.Dir.Owner(line))
+		}
+		for _, h := range hs {
+			if h.state == mem.Shared && m.Dir.Sharers(line)&(1<<uint(h.core)) == 0 && m.Dir.Owner(line) != h.core {
+				return fmt.Errorf("line %#x: core %d holds Shared copy unknown to the directory", line, h.core)
+			}
+		}
+	}
+	return nil
+}

@@ -1,0 +1,40 @@
+package htm_test
+
+import (
+	"testing"
+
+	"suvtm/internal/workload"
+)
+
+// TestCoherenceInvariants audits the directory/cache agreement after
+// contended runs under every scheme: exactly one Modified holder per
+// line, never alongside Shared copies, with the directory agreeing.
+func TestCoherenceInvariants(t *testing.T) {
+	for name, mk := range allVMs() {
+		t.Run(name, func(t *testing.T) {
+			r := newRig()
+			region := workload.NewRegion(r.alloc, 16)
+			progs := make([]workload.Program, 8)
+			for c := range progs {
+				b := workload.NewBuilder()
+				for i := 0; i < 50; i++ {
+					b.Begin(0)
+					for k := 0; k < 3; k++ {
+						addr := region.WordAddr((i+k+c)%16, (i*3+k)%8)
+						b.Load(0, addr)
+						b.AddImm(0, 1)
+						b.Store(addr, 0)
+					}
+					b.Commit()
+					b.Compute(9)
+				}
+				b.Barrier(0)
+				progs[c] = b.Build()
+			}
+			m, _ := r.run(t, mk(), 8, progs)
+			if err := m.CheckCoherence(); err != nil {
+				t.Fatalf("coherence invariant violated: %v", err)
+			}
+		})
+	}
+}

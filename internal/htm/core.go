@@ -1,0 +1,181 @@
+package htm
+
+import (
+	"suvtm/internal/mem"
+	"suvtm/internal/signature"
+	"suvtm/internal/sim"
+	"suvtm/internal/stats"
+	"suvtm/internal/workload"
+)
+
+// coreStatus is the engine-visible state of a core.
+type coreStatus uint8
+
+const (
+	statusRunning        coreStatus = iota
+	statusAborting                  // consuming the abort roll-back window
+	statusBarrier                   // blocked on a barrier
+	statusLazyCommitWait            // waiting for the commit token / validation
+	statusFinished
+)
+
+// compRange locates a registered compensating action in the program: n
+// ops starting at pc, run if the enclosing transaction aborts after an
+// open-nested child committed.
+type compRange struct {
+	pc int
+	n  int
+}
+
+// TxFrame is one (possibly nested) open transaction: the register
+// checkpoint taken by begin_transaction plus the program counter to
+// return to on abort. Nested frames additionally snapshot the
+// signatures and precise sets at begin (LogTM-Nested style), so an
+// open-nested commit can restore them — releasing the child's isolation
+// while the parent keeps its own.
+type TxFrame struct {
+	BeginPC int
+	Site    uint32
+	Regs    [workload.NumRegs]sim.Word
+
+	savedReadSig  *signature.Bloom // nil for the outermost frame
+	savedWriteSig *signature.Bloom
+	savedReadSet  map[sim.Line]struct{}
+	savedWriteSet map[sim.Line]struct{}
+	comps         []compRange // compensations registered by open-committed children
+}
+
+// Core is one simulated in-order core: its program, register file,
+// caches, signatures, transaction stack and statistics.
+type Core struct {
+	ID   int
+	Prog workload.Program
+	PC   int
+	Regs [workload.NumRegs]sim.Word
+	RNG  *sim.RNG
+
+	L1  *mem.Cache
+	TLB *mem.TLB
+
+	// Transactional state. ReadSig/WriteSig are cumulative over the whole
+	// nest (supersets are safe); precise sets back the signatures for
+	// false-positive accounting and lazy-victim detection.
+	Frames   []TxFrame
+	ReadSig  *signature.Bloom
+	WriteSig *signature.Bloom
+	readSet  map[sim.Line]struct{}
+	writeSet map[sim.Line]struct{}
+	// writtenTargets are the physical lines written this attempt (equal
+	// to writeSet except under SUV, whose stores land in the preserved
+	// pool). An eviction of one of these marks transactional data
+	// overflow (Table V).
+	writtenTargets map[sim.Line]struct{}
+	Timestamp      sim.Cycles // outermost begin time; kept across retries so old transactions win
+	hasTimestamp   bool
+	possibleCyc    bool // this core NACKed an older transaction (LogTM cycle avoidance)
+	consecAborts   int
+	attemptCyc     sim.Cycles // transactional work this attempt (Trans on commit, Wasted on abort)
+	overflowedL1   bool       // a written line was evicted this attempt (Table V)
+	abortPending   bool       // a committing lazy transaction killed us
+	// windowStart is the cycle of this attempt's first write acquisition
+	// (0 = none yet); the isolation window closes when commit completes
+	// or the abort roll-back finishes.
+	windowStart sim.Cycles
+	// suspended means the transaction's thread is descheduled
+	// (Section IV-C): its signatures stay in force — the summary-
+	// signature mechanism — while the core runs other, non-transactional
+	// work. Remote aborts are deferred until the thread is rescheduled.
+	suspended bool
+
+	status     coreStatus
+	barrierID  uint32
+	barrierAt  sim.Cycles // arrival time (Barrier attribution)
+	abortEndAt sim.Cycles // end of the abort roll-back window
+	finishedAt sim.Cycles
+
+	// Compensation execution state (open nesting): after an abort, the
+	// queued compensating actions run as plain code before the restart.
+	compQueue     []compRange
+	compRemaining int
+	afterCompPC   int
+	commitAdvance int // ops to skip when the pending commit completes
+
+	Breakdown stats.Breakdown
+	Counters  stats.Counters
+}
+
+// InTx reports whether the core has an open transaction (suspended or
+// not — its signatures are in force either way).
+func (c *Core) InTx() bool { return len(c.Frames) > 0 }
+
+// TxActive reports whether the core is currently executing inside its
+// transaction. While the transaction's thread is suspended the core runs
+// other work, whose accesses are non-transactional; the filler must not
+// touch the suspended transaction's write-set (the OS schedules
+// unrelated work).
+func (c *Core) TxActive() bool { return len(c.Frames) > 0 && !c.suspended }
+
+// DoomTx marks the core's current transaction for abort at its next
+// step. Version managers use it when a lazy transaction's speculative
+// state overflows the hardware that holds it.
+func (c *Core) DoomTx() {
+	if c.InTx() {
+		c.abortPending = true
+	}
+}
+
+// Depth returns the transaction nesting depth (the TM nest counter).
+func (c *Core) Depth() int { return len(c.Frames) }
+
+// InReadSet reports precise read-set membership (no aliasing).
+func (c *Core) InReadSet(line sim.Line) bool {
+	_, ok := c.readSet[line]
+	return ok
+}
+
+// InWriteSet reports precise write-set membership (no aliasing).
+func (c *Core) InWriteSet(line sim.Line) bool {
+	_, ok := c.writeSet[line]
+	return ok
+}
+
+// WriteSetSize returns the number of distinct lines written this attempt.
+func (c *Core) WriteSetSize() int { return len(c.writeSet) }
+
+// trackRead records line in the read signature and precise set.
+func (c *Core) trackRead(line sim.Line) {
+	c.ReadSig.Add(line)
+	c.readSet[line] = struct{}{}
+}
+
+// trackWrite records line in the write signature and precise set.
+func (c *Core) trackWrite(line sim.Line) {
+	c.WriteSig.Add(line)
+	c.writeSet[line] = struct{}{}
+}
+
+// clearTxState resets all transactional bookkeeping (after the outermost
+// commit or a full abort).
+func (c *Core) clearTxState() {
+	c.Frames = c.Frames[:0]
+	c.ReadSig.Clear()
+	c.WriteSig.Clear()
+	clear(c.readSet)
+	clear(c.writeSet)
+	clear(c.writtenTargets)
+	c.attemptCyc = 0
+	c.overflowedL1 = false
+	c.abortPending = false
+	c.possibleCyc = false
+	c.suspended = false
+	c.windowStart = 0
+}
+
+// Suspended reports whether the core's transaction is descheduled.
+func (c *Core) Suspended() bool { return c.suspended }
+
+// op returns the current instruction.
+func (c *Core) op() workload.Op { return c.Prog.Ops[c.PC] }
+
+// atEnd reports whether the program is exhausted.
+func (c *Core) atEnd() bool { return c.PC >= len(c.Prog.Ops) }

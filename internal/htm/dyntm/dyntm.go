@@ -1,0 +1,143 @@
+// Package dyntm implements DynTM (Lupon et al., MICRO 2010): a
+// dynamically adaptable HTM whose history-based selector picks, per
+// static transaction site, either eager execution (conflicts resolved at
+// access time, FasTM-style version management in the original design) or
+// lazy execution (invisible writes, commit-time arbitration and write-set
+// merge — the Figure 9 "Committing" component). The paper's D+S variant
+// replaces the version-management half with SUV, which keeps the
+// selector but makes both the eager stores and the lazy commit merge
+// single-update flash operations.
+package dyntm
+
+import (
+	"suvtm/internal/htm"
+	"suvtm/internal/htm/fastm"
+	"suvtm/internal/htm/suvtm"
+	"suvtm/internal/sim"
+)
+
+// predictLazyAt is the saturating-counter threshold above which a site
+// runs lazy (abort-prone sites benefit from cheap lazy aborts).
+const predictLazyAt = 2
+
+type coreState struct {
+	mode htm.ExecMode // mode of the current transaction
+}
+
+// VM is the DynTM version manager.
+type VM struct {
+	name      string
+	eager     htm.VersionManager
+	lazy      htm.VersionManager
+	st        []coreState
+	predictor map[uint32]int8
+}
+
+// New returns the original DynTM: FasTM version management for eager
+// transactions, write-buffered lazy transactions with commit-time merge.
+func New() *VM {
+	return &VM{name: "DynTM", eager: fastm.New(), lazy: newLazyBuffered()}
+}
+
+// NewWithSUV returns the paper's D+S configuration: DynTM's selector and
+// conflict machinery with SUV as the version manager in both modes.
+func NewWithSUV() *VM {
+	s := suvtm.New()
+	return &VM{name: "DynTM+SUV", eager: s, lazy: s}
+}
+
+// Name implements htm.VersionManager.
+func (v *VM) Name() string { return v.name }
+
+// Init implements htm.VersionManager.
+func (v *VM) Init(m *htm.Machine) {
+	v.st = make([]coreState, len(m.Cores))
+	v.predictor = make(map[uint32]int8)
+	v.eager.Init(m)
+	if v.lazy != v.eager {
+		v.lazy.Init(m)
+	}
+}
+
+// Mode reports the selected mode of c's current transaction.
+func (v *VM) Mode(c *htm.Core) htm.ExecMode {
+	if !c.InTx() {
+		return htm.ModeNone
+	}
+	return v.st[c.ID].mode
+}
+
+// vm returns the version manager handling c's current (or non-)
+// transactional state.
+func (v *VM) vm(c *htm.Core) htm.VersionManager {
+	if c.InTx() && v.st[c.ID].mode == htm.ModeLazy {
+		return v.lazy
+	}
+	return v.eager
+}
+
+// Begin consults the history-based selector on the outermost frame and
+// routes the transaction to the chosen mode.
+func (v *VM) Begin(m *htm.Machine, c *htm.Core) sim.Cycles {
+	if c.Depth() == 1 {
+		site := c.Frames[0].Site
+		if v.predictor[site] >= predictLazyAt {
+			v.st[c.ID].mode = htm.ModeLazy
+			c.Counters.LazyTx++
+		} else {
+			v.st[c.ID].mode = htm.ModeEager
+			c.Counters.EagerTx++
+		}
+	}
+	return v.vm(c).Begin(m, c)
+}
+
+// Translate routes through the active mode's version manager.
+func (v *VM) Translate(m *htm.Machine, c *htm.Core, line sim.Line, write bool) (sim.Line, sim.Cycles) {
+	return v.vm(c).Translate(m, c, line, write)
+}
+
+// Load routes through the active mode's version manager.
+func (v *VM) Load(m *htm.Machine, c *htm.Core, addr, targetAddr sim.Addr) (sim.Word, sim.Cycles) {
+	return v.vm(c).Load(m, c, addr, targetAddr)
+}
+
+// Store routes through the active mode's version manager.
+func (v *VM) Store(m *htm.Machine, c *htm.Core, addr sim.Addr, val sim.Word) (sim.Line, sim.Cycles) {
+	return v.vm(c).Store(m, c, addr, val)
+}
+
+// CommitOuter finalizes the transaction and trains the selector toward
+// eager (commits are the common case the mode should optimize).
+func (v *VM) CommitOuter(m *htm.Machine, c *htm.Core) sim.Cycles {
+	site := c.Frames[0].Site
+	if v.predictor[site] > 0 {
+		v.predictor[site]--
+	}
+	return v.vm(c).CommitOuter(m, c)
+}
+
+// CommitNested merges the innermost frame in the active mode.
+func (v *VM) CommitNested(m *htm.Machine, c *htm.Core) sim.Cycles {
+	return v.vm(c).CommitNested(m, c)
+}
+
+// CommitOpen publishes the innermost frame in the active mode.
+func (v *VM) CommitOpen(m *htm.Machine, c *htm.Core) sim.Cycles {
+	return v.vm(c).CommitOpen(m, c)
+}
+
+// Abort rolls back in the active mode and trains the selector toward
+// lazy (abort-prone sites want cheap aborts).
+func (v *VM) Abort(m *htm.Machine, c *htm.Core) sim.Cycles {
+	site := c.Frames[0].Site
+	if v.predictor[site] < 3 {
+		v.predictor[site]++
+	}
+	return v.vm(c).Abort(m, c)
+}
+
+// OnSpecEviction routes the overflow signal to the active mode.
+func (v *VM) OnSpecEviction(m *htm.Machine, c *htm.Core, line sim.Line) {
+	v.vm(c).OnSpecEviction(m, c, line)
+}

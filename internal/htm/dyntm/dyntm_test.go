@@ -1,0 +1,218 @@
+package dyntm_test
+
+import (
+	"testing"
+
+	"suvtm/internal/htm"
+	"suvtm/internal/htm/dyntm"
+	"suvtm/internal/mem"
+	"suvtm/internal/stats"
+	"suvtm/internal/workload"
+)
+
+func run(t *testing.T, vm htm.VersionManager, progs []workload.Program, memory *mem.Memory, alloc *mem.Allocator, cores int) (*htm.Machine, *htm.Result) {
+	t.Helper()
+	cfg := htm.DefaultConfig(cores)
+	cfg.MaxCycles = 200_000_000
+	m := htm.New(cfg, vm, progs, memory, alloc)
+	res, err := m.Run()
+	if err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	return m, res
+}
+
+// contendedCounter builds a workload whose single site aborts constantly,
+// forcing the selector toward lazy mode.
+func contendedCounter(alloc *mem.Allocator, cores, iters int) ([]workload.Program, workload.Region) {
+	region := workload.NewRegion(alloc, 1)
+	progs := make([]workload.Program, cores)
+	for c := 0; c < cores; c++ {
+		b := workload.NewBuilder()
+		for i := 0; i < iters; i++ {
+			b.Begin(0)
+			b.Load(0, region.WordAddr(0, 0))
+			b.AddImm(0, 1)
+			b.Compute(20)
+			b.Store(region.WordAddr(0, 0), 0)
+			b.Commit()
+		}
+		b.Barrier(0)
+		progs[c] = b.Build()
+	}
+	return progs, region
+}
+
+// TestSelectorLearnsLazy: a conflict-heavy site must migrate to lazy
+// execution; a conflict-free site must stay eager.
+func TestSelectorLearnsLazy(t *testing.T) {
+	memory := mem.NewMemory()
+	alloc := mem.NewAllocator(0x100000, 1<<30)
+	progs, region := contendedCounter(alloc, 8, 50)
+	m, res := run(t, dyntm.New(), progs, memory, alloc, 8)
+	if res.Counters.LazyTx == 0 {
+		t.Fatal("contended site never ran lazy")
+	}
+	if res.Counters.EagerTx == 0 {
+		t.Fatal("no transaction ran eager (the first attempts must)")
+	}
+	if got := m.ArchMem().Read(region.WordAddr(0, 0)); got != 400 {
+		t.Fatalf("counter = %d, want 400", got)
+	}
+}
+
+// TestConflictFreeSiteStaysEager: without aborts the selector never
+// leaves eager mode.
+func TestConflictFreeSiteStaysEager(t *testing.T) {
+	memory := mem.NewMemory()
+	alloc := mem.NewAllocator(0x100000, 1<<30)
+	progs := make([]workload.Program, 4)
+	for c := range progs {
+		region := workload.NewRegion(alloc, 4) // private per core
+		b := workload.NewBuilder()
+		for i := 0; i < 30; i++ {
+			b.Begin(0)
+			b.StoreImm(region.WordAddr(i%4, 0), uint64(i))
+			b.Commit()
+		}
+		b.Barrier(0)
+		progs[c] = b.Build()
+	}
+	_, res := run(t, dyntm.New(), progs, memory, alloc, 4)
+	if res.Counters.LazyTx != 0 {
+		t.Fatalf("%d transactions ran lazy without conflicts", res.Counters.LazyTx)
+	}
+}
+
+// TestLazyCommitMerge: original DynTM's lazy commits pay a per-line
+// merge that shows up as Committing time and merge counters.
+func TestLazyCommitMerge(t *testing.T) {
+	memory := mem.NewMemory()
+	alloc := mem.NewAllocator(0x100000, 1<<30)
+	progs, _ := contendedCounter(alloc, 8, 60)
+	_, res := run(t, dyntm.New(), progs, memory, alloc, 8)
+	if res.Counters.LazyCommitMerges == 0 {
+		t.Fatal("no lazy commit merges")
+	}
+	if res.Breakdown.Cycles[stats.Committing] == 0 {
+		t.Fatal("no Committing time attributed")
+	}
+}
+
+// TestSUVLazyCommitsWithoutMerge: D+S lazy commits are flash operations —
+// no per-line merges, near-zero Committing beyond arbitration.
+func TestSUVLazyCommitsWithoutMerge(t *testing.T) {
+	memory := mem.NewMemory()
+	alloc := mem.NewAllocator(0x100000, 1<<30)
+	progs, region := contendedCounter(alloc, 8, 60)
+	m, res := run(t, dyntm.NewWithSUV(), progs, memory, alloc, 8)
+	if res.Counters.LazyTx == 0 {
+		t.Fatal("selector never went lazy")
+	}
+	if res.Counters.LazyCommitMerges != 0 {
+		t.Fatalf("%d merge lines under SUV lazy commit", res.Counters.LazyCommitMerges)
+	}
+	if got := m.ArchMem().Read(region.WordAddr(0, 0)); got != 480 {
+		t.Fatalf("counter = %d, want 480", got)
+	}
+}
+
+// TestMixedModeCorrectness: two sites — one contended (goes lazy), one
+// private (stays eager) — interleaved in the same transactionally
+// correct program.
+func TestMixedModeCorrectness(t *testing.T) {
+	for _, mk := range []func() htm.VersionManager{func() htm.VersionManager { return dyntm.New() }, func() htm.VersionManager { return dyntm.NewWithSUV() }} {
+		memory := mem.NewMemory()
+		alloc := mem.NewAllocator(0x100000, 1<<30)
+		shared := workload.NewRegion(alloc, 1)
+		progs := make([]workload.Program, 6)
+		privates := make([]workload.Region, 6)
+		for c := range progs {
+			privates[c] = workload.NewRegion(alloc, 2)
+			b := workload.NewBuilder()
+			for i := 0; i < 40; i++ {
+				b.Begin(0) // contended site
+				b.Load(0, shared.WordAddr(0, 0))
+				b.AddImm(0, 1)
+				b.Compute(15)
+				b.Store(shared.WordAddr(0, 0), 0)
+				b.Commit()
+				b.Begin(1) // private site
+				b.Load(0, privates[c].WordAddr(0, 0))
+				b.AddImm(0, 1)
+				b.Store(privates[c].WordAddr(0, 0), 0)
+				b.Commit()
+			}
+			b.Barrier(0)
+			progs[c] = b.Build()
+		}
+		m, res := run(t, mk(), progs, memory, alloc, 6)
+		if got := m.ArchMem().Read(shared.WordAddr(0, 0)); got != 240 {
+			t.Fatalf("%s: shared = %d, want 240", m.VM.Name(), got)
+		}
+		for c := range privates {
+			if got := m.ArchMem().Read(privates[c].WordAddr(0, 0)); got != 40 {
+				t.Fatalf("%s: private[%d] = %d, want 40", m.VM.Name(), c, got)
+			}
+		}
+		_ = res
+	}
+}
+
+// TestLazyOverflowSurvives: a lazy transaction larger than the
+// speculative L1 must still commit (VTM-style overflow), paying extra
+// merge cost.
+func TestLazyOverflowSurvives(t *testing.T) {
+	memory := mem.NewMemory()
+	alloc := mem.NewAllocator(0x100000, 1<<30)
+	cfg := htm.DefaultConfig(4)
+	cfg.L1 = mem.CacheConfig{SizeBytes: 16 * 64, Ways: 2}
+	cfg.MaxCycles = 200_000_000
+	shared := workload.NewRegion(alloc, 1)
+	big := workload.NewRegion(alloc, 48)
+	progs := make([]workload.Program, 4)
+	for c := range progs {
+		b := workload.NewBuilder()
+		for i := 0; i < 15; i++ {
+			b.Begin(0)
+			b.Load(0, shared.WordAddr(0, 0))
+			b.AddImm(0, 1)
+			b.Compute(20)
+			b.Store(shared.WordAddr(0, 0), 0)
+			for k := 0; k < 48; k++ {
+				b.Load(1, big.WordAddr(k, c%8))
+				b.AddImm(1, 1)
+				b.Store(big.WordAddr(k, c%8), 1)
+			}
+			b.Commit()
+		}
+		b.Barrier(0)
+		progs[c] = b.Build()
+	}
+	m := htm.New(cfg, dyntm.New(), progs, memory, alloc)
+	res, err := m.Run()
+	if err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	if res.Counters.LazyTx > 0 && res.Counters.SpecLineEvicted == 0 {
+		t.Log("note: no lazy overflow exercised (selector stayed eager)")
+	}
+	if got := m.ArchMem().Read(shared.WordAddr(0, 0)); got != 60 {
+		t.Fatalf("shared = %d, want 60", got)
+	}
+	var sum uint64
+	for k := 0; k < 48; k++ {
+		for w := 0; w < 8; w++ {
+			sum += m.ArchMem().Read(big.WordAddr(k, w))
+		}
+	}
+	if sum != 4*15*48 {
+		t.Fatalf("big-region sum = %d, want %d", sum, 4*15*48)
+	}
+}
+
+func TestNames(t *testing.T) {
+	if dyntm.New().Name() != "DynTM" || dyntm.NewWithSUV().Name() != "DynTM+SUV" {
+		t.Fatal("wrong names")
+	}
+}

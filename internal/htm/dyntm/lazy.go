@@ -1,0 +1,131 @@
+package dyntm
+
+import (
+	"suvtm/internal/htm"
+	"suvtm/internal/sim"
+)
+
+// lazyBuffered is original DynTM's lazy version manager: transactional
+// stores are buffered invisibly (speculative L1 lines plus a hardware
+// write buffer), loads snoop the buffer, commit merges the write-set into
+// memory line by line (the Figure 9 "Committing" cost) and abort simply
+// discards the buffer.
+type lazyBuffered struct {
+	st []lazyState
+}
+
+type lazyState struct {
+	buf     map[sim.Addr]sim.Word
+	lines   map[sim.Line]struct{}
+	spilled map[sim.Line]struct{} // speculative lines evicted to the overflow structure
+}
+
+func newLazyBuffered() *lazyBuffered { return &lazyBuffered{} }
+
+// Name implements htm.VersionManager.
+func (v *lazyBuffered) Name() string { return "DynTM-lazy" }
+
+// Init implements htm.VersionManager.
+func (v *lazyBuffered) Init(m *htm.Machine) {
+	v.st = make([]lazyState, len(m.Cores))
+	for i := range v.st {
+		v.st[i] = lazyState{
+			buf:     make(map[sim.Addr]sim.Word),
+			lines:   make(map[sim.Line]struct{}),
+			spilled: make(map[sim.Line]struct{}),
+		}
+	}
+}
+
+// Mode is unused: the wrapping DynTM selector reports the mode.
+func (v *lazyBuffered) Mode(c *htm.Core) htm.ExecMode {
+	if !c.InTx() {
+		return htm.ModeNone
+	}
+	return htm.ModeLazy
+}
+
+// Begin opens a lazy transaction (flat nesting: the buffer spans frames).
+func (v *lazyBuffered) Begin(m *htm.Machine, c *htm.Core) sim.Cycles { return 1 }
+
+// Translate is the identity: lazy writes hide in the buffer, not at
+// alternate addresses.
+func (v *lazyBuffered) Translate(m *htm.Machine, c *htm.Core, line sim.Line, write bool) (sim.Line, sim.Cycles) {
+	return line, 0
+}
+
+// Load snoops the write buffer before memory.
+func (v *lazyBuffered) Load(m *htm.Machine, c *htm.Core, addr, targetAddr sim.Addr) (sim.Word, sim.Cycles) {
+	if val, ok := v.st[c.ID].buf[sim.WordAddr(addr)]; ok {
+		return val, 0
+	}
+	return m.Memory.Read(addr), 0
+}
+
+// Store buffers the value invisibly and pins the line speculatively in
+// the L1; memory is untouched until commit.
+func (v *lazyBuffered) Store(m *htm.Machine, c *htm.Core, addr sim.Addr, val sim.Word) (sim.Line, sim.Cycles) {
+	line := sim.LineOf(addr)
+	if !c.TxActive() {
+		m.Memory.Write(addr, val)
+		return line, 0
+	}
+	s := &v.st[c.ID]
+	s.buf[sim.WordAddr(addr)] = val
+	s.lines[line] = struct{}{}
+	c.L1.MarkSpec(line, true)
+	return line, 0
+}
+
+// CommitOuter merges the buffered write-set into memory, paying the
+// per-line merge cost that shows up as "Committing" in Figure 9. Lines
+// that overflowed the speculative L1 merge from the software overflow
+// structure at second-level latency.
+func (v *lazyBuffered) CommitOuter(m *htm.Machine, c *htm.Core) sim.Cycles {
+	s := &v.st[c.ID]
+	for addr, val := range s.buf {
+		m.Memory.Write(addr, val)
+	}
+	lines := len(s.lines)
+	c.Counters.LazyCommitMerges += uint64(lines)
+	lat := m.Config().CommitLatency + m.Config().LazyMergePerLn*sim.Cycles(lines) +
+		m.Config().L2Latency*sim.Cycles(len(s.spilled))
+	c.L1.FlashClearSpec()
+	v.reset(c.ID)
+	return lat
+}
+
+// CommitNested is a merge no-op (flat buffer).
+func (v *lazyBuffered) CommitNested(m *htm.Machine, c *htm.Core) sim.Cycles { return 1 }
+
+// CommitOpen degrades to a closed nested commit under write buffering:
+// a lazy transaction is invisible until its own commit, so an open
+// child's effects cannot publish early without breaking the buffer's
+// invisibility. The compensating action still registers (it only runs
+// if the parent aborts, in which case the buffered writes vanished and
+// the compensation is a no-op on memory the child never published).
+func (v *lazyBuffered) CommitOpen(m *htm.Machine, c *htm.Core) sim.Cycles { return 1 }
+
+// Abort discards the buffer: nothing ever reached memory.
+func (v *lazyBuffered) Abort(m *htm.Machine, c *htm.Core) sim.Cycles {
+	for _, line := range c.L1.FlashInvalidateSpec() {
+		m.Dir.Drop(line, c.ID)
+	}
+	v.reset(c.ID)
+	return m.Config().FastAbortFixed
+}
+
+// OnSpecEviction spills the evicted speculative line to the software
+// overflow structure (VTM/XTM-style lazy virtualization): the
+// transaction survives but its commit merge pays extra for every
+// spilled line.
+func (v *lazyBuffered) OnSpecEviction(m *htm.Machine, c *htm.Core, line sim.Line) {
+	v.st[c.ID].spilled[line] = struct{}{}
+}
+
+func (v *lazyBuffered) reset(id int) {
+	s := &v.st[id]
+	clear(s.buf)
+	clear(s.lines)
+	clear(s.spilled)
+}

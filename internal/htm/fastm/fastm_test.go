@@ -1,0 +1,195 @@
+package fastm_test
+
+import (
+	"testing"
+
+	"suvtm/internal/htm"
+	"suvtm/internal/htm/fastm"
+	"suvtm/internal/mem"
+	"suvtm/internal/sim"
+	"suvtm/internal/stats"
+	"suvtm/internal/workload"
+)
+
+func run(t *testing.T, cfg htm.Config, progs []workload.Program, memory *mem.Memory, alloc *mem.Allocator) (*htm.Machine, *htm.Result) {
+	t.Helper()
+	m := htm.New(cfg, fastm.New(), progs, memory, alloc)
+	res, err := m.Run()
+	if err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	return m, res
+}
+
+// TestDirtyLineWritebackBeforeSpecWrite: the first speculative write to
+// a line this core dirtied earlier must push the committed version to
+// the L2 first (FasTM's per-line data movement).
+func TestDirtyLineWritebackBeforeSpecWrite(t *testing.T) {
+	memory := mem.NewMemory()
+	alloc := mem.NewAllocator(0x100000, 1<<30)
+	region := workload.NewRegion(alloc, 1)
+	addr := region.WordAddr(0, 0)
+	b := workload.NewBuilder()
+	b.StoreImm(addr, 5) // non-transactional: line becomes dirty in L1
+	b.Begin(0)
+	b.StoreImm(addr, 6) // first speculative write: write-back required
+	b.Commit()
+	b.Barrier(0)
+	_, res := run(t, htm.DefaultConfig(1), []workload.Program{b.Build()}, memory, alloc)
+	if res.Counters.Writebacks == 0 {
+		t.Fatal("no write-back before the first speculative write to a dirty line")
+	}
+}
+
+// TestFastAbortConstantCost: pre-overflow FasTM aborts are flash
+// operations whose cost does not scale with the write set.
+func TestFastAbortConstantCost(t *testing.T) {
+	measure := func(writes int) uint64 {
+		memory := mem.NewMemory()
+		alloc := mem.NewAllocator(0x100000, 1<<30)
+		region := workload.NewRegion(alloc, writes)
+		hot := workload.NewRegion(alloc, 1)
+		b0 := workload.NewBuilder()
+		for i := 0; i < 6; i++ {
+			b0.Begin(0)
+			for k := 0; k < writes; k++ {
+				b0.StoreImm(region.WordAddr(k, 0), 1)
+			}
+			b0.Load(0, hot.WordAddr(0, 0))
+			b0.AddImm(0, 1)
+			b0.Store(hot.WordAddr(0, 0), 0)
+			b0.Commit()
+			b0.Compute(10)
+		}
+		b0.Barrier(0)
+		b1 := workload.NewBuilder()
+		for i := 0; i < 120; i++ {
+			b1.Begin(0)
+			b1.Load(0, hot.WordAddr(0, 0))
+			b1.AddImm(0, 1)
+			b1.Compute(60)
+			b1.Store(hot.WordAddr(0, 0), 0)
+			b1.Commit()
+		}
+		b1.Barrier(0)
+		m := htm.New(htm.DefaultConfig(2), fastm.New(), []workload.Program{b0.Build(), b1.Build()}, memory, alloc)
+		res, err := m.Run()
+		if err != nil {
+			t.Fatalf("run: %v", err)
+		}
+		if res.Counters.TxAborted == 0 {
+			t.Skip("no aborts")
+		}
+		return res.Breakdown.Cycles[stats.Aborting] / res.Counters.TxAborted
+	}
+	small := measure(4)
+	large := measure(48)
+	if large > small*2 {
+		t.Fatalf("fast abort scaled with write set: %d vs %d cycles/abort", small, large)
+	}
+}
+
+// TestAbortRestoresValuesAndInvalidates: aborted speculative values
+// vanish; the pre-transaction version is re-read afterwards.
+func TestAbortRestoresValues(t *testing.T) {
+	memory := mem.NewMemory()
+	alloc := mem.NewAllocator(0x100000, 1<<30)
+	region := workload.NewRegion(alloc, 2)
+	hot := workload.NewRegion(alloc, 1)
+	memory.Write(region.WordAddr(0, 0), 500)
+	mkProg := func(id int) workload.Program {
+		b := workload.NewBuilder()
+		for i := 0; i < 40; i++ {
+			b.Begin(0)
+			b.Load(0, hot.WordAddr(0, 0))
+			b.AddImm(0, 1)
+			b.Compute(20)
+			b.Store(hot.WordAddr(0, 0), 0)
+			if id == 0 {
+				b.Load(1, region.WordAddr(0, 0))
+				b.AddImm(1, 1)
+				b.Store(region.WordAddr(0, 0), 1)
+			}
+			b.Commit()
+		}
+		b.Barrier(0)
+		return b.Build()
+	}
+	m, res := run(t, htm.DefaultConfig(2), []workload.Program{mkProg(0), mkProg(1)}, memory, alloc)
+	if res.Counters.TxAborted == 0 {
+		t.Fatal("no aborts")
+	}
+	if got := m.ArchMem().Read(region.WordAddr(0, 0)); got != 540 {
+		t.Fatalf("value = %d, want 540 (40 committed increments over 500)", got)
+	}
+	if got := m.ArchMem().Read(hot.WordAddr(0, 0)); got != 80 {
+		t.Fatalf("hot = %d, want 80", got)
+	}
+}
+
+// TestDegenerationPreservesCorrectness: with an L1 too small for the
+// write set, FasTM degenerates to logging but values stay exact.
+func TestDegenerationPreservesCorrectness(t *testing.T) {
+	memory := mem.NewMemory()
+	alloc := mem.NewAllocator(0x100000, 1<<30)
+	cfg := htm.DefaultConfig(2)
+	cfg.L1 = mem.CacheConfig{SizeBytes: 8 * sim.LineBytes, Ways: 2}
+	region := workload.NewRegion(alloc, 24)
+	hot := workload.NewRegion(alloc, 1)
+	progs := make([]workload.Program, 2)
+	for c := range progs {
+		b := workload.NewBuilder()
+		for i := 0; i < 10; i++ {
+			b.Begin(0)
+			b.Load(0, hot.WordAddr(0, 0))
+			b.AddImm(0, 1)
+			b.Store(hot.WordAddr(0, 0), 0)
+			for k := 0; k < 24; k++ {
+				b.Load(1, region.WordAddr(k, c))
+				b.AddImm(1, 1)
+				b.Store(region.WordAddr(k, c), 1)
+			}
+			b.Commit()
+		}
+		b.Barrier(0)
+		progs[c] = b.Build()
+	}
+	m, res := run(t, cfg, progs, memory, alloc)
+	if res.Counters.SpecLineEvicted == 0 {
+		t.Fatal("no degeneration with an 8-line L1")
+	}
+	var sum uint64
+	for k := 0; k < 24; k++ {
+		sum += m.ArchMem().Read(region.WordAddr(k, 0)) + m.ArchMem().Read(region.WordAddr(k, 1))
+	}
+	if sum != 2*10*24 {
+		t.Fatalf("region sum = %d, want %d", sum, 2*10*24)
+	}
+	if got := m.ArchMem().Read(hot.WordAddr(0, 0)); got != 20 {
+		t.Fatalf("hot = %d, want 20", got)
+	}
+}
+
+// TestCommitFlashClearsSpec: after a commit no speculative lines remain.
+func TestCommitFlashClearsSpec(t *testing.T) {
+	memory := mem.NewMemory()
+	alloc := mem.NewAllocator(0x100000, 1<<30)
+	region := workload.NewRegion(alloc, 8)
+	b := workload.NewBuilder()
+	b.Begin(0)
+	for k := 0; k < 8; k++ {
+		b.StoreImm(region.WordAddr(k, 0), 1)
+	}
+	b.Commit()
+	b.Barrier(0)
+	m, _ := run(t, htm.DefaultConfig(1), []workload.Program{b.Build()}, memory, alloc)
+	if n := m.Cores[0].L1.CountSpec(); n != 0 {
+		t.Fatalf("%d speculative lines after commit", n)
+	}
+}
+
+func TestName(t *testing.T) {
+	if fastm.New().Name() != "FasTM" {
+		t.Fatal("wrong name")
+	}
+}

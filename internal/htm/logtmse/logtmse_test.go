@@ -1,0 +1,178 @@
+package logtmse_test
+
+import (
+	"testing"
+
+	"suvtm/internal/htm"
+	"suvtm/internal/htm/logtmse"
+	"suvtm/internal/mem"
+	"suvtm/internal/stats"
+	"suvtm/internal/workload"
+)
+
+func runProg(t *testing.T, progs []workload.Program, memory *mem.Memory, alloc *mem.Allocator, cores int) (*htm.Machine, *htm.Result) {
+	t.Helper()
+	m := htm.New(htm.DefaultConfig(cores), logtmse.New(), progs, memory, alloc)
+	res, err := m.Run()
+	if err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	return m, res
+}
+
+// TestUndoLogFirstTouchOnly: repeated stores to the same line within a
+// transaction log exactly one undo record.
+func TestUndoLogFirstTouchOnly(t *testing.T) {
+	memory := mem.NewMemory()
+	alloc := mem.NewAllocator(0x100000, 1<<30)
+	region := workload.NewRegion(alloc, 2)
+	b := workload.NewBuilder()
+	b.Begin(0)
+	for i := 0; i < 5; i++ {
+		b.StoreImm(region.WordAddr(0, i), uint64(i))
+	}
+	b.StoreImm(region.WordAddr(1, 0), 99)
+	b.Commit()
+	b.Barrier(0)
+	_, res := runProg(t, []workload.Program{b.Build()}, memory, alloc, 1)
+	if res.Counters.UndoLogEntries != 2 {
+		t.Fatalf("undo records = %d, want 2 (one per distinct line)", res.Counters.UndoLogEntries)
+	}
+}
+
+// TestAbortRestoresValues: the software abort walk must restore every
+// logged line exactly, including words written multiple times.
+func TestAbortRestoresValues(t *testing.T) {
+	memory := mem.NewMemory()
+	alloc := mem.NewAllocator(0x100000, 1<<30)
+	region := workload.NewRegion(alloc, 4)
+	hot := workload.NewRegion(alloc, 1)
+	for i := 0; i < 4; i++ {
+		memory.Write(region.WordAddr(i, 0), uint64(100+i))
+	}
+	// Core 0 repeatedly writes the region inside transactions that
+	// conflict with core 1 on the hot word; aborted attempts must leave
+	// the region untouched and the final state must reflect only commits.
+	mkProg := func(id int) workload.Program {
+		b := workload.NewBuilder()
+		for i := 0; i < 30; i++ {
+			b.Begin(0)
+			if id == 0 {
+				// Build the write set first so an abort triggered by the
+				// hot-word conflict has records to replay.
+				for k := 0; k < 4; k++ {
+					b.Load(1, region.WordAddr(k, 0))
+					b.AddImm(1, 1)
+					b.Store(region.WordAddr(k, 0), 1)
+				}
+			}
+			b.Load(0, hot.WordAddr(0, 0))
+			b.AddImm(0, 1)
+			b.Compute(30)
+			b.Store(hot.WordAddr(0, 0), 0)
+			b.Commit()
+		}
+		b.Barrier(0)
+		return b.Build()
+	}
+	m, res := runProg(t, []workload.Program{mkProg(0), mkProg(1)}, memory, alloc, 2)
+	if res.Counters.TxAborted == 0 {
+		t.Fatal("no aborts — the test exercises nothing")
+	}
+	if res.Counters.UndoLogRestores == 0 {
+		t.Fatal("aborts replayed no undo records")
+	}
+	for k := 0; k < 4; k++ {
+		want := uint64(100 + k + 30)
+		if got := m.ArchMem().Read(region.WordAddr(k, 0)); got != want {
+			t.Fatalf("region[%d] = %d, want %d", k, got, want)
+		}
+	}
+	if got := m.ArchMem().Read(hot.WordAddr(0, 0)); got != 60 {
+		t.Fatalf("hot = %d, want 60", got)
+	}
+}
+
+// TestSoftwareTrapPerAbort: every abort enters the software handler once.
+func TestSoftwareTrapPerAbort(t *testing.T) {
+	memory := mem.NewMemory()
+	alloc := mem.NewAllocator(0x100000, 1<<30)
+	hot := workload.NewRegion(alloc, 1)
+	progs := make([]workload.Program, 4)
+	for c := range progs {
+		b := workload.NewBuilder()
+		for i := 0; i < 40; i++ {
+			b.Begin(0)
+			b.Load(0, hot.WordAddr(0, 0))
+			b.AddImm(0, 1)
+			b.Compute(15)
+			b.Store(hot.WordAddr(0, 0), 0)
+			b.Commit()
+		}
+		b.Barrier(0)
+		progs[c] = b.Build()
+	}
+	_, res := runProg(t, progs, memory, alloc, 4)
+	if res.Counters.TxAborted == 0 {
+		t.Fatal("no aborts under contention")
+	}
+	if res.Counters.SoftwareTraps != res.Counters.TxAborted {
+		t.Fatalf("traps = %d, aborts = %d", res.Counters.SoftwareTraps, res.Counters.TxAborted)
+	}
+}
+
+// TestAbortCostGrowsWithWriteSet: the roll-back window must scale with
+// the number of logged lines (the repair pathology's root cause).
+func TestAbortCostGrowsWithWriteSet(t *testing.T) {
+	measure := func(writes int) uint64 {
+		memory := mem.NewMemory()
+		alloc := mem.NewAllocator(0x100000, 1<<30)
+		region := workload.NewRegion(alloc, writes)
+		hot := workload.NewRegion(alloc, 1)
+		// Core 0 builds a big write set, then touches the hot word last so
+		// it aborts after logging everything; core 1 owns the hot word.
+		b0 := workload.NewBuilder()
+		for i := 0; i < 6; i++ {
+			b0.Begin(0)
+			for k := 0; k < writes; k++ {
+				b0.StoreImm(region.WordAddr(k, 0), 1)
+			}
+			b0.Load(0, hot.WordAddr(0, 0))
+			b0.AddImm(0, 1)
+			b0.Store(hot.WordAddr(0, 0), 0)
+			b0.Commit()
+			b0.Compute(10)
+		}
+		b0.Barrier(0)
+		b1 := workload.NewBuilder()
+		for i := 0; i < 120; i++ {
+			b1.Begin(0)
+			b1.Load(0, hot.WordAddr(0, 0))
+			b1.AddImm(0, 1)
+			b1.Compute(60)
+			b1.Store(hot.WordAddr(0, 0), 0)
+			b1.Commit()
+		}
+		b1.Barrier(0)
+		m := htm.New(htm.DefaultConfig(2), logtmse.New(), []workload.Program{b0.Build(), b1.Build()}, memory, alloc)
+		res, err := m.Run()
+		if err != nil {
+			t.Fatalf("run: %v", err)
+		}
+		if res.Counters.TxAborted == 0 {
+			t.Skip("no aborts in this configuration")
+		}
+		return res.Breakdown.Cycles[stats.Aborting] / res.Counters.TxAborted
+	}
+	small := measure(4)
+	large := measure(64)
+	if large <= small {
+		t.Fatalf("abort cost did not grow with write set: %d vs %d cycles/abort", small, large)
+	}
+}
+
+func TestName(t *testing.T) {
+	if logtmse.New().Name() != "LogTM-SE" {
+		t.Fatal("wrong name")
+	}
+}

@@ -1,0 +1,448 @@
+package htm_test
+
+import (
+	"testing"
+
+	"suvtm/internal/htm"
+	"suvtm/internal/htm/dyntm"
+	"suvtm/internal/htm/fastm"
+	"suvtm/internal/htm/logtmse"
+	"suvtm/internal/htm/suvtm"
+	"suvtm/internal/mem"
+	"suvtm/internal/sim"
+	"suvtm/internal/stats"
+	"suvtm/internal/workload"
+)
+
+// allVMs returns one fresh instance of every scheme.
+func allVMs() map[string]func() htm.VersionManager {
+	return map[string]func() htm.VersionManager{
+		"LogTM-SE":  func() htm.VersionManager { return logtmse.New() },
+		"FasTM":     func() htm.VersionManager { return fastm.New() },
+		"SUV-TM":    func() htm.VersionManager { return suvtm.New() },
+		"DynTM":     func() htm.VersionManager { return dyntm.New() },
+		"DynTM+SUV": func() htm.VersionManager { return dyntm.NewWithSUV() },
+	}
+}
+
+type rig struct {
+	memory *mem.Memory
+	alloc  *mem.Allocator
+}
+
+func newRig() *rig {
+	return &rig{memory: mem.NewMemory(), alloc: mem.NewAllocator(0x100000, 1<<30)}
+}
+
+func (r *rig) run(t *testing.T, vm htm.VersionManager, cores int, progs []workload.Program) (*htm.Machine, *htm.Result) {
+	t.Helper()
+	cfg := htm.DefaultConfig(cores)
+	cfg.MaxCycles = 200_000_000
+	m := htm.New(cfg, vm, progs, r.memory, r.alloc)
+	res, err := m.Run()
+	if err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	return m, res
+}
+
+// TestConservation checks the accounting invariant: every cycle of every
+// core is attributed to exactly one breakdown component, so per-core
+// totals all equal the machine's final cycle count.
+func TestConservation(t *testing.T) {
+	for name, mk := range allVMs() {
+		t.Run(name, func(t *testing.T) {
+			r := newRig()
+			region := workload.NewRegion(r.alloc, 8)
+			progs := make([]workload.Program, 4)
+			for c := range progs {
+				b := workload.NewBuilder()
+				for i := 0; i < 40; i++ {
+					b.Begin(0)
+					addr := region.WordAddr((i+c)%8, 0)
+					b.Load(0, addr)
+					b.AddImm(0, 1)
+					b.Store(addr, 0)
+					b.Commit()
+					b.Compute(7)
+				}
+				b.Barrier(0)
+				progs[c] = b.Build()
+			}
+			_, res := r.run(t, mk(), 4, progs)
+			for i, bd := range res.PerCore {
+				if bd.Total() != res.Cycles {
+					t.Errorf("core %d attributed %d cycles, machine ran %d", i, bd.Total(), res.Cycles)
+				}
+			}
+		})
+	}
+}
+
+// TestDeterminism: identical configuration and seed must give identical
+// cycle counts and breakdowns.
+func TestDeterminism(t *testing.T) {
+	build := func() (*htm.Machine, *rig) {
+		r := newRig()
+		region := workload.NewRegion(r.alloc, 4)
+		progs := make([]workload.Program, 8)
+		for c := range progs {
+			b := workload.NewBuilder()
+			for i := 0; i < 30; i++ {
+				b.Begin(0)
+				addr := region.WordAddr(i%4, 0)
+				b.Load(0, addr)
+				b.AddImm(0, 1)
+				b.Store(addr, 0)
+				b.Commit()
+			}
+			b.Barrier(0)
+			progs[c] = b.Build()
+		}
+		cfg := htm.DefaultConfig(8)
+		return htm.New(cfg, suvtm.New(), progs, r.memory, r.alloc), r
+	}
+	m1, _ := build()
+	m2, _ := build()
+	r1, err1 := m1.Run()
+	r2, err2 := m2.Run()
+	if err1 != nil || err2 != nil {
+		t.Fatalf("runs failed: %v %v", err1, err2)
+	}
+	if r1.Cycles != r2.Cycles {
+		t.Fatalf("non-deterministic: %d vs %d cycles", r1.Cycles, r2.Cycles)
+	}
+	if r1.Breakdown != r2.Breakdown {
+		t.Fatalf("non-deterministic breakdowns")
+	}
+}
+
+// TestRegisterCheckpoint: registers modified inside an aborted attempt
+// must be restored, so the committed value is exactly one increment.
+func TestRegisterCheckpoint(t *testing.T) {
+	// Two cores hammer one word so aborts are certain; each transaction
+	// computes r0 = load + 1 and the final value must be the exact count
+	// of commits even though attempts clobber r0 repeatedly.
+	r := newRig()
+	region := workload.NewRegion(r.alloc, 1)
+	addr := region.WordAddr(0, 0)
+	progs := make([]workload.Program, 2)
+	for c := range progs {
+		b := workload.NewBuilder()
+		b.LoadImm(2, 7777) // canary register, set before all transactions
+		for i := 0; i < 50; i++ {
+			b.Begin(0)
+			b.Load(0, addr)
+			b.AddImm(0, 1)
+			b.Compute(25)
+			b.Store(addr, 0)
+			b.Commit()
+		}
+		// Store the canary: if abort restore damaged r2 this mismatches.
+		b.StoreImm(region.WordAddr(0, 1), 0)
+		b.Store(region.WordAddr(0, 2), 2)
+		b.Barrier(0)
+		progs[c] = b.Build()
+	}
+	m, res := r.run(t, logtmse.New(), 2, progs)
+	if res.Counters.TxAborted == 0 {
+		t.Fatal("expected aborts under contention")
+	}
+	if got := m.ArchMem().Read(addr); got != 100 {
+		t.Fatalf("counter = %d, want 100", got)
+	}
+	if got := m.ArchMem().Read(region.WordAddr(0, 2)); got != 7777 {
+		t.Fatalf("canary register corrupted: %d", got)
+	}
+}
+
+// TestDeadlockResolvedByCycleAbort: two cores acquire two lines in
+// opposite order — the Stall policy alone would deadlock; possible-cycle
+// detection must abort one and let both finish.
+func TestDeadlockResolvedByCycleAbort(t *testing.T) {
+	r := newRig()
+	region := workload.NewRegion(r.alloc, 2)
+	a0, a1 := region.WordAddr(0, 0), region.WordAddr(1, 0)
+	mkProg := func(first, second sim.Addr) workload.Program {
+		b := workload.NewBuilder()
+		for i := 0; i < 20; i++ {
+			b.Begin(0)
+			b.Load(0, first)
+			b.AddImm(0, 1)
+			b.Store(first, 0)
+			b.Compute(60) // widen the window so lock order inverts
+			b.Load(1, second)
+			b.AddImm(1, 1)
+			b.Store(second, 1)
+			b.Commit()
+		}
+		b.Barrier(0)
+		return b.Build()
+	}
+	m, res := r.run(t, logtmse.New(), 2, []workload.Program{mkProg(a0, a1), mkProg(a1, a0)})
+	if res.Counters.CycleAborts == 0 {
+		t.Fatal("no cycle aborts despite opposite acquisition order")
+	}
+	if got := m.ArchMem().Read(a0); got != 40 {
+		t.Fatalf("a0 = %d, want 40", got)
+	}
+	if got := m.ArchMem().Read(a1); got != 40 {
+		t.Fatalf("a1 = %d, want 40", got)
+	}
+}
+
+// TestStrongIsolation: a transaction that reads the same word twice must
+// never observe an intervening non-transactional store (strong
+// isolation), under every scheme.
+func TestStrongIsolation(t *testing.T) {
+	const iters = 50
+	for name, mk := range allVMs() {
+		t.Run(name, func(t *testing.T) {
+			r := newRig()
+			region := workload.NewRegion(r.alloc, 1)
+			check := workload.NewRegion(r.alloc, 2*iters/8+2)
+			addr := region.WordAddr(0, 0)
+			// Core 0 reads addr twice inside each transaction, with a gap
+			// a racing store could slip into, and records both values.
+			b0 := workload.NewBuilder()
+			for i := 0; i < iters; i++ {
+				b0.Begin(0)
+				b0.Load(0, addr)
+				b0.Compute(40)
+				b0.Load(1, addr)
+				b0.Commit()
+				b0.Store(check.WordAddr((2*i)/8, (2*i)%8), 0)
+				b0.Store(check.WordAddr((2*i+1)/8, (2*i+1)%8), 1)
+			}
+			b0.Barrier(0)
+			// Core 1 fires plain stores at the word.
+			b1 := workload.NewBuilder()
+			for i := 0; i < 3*iters; i++ {
+				b1.StoreImm(addr, sim.Word(1000+i))
+				b1.Compute(11)
+			}
+			b1.Barrier(0)
+			m, _ := r.run(t, mk(), 2, []workload.Program{b0.Build(), b1.Build()})
+			arch := m.ArchMem()
+			for i := 0; i < iters; i++ {
+				v0 := arch.Read(check.WordAddr((2*i)/8, (2*i)%8))
+				v1 := arch.Read(check.WordAddr((2*i+1)/8, (2*i+1)%8))
+				if v0 != v1 {
+					t.Fatalf("iteration %d: transaction observed %d then %d (strong isolation breached)", i, v0, v1)
+				}
+			}
+		})
+	}
+}
+
+// TestNestedTransactions: closed nesting with the nest counter — a
+// nested commit keeps everything transactional until the outer commit.
+func TestNestedTransactions(t *testing.T) {
+	for name, mk := range allVMs() {
+		t.Run(name, func(t *testing.T) {
+			r := newRig()
+			region := workload.NewRegion(r.alloc, 2)
+			b := workload.NewBuilder()
+			for i := 0; i < 10; i++ {
+				b.Begin(0)
+				b.Load(0, region.WordAddr(0, 0))
+				b.AddImm(0, 1)
+				b.Store(region.WordAddr(0, 0), 0)
+				b.Begin(1) // nested
+				b.Load(1, region.WordAddr(1, 0))
+				b.AddImm(1, 1)
+				b.Store(region.WordAddr(1, 0), 1)
+				b.Commit() // inner
+				b.Commit() // outer
+			}
+			b.Barrier(0)
+			m, res := r.run(t, mk(), 1, []workload.Program{b.Build()})
+			if m.ArchMem().Read(region.WordAddr(0, 0)) != 10 || m.ArchMem().Read(region.WordAddr(1, 0)) != 10 {
+				t.Fatal("nested transaction values wrong")
+			}
+			if res.Counters.TxCommitted != 10 {
+				t.Fatalf("outer commits = %d, want 10", res.Counters.TxCommitted)
+			}
+		})
+	}
+}
+
+// TestBarrierSynchronizes: a slow core must make fast cores accumulate
+// Barrier time, and all cores proceed together.
+func TestBarrierSynchronizes(t *testing.T) {
+	r := newRig()
+	region := workload.NewRegion(r.alloc, 2)
+	fast := workload.NewBuilder()
+	fast.Compute(10).Barrier(0)
+	fast.StoreImm(region.WordAddr(0, 0), 1)
+	fast.Barrier(1)
+	slow := workload.NewBuilder()
+	slow.Compute(5000).Barrier(0)
+	slow.StoreImm(region.WordAddr(1, 0), 1)
+	slow.Barrier(1)
+	_, res := r.run(t, logtmse.New(), 2, []workload.Program{fast.Build(), slow.Build()})
+	if res.PerCore[0].Cycles[stats.Barrier] < 4000 {
+		t.Fatalf("fast core barrier time = %d, want ~4990", res.PerCore[0].Cycles[stats.Barrier])
+	}
+}
+
+// TestFasTMDegeneration: with a tiny L1, speculative lines are evicted
+// and FasTM must fall back to LogTM-SE software aborts.
+func TestFasTMDegeneration(t *testing.T) {
+	r := newRig()
+	region := workload.NewRegion(r.alloc, 64)
+	hot := workload.NewRegion(r.alloc, 1)
+	progs := make([]workload.Program, 2)
+	for c := range progs {
+		b := workload.NewBuilder()
+		for i := 0; i < 12; i++ {
+			b.Begin(0)
+			// Conflict-prone word first, then a write-set bigger than the
+			// small L1 so speculative lines spill.
+			b.Load(0, hot.WordAddr(0, 0))
+			b.AddImm(0, 1)
+			b.Store(hot.WordAddr(0, 0), 0)
+			for k := 0; k < 48; k++ {
+				b.StoreImm(region.WordAddr(k, c), 1)
+			}
+			b.Compute(50)
+			b.Commit()
+		}
+		b.Barrier(0)
+		progs[c] = b.Build()
+	}
+	cfg := htm.DefaultConfig(2)
+	cfg.L1 = mem.CacheConfig{SizeBytes: 16 * sim.LineBytes, Ways: 2} // 1 KB L1
+	cfg.MaxCycles = 100_000_000
+	m := htm.New(cfg, fastm.New(), progs, r.memory, r.alloc)
+	res, err := m.Run()
+	if err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	if res.Counters.SpecLineEvicted == 0 {
+		t.Fatal("no speculative evictions despite tiny L1")
+	}
+	if res.Counters.CacheOverflowTx == 0 {
+		t.Fatal("no transactions counted as cache-overflowed")
+	}
+	if got := m.ArchMem().Read(hot.WordAddr(0, 0)); got != 24 {
+		t.Fatalf("hot counter = %d, want 24", got)
+	}
+	// Degenerated transactions log their post-overflow stores like
+	// LogTM-SE (aborts may still happen before the overflow point, so
+	// software traps are not guaranteed — the logging is).
+	if res.Counters.UndoLogEntries == 0 {
+		t.Fatal("degenerated transactions wrote no undo records")
+	}
+}
+
+// TestWatchdogFires: an impossible barrier quorum must be reported as a
+// deadlock rather than hanging.
+func TestDeadlockDetected(t *testing.T) {
+	r := newRig()
+	b0 := workload.NewBuilder()
+	b0.Barrier(0)
+	b1 := workload.NewBuilder()
+	b1.Barrier(1) // mismatched id: nobody ever completes barrier 0 or 1
+	cfg := htm.DefaultConfig(2)
+	m := htm.New(cfg, logtmse.New(), []workload.Program{b0.Build(), b1.Build()}, r.memory, r.alloc)
+	if _, err := m.Run(); err == nil {
+		t.Fatal("mismatched barriers did not error")
+	}
+}
+
+// TestIdleCoresAllowed: fewer programs than cores must still finish.
+func TestIdleCoresAllowed(t *testing.T) {
+	r := newRig()
+	region := workload.NewRegion(r.alloc, 1)
+	b := workload.NewBuilder()
+	b.Begin(0)
+	b.StoreImm(region.WordAddr(0, 0), 42)
+	b.Commit()
+	b.Barrier(0)
+	m, res := r.run(t, suvtm.New(), 4, []workload.Program{b.Build()})
+	if res.Counters.TxCommitted != 1 {
+		t.Fatalf("commits = %d", res.Counters.TxCommitted)
+	}
+	if m.ArchMem().Read(region.WordAddr(0, 0)) != 42 {
+		t.Fatal("value lost")
+	}
+}
+
+// TestDynTMSelectorAdapts: a high-conflict site must migrate to lazy
+// mode under DynTM.
+func TestDynTMSelectorAdapts(t *testing.T) {
+	r := newRig()
+	region := workload.NewRegion(r.alloc, 1)
+	addr := region.WordAddr(0, 0)
+	progs := make([]workload.Program, 8)
+	for c := range progs {
+		b := workload.NewBuilder()
+		for i := 0; i < 60; i++ {
+			b.Begin(0)
+			b.Load(0, addr)
+			b.AddImm(0, 1)
+			b.Compute(20)
+			b.Store(addr, 0)
+			b.Commit()
+		}
+		b.Barrier(0)
+		progs[c] = b.Build()
+	}
+	m, res := r.run(t, dyntm.New(), 8, progs)
+	if res.Counters.LazyTx == 0 {
+		t.Fatal("selector never chose lazy despite constant conflicts")
+	}
+	if got := m.ArchMem().Read(addr); got != 480 {
+		t.Fatalf("counter = %d, want 480", got)
+	}
+}
+
+// TestFastPathEquivalence: the L1-hit fast path (no conflict check) must
+// produce the same architectural memory as checking conflicts on every
+// access.
+func TestFastPathEquivalence(t *testing.T) {
+	final := func(always bool) map[sim.Addr]sim.Word {
+		htm.SetDebugAlwaysCheck(always)
+		defer htm.SetDebugAlwaysCheck(false)
+		r := newRig()
+		region := workload.NewRegion(r.alloc, 4)
+		progs := make([]workload.Program, 4)
+		for c := range progs {
+			rng := sim.NewRNG(uint64(c) + 5)
+			b := workload.NewBuilder()
+			for i := 0; i < 40; i++ {
+				b.Begin(0)
+				for k := 0; k < 3; k++ {
+					addr := region.WordAddr(rng.Intn(4), rng.Intn(8))
+					b.Load(0, addr)
+					b.AddImm(0, 1)
+					b.Store(addr, 0)
+				}
+				b.Commit()
+			}
+			b.Barrier(0)
+			progs[c] = b.Build()
+		}
+		cfg := htm.DefaultConfig(4)
+		m := htm.New(cfg, logtmse.New(), progs, r.memory, r.alloc)
+		if _, err := m.Run(); err != nil {
+			t.Fatalf("run: %v", err)
+		}
+		out := make(map[sim.Addr]sim.Word)
+		for i := 0; i < 4; i++ {
+			for w := 0; w < 8; w++ {
+				a := region.WordAddr(i, w)
+				out[a] = m.ArchMem().Read(a)
+			}
+		}
+		return out
+	}
+	fast := final(false)
+	checked := final(true)
+	for a, v := range checked {
+		if fast[a] != v {
+			t.Fatalf("addr %#x: fast path %d, always-check %d", a, fast[a], v)
+		}
+	}
+}

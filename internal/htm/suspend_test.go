@@ -1,0 +1,108 @@
+package htm_test
+
+import (
+	"testing"
+
+	"suvtm/internal/htm"
+	"suvtm/internal/htm/logtmse"
+	"suvtm/internal/htm/suvtm"
+	"suvtm/internal/stats"
+	"suvtm/internal/workload"
+)
+
+// TestSuspendedTxKeepsIsolation: while a transaction's thread is
+// descheduled (Section IV-C), its signatures stay in force — a
+// conflicting access by another core must stall for the whole suspension
+// window, and the transaction must commit correctly afterwards.
+func TestSuspendedTxKeepsIsolation(t *testing.T) {
+	for name, mk := range map[string]func() htm.VersionManager{
+		"LogTM-SE": func() htm.VersionManager { return logtmse.New() },
+		"SUV-TM":   func() htm.VersionManager { return suvtm.New() },
+	} {
+		t.Run(name, func(t *testing.T) {
+			r := newRig()
+			shared := workload.NewRegion(r.alloc, 1)
+			osWork := workload.NewRegion(r.alloc, 4)
+			addr := shared.WordAddr(0, 0)
+
+			// Core 0: begin a transaction, write the shared word, get
+			// descheduled for a long stretch of unrelated OS work, resume
+			// and commit.
+			b0 := workload.NewBuilder()
+			b0.Begin(0)
+			b0.Load(0, addr)
+			b0.AddImm(0, 100)
+			b0.Store(addr, 0)
+			b0.Suspend(80)
+			for k := 0; k < 20; k++ { // the other thread's work
+				b0.Load(1, osWork.WordAddr(k%4, k%8))
+				b0.Compute(200)
+			}
+			b0.Resume(80)
+			b0.Load(0, addr)
+			b0.AddImm(0, 1)
+			b0.Store(addr, 0)
+			b0.Commit()
+			b0.Barrier(0)
+
+			// Core 1: one plain increment that conflicts with the
+			// suspended transaction and must wait for its commit.
+			b1 := workload.NewBuilder()
+			b1.Compute(500) // let core 0 suspend first
+			b1.Load(0, addr)
+			b1.AddImm(0, 1)
+			b1.Store(addr, 0)
+			b1.Barrier(0)
+
+			m, res := r.run(t, mk(), 2, []workload.Program{b0.Build(), b1.Build()})
+			// Serializable outcomes: tx(+101) then +1, or +1 then tx(+101).
+			if got := m.ArchMem().Read(addr); got != 102 {
+				t.Fatalf("value = %d, want 102", got)
+			}
+			// Core 1 must have stalled behind the suspension window.
+			if res.PerCore[1].Cycles[stats.Stalled] < 1000 {
+				t.Fatalf("core 1 stalled only %d cycles — suspension did not hold isolation",
+					res.PerCore[1].Cycles[stats.Stalled])
+			}
+			if res.Counters.TxCommitted != 1 {
+				t.Fatalf("commits = %d", res.Counters.TxCommitted)
+			}
+		})
+	}
+}
+
+// TestSuspendedWindowIsNonTransactional: work done during the suspension
+// window is the other thread's and must be attributed to NoTrans, not to
+// the transaction attempt.
+func TestSuspendedWindowIsNonTransactional(t *testing.T) {
+	r := newRig()
+	region := workload.NewRegion(r.alloc, 1)
+	b := workload.NewBuilder()
+	b.Begin(0)
+	b.StoreImm(region.WordAddr(0, 0), 1)
+	b.Suspend(10)
+	b.Compute(5000) // other thread
+	b.Resume(10)
+	b.Commit()
+	b.Barrier(0)
+	_, res := r.run(t, suvtm.New(), 1, []workload.Program{b.Build()})
+	if res.PerCore[0].Cycles[stats.NoTrans] < 5000 {
+		t.Fatalf("NoTrans = %d, want >= 5000 (suspension window misattributed)",
+			res.PerCore[0].Cycles[stats.NoTrans])
+	}
+	if res.PerCore[0].Cycles[stats.Trans] > 2000 {
+		t.Fatalf("Trans = %d — other thread's work charged to the transaction",
+			res.PerCore[0].Cycles[stats.Trans])
+	}
+}
+
+// TestSuspendOutsideTxPanics: the trace language rejects malformed
+// suspension.
+func TestSuspendOutsideTxPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Suspend outside a transaction did not panic")
+		}
+	}()
+	workload.NewBuilder().Suspend(10)
+}

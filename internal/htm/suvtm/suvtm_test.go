@@ -1,0 +1,225 @@
+package suvtm_test
+
+import (
+	"testing"
+
+	"suvtm/internal/htm"
+	"suvtm/internal/htm/suvtm"
+	"suvtm/internal/mem"
+	"suvtm/internal/sim"
+	"suvtm/internal/stats"
+	"suvtm/internal/workload"
+)
+
+func newSetup() (*mem.Memory, *mem.Allocator) {
+	return mem.NewMemory(), mem.NewAllocator(0x100000, 1<<30)
+}
+
+func run(t *testing.T, cfg htm.Config, progs []workload.Program, memory *mem.Memory, alloc *mem.Allocator) (*htm.Machine, *htm.Result) {
+	t.Helper()
+	m := htm.New(cfg, suvtm.New(), progs, memory, alloc)
+	res, err := m.Run()
+	if err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	return m, res
+}
+
+// TestSingleUpdate: a committed transactional store must leave exactly
+// one copy of the new value (at the redirected location) and the old
+// value untouched at the original physical location — the single-update
+// property the scheme is named after.
+func TestSingleUpdate(t *testing.T) {
+	memory, alloc := newSetup()
+	region := workload.NewRegion(alloc, 1)
+	addr := region.WordAddr(0, 0)
+	memory.Write(addr, 41)
+	b := workload.NewBuilder()
+	b.Begin(0)
+	b.Load(0, addr)
+	b.AddImm(0, 1)
+	b.Store(addr, 0)
+	b.Commit()
+	b.Barrier(0)
+	m, res := run(t, htm.DefaultConfig(1), []workload.Program{b.Build()}, memory, alloc)
+
+	if got := m.ArchMem().Read(addr); got != 42 {
+		t.Fatalf("architectural value = %d, want 42", got)
+	}
+	// The physical original location still holds the old value: no
+	// second data movement happened at commit.
+	if raw := memory.Read(addr); raw != 41 {
+		t.Fatalf("original location = %d, want untouched 41", raw)
+	}
+	if res.Counters.RedirectEntriesAdd != 1 {
+		t.Fatalf("entries added = %d", res.Counters.RedirectEntriesAdd)
+	}
+	if target, ok := m.Redirect.GlobalTarget(sim.LineOf(addr)); !ok || target == sim.LineOf(addr) {
+		t.Fatalf("no committed redirect mapping (target=%d ok=%v)", target, ok)
+	}
+}
+
+// TestAbortIsFlash: SUV aborts must cost a small constant, independent
+// of the write-set size — unlike LogTM-SE's log walk.
+func TestAbortIsFlash(t *testing.T) {
+	measure := func(writes int) uint64 {
+		memory, alloc := newSetup()
+		region := workload.NewRegion(alloc, writes)
+		hot := workload.NewRegion(alloc, 1)
+		b0 := workload.NewBuilder()
+		for i := 0; i < 6; i++ {
+			b0.Begin(0)
+			for k := 0; k < writes; k++ {
+				b0.StoreImm(region.WordAddr(k, 0), 1)
+			}
+			b0.Load(0, hot.WordAddr(0, 0))
+			b0.AddImm(0, 1)
+			b0.Store(hot.WordAddr(0, 0), 0)
+			b0.Commit()
+			b0.Compute(10)
+		}
+		b0.Barrier(0)
+		b1 := workload.NewBuilder()
+		for i := 0; i < 120; i++ {
+			b1.Begin(0)
+			b1.Load(0, hot.WordAddr(0, 0))
+			b1.AddImm(0, 1)
+			b1.Compute(60)
+			b1.Store(hot.WordAddr(0, 0), 0)
+			b1.Commit()
+		}
+		b1.Barrier(0)
+		m := htm.New(htm.DefaultConfig(2), suvtm.New(), []workload.Program{b0.Build(), b1.Build()}, memory, alloc)
+		res, err := m.Run()
+		if err != nil {
+			t.Fatalf("run: %v", err)
+		}
+		if res.Counters.TxAborted == 0 {
+			t.Skip("no aborts in this configuration")
+		}
+		return res.Breakdown.Cycles[stats.Aborting] / res.Counters.TxAborted
+	}
+	small := measure(4)
+	large := measure(64)
+	if large > small*2 {
+		t.Fatalf("SUV abort cost scaled with write set: %d vs %d cycles/abort", small, large)
+	}
+}
+
+// TestRedirectBackKeepsTableSmall: alternately updating the same
+// variables must not grow the redirect table (Section IV-A's growth
+// argument).
+func TestRedirectBackKeepsTableSmall(t *testing.T) {
+	memory, alloc := newSetup()
+	region := workload.NewRegion(alloc, 8)
+	b := workload.NewBuilder()
+	for i := 0; i < 50; i++ {
+		b.Begin(0)
+		for k := 0; k < 8; k++ {
+			b.Load(0, region.WordAddr(k, 0))
+			b.AddImm(0, 1)
+			b.Store(region.WordAddr(k, 0), 0)
+		}
+		b.Commit()
+	}
+	b.Barrier(0)
+	m, res := run(t, htm.DefaultConfig(1), []workload.Program{b.Build()}, memory, alloc)
+	if m.Redirect.EntryCount() > 8 {
+		t.Fatalf("entry count = %d, want <= 8 despite 400 redirecting stores", m.Redirect.EntryCount())
+	}
+	if res.Counters.RedirectBacks == 0 {
+		t.Fatal("no redirect-backs on repeated updates")
+	}
+	for k := 0; k < 8; k++ {
+		if got := m.ArchMem().Read(region.WordAddr(k, 0)); got != 50 {
+			t.Fatalf("word %d = %d, want 50", k, got)
+		}
+	}
+}
+
+// TestSummaryFiltersUnredirected: accesses to never-redirected lines
+// must be filtered by the summary signature, not pay table lookups.
+func TestSummaryFiltersUnredirected(t *testing.T) {
+	memory, alloc := newSetup()
+	private := workload.NewRegion(alloc, 64)
+	b := workload.NewBuilder()
+	for i := 0; i < 64; i++ {
+		b.Load(1, private.WordAddr(i, 0)) // non-transactional reads
+	}
+	b.Barrier(0)
+	_, res := run(t, htm.DefaultConfig(1), []workload.Program{b.Build()}, memory, alloc)
+	if res.Counters.SummaryFiltered == 0 {
+		t.Fatal("summary signature filtered nothing")
+	}
+	if res.Counters.RedirectLookups > res.Counters.SummaryFiltered/4 {
+		t.Fatalf("too many lookups escaped the filter: %d lookups vs %d filtered",
+			res.Counters.RedirectLookups, res.Counters.SummaryFiltered)
+	}
+}
+
+// TestTableOverflowCounted: a transaction writing more distinct lines
+// than the first-level table pins must be flagged as table-overflowed
+// (Table V) yet still commit correctly.
+func TestTableOverflowCounted(t *testing.T) {
+	memory, alloc := newSetup()
+	cfg := htm.DefaultConfig(1)
+	cfg.Redirect.L1Entries = 16
+	region := workload.NewRegion(alloc, 32)
+	b := workload.NewBuilder()
+	b.Begin(0)
+	for k := 0; k < 32; k++ {
+		b.StoreImm(region.WordAddr(k, 0), uint64(k))
+	}
+	b.Commit()
+	b.Barrier(0)
+	m, res := run(t, cfg, []workload.Program{b.Build()}, memory, alloc)
+	if res.Counters.TableOverflowTx != 1 {
+		t.Fatalf("table-overflow tx = %d, want 1", res.Counters.TableOverflowTx)
+	}
+	for k := 0; k < 32; k++ {
+		if got := m.ArchMem().Read(region.WordAddr(k, 0)); got != uint64(k) {
+			t.Fatalf("word %d = %d after overflow", k, got)
+		}
+	}
+}
+
+// TestNonTxWritesFollowRedirects: strong isolation — a plain store to a
+// redirected address must land at the redirected location.
+func TestNonTxWritesFollowRedirects(t *testing.T) {
+	memory, alloc := newSetup()
+	region := workload.NewRegion(alloc, 1)
+	addr := region.WordAddr(0, 0)
+	b := workload.NewBuilder()
+	b.Begin(0)
+	b.StoreImm(addr, 7)
+	b.Commit()
+	b.StoreImm(addr, 9) // non-transactional, after the line moved
+	b.Barrier(0)
+	m, _ := run(t, htm.DefaultConfig(1), []workload.Program{b.Build()}, memory, alloc)
+	if got := m.ArchMem().Read(addr); got != 9 {
+		t.Fatalf("architectural value = %d, want 9", got)
+	}
+}
+
+// TestPoolPagesGrowOnDemand: the preserved pool claims pages lazily.
+func TestPoolPagesGrowOnDemand(t *testing.T) {
+	memory, alloc := newSetup()
+	region := workload.NewRegion(alloc, 300)
+	b := workload.NewBuilder()
+	b.Begin(0)
+	for k := 0; k < 300; k++ {
+		b.StoreImm(region.WordAddr(k, 0), 1)
+	}
+	b.Commit()
+	b.Barrier(0)
+	m, _ := run(t, htm.DefaultConfig(1), []workload.Program{b.Build()}, memory, alloc)
+	if pages := m.Redirect.Pool().Pages(); pages < 2 || pages > 4 {
+		t.Fatalf("pool pages = %d, want 2-4 for 300 lines at 128 lines/page", pages)
+	}
+}
+
+func TestName(t *testing.T) {
+	if suvtm.New().Name() != "SUV-TM" {
+		t.Fatal("wrong name")
+	}
+}

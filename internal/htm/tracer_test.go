@@ -1,0 +1,76 @@
+package htm_test
+
+import (
+	"strings"
+	"testing"
+
+	"suvtm/internal/htm"
+	"suvtm/internal/htm/logtmse"
+	"suvtm/internal/trace"
+	"suvtm/internal/workload"
+)
+
+// TestMachineTracing attaches a recorder and checks the lifecycle events
+// of a contended run appear in order.
+func TestMachineTracing(t *testing.T) {
+	r := newRig()
+	region := workload.NewRegion(r.alloc, 1)
+	progs := make([]workload.Program, 2)
+	for c := range progs {
+		b := workload.NewBuilder()
+		for i := 0; i < 20; i++ {
+			b.Begin(0)
+			b.Load(0, region.WordAddr(0, 0))
+			b.AddImm(0, 1)
+			b.Compute(20)
+			b.Store(region.WordAddr(0, 0), 0)
+			b.Commit()
+		}
+		b.Barrier(0)
+		progs[c] = b.Build()
+	}
+	rec := trace.NewRecorder(4096)
+	m := htm.New(htm.DefaultConfig(2), logtmse.New(), progs, r.memory, r.alloc)
+	m.SetTracer(rec)
+	res, err := m.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	evs := rec.Events()
+	if len(evs) == 0 {
+		t.Fatal("no events recorded")
+	}
+	var begins, commits, aborts, nacks uint64
+	lastCycle := uint64(0)
+	for _, e := range evs {
+		if e.Cycle < lastCycle {
+			t.Fatalf("events out of order at %v", e)
+		}
+		lastCycle = e.Cycle
+		switch e.Kind {
+		case trace.Begin:
+			begins++
+		case trace.Commit:
+			commits++
+		case trace.Abort:
+			aborts++
+		case trace.NACK:
+			nacks++
+		}
+	}
+	if commits != res.Counters.TxCommitted {
+		t.Fatalf("traced %d commits, counted %d", commits, res.Counters.TxCommitted)
+	}
+	if aborts != res.Counters.TxAborted {
+		t.Fatalf("traced %d aborts, counted %d", aborts, res.Counters.TxAborted)
+	}
+	if begins != res.Counters.TxStarted {
+		t.Fatalf("traced %d begins, counted %d", begins, res.Counters.TxStarted)
+	}
+	if nacks == 0 {
+		t.Fatal("no NACKs traced under contention")
+	}
+	if !strings.Contains(rec.Dump(), "commit") {
+		t.Fatal("dump missing commits")
+	}
+}

@@ -1,0 +1,193 @@
+package mem
+
+import (
+	"testing"
+	"testing/quick"
+
+	"suvtm/internal/sim"
+)
+
+func smallCache() *Cache {
+	// 4 sets x 2 ways.
+	return NewCache(CacheConfig{SizeBytes: 4 * 2 * sim.LineBytes, Ways: 2})
+}
+
+func TestCacheConfigGeometry(t *testing.T) {
+	cfg := CacheConfig{SizeBytes: 32 << 10, Ways: 4}
+	if cfg.Sets() != 128 {
+		t.Fatalf("Sets = %d, want 128", cfg.Sets())
+	}
+	if cfg.Lines() != 512 {
+		t.Fatalf("Lines = %d, want 512", cfg.Lines())
+	}
+}
+
+func TestCacheInsertLookup(t *testing.T) {
+	c := smallCache()
+	if _, hit := c.Lookup(100); hit {
+		t.Fatal("hit on empty cache")
+	}
+	v := c.Insert(100, Shared, false)
+	if v.Valid {
+		t.Fatal("eviction from empty set")
+	}
+	if st, hit := c.Lookup(100); !hit || st != Shared {
+		t.Fatalf("lookup after insert: %v %v", st, hit)
+	}
+}
+
+func TestCacheLRUEviction(t *testing.T) {
+	c := smallCache()
+	// Lines 0, 4, 8 all map to set 0 (4 sets).
+	c.Insert(0, Shared, false)
+	c.Insert(4, Shared, false)
+	c.Lookup(0) // make line 4 the LRU
+	v := c.Insert(8, Shared, false)
+	if !v.Valid || v.Line != 4 {
+		t.Fatalf("victim = %+v, want line 4", v)
+	}
+	if _, hit := c.Peek(4); hit {
+		t.Fatal("evicted line still present")
+	}
+	if _, hit := c.Peek(0); !hit {
+		t.Fatal("MRU line was evicted")
+	}
+}
+
+func TestCacheAvoidSpecVictim(t *testing.T) {
+	c := smallCache()
+	c.Insert(0, Modified, false)
+	c.MarkSpec(0, true)
+	c.Insert(4, Shared, false)
+	// Line 0 is LRU but speculative; avoidSpec must evict line 4.
+	v := c.Insert(8, Shared, true)
+	if !v.Valid || v.Line != 4 || v.Spec {
+		t.Fatalf("victim = %+v, want non-spec line 4", v)
+	}
+}
+
+func TestCacheForcedSpecEviction(t *testing.T) {
+	c := smallCache()
+	c.Insert(0, Modified, false)
+	c.MarkSpec(0, true)
+	c.Insert(4, Modified, false)
+	c.MarkSpec(4, true)
+	v := c.Insert(8, Shared, true)
+	if !v.Valid || !v.Spec {
+		t.Fatalf("victim = %+v, want a speculative line (overflow)", v)
+	}
+}
+
+func TestCacheDirtyTracking(t *testing.T) {
+	c := smallCache()
+	c.Insert(3, Modified, false)
+	if c.IsDirty(3) {
+		t.Fatal("fresh line dirty")
+	}
+	c.MarkDirty(3)
+	if !c.IsDirty(3) {
+		t.Fatal("MarkDirty ineffective")
+	}
+	c.SetState(3, Shared)
+	if c.IsDirty(3) {
+		t.Fatal("downgrade kept dirty bit")
+	}
+}
+
+func TestCacheInvalidate(t *testing.T) {
+	c := smallCache()
+	c.Insert(5, Modified, false)
+	c.MarkDirty(5)
+	dirty, present := c.Invalidate(5)
+	if !dirty || !present {
+		t.Fatalf("Invalidate = (%v,%v)", dirty, present)
+	}
+	if _, hit := c.Peek(5); hit {
+		t.Fatal("line survived invalidation")
+	}
+	if d, p := c.Invalidate(5); d || p {
+		t.Fatal("double invalidation reported a line")
+	}
+}
+
+func TestCacheFlashSpecOps(t *testing.T) {
+	c := smallCache()
+	for _, l := range []sim.Line{0, 1, 2} {
+		c.Insert(l, Modified, false)
+		c.MarkSpec(l, true)
+	}
+	c.Insert(3, Shared, false)
+	if got := c.CountSpec(); got != 3 {
+		t.Fatalf("CountSpec = %d", got)
+	}
+	if n := c.FlashClearSpec(); n != 3 {
+		t.Fatalf("FlashClearSpec = %d", n)
+	}
+	if c.CountSpec() != 0 {
+		t.Fatal("spec bits survived flash clear")
+	}
+
+	c.MarkSpec(1, true)
+	c.MarkSpec(2, true)
+	lines := c.FlashInvalidateSpec()
+	if len(lines) != 2 {
+		t.Fatalf("FlashInvalidateSpec = %v", lines)
+	}
+	for _, l := range lines {
+		if _, hit := c.Peek(l); hit {
+			t.Fatalf("spec line %d survived flash invalidate", l)
+		}
+	}
+	if _, hit := c.Peek(3); !hit {
+		t.Fatal("non-spec line was invalidated")
+	}
+}
+
+func TestCacheInsertOverPresentUpdatesState(t *testing.T) {
+	c := smallCache()
+	c.Insert(7, Shared, false)
+	v := c.Insert(7, Modified, false)
+	if v.Valid {
+		t.Fatal("re-insert evicted something")
+	}
+	if st, _ := c.Peek(7); st != Modified {
+		t.Fatalf("state = %v, want Modified", st)
+	}
+	if c.CountValid() != 1 {
+		t.Fatalf("CountValid = %d", c.CountValid())
+	}
+}
+
+// TestCacheNeverExceedsCapacity property-checks that arbitrary insert
+// sequences keep every set within its associativity.
+func TestCacheNeverExceedsCapacity(t *testing.T) {
+	f := func(lines []uint16) bool {
+		c := smallCache()
+		for _, l := range lines {
+			c.Insert(sim.Line(l%64), Shared, l%3 == 0)
+		}
+		return c.CountValid() <= 8
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestCacheBadGeometryPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("non-power-of-two set count did not panic")
+		}
+	}()
+	NewCache(CacheConfig{SizeBytes: 3 * sim.LineBytes, Ways: 1})
+}
+
+func TestSetIndex(t *testing.T) {
+	c := NewCache(CacheConfig{SizeBytes: 32 << 10, Ways: 4}) // 128 sets
+	if c.SetIndex(0x80) != 0 {
+		t.Fatalf("SetIndex(0x80) = %d", c.SetIndex(0x80))
+	}
+	if c.SetIndex(0x7f) != 127 {
+		t.Fatalf("SetIndex(0x7f) = %d", c.SetIndex(0x7f))
+	}
+}

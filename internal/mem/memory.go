@@ -1,0 +1,74 @@
+// Package mem models the storage side of the simulated CMP: the flat
+// value-accurate physical memory, the set-associative write-back caches
+// (32KB 4-way L1 per core, 8MB 8-way shared L2 — Table III), a small TLB
+// model and the bump allocator that lays out workload heaps and the SUV
+// preserved redirect pool.
+//
+// Values are tracked exactly so that the version-management schemes can
+// be tested for atomicity: a committed transaction's writes must all be
+// visible, and an aborted transaction must leave memory bit-identical to
+// its pre-transaction state.
+package mem
+
+import "suvtm/internal/sim"
+
+// Memory is the flat, value-accurate physical memory. It stores 8-byte
+// words sparsely; unwritten locations read as zero.
+type Memory struct {
+	words map[sim.Addr]sim.Word
+}
+
+// NewMemory returns an empty memory image.
+func NewMemory() *Memory {
+	return &Memory{words: make(map[sim.Addr]sim.Word)}
+}
+
+// Read returns the word at addr (aligned down to 8 bytes).
+func (m *Memory) Read(addr sim.Addr) sim.Word {
+	return m.words[sim.WordAddr(addr)]
+}
+
+// Write stores val at addr (aligned down to 8 bytes).
+func (m *Memory) Write(addr sim.Addr, val sim.Word) {
+	m.words[sim.WordAddr(addr)] = val
+}
+
+// ReadLine returns the eight words of line.
+func (m *Memory) ReadLine(line sim.Line) [sim.WordsPerLine]sim.Word {
+	var out [sim.WordsPerLine]sim.Word
+	base := sim.AddrOf(line)
+	for i := range out {
+		out[i] = m.words[base+sim.Addr(i*8)]
+	}
+	return out
+}
+
+// WriteLine stores the eight words of line.
+func (m *Memory) WriteLine(line sim.Line, vals [sim.WordsPerLine]sim.Word) {
+	base := sim.AddrOf(line)
+	for i, v := range vals {
+		m.words[base+sim.Addr(i*8)] = v
+	}
+}
+
+// CopyLine copies the contents of line src to line dst. Under SUV this
+// models the cache fill that deposits the original line's content at the
+// redirected location on the first transactional store (it is the normal
+// write-miss fill, not an extra data movement).
+func (m *Memory) CopyLine(src, dst sim.Line) {
+	m.WriteLine(dst, m.ReadLine(src))
+}
+
+// Footprint returns the number of distinct words ever written, used by
+// tests and capacity diagnostics.
+func (m *Memory) Footprint() int { return len(m.words) }
+
+// Snapshot returns a copy of the full memory image (tests only; the
+// simulator itself never copies memory wholesale).
+func (m *Memory) Snapshot() map[sim.Addr]sim.Word {
+	out := make(map[sim.Addr]sim.Word, len(m.words))
+	for k, v := range m.words {
+		out[k] = v
+	}
+	return out
+}

@@ -1,0 +1,122 @@
+package mem
+
+import (
+	"testing"
+	"testing/quick"
+
+	"suvtm/internal/sim"
+)
+
+func TestMemoryReadWrite(t *testing.T) {
+	m := NewMemory()
+	if m.Read(0x100) != 0 {
+		t.Fatal("unwritten word not zero")
+	}
+	m.Write(0x100, 42)
+	if m.Read(0x100) != 42 {
+		t.Fatal("write lost")
+	}
+	// Unaligned access maps to the containing word.
+	m.Write(0x105, 7)
+	if m.Read(0x100) != 7 {
+		t.Fatal("unaligned write did not alias the word")
+	}
+}
+
+func TestMemoryLineOps(t *testing.T) {
+	m := NewMemory()
+	var vals [sim.WordsPerLine]sim.Word
+	for i := range vals {
+		vals[i] = sim.Word(i * 11)
+	}
+	m.WriteLine(4, vals)
+	got := m.ReadLine(4)
+	if got != vals {
+		t.Fatalf("ReadLine = %v, want %v", got, vals)
+	}
+	m.CopyLine(4, 9)
+	if m.ReadLine(9) != vals {
+		t.Fatal("CopyLine mismatch")
+	}
+	if m.Read(sim.AddrOf(9)+16) != 22 {
+		t.Fatal("copied word not addressable")
+	}
+}
+
+// TestMemoryLineRoundTrip property-checks WriteLine/ReadLine identity.
+func TestMemoryLineRoundTrip(t *testing.T) {
+	m := NewMemory()
+	f := func(line uint16, vals [sim.WordsPerLine]sim.Word) bool {
+		m.WriteLine(sim.Line(line), vals)
+		return m.ReadLine(sim.Line(line)) == vals
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestAllocatorLayout(t *testing.T) {
+	a := NewAllocator(0x1000, 1<<20)
+	r1 := a.Alloc(100, 64)
+	r2 := a.Alloc(100, 64)
+	if r1%64 != 0 || r2%64 != 0 {
+		t.Fatal("misaligned allocations")
+	}
+	if r2 < r1+100 {
+		t.Fatal("overlapping allocations")
+	}
+	page := a.AllocPage()
+	if page%PageBytes != 0 {
+		t.Fatalf("page %#x not page-aligned", page)
+	}
+	line := a.AllocLines(3)
+	if sim.AddrOf(line) < page+PageBytes {
+		t.Fatal("line allocation overlaps page")
+	}
+}
+
+func TestAllocatorExhaustionPanics(t *testing.T) {
+	a := NewAllocator(0, 128)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("exhaustion did not panic")
+		}
+	}()
+	a.Alloc(256, 64)
+}
+
+func TestAllocatorBadAlignPanics(t *testing.T) {
+	a := NewAllocator(0, 1<<20)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("bad alignment did not panic")
+		}
+	}()
+	a.Alloc(8, 3)
+}
+
+func TestTLBLRU(t *testing.T) {
+	tlb := NewTLB(2)
+	if _, hit := tlb.IndexOf(0 * PageBytes); hit {
+		t.Fatal("hit on empty TLB")
+	}
+	tlb.IndexOf(1 * PageBytes)
+	if _, hit := tlb.IndexOf(0 * PageBytes); !hit {
+		t.Fatal("page 0 evicted too early")
+	}
+	tlb.IndexOf(2 * PageBytes) // evicts page 1 (LRU)
+	if _, hit := tlb.IndexOf(1 * PageBytes); hit {
+		t.Fatal("LRU page survived")
+	}
+	if tlb.Hits() != 1 || tlb.Misses() != 4 {
+		t.Fatalf("hits=%d misses=%d", tlb.Hits(), tlb.Misses())
+	}
+}
+
+func TestTLBSamePageAliases(t *testing.T) {
+	tlb := NewTLB(4)
+	tlb.IndexOf(100)
+	if _, hit := tlb.IndexOf(PageBytes - 1); !hit {
+		t.Fatal("same-page address missed")
+	}
+}

@@ -1,0 +1,130 @@
+// Package redirect implements SUV's single-update version-management
+// machinery: redirect entries with the four states of Table II, the
+// preserved redirect pool, the two-level redirect table (a zero-latency
+// 512-entry fully-associative first level per core and a 10-cycle
+// 16K-entry 8-way shared second level — Table III) with software-managed
+// overflow to memory, the per-transaction journal that makes commit and
+// abort single flash operations, and the redirect-back optimization that
+// keeps the table small under repeated updates to the same variable.
+package redirect
+
+import (
+	"fmt"
+
+	"suvtm/internal/sim"
+)
+
+// State is a redirect entry's state, encoded by the (global, valid) bit
+// pair of Table II.
+type State uint8
+
+const (
+	// Free is (global=0, valid=0): the slot holds no mapping.
+	Free State = iota
+	// GlobalValid is (global=1, valid=1): the mapping applies to all
+	// memory accesses, inside and outside transactions.
+	GlobalValid
+	// TransientAdd is (global=0, valid=1): the mapping was created by a
+	// still-running transaction and applies only to its own accesses.
+	TransientAdd
+	// TransientDelete is (global=1, valid=0): a globally valid mapping
+	// that the owning transaction has redirected back; the owner accesses
+	// the original address, everyone else still follows the mapping.
+	TransientDelete
+)
+
+// String names the state.
+func (s State) String() string {
+	switch s {
+	case Free:
+		return "free"
+	case GlobalValid:
+		return "global-valid"
+	case TransientAdd:
+		return "transient-add"
+	case TransientDelete:
+		return "transient-delete"
+	}
+	return fmt.Sprintf("State(%d)", uint8(s))
+}
+
+// Bits returns the (global, valid) encoding of Table II.
+func (s State) Bits() (global, valid bool) {
+	switch s {
+	case GlobalValid:
+		return true, true
+	case TransientAdd:
+		return false, true
+	case TransientDelete:
+		return true, false
+	}
+	return false, false
+}
+
+// StateFromBits decodes a (global, valid) pair.
+func StateFromBits(global, valid bool) State {
+	switch {
+	case global && valid:
+		return GlobalValid
+	case !global && valid:
+		return TransientAdd
+	case global && !valid:
+		return TransientDelete
+	}
+	return Free
+}
+
+// Entry is one redirect mapping: accesses to Orig are redirected to Pool
+// (a line in the preserved pool) according to the entry's state. Owner is
+// the core whose transaction holds the entry while it is transient.
+type Entry struct {
+	Orig  sim.Line
+	Pool  sim.Line
+	state State
+	Owner int
+}
+
+// State returns the entry's current state.
+func (e *Entry) State() State { return e.state }
+
+// TargetFor returns the line an access to e.Orig by core should use,
+// applying the visibility rules of Table II.
+func (e *Entry) TargetFor(core int) sim.Line {
+	switch e.state {
+	case GlobalValid:
+		return e.Pool
+	case TransientAdd:
+		if core == e.Owner {
+			return e.Pool
+		}
+		return e.Orig
+	case TransientDelete:
+		if core == e.Owner {
+			return e.Orig
+		}
+		return e.Pool
+	}
+	return e.Orig
+}
+
+// CommitState returns the entry's post-commit state per Figure 4(e):
+// valid=1 entries set the global bit (transient adds publish), valid=0
+// entries clear it (transient deletes free the slot).
+func (e *Entry) CommitState() State {
+	_, valid := e.state.Bits()
+	if valid {
+		return GlobalValid
+	}
+	return Free
+}
+
+// AbortState returns the entry's post-abort state per Figure 4(f):
+// global=1 entries restore the valid bit (transient deletes revert to
+// globally valid), global=0 entries clear it (transient adds vanish).
+func (e *Entry) AbortState() State {
+	global, _ := e.state.Bits()
+	if global {
+		return GlobalValid
+	}
+	return Free
+}

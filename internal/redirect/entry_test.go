@@ -1,0 +1,94 @@
+package redirect
+
+import "testing"
+
+func TestStateBitsRoundTrip(t *testing.T) {
+	for _, s := range []State{Free, GlobalValid, TransientAdd, TransientDelete} {
+		g, v := s.Bits()
+		if StateFromBits(g, v) != s {
+			t.Fatalf("round trip failed for %v", s)
+		}
+	}
+}
+
+func TestTableIIEncoding(t *testing.T) {
+	// Table II: global=1 states are visible beyond the transaction;
+	// global=0 states are transactional transients.
+	cases := []struct {
+		state         State
+		global, valid bool
+	}{
+		{Free, false, false},
+		{GlobalValid, true, true},
+		{TransientAdd, false, true},
+		{TransientDelete, true, false},
+	}
+	for _, c := range cases {
+		g, v := c.state.Bits()
+		if g != c.global || v != c.valid {
+			t.Errorf("%v bits = (%v,%v), want (%v,%v)", c.state, g, v, c.global, c.valid)
+		}
+	}
+}
+
+func TestTargetForVisibility(t *testing.T) {
+	e := &Entry{Orig: 10, Pool: 20, Owner: 1}
+
+	e.state = GlobalValid
+	if e.TargetFor(0) != 20 || e.TargetFor(1) != 20 {
+		t.Fatal("GlobalValid must redirect everyone")
+	}
+
+	e.state = TransientAdd
+	if e.TargetFor(1) != 20 {
+		t.Fatal("TransientAdd must redirect the owner")
+	}
+	if e.TargetFor(0) != 10 {
+		t.Fatal("TransientAdd must not redirect other cores")
+	}
+
+	e.state = TransientDelete
+	if e.TargetFor(1) != 10 {
+		t.Fatal("TransientDelete owner must see the original")
+	}
+	if e.TargetFor(0) != 20 {
+		t.Fatal("TransientDelete must keep redirecting other cores")
+	}
+
+	e.state = Free
+	if e.TargetFor(0) != 10 {
+		t.Fatal("Free entry must not redirect")
+	}
+}
+
+// TestFig4eCommitTransitions checks the commit rule: valid=1 publishes
+// (global 0->1), valid=0 frees (global 1->0).
+func TestFig4eCommitTransitions(t *testing.T) {
+	cases := []struct{ from, to State }{
+		{TransientAdd, GlobalValid},
+		{TransientDelete, Free},
+		{GlobalValid, GlobalValid},
+	}
+	for _, c := range cases {
+		e := &Entry{state: c.from}
+		if got := e.CommitState(); got != c.to {
+			t.Errorf("commit %v -> %v, want %v", c.from, got, c.to)
+		}
+	}
+}
+
+// TestFig4fAbortTransitions checks the abort rule: global=1 restores the
+// valid bit, global=0 frees.
+func TestFig4fAbortTransitions(t *testing.T) {
+	cases := []struct{ from, to State }{
+		{TransientAdd, Free},
+		{TransientDelete, GlobalValid},
+		{GlobalValid, GlobalValid},
+	}
+	for _, c := range cases {
+		e := &Entry{state: c.from}
+		if got := e.AbortState(); got != c.to {
+			t.Errorf("abort %v -> %v, want %v", c.from, got, c.to)
+		}
+	}
+}

@@ -1,0 +1,48 @@
+package redirect
+
+import (
+	"math/bits"
+
+	"suvtm/internal/mem"
+	"suvtm/internal/sim"
+)
+
+// Geometry reproduces the redirect-entry bit layout of Figure 3 and the
+// per-core storage arithmetic of Section V-C. A first-level entry does
+// not store full addresses: the original address is reconstructed from
+// the stored L1 data-cache set-index bits plus the cache tag, and the
+// redirected address from a TLB index (the preserved-pool page) plus an
+// in-page line offset.
+type Geometry struct {
+	L1IndexBits  int // L1 data-cache set-index bits stored in the entry
+	StateBits    int // global + valid (Table II)
+	TLBIndexBits int // index into the TLB entry holding the pool page
+	OffsetBits   int // in-page line offset
+}
+
+// NewGeometry derives the entry layout from the L1 data-cache geometry
+// and the TLB size.
+func NewGeometry(l1 mem.CacheConfig, tlbEntries int) Geometry {
+	return Geometry{
+		L1IndexBits:  bits.Len(uint(l1.Sets()) - 1),
+		StateBits:    2,
+		TLBIndexBits: bits.Len(uint(tlbEntries) - 1),
+		OffsetBits:   bits.Len(uint(mem.PageBytes/sim.LineBytes) - 1),
+	}
+}
+
+// EntryBits returns the total first-level entry size in bits (22 in the
+// paper's configuration: 7-bit L1 index + 2-bit state + 6-bit TLB index +
+// 7-bit in-page offset).
+func (g Geometry) EntryBits() int {
+	return g.L1IndexBits + g.StateBits + g.TLBIndexBits + g.OffsetBits
+}
+
+// PerCoreStorageBytes returns the per-core SUV memory-element cost of
+// Section V-C: the redirect summary signature, its companion bit-vector
+// and the first-level table payload. The paper's configuration
+// (2 Kbit + 2 Kbit + 22 b x 512) yields 1.875 KiB ~ 5.86% of a 32 KiB L1.
+func (g Geometry) PerCoreStorageBytes(summaryBits, onceBits uint32, l1Entries int) float64 {
+	totalBits := float64(summaryBits) + float64(onceBits) + float64(g.EntryBits()*l1Entries)
+	return totalBits / 8
+}

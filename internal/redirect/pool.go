@@ -1,0 +1,56 @@
+package redirect
+
+import (
+	"suvtm/internal/mem"
+	"suvtm/internal/sim"
+)
+
+// Pool is the preserved redirect pool: a reserved memory region from
+// which SUV allocates the redirected locations of transactional stores.
+// Pages are claimed from the simulated address space on demand
+// (Section III: "SUV-TM automatically allocates a page in the preserved
+// redirect pool"); lines freed by committed redirect-backs or aborted
+// transient adds are recycled through a free list.
+type Pool struct {
+	alloc     *mem.Allocator
+	free      []sim.Line
+	nextLine  sim.Line
+	linesLeft int
+	pages     uint64
+}
+
+// NewPool creates a pool drawing pages from alloc.
+func NewPool(alloc *mem.Allocator) *Pool {
+	return &Pool{alloc: alloc}
+}
+
+// Alloc returns a fresh pool line, reusing freed lines first and
+// claiming a new page when the current one is exhausted.
+func (p *Pool) Alloc() sim.Line {
+	if n := len(p.free); n > 0 {
+		line := p.free[n-1]
+		p.free = p.free[:n-1]
+		return line
+	}
+	if p.linesLeft == 0 {
+		base := p.alloc.AllocPage()
+		p.nextLine = sim.LineOf(base)
+		p.linesLeft = mem.PageBytes / sim.LineBytes
+		p.pages++
+	}
+	line := p.nextLine
+	p.nextLine++
+	p.linesLeft--
+	return line
+}
+
+// Release returns a pool line to the free list.
+func (p *Pool) Release(line sim.Line) {
+	p.free = append(p.free, line)
+}
+
+// Pages returns the number of pages ever claimed.
+func (p *Pool) Pages() uint64 { return p.pages }
+
+// FreeLines returns the current free-list length (tests).
+func (p *Pool) FreeLines() int { return len(p.free) }

@@ -1,0 +1,204 @@
+package redirect
+
+import (
+	"fmt"
+
+	"suvtm/internal/sim"
+)
+
+// Level says where a redirect-table lookup was satisfied.
+type Level uint8
+
+const (
+	// LevelL1 is a first-level (per-core, zero-latency) table hit.
+	LevelL1 Level = iota
+	// LevelL2 is a shared second-level table hit.
+	LevelL2
+	// LevelMemory means the entry had been swapped out and the
+	// software-managed structure in main memory was searched.
+	LevelMemory
+	// LevelAbsent means no entry exists for the line (a summary-signature
+	// false positive, or a speculative use of the original address).
+	LevelAbsent
+)
+
+// String names the level.
+func (l Level) String() string {
+	switch l {
+	case LevelL1:
+		return "L1"
+	case LevelL2:
+		return "L2"
+	case LevelMemory:
+		return "memory"
+	case LevelAbsent:
+		return "absent"
+	}
+	return fmt.Sprintf("Level(%d)", uint8(l))
+}
+
+// l1Table is the per-core first-level redirect table: fully associative,
+// LRU-replaced, zero access latency (it is integrated in the core's
+// pipeline — Section IV-A). Transient entries of the running transaction
+// are pinned; when every slot is pinned the table has overflowed.
+type l1Table struct {
+	capacity int
+	slots    map[sim.Line]*l1Slot
+	clock    uint64
+	pinned   int
+}
+
+type l1Slot struct {
+	lru    uint64
+	pinned bool
+}
+
+func newL1Table(capacity int) *l1Table {
+	return &l1Table{capacity: capacity, slots: make(map[sim.Line]*l1Slot, capacity)}
+}
+
+// contains refreshes LRU and reports presence.
+func (t *l1Table) contains(line sim.Line) bool {
+	s, ok := t.slots[line]
+	if !ok {
+		return false
+	}
+	t.clock++
+	s.lru = t.clock
+	return true
+}
+
+// insert places line in the table, evicting the LRU unpinned slot when
+// full. It returns the evicted line and whether an eviction happened; if
+// every slot is pinned the insert fails (overflow) and ok is false.
+func (t *l1Table) insert(line sim.Line, pinned bool) (victim sim.Line, evicted, ok bool) {
+	if s, exists := t.slots[line]; exists {
+		t.clock++
+		s.lru = t.clock
+		if pinned && !s.pinned {
+			s.pinned = true
+			t.pinned++
+		}
+		return 0, false, true
+	}
+	if len(t.slots) >= t.capacity {
+		var victimLine sim.Line
+		var victimSlot *l1Slot
+		for l, s := range t.slots {
+			if s.pinned {
+				continue
+			}
+			if victimSlot == nil || s.lru < victimSlot.lru || (s.lru == victimSlot.lru && l < victimLine) {
+				victimLine, victimSlot = l, s
+			}
+		}
+		if victimSlot == nil {
+			return 0, false, false // all pinned: table overflow
+		}
+		delete(t.slots, victimLine)
+		victim, evicted = victimLine, true
+	}
+	t.clock++
+	t.slots[line] = &l1Slot{lru: t.clock, pinned: pinned}
+	if pinned {
+		t.pinned++
+	}
+	return victim, evicted, true
+}
+
+// unpin clears the pinned flag (commit/abort of the owning transaction).
+func (t *l1Table) unpin(line sim.Line) {
+	if s, ok := t.slots[line]; ok && s.pinned {
+		s.pinned = false
+		t.pinned--
+	}
+}
+
+// remove drops line from the table.
+func (t *l1Table) remove(line sim.Line) {
+	if s, ok := t.slots[line]; ok {
+		if s.pinned {
+			t.pinned--
+		}
+		delete(t.slots, line)
+	}
+}
+
+func (t *l1Table) len() int { return len(t.slots) }
+
+// l2Table is the shared second-level redirect table: set-associative,
+// LRU-replaced, fixed access latency. Entries evicted here are swapped
+// out to a software-managed structure in main memory.
+type l2Table struct {
+	sets  int
+	ways  int
+	slots []map[sim.Line]uint64 // per-set line -> lru stamp
+	clock uint64
+}
+
+func newL2Table(entries, ways int) *l2Table {
+	if ways <= 0 || entries < ways {
+		panic("redirect: bad second-level table geometry")
+	}
+	sets := entries / ways
+	if sets <= 0 || sets&(sets-1) != 0 {
+		panic("redirect: second-level table set count must be a power of two")
+	}
+	t := &l2Table{sets: sets, ways: ways, slots: make([]map[sim.Line]uint64, sets)}
+	for i := range t.slots {
+		t.slots[i] = make(map[sim.Line]uint64, ways)
+	}
+	return t
+}
+
+func (t *l2Table) setOf(line sim.Line) map[sim.Line]uint64 {
+	return t.slots[int(line)&(t.sets-1)]
+}
+
+func (t *l2Table) contains(line sim.Line) bool {
+	set := t.setOf(line)
+	if _, ok := set[line]; !ok {
+		return false
+	}
+	t.clock++
+	set[line] = t.clock
+	return true
+}
+
+// insert places line, evicting the set's LRU entry when full. The
+// returned victim (if any) must be recorded as swapped out to memory.
+func (t *l2Table) insert(line sim.Line) (victim sim.Line, evicted bool) {
+	set := t.setOf(line)
+	t.clock++
+	if _, ok := set[line]; ok {
+		set[line] = t.clock
+		return 0, false
+	}
+	if len(set) >= t.ways {
+		var victimLine sim.Line
+		var victimStamp uint64
+		first := true
+		for l, stamp := range set {
+			if first || stamp < victimStamp || (stamp == victimStamp && l < victimLine) {
+				victimLine, victimStamp = l, stamp
+				first = false
+			}
+		}
+		delete(set, victimLine)
+		victim, evicted = victimLine, true
+	}
+	set[line] = t.clock
+	return victim, evicted
+}
+
+func (t *l2Table) remove(line sim.Line) {
+	delete(t.setOf(line), line)
+}
+
+func (t *l2Table) len() int {
+	n := 0
+	for _, s := range t.slots {
+		n += len(s)
+	}
+	return n
+}

@@ -1,0 +1,135 @@
+package signature
+
+import (
+	"math/bits"
+
+	"suvtm/internal/sim"
+)
+
+// Bloom is a plain Bloom-filter signature over cache-line addresses, used
+// as the per-core read and write signatures for eager conflict detection.
+// Adding is idempotent; the only way to remove addresses is Clear (which
+// is what commit and abort do to the read/write signatures).
+type Bloom struct {
+	kind HashKind
+	bits uint32
+	word []uint64
+}
+
+// NewBloom creates a signature with the given number of bits (a power of
+// two, at least 64 for the H3 family; Figure 5 tests use 8 bits).
+func NewBloom(numBits uint32, kind HashKind) *Bloom {
+	if numBits == 0 || numBits&(numBits-1) != 0 {
+		panic("signature: bloom size must be a positive power of two")
+	}
+	words := (numBits + 63) / 64
+	return &Bloom{kind: kind, bits: numBits, word: make([]uint64, words)}
+}
+
+// Bits returns the signature width in bits.
+func (b *Bloom) Bits() uint32 { return b.bits }
+
+// Add inserts line into the signature.
+func (b *Bloom) Add(line sim.Line) {
+	var idx [NumHashes]uint32
+	hashIndices(b.kind, line, b.bits, &idx)
+	for _, i := range idx {
+		b.word[i/64] |= 1 << (i % 64)
+	}
+}
+
+// Test reports whether line may be in the signature (false positives are
+// possible, false negatives are not).
+func (b *Bloom) Test(line sim.Line) bool {
+	var idx [NumHashes]uint32
+	hashIndices(b.kind, line, b.bits, &idx)
+	for _, i := range idx {
+		if b.word[i/64]&(1<<(i%64)) == 0 {
+			return false
+		}
+	}
+	return true
+}
+
+// Clear flash-clears the signature (transaction begin/commit/abort).
+func (b *Bloom) Clear() {
+	for i := range b.word {
+		b.word[i] = 0
+	}
+}
+
+// Clone returns an independent copy (LogTM-Nested saves signature
+// snapshots per nesting frame so an open-nested commit can restore the
+// pre-frame state, releasing the inner transaction's isolation).
+func (b *Bloom) Clone() *Bloom {
+	out := &Bloom{kind: b.kind, bits: b.bits, word: make([]uint64, len(b.word))}
+	copy(out.word, b.word)
+	return out
+}
+
+// CopyFrom overwrites this signature with other's contents.
+func (b *Bloom) CopyFrom(other *Bloom) {
+	if b.bits != other.bits {
+		panic("signature: CopyFrom of differently sized signatures")
+	}
+	copy(b.word, other.word)
+}
+
+// Or merges other into b (used for the LogTM-SE style summary signature
+// on thread suspension, and for merging the write signature into the
+// redirect summary signature at commit).
+func (b *Bloom) Or(other *Bloom) {
+	if b.bits != other.bits {
+		panic("signature: Or of differently sized signatures")
+	}
+	for i := range b.word {
+		b.word[i] |= other.word[i]
+	}
+}
+
+// Intersects reports whether the two signatures share any set bit. This
+// is the signature-to-signature test used for lazy commit validation.
+func (b *Bloom) Intersects(other *Bloom) bool {
+	if b.bits != other.bits {
+		panic("signature: Intersects of differently sized signatures")
+	}
+	for i := range b.word {
+		if b.word[i]&other.word[i] != 0 {
+			return true
+		}
+	}
+	return false
+}
+
+// PopCount returns the number of set bits (diagnostics, fill-rate tests).
+func (b *Bloom) PopCount() int {
+	n := 0
+	for _, w := range b.word {
+		n += bits.OnesCount64(w)
+	}
+	return n
+}
+
+// Empty reports whether no bit is set.
+func (b *Bloom) Empty() bool {
+	for _, w := range b.word {
+		if w != 0 {
+			return false
+		}
+	}
+	return true
+}
+
+// BitString renders the low n bits MSB-first, for Figure 5 style tests.
+func (b *Bloom) BitString(n uint32) string {
+	out := make([]byte, n)
+	for i := uint32(0); i < n; i++ {
+		bit := n - 1 - i
+		if b.word[bit/64]&(1<<(bit%64)) != 0 {
+			out[i] = '1'
+		} else {
+			out[i] = '0'
+		}
+	}
+	return string(out)
+}

@@ -1,0 +1,51 @@
+// Package signature implements the address-set encodings of the paper:
+// the 2 Kbit Bloom-filter read/write signatures used for eager conflict
+// detection (Table III), and the redirect summary signature with its
+// companion "written once" bit-vector that supports address removal as a
+// Bloom counter (Figure 5).
+//
+// Signatures are conservative: membership tests may return false
+// positives (which become the paper's "false conflicts" or wasteful
+// redirect-table lookups) but never false negatives.
+package signature
+
+import "suvtm/internal/sim"
+
+// HashKind selects the hash family for a signature.
+type HashKind uint8
+
+const (
+	// HashH3 uses two independent multiply-xorshift hashes, approximating
+	// the H3 hardware hash family used by LogTM-SE signatures.
+	HashH3 HashKind = iota
+	// HashFig5 uses the exact toy functions of the paper's Figure 5:
+	// H1(x) = x mod m and H2(x) = (x xor 2x) mod m. It exists so tests can
+	// replay the figure bit-for-bit.
+	HashFig5
+)
+
+// NumHashes is the number of hash functions per signature (Figure 5 uses
+// two; 2 Kbit Bloom filters with k=2 match the paper's configuration).
+const NumHashes = 2
+
+// hashIndices writes the NumHashes bit indices of line into idx.
+func hashIndices(kind HashKind, line sim.Line, bits uint32, idx *[NumHashes]uint32) {
+	switch kind {
+	case HashFig5:
+		m := uint64(bits)
+		idx[0] = uint32(line % m)
+		idx[1] = uint32((line ^ (2 * line)) % m)
+	default:
+		// Two rounds of a strong 64-bit mixer with distinct constants.
+		h1 := mix(line * 0x9e3779b97f4a7c15)
+		h2 := mix(line*0xc2b2ae3d27d4eb4f + 0x165667b19e3779f9)
+		idx[0] = uint32(h1 % uint64(bits))
+		idx[1] = uint32(h2 % uint64(bits))
+	}
+}
+
+func mix(z uint64) uint64 {
+	z = (z ^ (z >> 33)) * 0xff51afd7ed558ccd
+	z = (z ^ (z >> 33)) * 0xc4ceb9fe1a85ec53
+	return z ^ (z >> 33)
+}

@@ -1,0 +1,100 @@
+package sim
+
+import (
+	"sort"
+	"testing"
+	"testing/quick"
+)
+
+func TestHeapOrdering(t *testing.T) {
+	var h ReadyHeap
+	h.Push(5, 1)
+	h.Push(3, 2)
+	h.Push(7, 0)
+	h.Push(3, 1)
+	wantAt := []Cycles{3, 3, 5, 7}
+	wantID := []int{1, 2, 1, 0}
+	for i := range wantAt {
+		at, id := h.Pop()
+		if at != wantAt[i] || id != wantID[i] {
+			t.Fatalf("pop %d = (%d,%d), want (%d,%d)", i, at, id, wantAt[i], wantID[i])
+		}
+	}
+	if h.Len() != 0 {
+		t.Fatalf("heap not empty: %d", h.Len())
+	}
+}
+
+func TestHeapPopEmptyPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Pop on empty heap did not panic")
+		}
+	}()
+	var h ReadyHeap
+	h.Pop()
+}
+
+func TestHeapPeek(t *testing.T) {
+	var h ReadyHeap
+	if _, _, ok := h.Peek(); ok {
+		t.Fatal("Peek on empty heap returned ok")
+	}
+	h.Push(9, 3)
+	at, id, ok := h.Peek()
+	if !ok || at != 9 || id != 3 {
+		t.Fatalf("Peek = (%d,%d,%v)", at, id, ok)
+	}
+	if h.Len() != 1 {
+		t.Fatal("Peek consumed the entry")
+	}
+}
+
+// TestHeapSortsArbitraryInput property-checks that popping yields a
+// non-decreasing (cycle, id) sequence equal to the sorted input.
+func TestHeapSortsArbitraryInput(t *testing.T) {
+	f := func(entries []uint32) bool {
+		var h ReadyHeap
+		type pair struct {
+			at Cycles
+			id int
+		}
+		var want []pair
+		for i, e := range entries {
+			at := Cycles(e % 1000)
+			id := i % 16
+			h.Push(at, id)
+			want = append(want, pair{at, id})
+		}
+		sort.Slice(want, func(i, j int) bool {
+			if want[i].at != want[j].at {
+				return want[i].at < want[j].at
+			}
+			return want[i].id < want[j].id
+		})
+		for _, w := range want {
+			at, id := h.Pop()
+			if at != w.at || id != w.id {
+				return false
+			}
+		}
+		return h.Len() == 0
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestLineHelpers(t *testing.T) {
+	addr := Addr(0x1234567)
+	line := LineOf(addr)
+	if AddrOf(line) != addr&^(LineBytes-1) {
+		t.Fatalf("AddrOf(LineOf) mismatch")
+	}
+	if WordAddr(0x1235) != 0x1230 {
+		t.Fatalf("WordAddr alignment wrong: %#x", WordAddr(0x1235))
+	}
+	if WordsPerLine != 8 {
+		t.Fatalf("WordsPerLine = %d", WordsPerLine)
+	}
+}

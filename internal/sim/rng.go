@@ -1,0 +1,84 @@
+package sim
+
+// RNG is a small, fast, deterministic pseudo-random generator
+// (xorshift64* by Vigna). Every simulated component that needs
+// randomness owns its own seeded RNG so that simulations are exactly
+// reproducible regardless of execution order of other components.
+type RNG struct {
+	state uint64
+}
+
+// NewRNG returns a generator seeded with seed. A zero seed is remapped
+// to a fixed non-zero constant because xorshift has a zero fixed point.
+func NewRNG(seed uint64) *RNG {
+	r := &RNG{}
+	r.Seed(seed)
+	return r
+}
+
+// Seed resets the generator state.
+func (r *RNG) Seed(seed uint64) {
+	if seed == 0 {
+		seed = 0x9e3779b97f4a7c15
+	}
+	// Scramble the seed with splitmix64 so that nearby seeds give
+	// unrelated streams.
+	z := seed + 0x9e3779b97f4a7c15
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	r.state = z ^ (z >> 31)
+	if r.state == 0 {
+		r.state = 1
+	}
+}
+
+// Uint64 returns the next 64 pseudo-random bits.
+func (r *RNG) Uint64() uint64 {
+	x := r.state
+	x ^= x >> 12
+	x ^= x << 25
+	x ^= x >> 27
+	r.state = x
+	return x * 0x2545f4914f6cdd1d
+}
+
+// Intn returns a pseudo-random int in [0, n). It panics if n <= 0.
+func (r *RNG) Intn(n int) int {
+	if n <= 0 {
+		panic("sim: Intn with non-positive n")
+	}
+	return int(r.Uint64() % uint64(n))
+}
+
+// Uint64n returns a pseudo-random uint64 in [0, n). It panics if n == 0.
+func (r *RNG) Uint64n(n uint64) uint64 {
+	if n == 0 {
+		panic("sim: Uint64n with zero n")
+	}
+	return r.Uint64() % n
+}
+
+// Float64 returns a pseudo-random float64 in [0, 1).
+func (r *RNG) Float64() float64 {
+	return float64(r.Uint64()>>11) / (1 << 53)
+}
+
+// Bool returns true with probability p.
+func (r *RNG) Bool(p float64) bool {
+	return r.Float64() < p
+}
+
+// Range returns a pseudo-random int in [lo, hi]. It panics if hi < lo.
+func (r *RNG) Range(lo, hi int) int {
+	if hi < lo {
+		panic("sim: Range with hi < lo")
+	}
+	return lo + r.Intn(hi-lo+1)
+}
+
+// Fork derives a new independent generator from this one, used to hand a
+// private stream to a sub-component without perturbing the parent stream
+// more than one draw.
+func (r *RNG) Fork() *RNG {
+	return NewRNG(r.Uint64())
+}

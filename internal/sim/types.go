@@ -1,0 +1,41 @@
+// Package sim provides the base scalar types and deterministic primitives
+// (pseudo-random numbers, ready-time priority queue) shared by every layer
+// of the CMP simulator: cycle counts, byte addresses, cache-line numbers
+// and machine words.
+//
+// The simulator is execution-driven and cycle-approximate. All components
+// express time in Cycles of the simulated 1.2 GHz in-order core clock
+// (Table III of the paper).
+package sim
+
+// Cycles counts simulated processor clock cycles.
+type Cycles = uint64
+
+// Addr is a byte address in the simulated physical address space.
+type Addr = uint64
+
+// Word is the value stored at an 8-byte-aligned address.
+type Word = uint64
+
+// Line identifies a 64-byte cache line (Addr >> LineShift).
+type Line = uint64
+
+const (
+	// LineShift is log2 of the coherence/conflict granularity (64 bytes,
+	// per Section IV-B of the paper: "SUV-TM detects conflicts at the
+	// granularity of a cache-line (i.e., 64 bytes)").
+	LineShift = 6
+	// LineBytes is the cache-line size in bytes.
+	LineBytes = 1 << LineShift
+	// WordsPerLine is the number of 8-byte words per cache line.
+	WordsPerLine = LineBytes / 8
+)
+
+// LineOf returns the cache line containing addr.
+func LineOf(addr Addr) Line { return addr >> LineShift }
+
+// AddrOf returns the base byte address of line.
+func AddrOf(line Line) Addr { return line << LineShift }
+
+// WordAddr aligns addr down to an 8-byte word boundary.
+func WordAddr(addr Addr) Addr { return addr &^ 7 }

@@ -1,0 +1,115 @@
+// Package stats implements the execution-time accounting used throughout
+// the paper's evaluation: every simulated cycle of every core is
+// attributed to exactly one component of the Figure 6 / Figure 9
+// breakdown, and event counters record commits, aborts, NACKs and the
+// overflow statistics of Table V.
+package stats
+
+import (
+	"fmt"
+	"strings"
+
+	"suvtm/internal/sim"
+)
+
+// Component is one slice of the execution-time breakdown. The first
+// three (NoTrans, Trans, Barrier) are necessary costs; the rest are
+// overheads of serializing transactions (Section V-B of the paper).
+type Component uint8
+
+const (
+	// NoTrans is time due to non-transactional work.
+	NoTrans Component = iota
+	// Trans is time due to un-stalled transactional work that ultimately
+	// committed.
+	Trans
+	// Barrier is time waiting on a barrier (including the final join).
+	Barrier
+	// Backoff is time stalling after an abort before retrying.
+	Backoff
+	// Stalled is time stalling to resolve a conflict (NACK retries).
+	Stalled
+	// Wasted is time due to work performed by a transaction attempt that
+	// was later aborted.
+	Wasted
+	// Aborting is time due to rolling back state during an abort (e.g.
+	// walking the undo log in LogTM-SE).
+	Aborting
+	// Committing is time spent in commit arbitration and write-set merge
+	// (lazy transactions in DynTM, Figure 9).
+	Committing
+
+	// NumComponents is the number of breakdown components.
+	NumComponents
+)
+
+var componentNames = [NumComponents]string{
+	"NoTrans", "Trans", "Barrier", "Backoff", "Stalled", "Wasted", "Aborting", "Committing",
+}
+
+// String returns the paper's name for the component.
+func (c Component) String() string {
+	if c < NumComponents {
+		return componentNames[c]
+	}
+	return fmt.Sprintf("Component(%d)", uint8(c))
+}
+
+// Breakdown accumulates attributed cycles per component for one core.
+type Breakdown struct {
+	Cycles [NumComponents]sim.Cycles
+}
+
+// Add attributes n cycles to component c.
+func (b *Breakdown) Add(c Component, n sim.Cycles) {
+	b.Cycles[c] += n
+}
+
+// Total returns the sum over all components.
+func (b *Breakdown) Total() sim.Cycles {
+	var t sim.Cycles
+	for _, v := range b.Cycles {
+		t += v
+	}
+	return t
+}
+
+// Overhead returns the sum of the serialization-overhead components
+// (Backoff + Stalled + Wasted + Aborting + Committing).
+func (b *Breakdown) Overhead() sim.Cycles {
+	return b.Cycles[Backoff] + b.Cycles[Stalled] + b.Cycles[Wasted] +
+		b.Cycles[Aborting] + b.Cycles[Committing]
+}
+
+// AddAll accumulates another breakdown into this one.
+func (b *Breakdown) AddAll(other *Breakdown) {
+	for i := range b.Cycles {
+		b.Cycles[i] += other.Cycles[i]
+	}
+}
+
+// Fractions returns each component as a fraction of the total. If the
+// total is zero all fractions are zero.
+func (b *Breakdown) Fractions() [NumComponents]float64 {
+	var f [NumComponents]float64
+	total := b.Total()
+	if total == 0 {
+		return f
+	}
+	for i, v := range b.Cycles {
+		f[i] = float64(v) / float64(total)
+	}
+	return f
+}
+
+// String renders the breakdown as a single human-readable line.
+func (b *Breakdown) String() string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "total=%d", b.Total())
+	for i := Component(0); i < NumComponents; i++ {
+		if b.Cycles[i] > 0 {
+			fmt.Fprintf(&sb, " %s=%d", i, b.Cycles[i])
+		}
+	}
+	return sb.String()
+}

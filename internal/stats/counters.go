@@ -1,0 +1,125 @@
+package stats
+
+// Counters records discrete simulation events for one core. The machine
+// sums per-core counters into a machine-wide view when reporting.
+type Counters struct {
+	// Transaction outcomes.
+	TxStarted   uint64 // transaction attempts begun (including retries)
+	TxCommitted uint64 // transactions committed
+	TxAborted   uint64 // transaction attempts aborted
+
+	// Conflict events.
+	NACKsSent     uint64 // requests this core refused
+	NACKsReceived uint64 // requests by this core that were refused
+	CycleAborts   uint64 // aborts triggered by possible-cycle detection
+	RemoteAborts  uint64 // aborts triggered by a committing lazy transaction
+	FalsePositive uint64 // conflicts caused by signature aliasing
+
+	// Memory system.
+	L1Hits        uint64
+	L1Misses      uint64
+	L2Hits        uint64
+	L2Misses      uint64
+	Writebacks    uint64
+	Invalidations uint64
+
+	// Transactional data overflow (Table V): a transaction's speculative
+	// write-set no longer fits the L1 cache (LogTM-SE virtualizes it via
+	// the log; FasTM degenerates; SUV redirects around it).
+	CacheOverflowTx  uint64 // transactions that overflowed the L1 data cache
+	SpecLineEvicted  uint64 // speculative lines evicted (FasTM overflow events)
+	UndoLogEntries   uint64 // undo-log records written (LogTM-SE / degenerated FasTM)
+	UndoLogRestores  uint64 // undo-log records replayed on abort
+	SoftwareTraps    uint64 // traps into the software abort handler
+	LazyCommitMerges uint64 // write-set lines merged at lazy commit (DynTM)
+
+	// SUV redirect machinery.
+	RedirectLookups    uint64 // redirect-table lookups actually performed
+	RedirectL1Hits     uint64 // lookups satisfied by the first-level table
+	RedirectL2Hits     uint64 // lookups satisfied by the shared second-level table
+	RedirectMemLookups uint64 // lookups that searched swapped-out entries in memory
+	RedirectEntriesAdd uint64 // transient entries added
+	RedirectBacks      uint64 // redirect-back optimizations (entry deleted+re-added)
+	SummaryFiltered    uint64 // accesses filtered out by the redirect summary signature
+	SummaryFalsePos    uint64 // summary-signature false positives (wasteful lookups)
+	TableOverflowTx    uint64 // transactions that overflowed the redirect tables (Table V)
+	PoolPagesAlloc     uint64 // pages allocated in the preserved redirect pool
+
+	// DynTM selector.
+	EagerTx uint64 // transactions executed in eager mode
+	LazyTx  uint64 // transactions executed in lazy mode
+
+	// Isolation windows (the paper's central quantity): for every
+	// transaction attempt that wrote at least one line, the cycles from
+	// its first write acquisition until its isolation was released —
+	// at commit completion, or at the END of the abort roll-back (the
+	// Figure 1 repair window is included).
+	IsoWindowCycles uint64
+	IsoWindows      uint64
+}
+
+// Add accumulates other into c.
+func (c *Counters) Add(other *Counters) {
+	c.TxStarted += other.TxStarted
+	c.TxCommitted += other.TxCommitted
+	c.TxAborted += other.TxAborted
+	c.NACKsSent += other.NACKsSent
+	c.NACKsReceived += other.NACKsReceived
+	c.CycleAborts += other.CycleAborts
+	c.RemoteAborts += other.RemoteAborts
+	c.FalsePositive += other.FalsePositive
+	c.L1Hits += other.L1Hits
+	c.L1Misses += other.L1Misses
+	c.L2Hits += other.L2Hits
+	c.L2Misses += other.L2Misses
+	c.Writebacks += other.Writebacks
+	c.Invalidations += other.Invalidations
+	c.CacheOverflowTx += other.CacheOverflowTx
+	c.SpecLineEvicted += other.SpecLineEvicted
+	c.UndoLogEntries += other.UndoLogEntries
+	c.UndoLogRestores += other.UndoLogRestores
+	c.SoftwareTraps += other.SoftwareTraps
+	c.LazyCommitMerges += other.LazyCommitMerges
+	c.RedirectLookups += other.RedirectLookups
+	c.RedirectL1Hits += other.RedirectL1Hits
+	c.RedirectL2Hits += other.RedirectL2Hits
+	c.RedirectMemLookups += other.RedirectMemLookups
+	c.RedirectEntriesAdd += other.RedirectEntriesAdd
+	c.RedirectBacks += other.RedirectBacks
+	c.SummaryFiltered += other.SummaryFiltered
+	c.SummaryFalsePos += other.SummaryFalsePos
+	c.TableOverflowTx += other.TableOverflowTx
+	c.PoolPagesAlloc += other.PoolPagesAlloc
+	c.EagerTx += other.EagerTx
+	c.LazyTx += other.LazyTx
+	c.IsoWindowCycles += other.IsoWindowCycles
+	c.IsoWindows += other.IsoWindows
+}
+
+// AbortRatio returns aborted attempts as a fraction of all attempts
+// (the metric of Table I). Zero attempts yields zero.
+func (c *Counters) AbortRatio() float64 {
+	attempts := c.TxCommitted + c.TxAborted
+	if attempts == 0 {
+		return 0
+	}
+	return float64(c.TxAborted) / float64(attempts)
+}
+
+// RedirectL1MissRate returns the first-level redirect-table miss rate
+// (Figure 7a). Zero lookups yields zero.
+func (c *Counters) RedirectL1MissRate() float64 {
+	if c.RedirectLookups == 0 {
+		return 0
+	}
+	return float64(c.RedirectLookups-c.RedirectL1Hits) / float64(c.RedirectLookups)
+}
+
+// MeanIsolationWindow returns the average writer isolation window in
+// cycles (0 when no windows were measured).
+func (c *Counters) MeanIsolationWindow() float64 {
+	if c.IsoWindows == 0 {
+		return 0
+	}
+	return float64(c.IsoWindowCycles) / float64(c.IsoWindows)
+}

@@ -1,0 +1,160 @@
+package stats
+
+import (
+	"math"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func TestBreakdownAccounting(t *testing.T) {
+	var b Breakdown
+	b.Add(NoTrans, 10)
+	b.Add(Trans, 20)
+	b.Add(Stalled, 5)
+	b.Add(Aborting, 7)
+	if b.Total() != 42 {
+		t.Fatalf("Total = %d", b.Total())
+	}
+	if b.Overhead() != 12 {
+		t.Fatalf("Overhead = %d", b.Overhead())
+	}
+	var c Breakdown
+	c.Add(Trans, 8)
+	b.AddAll(&c)
+	if b.Cycles[Trans] != 28 {
+		t.Fatalf("AddAll lost cycles")
+	}
+}
+
+func TestBreakdownFractions(t *testing.T) {
+	var b Breakdown
+	f := b.Fractions()
+	for _, v := range f {
+		if v != 0 {
+			t.Fatal("empty breakdown has nonzero fraction")
+		}
+	}
+	b.Add(NoTrans, 25)
+	b.Add(Trans, 75)
+	f = b.Fractions()
+	if f[NoTrans] != 0.25 || f[Trans] != 0.75 {
+		t.Fatalf("fractions = %v", f)
+	}
+}
+
+// TestFractionsSumToOne property-checks normalization.
+func TestFractionsSumToOne(t *testing.T) {
+	f := func(vals [NumComponents]uint16) bool {
+		var b Breakdown
+		var any bool
+		for i, v := range vals {
+			b.Add(Component(i), uint64(v))
+			any = any || v > 0
+		}
+		if !any {
+			return true
+		}
+		var sum float64
+		for _, x := range b.Fractions() {
+			sum += x
+		}
+		return math.Abs(sum-1) < 1e-9
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestComponentNames(t *testing.T) {
+	want := []string{"NoTrans", "Trans", "Barrier", "Backoff", "Stalled", "Wasted", "Aborting", "Committing"}
+	for i, w := range want {
+		if Component(i).String() != w {
+			t.Errorf("Component(%d) = %s, want %s", i, Component(i), w)
+		}
+	}
+	if !strings.Contains(Component(99).String(), "99") {
+		t.Error("out-of-range component string")
+	}
+}
+
+func TestBreakdownString(t *testing.T) {
+	var b Breakdown
+	b.Add(Trans, 7)
+	s := b.String()
+	if !strings.Contains(s, "total=7") || !strings.Contains(s, "Trans=7") {
+		t.Fatalf("String = %q", s)
+	}
+}
+
+func TestCountersAddAndRatios(t *testing.T) {
+	a := Counters{TxCommitted: 30, TxAborted: 10, RedirectLookups: 100, RedirectL1Hits: 90}
+	b := Counters{TxCommitted: 10, TxAborted: 10, NACKsSent: 5}
+	a.Add(&b)
+	if a.TxCommitted != 40 || a.TxAborted != 20 || a.NACKsSent != 5 {
+		t.Fatalf("Add wrong: %+v", a)
+	}
+	if got := a.AbortRatio(); math.Abs(got-20.0/60.0) > 1e-12 {
+		t.Fatalf("AbortRatio = %v", got)
+	}
+	if got := a.RedirectL1MissRate(); math.Abs(got-0.1) > 1e-12 {
+		t.Fatalf("RedirectL1MissRate = %v", got)
+	}
+	var zero Counters
+	if zero.AbortRatio() != 0 || zero.RedirectL1MissRate() != 0 {
+		t.Fatal("zero counters gave nonzero ratios")
+	}
+}
+
+func TestGeoMean(t *testing.T) {
+	if g := GeoMean([]float64{2, 8}); math.Abs(g-4) > 1e-12 {
+		t.Fatalf("GeoMean(2,8) = %v", g)
+	}
+	if g := GeoMean(nil); g != 0 {
+		t.Fatalf("GeoMean(nil) = %v", g)
+	}
+	if g := GeoMean([]float64{-1, 0}); g != 0 {
+		t.Fatalf("GeoMean of non-positives = %v", g)
+	}
+}
+
+func TestSpeedupAndMean(t *testing.T) {
+	if s := Speedup(150, 100); math.Abs(s-0.5) > 1e-12 {
+		t.Fatalf("Speedup = %v", s)
+	}
+	if s := Speedup(100, 0); s != 0 {
+		t.Fatalf("Speedup div0 = %v", s)
+	}
+	if m := Mean([]float64{1, 2, 3}); m != 2 {
+		t.Fatalf("Mean = %v", m)
+	}
+	if m := Mean(nil); m != 0 {
+		t.Fatalf("Mean(nil) = %v", m)
+	}
+}
+
+func TestTableRendering(t *testing.T) {
+	tab := NewTable("a", "bb")
+	tab.AddRow("x")
+	tab.AddRow("longer", "y", "dropped")
+	s := tab.String()
+	lines := strings.Split(strings.TrimSpace(s), "\n")
+	if len(lines) != 4 {
+		t.Fatalf("table lines = %d:\n%s", len(lines), s)
+	}
+	if !strings.HasPrefix(lines[0], "a") || !strings.Contains(lines[0], "bb") {
+		t.Fatalf("header = %q", lines[0])
+	}
+	if !strings.Contains(lines[3], "longer") || strings.Contains(s, "dropped") {
+		t.Fatalf("rows wrong:\n%s", s)
+	}
+}
+
+func TestFormatters(t *testing.T) {
+	if Pct(0.123) != "12.3%" {
+		t.Fatalf("Pct = %s", Pct(0.123))
+	}
+	if F3(1.23456) != "1.235" {
+		t.Fatalf("F3 = %s", F3(1.23456))
+	}
+}

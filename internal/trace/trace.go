@@ -1,0 +1,151 @@
+// Package trace records transaction-lifecycle events from a simulation
+// into a bounded ring buffer: begins, commits, aborts, NACKs, barrier
+// crossings, suspensions. Attach a Recorder to a machine to debug
+// conflict pathologies ("who kept NACKing whom before this abort?")
+// without drowning in per-access logs.
+package trace
+
+import (
+	"fmt"
+	"strings"
+
+	"suvtm/internal/sim"
+)
+
+// Kind classifies an event.
+type Kind uint8
+
+// Event kinds.
+const (
+	Begin Kind = iota
+	Commit
+	Abort
+	NACK
+	RemoteKill
+	BarrierArrive
+	BarrierRelease
+	Suspend
+	Resume
+	numKinds
+)
+
+var kindNames = [numKinds]string{
+	"begin", "commit", "abort", "nack", "remote-kill",
+	"barrier-arrive", "barrier-release", "suspend", "resume",
+}
+
+// String names the kind.
+func (k Kind) String() string {
+	if k < numKinds {
+		return kindNames[k]
+	}
+	return fmt.Sprintf("Kind(%d)", uint8(k))
+}
+
+// Event is one recorded occurrence.
+type Event struct {
+	Cycle sim.Cycles
+	Core  int
+	Kind  Kind
+	// Line is the conflicting line (NACK), or zero.
+	Line sim.Line
+	// Other is the peer core (NACK holder, remote-kill committer), or -1.
+	Other int
+	// Info carries a kind-specific datum: transaction site for
+	// begin/commit/abort, barrier id for barrier events.
+	Info uint64
+}
+
+// String renders the event on one line.
+func (e Event) String() string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "%10d core%-2d %-15s", e.Cycle, e.Core, e.Kind)
+	switch e.Kind {
+	case NACK:
+		fmt.Fprintf(&sb, " line=%#x holder=core%d", e.Line, e.Other)
+	case RemoteKill:
+		fmt.Fprintf(&sb, " by=core%d", e.Other)
+	case BarrierArrive, BarrierRelease:
+		fmt.Fprintf(&sb, " id=%d", e.Info)
+	default:
+		fmt.Fprintf(&sb, " site=%d", e.Info)
+	}
+	return sb.String()
+}
+
+// Recorder is a bounded ring buffer of events. A nil *Recorder is a
+// valid no-op sink, so call sites never need nil checks beyond the
+// method's own.
+type Recorder struct {
+	events []Event
+	next   int
+	filled bool
+	total  uint64
+	mask   uint32 // bit per Kind; 0 = everything
+}
+
+// NewRecorder creates a recorder keeping the last capacity events.
+func NewRecorder(capacity int) *Recorder {
+	if capacity <= 0 {
+		capacity = 1024
+	}
+	return &Recorder{events: make([]Event, capacity)}
+}
+
+// Only restricts recording to the given kinds (call before the run).
+func (r *Recorder) Only(kinds ...Kind) *Recorder {
+	r.mask = 0
+	for _, k := range kinds {
+		r.mask |= 1 << uint(k)
+	}
+	return r
+}
+
+// Record appends an event; on a nil recorder it is a no-op.
+func (r *Recorder) Record(e Event) {
+	if r == nil {
+		return
+	}
+	if r.mask != 0 && r.mask&(1<<uint(e.Kind)) == 0 {
+		return
+	}
+	r.total++
+	r.events[r.next] = e
+	r.next++
+	if r.next == len(r.events) {
+		r.next = 0
+		r.filled = true
+	}
+}
+
+// Total returns how many events were recorded (including overwritten).
+func (r *Recorder) Total() uint64 {
+	if r == nil {
+		return 0
+	}
+	return r.total
+}
+
+// Events returns the retained events in chronological order.
+func (r *Recorder) Events() []Event {
+	if r == nil {
+		return nil
+	}
+	if !r.filled {
+		return append([]Event(nil), r.events[:r.next]...)
+	}
+	out := make([]Event, 0, len(r.events))
+	out = append(out, r.events[r.next:]...)
+	out = append(out, r.events[:r.next]...)
+	return out
+}
+
+// Dump renders the retained events, newest last.
+func (r *Recorder) Dump() string {
+	var sb strings.Builder
+	for _, e := range r.Events() {
+		sb.WriteString(e.String())
+		sb.WriteByte('\n')
+	}
+	return sb.String()
+}

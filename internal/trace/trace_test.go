@@ -1,0 +1,77 @@
+package trace
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestRingBufferRetention(t *testing.T) {
+	r := NewRecorder(4)
+	for i := 0; i < 10; i++ {
+		r.Record(Event{Cycle: uint64(i), Core: i, Kind: Begin})
+	}
+	evs := r.Events()
+	if len(evs) != 4 {
+		t.Fatalf("retained = %d, want 4", len(evs))
+	}
+	for i, e := range evs {
+		if e.Cycle != uint64(6+i) {
+			t.Fatalf("event %d cycle = %d, want %d (chronological order)", i, e.Cycle, 6+i)
+		}
+	}
+	if r.Total() != 10 {
+		t.Fatalf("total = %d", r.Total())
+	}
+}
+
+func TestPartialFill(t *testing.T) {
+	r := NewRecorder(8)
+	r.Record(Event{Cycle: 1, Kind: Commit})
+	r.Record(Event{Cycle: 2, Kind: Abort})
+	evs := r.Events()
+	if len(evs) != 2 || evs[0].Cycle != 1 || evs[1].Cycle != 2 {
+		t.Fatalf("events = %v", evs)
+	}
+}
+
+func TestNilRecorderIsNoOp(t *testing.T) {
+	var r *Recorder
+	r.Record(Event{Kind: NACK}) // must not panic
+	if r.Total() != 0 || r.Events() != nil {
+		t.Fatal("nil recorder returned data")
+	}
+}
+
+func TestFilter(t *testing.T) {
+	r := NewRecorder(16).Only(Abort, NACK)
+	r.Record(Event{Kind: Begin})
+	r.Record(Event{Kind: Abort})
+	r.Record(Event{Kind: NACK})
+	r.Record(Event{Kind: Commit})
+	if r.Total() != 2 {
+		t.Fatalf("filtered total = %d, want 2", r.Total())
+	}
+}
+
+func TestEventStrings(t *testing.T) {
+	cases := []Event{
+		{Cycle: 5, Core: 2, Kind: NACK, Line: 0x40, Other: 7},
+		{Cycle: 6, Core: 1, Kind: Begin, Info: 3},
+		{Cycle: 7, Core: 0, Kind: RemoteKill, Other: 4},
+		{Cycle: 8, Core: 3, Kind: BarrierArrive, Info: 1},
+	}
+	wants := []string{"holder=core7", "site=3", "by=core4", "id=1"}
+	for i, e := range cases {
+		if !strings.Contains(e.String(), wants[i]) {
+			t.Errorf("event %d = %q, want substring %q", i, e.String(), wants[i])
+		}
+	}
+	if Kind(200).String() == "" {
+		t.Error("unknown kind has empty string")
+	}
+	dump := NewRecorder(2)
+	dump.Record(cases[0])
+	if !strings.Contains(dump.Dump(), "nack") {
+		t.Error("Dump missing event")
+	}
+}

@@ -1,0 +1,176 @@
+package workload
+
+import (
+	"fmt"
+	"sort"
+
+	"suvtm/internal/mem"
+	"suvtm/internal/sim"
+)
+
+// MemReader is the architectural view of simulated memory an invariant
+// check reads: the machine resolves committed SUV redirects, so a check
+// always sees the value the program would load at an address.
+type MemReader interface {
+	Read(addr sim.Addr) sim.Word
+}
+
+// App is a generated transactional application: one program per core
+// plus metadata and an end-of-run invariant check. Because a core retries
+// each transaction until it commits, generators know exactly how many
+// transactional updates will be applied, so Check can verify
+// serializability (every committed update visible exactly once, no
+// aborted update visible) on the final memory image.
+type App struct {
+	Name           string
+	HighContention bool
+	InputDesc      string // Table IV input-parameters analogue
+	MeanTxLen      int    // Table IV per-transaction instruction count analogue
+	Programs       []Program
+	Check          func(m MemReader) error
+}
+
+// TotalOps returns the total number of trace ops across all programs.
+func (a *App) TotalOps() int {
+	n := 0
+	for _, p := range a.Programs {
+		n += len(p.Ops)
+	}
+	return n
+}
+
+// TotalTx returns the number of OpBegin ops across all programs (the
+// number of transactions that must eventually commit).
+func (a *App) TotalTx() int {
+	n := 0
+	for _, p := range a.Programs {
+		for _, op := range p.Ops {
+			if op.Kind == OpBegin {
+				n++
+			}
+		}
+	}
+	return n
+}
+
+// GenConfig parameterizes a generator run.
+type GenConfig struct {
+	Cores int
+	Seed  uint64
+	// Scale multiplies transaction counts (and, for the coarsest apps,
+	// lengths); 1.0 is the benchmark size, tests use smaller values.
+	Scale float64
+}
+
+// scaled applies the scale factor with a floor of 1.
+func (c GenConfig) scaled(n int) int {
+	s := c.Scale
+	if s <= 0 {
+		s = 1
+	}
+	v := int(float64(n)*s + 0.5)
+	if v < 1 {
+		v = 1
+	}
+	return v
+}
+
+func (c GenConfig) rng(salt uint64) *sim.RNG {
+	return sim.NewRNG(c.Seed*0x9e3779b97f4a7c15 + salt + 1)
+}
+
+// GenFunc builds an App, allocating its data structures from alloc and
+// initializing values in m.
+type GenFunc func(cfg GenConfig, alloc *mem.Allocator, m *mem.Memory) *App
+
+var registry = map[string]GenFunc{}
+
+// Register adds a generator under name; it panics on duplicates.
+func Register(name string, fn GenFunc) {
+	if _, dup := registry[name]; dup {
+		panic("workload: duplicate generator " + name)
+	}
+	registry[name] = fn
+}
+
+// Get returns the generator registered under name.
+func Get(name string) (GenFunc, error) {
+	fn, ok := registry[name]
+	if !ok {
+		return nil, fmt.Errorf("workload: unknown application %q", name)
+	}
+	return fn, nil
+}
+
+// Names returns all registered generator names, sorted.
+func Names() []string {
+	out := make([]string, 0, len(registry))
+	for n := range registry {
+		out = append(out, n)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// StampApps lists the eight STAMP-analogue applications in the paper's
+// Table IV order.
+var StampApps = []string{
+	"bayes", "genome", "intruder", "kmeans", "labyrinth", "ssca2", "vacation", "yada",
+}
+
+// HighContentionApps lists the five high-contention, coarse-grained
+// applications the paper's headline numbers single out.
+var HighContentionApps = []string{"bayes", "genome", "intruder", "labyrinth", "yada"}
+
+// IsHighContention reports whether name is one of the high-contention five.
+func IsHighContention(name string) bool {
+	for _, n := range HighContentionApps {
+		if n == name {
+			return true
+		}
+	}
+	return false
+}
+
+// rmwAdd emits the canonical transactional read-modify-write used by the
+// generators' invariants: load word, add delta, store back. Concurrent
+// rmwAdds to the same word must linearize under a correct HTM, so the
+// final sum equals the number of committed adds.
+func rmwAdd(b *Builder, addr sim.Addr, delta int64) {
+	b.Load(0, addr)
+	b.AddImm(0, delta)
+	b.Store(addr, 0)
+}
+
+// checkRegionSum returns a Check verifying that the words of region sum
+// to want (each generator arranges all transactional adds to land in
+// region words with known totals).
+func checkRegionSum(name string, region Region, words int, want int64) func(MemReader) error {
+	return func(m MemReader) error {
+		var sum int64
+		for i := 0; i < region.Lines; i++ {
+			for w := 0; w < words; w++ {
+				sum += int64(m.Read(region.WordAddr(i, w)))
+			}
+		}
+		if sum != want {
+			return fmt.Errorf("%s: region sum = %d, want %d (serializability violated)", name, sum, want)
+		}
+		return nil
+	}
+}
+
+// combineChecks runs each check in order, returning the first failure.
+func combineChecks(checks ...func(MemReader) error) func(MemReader) error {
+	return func(m MemReader) error {
+		for _, c := range checks {
+			if c == nil {
+				continue
+			}
+			if err := c(m); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+}

@@ -1,0 +1,76 @@
+package workload
+
+import "suvtm/internal/mem"
+
+func init() { Register("bayes", GenBayes) }
+
+// GenBayes models STAMP bayes (-v32 -r1024 -n2 -p20 -s0 -i2 -e2):
+// Bayesian-network structure learning. Transactions are very coarse
+// (Table IV: ~43K instructions) and rewrite large parts of a shared
+// adjacency/score structure, so write-sets are in the hundreds of lines,
+// overlap heavily between threads (high contention) and periodically
+// overflow the L1 data cache (Table V). A third of the transactions are
+// "subtree relearn" cascades with write-sets large enough to stress even
+// the 512-entry redirect table.
+func GenBayes(cfg GenConfig, alloc *mem.Allocator, m *mem.Memory) *App {
+	const (
+		adjLines    = 1024 // shared adjacency matrix + score cache
+		normalReads = 80
+		normalWrite = 120
+		cascadeWr   = 560
+		txPerThread = 8
+	)
+	adj := NewRegion(alloc, adjLines)
+	private := make([]Region, cfg.Cores)
+	for c := range private {
+		private[c] = NewRegion(alloc, 64)
+	}
+	zipfR := NewZipf(adjLines, 0.5)
+
+	programs := make([]Program, cfg.Cores)
+	txs := cfg.scaled(txPerThread)
+	var totalAdds int64
+	for c := 0; c < cfg.Cores; c++ {
+		rng := cfg.rng(uint64(c)*13 + 101)
+		b := NewBuilder()
+		for t := 0; t < txs; t++ {
+			// Score recomputation over private scratch (non-transactional).
+			for k := 0; k < 8; k++ {
+				b.Load(1, private[c].WordAddr(rng.Intn(64), k%8))
+			}
+			b.Compute(400)
+
+			writes := normalWrite
+			if t%3 == 2 {
+				writes = cascadeWr // subtree relearn: huge write-set
+			}
+			b.Begin(0)
+			for k := 0; k < normalReads; k++ {
+				b.Load(1, adj.WordAddr(zipfR.Sample(rng), k%8))
+				if k%10 == 9 {
+					b.Compute(40)
+				}
+			}
+			for k := 0; k < writes; k++ {
+				idx := zipfR.Sample(rng)
+				rmwAdd(b, adj.WordAddr(idx, (idx*7+k)%8), 1)
+				if k%20 == 19 {
+					b.Compute(60)
+				}
+			}
+			b.Commit()
+			totalAdds += int64(writes)
+			b.Compute(600)
+		}
+		b.Barrier(0)
+		programs[c] = b.Build()
+	}
+	return &App{
+		Name:           "bayes",
+		HighContention: true,
+		InputDesc:      "-v32 -r1024 -n2 -p20 -s0 -i2 -e2",
+		MeanTxLen:      43000,
+		Programs:       programs,
+		Check:          checkRegionSum("bayes", adj, 8, totalAdds),
+	}
+}

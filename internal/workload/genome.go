@@ -1,0 +1,77 @@
+package workload
+
+import "suvtm/internal/mem"
+
+func init() { Register("genome", GenGenome) }
+
+// GenGenome models STAMP genome (-g256 -s16 -n16384): gene sequencing in
+// two barrier-separated phases. Phase 1 deduplicates DNA segments by
+// inserting them into a shared hash set — duplicate segments hash to the
+// same buckets, so the Zipf-skewed bucket choice makes the phase
+// high-contention. Phase 2 string-matches segments against a larger,
+// mostly-uniform overlap table with lower contention. Transactions are
+// medium-grained (Table IV: ~1.7K instructions).
+func GenGenome(cfg GenConfig, alloc *mem.Allocator, m *mem.Memory) *App {
+	const (
+		buckets     = 512
+		overlap     = 2048
+		insertTxPer = 60
+		matchTxPer  = 60
+	)
+	hash := NewRegion(alloc, buckets)
+	table := NewRegion(alloc, overlap)
+	zipfB := NewZipf(buckets, 0.8)
+
+	inserts := cfg.scaled(insertTxPer)
+	matches := cfg.scaled(matchTxPer)
+	programs := make([]Program, cfg.Cores)
+	var hashAdds, tableAdds int64
+	for c := 0; c < cfg.Cores; c++ {
+		rng := cfg.rng(uint64(c)*17 + 211)
+		b := NewBuilder()
+		// Phase 1: segment deduplication into the shared hash set.
+		for t := 0; t < inserts; t++ {
+			b.Compute(200) // hash the segment (non-transactional)
+			b.Begin(0)
+			b.Compute(300)
+			for k := 0; k < 4; k++ {
+				idx := zipfB.Sample(rng)
+				b.Load(1, hash.WordAddr(idx, k%8)) // probe chain
+				rmwAdd(b, hash.WordAddr(idx, (idx+k)%8), 1)
+			}
+			b.Commit()
+			hashAdds += 4
+			b.Compute(150)
+		}
+		b.Barrier(0)
+		// Phase 2: overlap matching over the larger table.
+		for t := 0; t < matches; t++ {
+			b.Compute(250)
+			b.Begin(1)
+			b.Compute(400)
+			for k := 0; k < 6; k++ {
+				b.Load(1, table.WordAddr(rng.Intn(overlap), k%8))
+			}
+			for k := 0; k < 2; k++ {
+				idx := rng.Intn(overlap)
+				rmwAdd(b, table.WordAddr(idx, (idx*3+k)%8), 1)
+			}
+			b.Commit()
+			tableAdds += 2
+			b.Compute(100)
+		}
+		b.Barrier(1)
+		programs[c] = b.Build()
+	}
+	return &App{
+		Name:           "genome",
+		HighContention: true,
+		InputDesc:      "-g256 -s16 -n16384",
+		MeanTxLen:      1700,
+		Programs:       programs,
+		Check: combineChecks(
+			checkRegionSum("genome/hash", hash, 8, hashAdds),
+			checkRegionSum("genome/table", table, 8, tableAdds),
+		),
+	}
+}

@@ -1,0 +1,63 @@
+package workload
+
+import (
+	"fmt"
+
+	"suvtm/internal/mem"
+	"suvtm/internal/sim"
+)
+
+// Interpret executes a single program sequentially against memory — the
+// functional reference semantics of the trace language, with no timing,
+// no conflicts and no aborts (a single thread's transactions always
+// commit). Differential tests compare each HTM scheme's single-core
+// architectural memory against this oracle.
+func Interpret(p Program, m *mem.Memory) error {
+	var regs [NumRegs]sim.Word
+	depth := 0
+	for i := 0; i < len(p.Ops); i++ {
+		op := p.Ops[i]
+		switch op.Kind {
+		case OpCompute:
+		case OpLoad:
+			regs[op.Reg] = m.Read(op.Addr)
+		case OpStore:
+			m.Write(op.Addr, regs[op.Reg])
+		case OpStoreImm:
+			m.Write(op.Addr, op.Val)
+		case OpLoadImm:
+			regs[op.Reg] = op.Val
+		case OpAddImm:
+			regs[op.Reg] += op.Val
+		case OpAddReg:
+			regs[op.Reg] += regs[op.Reg2]
+		case OpBegin:
+			depth++
+		case OpCommit:
+			depth--
+			if depth < 0 {
+				return fmt.Errorf("workload: op %d: commit without begin", i)
+			}
+		case OpBarrier:
+			if depth != 0 {
+				return fmt.Errorf("workload: op %d: barrier inside transaction", i)
+			}
+		case OpSuspend, OpResume:
+			// Scheduling has no functional effect.
+		case OpCommitOpen:
+			depth--
+			if depth < 0 {
+				return fmt.Errorf("workload: op %d: open commit without begin", i)
+			}
+			// A sequential execution never aborts, so the compensation
+			// block is skipped.
+			i += int(op.N)
+		default:
+			return fmt.Errorf("workload: op %d: unknown kind %d", i, op.Kind)
+		}
+	}
+	if depth != 0 {
+		return fmt.Errorf("workload: unbalanced transactions at end of program")
+	}
+	return nil
+}

@@ -1,0 +1,66 @@
+package workload
+
+import "suvtm/internal/mem"
+
+func init() { Register("intruder", GenIntruder) }
+
+// GenIntruder models STAMP intruder (-a10 -l4 -n2038 -s1): network
+// intrusion detection. Every iteration dequeues a packet from a single
+// shared work queue (one hot line touched by every thread — the classic
+// high-contention point) and then reassembles the flow in a shared
+// dictionary with Zipf-skewed buckets. Transactions are short
+// (Table IV: ~237 instructions) but abort often.
+func GenIntruder(cfg GenConfig, alloc *mem.Allocator, m *mem.Memory) *App {
+	const (
+		dictLines  = 256
+		flowLines  = 512
+		iterations = 150
+	)
+	queue := NewRegion(alloc, 1) // head/tail counters: the hot line
+	dict := NewRegion(alloc, dictLines)
+	flows := NewRegion(alloc, flowLines)
+	zipfD := NewZipf(dictLines, 0.6)
+
+	iters := cfg.scaled(iterations)
+	programs := make([]Program, cfg.Cores)
+	var deqs, dictAdds, flowAdds int64
+	for c := 0; c < cfg.Cores; c++ {
+		rng := cfg.rng(uint64(c)*19 + 307)
+		b := NewBuilder()
+		for t := 0; t < iters; t++ {
+			// getPacket: pop from the shared queue (single hot word).
+			b.Begin(0)
+			rmwAdd(b, queue.WordAddr(0, 0), 1)
+			fl := rng.Intn(flowLines)
+			rmwAdd(b, flows.WordAddr(fl, fl%8), 1)
+			b.Commit()
+			deqs++
+			flowAdds++
+			b.Compute(60) // decode the fragment (non-transactional)
+			// insert reassembled flow into the detector dictionary.
+			b.Begin(1)
+			b.Compute(40)
+			for k := 0; k < 5; k++ {
+				idx := zipfD.Sample(rng)
+				rmwAdd(b, dict.WordAddr(idx, (idx+k)%8), 1)
+			}
+			b.Commit()
+			dictAdds += 5
+			b.Compute(30)
+		}
+		b.Barrier(0)
+		programs[c] = b.Build()
+	}
+	return &App{
+		Name:           "intruder",
+		HighContention: true,
+		InputDesc:      "-a10 -l4 -n2038 -s1",
+		MeanTxLen:      237,
+		Programs:       programs,
+		Check: combineChecks(
+			checkRegionSum("intruder/queue", queue, 1, deqs),
+			checkRegionSum("intruder/dict", dict, 8, dictAdds),
+			checkRegionSum("intruder/flows", flows, 8, flowAdds),
+		),
+	}
+}

@@ -1,0 +1,77 @@
+package workload
+
+import "suvtm/internal/mem"
+
+func init() {
+	Register("kmeans", GenKmeans)
+	Register("kmeans-high", GenKmeansHigh)
+}
+
+// GenKmeans models STAMP kmeans (-m40 -n40 -t0.05 -i random-n2048-d16-c16):
+// K-means clustering. Distance computation over the (private) points is
+// non-transactional; the only transactions are short center updates
+// (Table IV: ~106 instructions) spread uniformly across 16 clusters, so
+// contention is low. This is STAMP's "low" parameterization, the one the
+// paper's Table IV uses.
+func GenKmeans(cfg GenConfig, alloc *mem.Allocator, m *mem.Memory) *App {
+	return genKmeans(cfg, alloc, m, "kmeans", 16, false)
+}
+
+// GenKmeansHigh models STAMP kmeans's "high" parameterization
+// (-m15 -n15): only a handful of clusters, so concurrent center updates
+// collide far more often.
+func GenKmeansHigh(cfg GenConfig, alloc *mem.Allocator, m *mem.Memory) *App {
+	return genKmeans(cfg, alloc, m, "kmeans-high", 4, true)
+}
+
+func genKmeans(cfg GenConfig, alloc *mem.Allocator, m *mem.Memory, name string, clusters int, high bool) *App {
+	const (
+		linesPerClus = 2 // 16 dims x 8B = 2 lines
+		pointBatches = 200
+	)
+	centers := NewRegion(alloc, clusters*linesPerClus)
+	points := make([]Region, cfg.Cores)
+	for c := range points {
+		points[c] = NewRegion(alloc, 128) // private slice of the input
+	}
+
+	batches := cfg.scaled(pointBatches)
+	programs := make([]Program, cfg.Cores)
+	var adds int64
+	for c := 0; c < cfg.Cores; c++ {
+		rng := cfg.rng(uint64(c)*23 + 401)
+		b := NewBuilder()
+		for t := 0; t < batches; t++ {
+			// Assign step: read the point, compute distances (no tx).
+			for k := 0; k < 4; k++ {
+				b.Load(1, points[c].WordAddr(rng.Intn(128), k%8))
+			}
+			b.Compute(50)
+			// Update step: accumulate into the chosen cluster's center.
+			cl := rng.Intn(clusters)
+			b.Begin(0)
+			b.Compute(30)
+			for k := 0; k < 3; k++ {
+				idx := cl*linesPerClus + k%linesPerClus
+				rmwAdd(b, centers.WordAddr(idx, (k*3)%8), 1)
+			}
+			b.Commit()
+			adds += 3
+			b.Compute(15)
+		}
+		b.Barrier(0)
+		programs[c] = b.Build()
+	}
+	input := "-m40 -n40 -t0.05 -i random-n2048-d16-c16.txt"
+	if high {
+		input = "-m15 -n15 -t0.05 -i random-n2048-d16-c16.txt"
+	}
+	return &App{
+		Name:           name,
+		InputDesc:      input,
+		MeanTxLen:      106,
+		Programs:       programs,
+		HighContention: high,
+		Check:          checkRegionSum(name, centers, 8, adds),
+	}
+}

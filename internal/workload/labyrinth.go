@@ -1,0 +1,73 @@
+package workload
+
+import "suvtm/internal/mem"
+
+func init() { Register("labyrinth", GenLabyrinth) }
+
+// GenLabyrinth models STAMP labyrinth (-i random-x32-y32-z3-n64): Lee
+// path routing over a shared 3-D grid. Each transaction privately copies
+// a grid neighbourhood, expands a route and writes the path back — the
+// coarsest transactions in STAMP (Table IV: ~317K instructions) with
+// write-sets of hundreds of contiguous lines that overflow both the L1
+// data cache and, at full size, the 512-entry redirect table (Table V).
+// Route endpoints are Zipf-skewed so concurrent routes overlap, making
+// the workload both coarse-grained and high-contention.
+func GenLabyrinth(cfg GenConfig, alloc *mem.Allocator, m *mem.Memory) *App {
+	const (
+		gridLines   = 3072 // 32x32x3 grid plus routing metadata
+		segments    = 24   // candidate route neighbourhoods
+		segLines    = 300  // lines written back by a typical route
+		cascadeWr   = 700  // long reroute: overflows cache and table
+		readLines   = 200
+		txPerThread = 6
+	)
+	grid := NewRegion(alloc, gridLines)
+	zipfSeg := NewZipf(segments, 0.9)
+
+	txs := cfg.scaled(txPerThread)
+	programs := make([]Program, cfg.Cores)
+	var adds int64
+	for c := 0; c < cfg.Cores; c++ {
+		rng := cfg.rng(uint64(c)*29 + 503)
+		b := NewBuilder()
+		for t := 0; t < txs; t++ {
+			b.Compute(800) // pick work from the route list
+			seg := zipfSeg.Sample(rng)
+			base := seg * (gridLines / segments)
+			writes := segLines
+			if t%3 == 2 {
+				writes = cascadeWr // long reroute across many segments
+			}
+			b.Begin(0)
+			// Copy the neighbourhood (transactional reads).
+			for k := 0; k < readLines; k++ {
+				b.Load(1, grid.WordAddr(base+k, k%8))
+				if k%16 == 15 {
+					b.Compute(30)
+				}
+			}
+			b.Compute(1500) // expansion (private compute)
+			// Write the route back (huge contiguous write-set).
+			for k := 0; k < writes; k++ {
+				idx := base + k
+				rmwAdd(b, grid.WordAddr(idx, (idx*5+k)%8), 1)
+				if k%32 == 31 {
+					b.Compute(40)
+				}
+			}
+			b.Commit()
+			adds += int64(writes)
+			b.Compute(500)
+		}
+		b.Barrier(0)
+		programs[c] = b.Build()
+	}
+	return &App{
+		Name:           "labyrinth",
+		HighContention: true,
+		InputDesc:      "-i random-x32-y32-z3-n64.txt",
+		MeanTxLen:      317000,
+		Programs:       programs,
+		Check:          checkRegionSum("labyrinth", grid, 8, adds),
+	}
+}

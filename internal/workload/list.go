@@ -1,0 +1,53 @@
+package workload
+
+import "suvtm/internal/mem"
+
+func init() { Register("list", GenList) }
+
+// GenList models the classic transactional ordered linked list: each
+// transaction traverses the list from the head (a long chain of
+// transactional reads whose length grows with the key's position) and
+// updates one node. Unlike the write-heavy STAMP analogues, its read
+// sets dominate its write sets, so most conflicts are read-write on the
+// hot head of the list — the canonical "long reader vs short writer"
+// shape that eager conflict detection serializes.
+func GenList(cfg GenConfig, alloc *mem.Allocator, m *mem.Memory) *App {
+	const (
+		nodes       = 256 // one node per line: key + payload
+		txPerThread = 120
+	)
+	list := NewRegion(alloc, nodes)
+	txs := cfg.scaled(txPerThread)
+	programs := make([]Program, cfg.Cores)
+	var adds int64
+	for c := 0; c < cfg.Cores; c++ {
+		rng := cfg.rng(uint64(c)*43 + 907)
+		b := NewBuilder()
+		for t := 0; t < txs; t++ {
+			b.Compute(30)
+			// Position determines traversal length: node k requires
+			// reading nodes 0..k (the sorted-list walk).
+			pos := rng.Intn(nodes)
+			b.Begin(0)
+			step := 1 + pos/24 // sample the walk, bounded read set
+			for k := 0; k <= pos; k += step {
+				b.Load(1, list.WordAddr(k, 0)) // read the node's key/next
+				b.Compute(4)
+			}
+			rmwAdd(b, list.WordAddr(pos, 1), 1) // update the payload
+			b.Commit()
+			adds++
+			b.Compute(40)
+		}
+		b.Barrier(0)
+		programs[c] = b.Build()
+	}
+	return &App{
+		Name:           "list",
+		HighContention: true,
+		InputDesc:      "-n256 ordered-list traversals",
+		MeanTxLen:      90,
+		Programs:       programs,
+		Check:          checkRegionSum("list", list, 8, adds),
+	}
+}

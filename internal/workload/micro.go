@@ -1,0 +1,135 @@
+package workload
+
+import (
+	"fmt"
+
+	"suvtm/internal/mem"
+)
+
+func init() {
+	Register("counter", GenCounter)
+	Register("bank", GenBank)
+}
+
+// GenCounter is the smallest possible high-contention workload: every
+// core transactionally increments the same shared counter word. The final
+// counter value must equal cores x increments regardless of scheme —
+// the canonical atomicity smoke test.
+func GenCounter(cfg GenConfig, alloc *mem.Allocator, m *mem.Memory) *App {
+	shared := NewRegion(alloc, 1)
+	incs := cfg.scaled(200)
+	addr := shared.WordAddr(0, 0)
+
+	programs := make([]Program, cfg.Cores)
+	for c := 0; c < cfg.Cores; c++ {
+		b := NewBuilder()
+		for i := 0; i < incs; i++ {
+			b.Begin(0)
+			rmwAdd(b, addr, 1)
+			b.Commit()
+			b.Compute(10)
+		}
+		b.Barrier(0)
+		programs[c] = b.Build()
+	}
+	want := int64(cfg.Cores * incs)
+	return &App{
+		Name:      "counter",
+		InputDesc: fmt.Sprintf("-c%d -i%d", cfg.Cores, incs),
+		MeanTxLen: 4,
+		Programs:  programs,
+		Check: func(m MemReader) error {
+			got := int64(m.Read(addr))
+			if got != want {
+				return fmt.Errorf("counter: value = %d, want %d", got, want)
+			}
+			return nil
+		},
+		HighContention: true,
+	}
+}
+
+// GenBank models transactional money transfers between accounts: each
+// transaction moves a random amount between two random accounts. The
+// total balance is invariant under serializable execution, and any
+// version-management bug (lost undo, partially visible redo) breaks it.
+func GenBank(cfg GenConfig, alloc *mem.Allocator, m *mem.Memory) *App {
+	const accounts = 64
+	const initial = 1000
+	region := NewRegion(alloc, accounts) // one account per line, word 0
+	for i := 0; i < accounts; i++ {
+		m.Write(region.WordAddr(i, 0), initial)
+	}
+	transfers := cfg.scaled(150)
+
+	programs := make([]Program, cfg.Cores)
+	for c := 0; c < cfg.Cores; c++ {
+		rng := cfg.rng(uint64(c))
+		b := NewBuilder()
+		for i := 0; i < transfers; i++ {
+			from := rng.Intn(accounts)
+			to := rng.Intn(accounts - 1)
+			if to >= from {
+				to++
+			}
+			amount := int64(rng.Range(1, 20))
+			b.Begin(0)
+			rmwAdd(b, region.WordAddr(from, 0), -amount)
+			b.Compute(5)
+			rmwAdd(b, region.WordAddr(to, 0), amount)
+			b.Commit()
+			b.Compute(20)
+		}
+		b.Barrier(0)
+		programs[c] = b.Build()
+	}
+	want := int64(accounts * initial)
+	return &App{
+		Name:           "bank",
+		InputDesc:      fmt.Sprintf("-a%d -t%d", accounts, transfers),
+		MeanTxLen:      12,
+		Programs:       programs,
+		Check:          checkRegionSum("bank", region, 1, want),
+		HighContention: true,
+	}
+}
+
+// GenPrivate builds a workload with no sharing at all: each core updates
+// only its own region. Useful as a zero-conflict baseline in tests — no
+// scheme should ever abort it.
+func GenPrivate(cfg GenConfig, alloc *mem.Allocator, m *mem.Memory) *App {
+	perCore := 32
+	txs := cfg.scaled(100)
+	regions := make([]Region, cfg.Cores)
+	for c := range regions {
+		regions[c] = NewRegion(alloc, perCore)
+	}
+	programs := make([]Program, cfg.Cores)
+	for c := 0; c < cfg.Cores; c++ {
+		rng := cfg.rng(uint64(c) + 77)
+		b := NewBuilder()
+		for i := 0; i < txs; i++ {
+			b.Begin(0)
+			for k := 0; k < 4; k++ {
+				rmwAdd(b, regions[c].WordAddr(rng.Intn(perCore), 0), 1)
+			}
+			b.Commit()
+			b.Compute(15)
+		}
+		b.Barrier(0)
+		programs[c] = b.Build()
+	}
+	var checks []func(MemReader) error
+	for c := 0; c < cfg.Cores; c++ {
+		checks = append(checks, checkRegionSum("private", regions[c], 1, int64(txs*4)))
+	}
+	return &App{
+		Name:      "private",
+		InputDesc: fmt.Sprintf("-r%d -t%d", perCore, txs),
+		MeanTxLen: 14,
+		Programs:  programs,
+		Check:     combineChecks(checks...),
+	}
+}
+
+func init() { Register("private", GenPrivate) }

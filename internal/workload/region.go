@@ -1,0 +1,45 @@
+package workload
+
+import (
+	"suvtm/internal/mem"
+	"suvtm/internal/sim"
+)
+
+// Region is a contiguous run of cache lines in the simulated address
+// space, used by generators to lay out shared data structures.
+type Region struct {
+	Base  sim.Addr
+	Lines int
+}
+
+// NewRegion allocates a region of n lines.
+func NewRegion(alloc *mem.Allocator, n int) Region {
+	line := alloc.AllocLines(n)
+	return Region{Base: sim.AddrOf(line), Lines: n}
+}
+
+// LineAddr returns the base address of the i-th line (i taken modulo the
+// region size, so samplers can pass raw indices).
+func (r Region) LineAddr(i int) sim.Addr {
+	if r.Lines == 0 {
+		panic("workload: empty region")
+	}
+	i %= r.Lines
+	if i < 0 {
+		i += r.Lines
+	}
+	return r.Base + sim.Addr(i)*sim.LineBytes
+}
+
+// WordAddr returns the address of word w (0..7) in the i-th line.
+func (r Region) WordAddr(i, w int) sim.Addr {
+	return r.LineAddr(i) + sim.Addr(w%sim.WordsPerLine)*8
+}
+
+// Line returns the line number of the i-th line.
+func (r Region) Line(i int) sim.Line { return sim.LineOf(r.LineAddr(i)) }
+
+// Contains reports whether addr falls inside the region.
+func (r Region) Contains(addr sim.Addr) bool {
+	return addr >= r.Base && addr < r.Base+sim.Addr(r.Lines)*sim.LineBytes
+}

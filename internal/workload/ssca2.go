@@ -1,0 +1,46 @@
+package workload
+
+import "suvtm/internal/mem"
+
+func init() { Register("ssca2", GenSSCA2) }
+
+// GenSSCA2 models STAMP ssca2 (-s13 -i1.0 -u1.0 -l3 -p3): scalable graph
+// kernel 1, constructing a large directed multigraph. Transactions are
+// the smallest in STAMP (Table IV: ~21 instructions) — a couple of
+// adjacency-array appends at uniformly random nodes of a big graph — so
+// conflicts are rare and the workload is low-contention.
+func GenSSCA2(cfg GenConfig, alloc *mem.Allocator, m *mem.Memory) *App {
+	const (
+		graphLines  = 8192 // 2^13 nodes, one adjacency header line each
+		txPerThread = 300
+	)
+	graph := NewRegion(alloc, graphLines)
+
+	txs := cfg.scaled(txPerThread)
+	programs := make([]Program, cfg.Cores)
+	var adds int64
+	for c := 0; c < cfg.Cores; c++ {
+		rng := cfg.rng(uint64(c)*31 + 601)
+		b := NewBuilder()
+		for t := 0; t < txs; t++ {
+			b.Compute(12) // generate the edge (non-transactional)
+			b.Begin(0)
+			for k := 0; k < 3; k++ {
+				idx := rng.Intn(graphLines)
+				rmwAdd(b, graph.WordAddr(idx, (idx+k)%8), 1)
+			}
+			b.Commit()
+			adds += 3
+			b.Compute(8)
+		}
+		b.Barrier(0)
+		programs[c] = b.Build()
+	}
+	return &App{
+		Name:      "ssca2",
+		InputDesc: "-s13 -i1.0 -u1.0 -l3 -p3",
+		MeanTxLen: 21,
+		Programs:  programs,
+		Check:     checkRegionSum("ssca2", graph, 8, adds),
+	}
+}

@@ -1,0 +1,74 @@
+package workload
+
+import "suvtm/internal/mem"
+
+func init() {
+	Register("vacation", GenVacation)
+	Register("vacation-high", GenVacationHigh)
+}
+
+// GenVacation models STAMP vacation (-n4 -q60 -u90 -r16384 -t4096): a
+// travel reservation system. Each client transaction walks the
+// reservation trees (many reads over a 16K-record table) and updates a
+// handful of records; the huge key space keeps contention low while
+// transactions stay medium-grained (Table IV: ~2.1K instructions). This
+// is STAMP's "low" parameterization, the one the paper's Table IV uses.
+func GenVacation(cfg GenConfig, alloc *mem.Allocator, m *mem.Memory) *App {
+	return genVacation(cfg, alloc, m, "vacation", 16384, 4, false)
+}
+
+// GenVacationHigh models STAMP vacation's "high" parameterization
+// (-n4 -q90 -u98 -r1048576 -t4194304 scaled): clients query a much
+// narrower slice of the tables with a higher update fraction, so
+// reservations collide.
+func GenVacationHigh(cfg GenConfig, alloc *mem.Allocator, m *mem.Memory) *App {
+	return genVacation(cfg, alloc, m, "vacation-high", 1024, 8, true)
+}
+
+func genVacation(cfg GenConfig, alloc *mem.Allocator, m *mem.Memory, name string, tableLines, updates int, high bool) *App {
+	const (
+		txPerThread = 50
+		treeReads   = 20
+	)
+	tables := NewRegion(alloc, tableLines)
+
+	txs := cfg.scaled(txPerThread)
+	programs := make([]Program, cfg.Cores)
+	var adds int64
+	for c := 0; c < cfg.Cores; c++ {
+		rng := cfg.rng(uint64(c)*37 + 701)
+		b := NewBuilder()
+		for t := 0; t < txs; t++ {
+			b.Compute(300) // build the client request
+			b.Begin(0)
+			for k := 0; k < treeReads; k++ {
+				b.Load(1, tables.WordAddr(rng.Intn(tableLines), k%8))
+				if k%4 == 3 {
+					b.Compute(60) // comparisons along the tree path
+				}
+			}
+			b.Compute(400)
+			for k := 0; k < updates; k++ {
+				idx := rng.Intn(tableLines)
+				rmwAdd(b, tables.WordAddr(idx, (idx*3+k)%8), 1)
+			}
+			b.Commit()
+			adds += int64(updates)
+			b.Compute(200)
+		}
+		b.Barrier(0)
+		programs[c] = b.Build()
+	}
+	input := "-n4 -q60 -u90 -r16384 -t4096"
+	if high {
+		input = "-n4 -q90 -u98 (scaled)"
+	}
+	return &App{
+		Name:           name,
+		InputDesc:      input,
+		MeanTxLen:      2100,
+		Programs:       programs,
+		HighContention: high,
+		Check:          checkRegionSum(name, tables, 8, adds),
+	}
+}

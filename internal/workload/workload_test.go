@@ -1,0 +1,291 @@
+package workload
+
+import (
+	"testing"
+	"testing/quick"
+
+	"suvtm/internal/mem"
+	"suvtm/internal/sim"
+)
+
+func genApp(t *testing.T, name string, cores int, scale float64) (*App, *mem.Memory) {
+	t.Helper()
+	gen, err := Get(name)
+	if err != nil {
+		t.Fatalf("Get(%q): %v", name, err)
+	}
+	memory := mem.NewMemory()
+	alloc := mem.NewAllocator(0x100000, 1<<33)
+	return gen(GenConfig{Cores: cores, Seed: 1, Scale: scale}, alloc, memory), memory
+}
+
+func TestRegistryComplete(t *testing.T) {
+	for _, name := range StampApps {
+		if _, err := Get(name); err != nil {
+			t.Errorf("STAMP app %q not registered: %v", name, err)
+		}
+	}
+	if _, err := Get("no-such-app"); err == nil {
+		t.Error("unknown app did not error")
+	}
+	names := Names()
+	if len(names) < len(StampApps)+3 {
+		t.Errorf("registry too small: %v", names)
+	}
+}
+
+func TestHighContentionFive(t *testing.T) {
+	want := map[string]bool{"bayes": true, "genome": true, "intruder": true, "labyrinth": true, "yada": true}
+	for _, name := range StampApps {
+		if IsHighContention(name) != want[name] {
+			t.Errorf("IsHighContention(%q) = %v", name, IsHighContention(name))
+		}
+	}
+	for _, name := range StampApps {
+		app, _ := genApp(t, name, 2, 0.05)
+		if app.HighContention != want[name] {
+			t.Errorf("%s metadata HighContention = %v", name, app.HighContention)
+		}
+	}
+}
+
+func TestGeneratorsDeterministic(t *testing.T) {
+	for _, name := range StampApps {
+		a, _ := genApp(t, name, 4, 0.1)
+		b, _ := genApp(t, name, 4, 0.1)
+		if len(a.Programs) != len(b.Programs) {
+			t.Fatalf("%s: program counts differ", name)
+		}
+		for c := range a.Programs {
+			if len(a.Programs[c].Ops) != len(b.Programs[c].Ops) {
+				t.Fatalf("%s core %d: op counts differ", name, c)
+			}
+			for i := range a.Programs[c].Ops {
+				if a.Programs[c].Ops[i] != b.Programs[c].Ops[i] {
+					t.Fatalf("%s core %d op %d differs", name, c, i)
+				}
+			}
+		}
+	}
+}
+
+func TestGeneratorsWellFormed(t *testing.T) {
+	for _, name := range Names() {
+		app, _ := genApp(t, name, 4, 0.1)
+		if len(app.Programs) != 4 {
+			t.Errorf("%s: %d programs for 4 cores", name, len(app.Programs))
+		}
+		if app.TotalTx() == 0 {
+			t.Errorf("%s: no transactions", name)
+		}
+		for c, p := range app.Programs {
+			depth := 0
+			barriers := []uint32{}
+			for _, op := range p.Ops {
+				switch op.Kind {
+				case OpBegin:
+					depth++
+				case OpCommit:
+					depth--
+					if depth < 0 {
+						t.Fatalf("%s core %d: commit without begin", name, c)
+					}
+				case OpBarrier:
+					if depth != 0 {
+						t.Fatalf("%s core %d: barrier inside transaction", name, c)
+					}
+					barriers = append(barriers, op.N)
+				}
+			}
+			if depth != 0 {
+				t.Fatalf("%s core %d: unbalanced transactions", name, c)
+			}
+			if len(barriers) == 0 {
+				t.Errorf("%s core %d: no final barrier", name, c)
+			}
+		}
+		// Every core must execute the same barrier sequence.
+		ref := barrierSeq(app.Programs[0])
+		for c := 1; c < len(app.Programs); c++ {
+			got := barrierSeq(app.Programs[c])
+			if len(got) != len(ref) {
+				t.Fatalf("%s: core %d barrier count differs", name, c)
+			}
+			for i := range ref {
+				if got[i] != ref[i] {
+					t.Fatalf("%s: core %d barrier order differs", name, c)
+				}
+			}
+		}
+	}
+}
+
+func barrierSeq(p Program) []uint32 {
+	var out []uint32
+	for _, op := range p.Ops {
+		if op.Kind == OpBarrier {
+			out = append(out, op.N)
+		}
+	}
+	return out
+}
+
+func TestScaleChangesSize(t *testing.T) {
+	small, _ := genApp(t, "vacation", 4, 0.1)
+	big, _ := genApp(t, "vacation", 4, 1.0)
+	if small.TotalOps() >= big.TotalOps() {
+		t.Fatalf("scale had no effect: %d vs %d ops", small.TotalOps(), big.TotalOps())
+	}
+}
+
+func TestScaledFloor(t *testing.T) {
+	cfg := GenConfig{Scale: 0.0001}
+	if got := cfg.scaled(100); got != 1 {
+		t.Fatalf("scaled floor = %d, want 1", got)
+	}
+	cfg = GenConfig{} // zero scale defaults to 1.0
+	if got := cfg.scaled(100); got != 100 {
+		t.Fatalf("default scale = %d, want 100", got)
+	}
+}
+
+func TestBuilderPanics(t *testing.T) {
+	cases := map[string]func(*Builder){
+		"commit without begin": func(b *Builder) { b.Commit() },
+		"barrier inside tx":    func(b *Builder) { b.Begin(0); b.Barrier(0) },
+		"build with open tx":   func(b *Builder) { b.Begin(0); b.Build() },
+	}
+	for name, f := range cases {
+		t.Run(name, func(t *testing.T) {
+			defer func() {
+				if recover() == nil {
+					t.Fatalf("%s did not panic", name)
+				}
+			}()
+			f(NewBuilder())
+		})
+	}
+}
+
+func TestBuilderRoundTrip(t *testing.T) {
+	b := NewBuilder()
+	b.LoadImm(1, 5).Compute(10).Begin(3).Load(0, 0x40).AddImm(0, 2).Store(0x40, 0).Commit().Barrier(7)
+	p := b.Build()
+	kinds := []OpKind{OpLoadImm, OpCompute, OpBegin, OpLoad, OpAddImm, OpStore, OpCommit, OpBarrier}
+	if len(p.Ops) != len(kinds) {
+		t.Fatalf("ops = %d, want %d", len(p.Ops), len(kinds))
+	}
+	for i, k := range kinds {
+		if p.Ops[i].Kind != k {
+			t.Fatalf("op %d = %v, want kind %v", i, p.Ops[i], k)
+		}
+	}
+	if p.Ops[2].N != 3 || p.Ops[7].N != 7 {
+		t.Fatal("site/barrier ids lost")
+	}
+}
+
+func TestOpStrings(t *testing.T) {
+	ops := []Op{
+		{Kind: OpCompute, N: 5}, {Kind: OpLoad, Reg: 1, Addr: 0x40},
+		{Kind: OpStore, Reg: 2, Addr: 0x80}, {Kind: OpStoreImm, Addr: 0xc0, Val: 9},
+		{Kind: OpLoadImm, Reg: 3, Val: 4}, {Kind: OpAddImm, Reg: 0, Val: ^sim.Word(0)},
+		{Kind: OpAddReg, Reg: 1, Reg2: 2}, {Kind: OpBegin, N: 1}, {Kind: OpCommit},
+		{Kind: OpBarrier, N: 2},
+	}
+	for _, op := range ops {
+		if op.String() == "" {
+			t.Fatalf("empty String for %#v", op)
+		}
+	}
+}
+
+func TestRegionAddressing(t *testing.T) {
+	alloc := mem.NewAllocator(0x1000, 1<<20)
+	r := NewRegion(alloc, 4)
+	if r.LineAddr(0) != r.Base {
+		t.Fatal("LineAddr(0) != Base")
+	}
+	if r.LineAddr(4) != r.LineAddr(0) {
+		t.Fatal("modulo wrap failed")
+	}
+	if r.LineAddr(-1) != r.LineAddr(3) {
+		t.Fatal("negative index wrap failed")
+	}
+	if r.WordAddr(1, 3) != r.LineAddr(1)+24 {
+		t.Fatal("WordAddr offset wrong")
+	}
+	if !r.Contains(r.LineAddr(3)) || r.Contains(r.Base+4*sim.LineBytes) {
+		t.Fatal("Contains wrong")
+	}
+}
+
+func TestZipfSkew(t *testing.T) {
+	z := NewZipf(100, 1.0)
+	rng := sim.NewRNG(3)
+	counts := make([]int, 100)
+	for i := 0; i < 100000; i++ {
+		counts[z.Sample(rng)]++
+	}
+	if counts[0] <= counts[50]*5 {
+		t.Fatalf("zipf not skewed: head %d vs mid %d", counts[0], counts[50])
+	}
+	// Uniform when s = 0.
+	u := NewZipf(10, 0)
+	counts = make([]int, 10)
+	for i := 0; i < 100000; i++ {
+		counts[u.Sample(rng)]++
+	}
+	for i, c := range counts {
+		if c < 8000 || c > 12000 {
+			t.Fatalf("uniform zipf bucket %d = %d", i, c)
+		}
+	}
+}
+
+// TestZipfInRange property-checks the sampler's domain.
+func TestZipfInRange(t *testing.T) {
+	f := func(n uint8, seed uint64) bool {
+		domain := int(n%50) + 1
+		z := NewZipf(domain, 0.8)
+		rng := sim.NewRNG(seed)
+		for i := 0; i < 100; i++ {
+			v := z.Sample(rng)
+			if v < 0 || v >= domain {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestContentionVariantsRegistered(t *testing.T) {
+	for _, name := range []string{"kmeans-high", "vacation-high"} {
+		app, _ := genApp(t, name, 4, 0.1)
+		if !app.HighContention {
+			t.Errorf("%s not marked high-contention", name)
+		}
+		if app.TotalTx() == 0 {
+			t.Errorf("%s generated no transactions", name)
+		}
+	}
+	// The low variants keep the paper's Table IV classification.
+	for _, name := range []string{"kmeans", "vacation"} {
+		app, _ := genApp(t, name, 4, 0.1)
+		if app.HighContention {
+			t.Errorf("%s wrongly marked high-contention", name)
+		}
+	}
+}
+
+func TestDuplicateRegisterPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("duplicate Register did not panic")
+		}
+	}()
+	Register("counter", GenCounter)
+}

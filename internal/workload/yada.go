@@ -1,0 +1,67 @@
+package workload
+
+import "suvtm/internal/mem"
+
+func init() { Register("yada", GenYada) }
+
+// GenYada models STAMP yada (-a20 -i 633.2): Delaunay mesh refinement.
+// Each transaction retriangulates the cavity around a bad triangle —
+// coarse transactions (Table IV: ~6.8K instructions) whose cavities
+// cluster around the same poor-quality areas of the shared mesh
+// (Zipf-skewed), so concurrent refinements collide often. Every fourth
+// refinement triggers a cascade whose write-set spans hundreds of lines,
+// contributing the redirect-table and cache overflows of Table V.
+func GenYada(cfg GenConfig, alloc *mem.Allocator, m *mem.Memory) *App {
+	const (
+		meshLines   = 4096
+		txPerThread = 24
+		normalReads = 40
+		normalWrite = 30
+		cascadeWr   = 520
+	)
+	mesh := NewRegion(alloc, meshLines)
+	zipfM := NewZipf(meshLines, 0.7)
+
+	txs := cfg.scaled(txPerThread)
+	programs := make([]Program, cfg.Cores)
+	var adds int64
+	for c := 0; c < cfg.Cores; c++ {
+		rng := cfg.rng(uint64(c)*41 + 809)
+		b := NewBuilder()
+		for t := 0; t < txs; t++ {
+			b.Compute(500) // pop a bad triangle from the private heap
+			writes := normalWrite
+			if t%4 == 3 {
+				writes = cascadeWr // refinement cascade
+			}
+			b.Begin(0)
+			for k := 0; k < normalReads; k++ {
+				b.Load(1, mesh.WordAddr(zipfM.Sample(rng), k%8))
+				if k%8 == 7 {
+					b.Compute(80) // in-circle tests
+				}
+			}
+			b.Compute(900)
+			for k := 0; k < writes; k++ {
+				idx := zipfM.Sample(rng)
+				rmwAdd(b, mesh.WordAddr(idx, (idx*11+k)%8), 1)
+				if k%16 == 15 {
+					b.Compute(50)
+				}
+			}
+			b.Commit()
+			adds += int64(writes)
+			b.Compute(300)
+		}
+		b.Barrier(0)
+		programs[c] = b.Build()
+	}
+	return &App{
+		Name:           "yada",
+		HighContention: true,
+		InputDesc:      "-a20 -i 633.2",
+		MeanTxLen:      6800,
+		Programs:       programs,
+		Check:          checkRegionSum("yada", mesh, 8, adds),
+	}
+}

@@ -1,0 +1,182 @@
+// Package suvtm is a library-level reproduction of "SUV: A Novel
+// Single-Update Version-Management Scheme for Hardware Transactional
+// Memory Systems" (Yan, Jiang, Feng, Tian, Tan — IPDPS Workshops 2012).
+//
+// It bundles an execution-driven, cycle-approximate 16-core CMP
+// simulator (MESI directory coherence over a 4x4 mesh, 32KB/8MB cache
+// hierarchy — Table III of the paper), four hardware-transactional-
+// memory version-management schemes (LogTM-SE, FasTM, SUV-TM, DynTM with
+// and without SUV), eight STAMP-analogue transactional workloads, and
+// the experiment harness that regenerates every table and figure of the
+// paper's evaluation.
+//
+// # Quick start
+//
+//	res, err := suvtm.Run(suvtm.Spec{App: "intruder", Scheme: suvtm.SUVTM})
+//	if err != nil { ... }
+//	fmt.Println(res.Cycles, res.Breakdown.String())
+//
+// Custom workloads are assembled with a Builder and executed on a
+// Machine directly; see examples/bank.
+package suvtm
+
+import (
+	"suvtm/internal/cactimodel"
+	"suvtm/internal/experiments"
+	"suvtm/internal/htm"
+	"suvtm/internal/mem"
+	"suvtm/internal/sim"
+	"suvtm/internal/stats"
+	"suvtm/internal/workload"
+)
+
+// Scheme identifies a version-management scheme.
+type Scheme = experiments.Scheme
+
+// The schemes the paper evaluates.
+const (
+	// LogTMSE is the eager undo-log baseline (Yen et al., HPCA 2007).
+	LogTMSE = experiments.LogTMSE
+	// FasTM keeps speculative values in the L1 for fast aborts
+	// (Lupon et al., PACT 2009).
+	FasTM = experiments.FasTM
+	// SUVTM is the paper's single-update redirect scheme.
+	SUVTM = experiments.SUVTM
+	// DynTM is the adaptive eager/lazy design (Lupon et al., MICRO 2010).
+	DynTM = experiments.DynTM
+	// DynTMSUV is DynTM with SUV as its version manager (the paper's D+S).
+	DynTMSUV = experiments.DynTMSUV
+)
+
+// Spec describes one simulation run; see experiments.Spec.
+type Spec = experiments.Spec
+
+// Outcome is a completed run; see experiments.Outcome.
+type Outcome = experiments.Outcome
+
+// Options parameterize a multi-run experiment.
+type Options = experiments.Options
+
+// Run executes one application under one scheme on the simulated CMP.
+func Run(spec Spec) (*Outcome, error) { return experiments.Run(spec) }
+
+// RunMany executes specs concurrently on a worker pool.
+func RunMany(specs []Spec) ([]*Outcome, error) { return experiments.RunMany(specs) }
+
+// Experiment entry points, one per table/figure of the paper.
+var (
+	// RunFig6 reproduces Figure 6 (LogTM-SE vs FasTM vs SUV-TM).
+	RunFig6 = experiments.RunFig6
+	// RunFig9 reproduces Figure 9 (DynTM vs DynTM+SUV).
+	RunFig9 = experiments.RunFig9
+	// RunFig7 sweeps the first-level redirect-table size.
+	RunFig7 = experiments.RunFig7
+	// RunFig8Size sweeps the second-level table size.
+	RunFig8Size = experiments.RunFig8Size
+	// RunFig8Latency sweeps the second-level table latency.
+	RunFig8Latency = experiments.RunFig8Latency
+	// RunTable1 measures abort ratios (Table I companion).
+	RunTable1 = experiments.RunTable1
+	// RunTable5 measures overflow statistics (Table V).
+	RunTable5 = experiments.RunTable5
+)
+
+// Workload construction: programs are register-machine traces delimited
+// by Begin/Commit, built with a Builder and run on a Machine.
+type (
+	// Builder assembles a per-core Program.
+	Builder = workload.Builder
+	// Program is one core's instruction stream.
+	Program = workload.Program
+	// App is a generated application with invariants.
+	App = workload.App
+	// GenConfig parameterizes workload generators.
+	GenConfig = workload.GenConfig
+	// Region is a run of cache lines backing a shared structure.
+	Region = workload.Region
+)
+
+// NewBuilder returns an empty program builder.
+func NewBuilder() *Builder { return workload.NewBuilder() }
+
+// StampApps lists the eight STAMP-analogue applications.
+func StampApps() []string { return append([]string(nil), workload.StampApps...) }
+
+// Apps lists every registered workload generator.
+func Apps() []string { return workload.Names() }
+
+// Machine-level access for custom simulations.
+type (
+	// MachineConfig carries the Table III CMP parameters.
+	MachineConfig = htm.Config
+	// Machine is one simulated CMP.
+	Machine = htm.Machine
+	// MachineResult aggregates a run.
+	MachineResult = htm.Result
+	// VersionManager is the scheme plug-in interface.
+	VersionManager = htm.VersionManager
+	// Breakdown is the per-component cycle attribution of Figure 6.
+	Breakdown = stats.Breakdown
+	// Counters are the event counters of a run.
+	Counters = stats.Counters
+	// Memory is the value-accurate simulated memory.
+	Memory = mem.Memory
+	// Allocator lays out the simulated address space.
+	Allocator = mem.Allocator
+	// Cycles counts simulated clock cycles.
+	Cycles = sim.Cycles
+)
+
+// Component is one slice of the execution-time breakdown (Figure 6).
+type Component = stats.Component
+
+// The breakdown components, in the paper's order.
+const (
+	NoTrans    = stats.NoTrans
+	Trans      = stats.Trans
+	Barrier    = stats.Barrier
+	Backoff    = stats.Backoff
+	Stalled    = stats.Stalled
+	Wasted     = stats.Wasted
+	Aborting   = stats.Aborting
+	Committing = stats.Committing
+)
+
+// DefaultConfig returns the paper's Table III configuration.
+func DefaultConfig(cores int) MachineConfig { return htm.DefaultConfig(cores) }
+
+// NewVM constructs a version manager for a scheme.
+func NewVM(s Scheme) (VersionManager, error) { return experiments.NewVM(s) }
+
+// NewMachine builds a simulated CMP executing one program per core.
+func NewMachine(cfg MachineConfig, vm VersionManager, programs []Program, memory *Memory, alloc *Allocator) *Machine {
+	return htm.New(cfg, vm, programs, memory, alloc)
+}
+
+// NewMemory returns an empty simulated memory image.
+func NewMemory() *Memory { return mem.NewMemory() }
+
+// NewAllocator returns a bump allocator over [base, base+size).
+func NewAllocator(base uint64, size uint64) *Allocator { return mem.NewAllocator(base, size) }
+
+// NewRegion allocates a region of n cache lines.
+func NewRegion(alloc *Allocator, n int) Region { return workload.NewRegion(alloc, n) }
+
+// Hardware-cost model (Tables VI/VII and Section V-C).
+type (
+	// HWEstimate is a CACTI-style estimate of a fully-associative table.
+	HWEstimate = cactimodel.Estimate
+	// HWCost aggregates the Section V-C per-core and chip overheads.
+	HWCost = cactimodel.SUVCost
+)
+
+// EstimateTable models a fully-associative redirect table at a
+// technology node (90/65/45/32 nm).
+func EstimateTable(nm, entries, entryBits int) (HWEstimate, error) {
+	return cactimodel.FullyAssociative(nm, entries, entryBits)
+}
+
+// SUVHardwareCost computes the Section V-C overhead summary.
+func SUVHardwareCost(cores int, clockGHz float64) (HWCost, error) {
+	return cactimodel.SectionVC(cores, clockGHz, 2048, 2048, 512, 22)
+}
