@@ -8,6 +8,11 @@
 //	suvsim -app intruder -scheme SUV-TM [-cores 16] [-scale 1.0] [-seed 1]
 //	suvsim -config        # print the Table III machine configuration
 //	suvsim -list          # list available applications
+//
+// Observability (see EXPERIMENTS.md for a walkthrough):
+//
+//	suvsim -app intruder -scheme SUV-TM -chrome-trace t.json \
+//	       -metrics-csv m.csv -sample-interval 10000 -metrics-json m.json
 package main
 
 import (
@@ -29,6 +34,11 @@ func main() {
 		config = flag.Bool("config", false, "print the simulated CMP configuration and exit")
 		list   = flag.Bool("list", false, "list available applications and exit")
 		traceN = flag.Int("trace", 0, "dump the last N transaction lifecycle events")
+
+		metricsJSON = flag.String("metrics-json", "", "write the end-of-run metrics snapshot (counters, gauges, histograms) to this file")
+		metricsCSV  = flag.String("metrics-csv", "", "write the interval-sampled time series to this CSV file")
+		chromeTrace = flag.String("chrome-trace", "", "write a Chrome trace-event JSON (Perfetto / chrome://tracing) to this file")
+		interval    = flag.Uint64("sample-interval", 10000, "time-series sampling interval in simulated cycles")
 	)
 	flag.Parse()
 
@@ -42,11 +52,21 @@ func main() {
 		return
 	}
 
-	out, err := suvtm.Run(suvtm.Spec{
+	spec := suvtm.Spec{
 		App: *app, Scheme: suvtm.Scheme(*scheme),
 		Cores: *cores, Scale: *scale, Seed: *seed,
 		TraceEvents: *traceN,
-	})
+		Metrics:     *metricsJSON != "",
+		ChromeTrace: *chromeTrace != "",
+	}
+	if *metricsCSV != "" {
+		if *interval == 0 {
+			fmt.Fprintln(os.Stderr, "suvsim: -metrics-csv needs a positive -sample-interval")
+			os.Exit(2)
+		}
+		spec.SampleInterval = suvtm.Cycles(*interval)
+	}
+	out, err := suvtm.Run(spec)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "suvsim:", err)
 		os.Exit(1)
@@ -87,6 +107,35 @@ func main() {
 	if out.Trace != nil {
 		fmt.Printf("\nLast %d lifecycle events (of %d recorded):\n%s",
 			*traceN, out.Trace.Total(), out.Trace.Dump())
+	}
+	writeMetrics(out, *metricsJSON, *metricsCSV, *chromeTrace)
+}
+
+// writeMetrics exports the run's observability outputs to the requested
+// files.
+func writeMetrics(out *suvtm.Outcome, jsonPath, csvPath, tracePath string) {
+	save := func(path, what string, write func(*os.File) error) {
+		f, err := os.Create(path)
+		if err == nil {
+			err = write(f)
+			if cerr := f.Close(); err == nil {
+				err = cerr
+			}
+		}
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "suvsim:", err)
+			os.Exit(1)
+		}
+		fmt.Printf("  wrote %s: %s\n", what, path)
+	}
+	if jsonPath != "" && out.Metrics != nil {
+		save(jsonPath, "metrics snapshot", func(f *os.File) error { return out.Metrics.WriteJSON(f) })
+	}
+	if csvPath != "" && out.Series != nil {
+		save(csvPath, "interval series", func(f *os.File) error { return out.Series.WriteCSV(f) })
+	}
+	if tracePath != "" && out.Chrome != nil {
+		save(tracePath, "Chrome trace", func(f *os.File) error { return out.Chrome.WriteJSON(f) })
 	}
 }
 

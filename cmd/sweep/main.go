@@ -6,6 +6,7 @@
 //
 //	sweep -fig7 [-scale 1.0] [-apps bayes,labyrinth,yada]
 //	sweep -fig8size | -fig8lat | -all
+//	sweep -series intruder -csv out   # per-interval time series per scheme
 package main
 
 import (
@@ -30,6 +31,8 @@ func main() {
 		seed     = flag.Uint64("seed", 1, "simulation seed")
 		scale    = flag.Float64("scale", 1.0, "workload scale factor")
 		apps     = flag.String("apps", "", "comma-separated app subset (default: all eight)")
+		series   = flag.String("series", "", "per-interval time series for one app under the Figure 6 schemes (requires -csv)")
+		interval = flag.Uint64("sample-interval", 10000, "sampling interval for -series, in simulated cycles")
 	)
 	flag.Parse()
 
@@ -79,9 +82,54 @@ func main() {
 		fmt.Println(sw.Render())
 		saveCSV(*csvDir, "fig8b.csv", sw, fail)
 	}
+	if *series != "" {
+		ran = true
+		if *csvDir == "" {
+			fail(fmt.Errorf("-series needs -csv <dir> to write the per-scheme CSVs"))
+		}
+		runSeries(*series, opts, *interval, *csvDir, fail)
+	}
 	if !ran {
 		flag.Usage()
 		os.Exit(2)
+	}
+}
+
+// runSeries samples one app under each Figure 6 scheme and writes
+// series_<app>_<scheme>.csv per scheme: one row per sampling interval
+// with commit/abort/NACK rates, cache activity and redirect occupancy.
+func runSeries(app string, opts experiments.Options, interval uint64, dir string, fail func(error)) {
+	specs := make([]experiments.Spec, len(experiments.Fig6Schemes))
+	for i, s := range experiments.Fig6Schemes {
+		specs[i] = experiments.Spec{
+			App: app, Scheme: s,
+			Cores: opts.Cores, Seed: opts.Seed, Scale: opts.Scale,
+			SampleInterval: interval,
+		}
+	}
+	outs, err := experiments.RunMany(specs)
+	if err != nil {
+		fail(err)
+	}
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		fail(err)
+	}
+	for _, out := range outs {
+		name := fmt.Sprintf("series_%s_%s.csv", app,
+			strings.ReplaceAll(string(out.Spec.Scheme), "+", "-"))
+		path := filepath.Join(dir, name)
+		f, err := os.Create(path)
+		if err != nil {
+			fail(err)
+		}
+		err = out.Series.WriteCSV(f)
+		if cerr := f.Close(); err == nil {
+			err = cerr
+		}
+		if err != nil {
+			fail(err)
+		}
+		fmt.Printf("wrote %s (%d intervals, %d cycles total)\n", path, len(out.Series.Rows), out.Cycles)
 	}
 }
 

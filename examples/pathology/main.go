@@ -10,9 +10,20 @@
 // long.
 //
 //	go run ./examples/pathology
+//
+// To see the pathology with your own eyes, profile one scheme:
+//
+//	go run ./examples/pathology -profile LogTM-SE \
+//	    -chrome-trace pathology.json -interval-csv pathology.csv
+//
+// then load pathology.json into https://ui.perfetto.dev (or
+// chrome://tracing) — each core is a track, committed attempts are
+// green spans, aborted attempts red — and plot the per-interval abort
+// column of pathology.csv over time.
 package main
 
 import (
+	"flag"
 	"fmt"
 	"os"
 
@@ -20,6 +31,14 @@ import (
 )
 
 func main() {
+	var (
+		profile  = flag.String("profile", "", "also profile one scheme (e.g. LogTM-SE) with the flags below")
+		chromeTr = flag.String("chrome-trace", "", "write the profiled run as Chrome trace-event JSON")
+		seriesCS = flag.String("interval-csv", "", "write the profiled run's per-interval time series as CSV")
+		interval = flag.Uint64("sample-interval", 5000, "sampling interval in simulated cycles")
+	)
+	flag.Parse()
+
 	const (
 		cores     = 16
 		hotLines  = 96
@@ -98,6 +117,52 @@ func main() {
 	fmt.Printf("\nLogTM-SE spends %dx more cycles rolling back than SUV-TM;\n", ratio(base.aborting, suv.aborting))
 	fmt.Printf("the stalls behind those roll-backs make it %.2fx slower overall.\n",
 		float64(base.cycles)/float64(suv.cycles))
+
+	if *profile != "" {
+		memory, alloc, progs := build()
+		vm, err := suvtm.NewVM(suvtm.Scheme(*profile))
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "pathology:", err)
+			os.Exit(1)
+		}
+		m := suvtm.NewMachine(suvtm.DefaultConfig(cores), vm, progs, memory, alloc)
+		col := suvtm.NewMetricsCollector(*interval)
+		m.EnableMetrics(col)
+		var ct *suvtm.ChromeTrace
+		if *chromeTr != "" {
+			ct = suvtm.NewChromeTrace()
+			col.AttachChromeTrace(ct)
+			m.SetTracer(suvtm.NewTraceRecorder(1).Stream(ct))
+		}
+		if _, err := m.Run(); err != nil {
+			fmt.Fprintln(os.Stderr, "pathology:", err)
+			os.Exit(1)
+		}
+		fmt.Printf("\nprofiled %s:\n", *profile)
+		if ct != nil {
+			writeFile(*chromeTr, "Chrome trace", func(f *os.File) error { return ct.WriteJSON(f) })
+		}
+		if *seriesCS != "" {
+			series := col.Series()
+			writeFile(*seriesCS, "interval series", func(f *os.File) error { return series.WriteCSV(f) })
+		}
+	}
+}
+
+// writeFile creates path and fills it with write, exiting on error.
+func writeFile(path, what string, write func(*os.File) error) {
+	f, err := os.Create(path)
+	if err == nil {
+		err = write(f)
+		if cerr := f.Close(); err == nil {
+			err = cerr
+		}
+	}
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "pathology:", err)
+		os.Exit(1)
+	}
+	fmt.Printf("  wrote %s: %s\n", what, path)
 }
 
 func ratio(a, b suvtm.Cycles) suvtm.Cycles {

@@ -7,10 +7,25 @@
 // machine; the directory itself is TM-agnostic.
 package coherence
 
-import "suvtm/internal/sim"
+import (
+	"suvtm/internal/metrics"
+	"suvtm/internal/sim"
+)
 
 // maxCores bounds the sharer bit-vector width.
 const maxCores = 64
+
+// DirStats counts the directory's protocol message mix for the
+// observability layer: how a run's coherence traffic splits into read
+// fills, write fills, downgrades, invalidations and evictions. Plain
+// adds, no timing effect.
+type DirStats struct {
+	GETS          metrics.Counter // shared fills recorded (AddSharer)
+	GETM          metrics.Counter // exclusive fills recorded (SetOwner)
+	Downgrades    metrics.Counter // Modified owners demoted to Shared
+	Invalidations metrics.Counter // copies invalidated by exclusive fills
+	Drops         metrics.Counter // evictions / explicit copy removals
+}
 
 // entry is the directory state for one line.
 type entry struct {
@@ -22,6 +37,9 @@ type entry struct {
 type Directory struct {
 	cores   int
 	entries map[sim.Line]entry
+
+	// Stats accumulates the protocol message mix.
+	Stats DirStats
 }
 
 // NewDirectory creates a directory for the given core count.
@@ -62,6 +80,7 @@ func (d *Directory) SharerList(line sim.Line) []int {
 // owner (core itself or a remote one) is downgraded to a sharer — its
 // cache keeps a Shared copy after servicing the read, per MESI.
 func (d *Directory) AddSharer(line sim.Line, core int) {
+	d.Stats.GETS.Inc()
 	e := d.get(line)
 	if e.owner >= 0 {
 		e.sharers |= 1 << uint(e.owner)
@@ -85,6 +104,8 @@ func (d *Directory) SetOwner(line sim.Line, core int) []int {
 			invalidated = append(invalidated, c)
 		}
 	}
+	d.Stats.GETM.Inc()
+	d.Stats.Invalidations.Add(uint64(len(invalidated)))
 	e.owner = int8(core)
 	e.sharers = 0
 	d.entries[line] = e
@@ -96,6 +117,7 @@ func (d *Directory) SetOwner(line sim.Line, core int) []int {
 func (d *Directory) Downgrade(line sim.Line, core int) {
 	e := d.get(line)
 	if int(e.owner) == core {
+		d.Stats.Downgrades.Inc()
 		e.owner = -1
 		e.sharers |= 1 << uint(core)
 		d.entries[line] = e
@@ -108,6 +130,7 @@ func (d *Directory) Drop(line sim.Line, core int) {
 	if !ok {
 		return
 	}
+	d.Stats.Drops.Inc()
 	if int(e.owner) == core {
 		e.owner = -1
 	}

@@ -1,0 +1,130 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+)
+
+// TestMetricsObservability runs one contended workload with every
+// observability output enabled and checks the acceptance shape: a
+// snapshot whose counters agree with the engine's own, one series row
+// per sampling interval, and a Chrome trace with at least one complete
+// span per committing core.
+func TestMetricsObservability(t *testing.T) {
+	spec := Spec{
+		App: "counter", Scheme: SUVTM, Cores: 4, Scale: 0.3,
+		SampleInterval: 1000, ChromeTrace: true, Metrics: true,
+	}
+	out, err := Run(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	snap := out.Metrics
+	if snap == nil {
+		t.Fatal("no snapshot")
+	}
+	if snap.Counters["tx.commits"] != out.Counters.TxCommitted {
+		t.Fatalf("snapshot commits = %d, engine counted %d",
+			snap.Counters["tx.commits"], out.Counters.TxCommitted)
+	}
+	if snap.Counters["tx.aborts"] != out.Counters.TxAborted {
+		t.Fatalf("snapshot aborts = %d, engine counted %d",
+			snap.Counters["tx.aborts"], out.Counters.TxAborted)
+	}
+	if snap.Meta["app"] != "counter" || snap.Meta["scheme"] != "SUV-TM" {
+		t.Fatalf("meta = %v", snap.Meta)
+	}
+	var hasDuration bool
+	for _, h := range snap.Histograms {
+		if h.Name == "tx.duration" {
+			hasDuration = true
+			if h.Count != out.Counters.TxCommitted {
+				t.Fatalf("tx.duration samples = %d, want %d commits", h.Count, out.Counters.TxCommitted)
+			}
+			if h.Min == 0 || h.Max < h.Min {
+				t.Fatalf("tx.duration range [%d, %d]", h.Min, h.Max)
+			}
+		}
+	}
+	if !hasDuration {
+		t.Fatal("tx.duration histogram missing")
+	}
+	if len(snap.Breakouts["dir.mix"]) == 0 || len(snap.Breakouts["mesh.links"]) == 0 {
+		t.Fatalf("breakouts = %v", snap.Breakouts)
+	}
+
+	series := out.Series
+	if series == nil || len(series.Rows) == 0 {
+		t.Fatal("no series rows")
+	}
+	fullIntervals := int(out.Cycles / 1000)
+	wantRows := fullIntervals
+	if out.Cycles%1000 != 0 {
+		wantRows++ // trailing partial interval
+	}
+	if len(series.Rows) != wantRows {
+		t.Fatalf("series rows = %d, want %d for %d cycles at interval 1000",
+			len(series.Rows), wantRows, out.Cycles)
+	}
+	var commits float64
+	idx := -1
+	for i, c := range series.Columns {
+		if c == "tx.commits" {
+			idx = i
+		}
+	}
+	if idx < 0 {
+		t.Fatalf("columns = %v", series.Columns)
+	}
+	for _, row := range series.Rows {
+		commits += row[idx]
+	}
+	if uint64(commits) != out.Counters.TxCommitted {
+		t.Fatalf("per-interval commit deltas sum to %v, want %d", commits, out.Counters.TxCommitted)
+	}
+
+	ct := out.Chrome
+	if ct == nil {
+		t.Fatal("no chrome trace")
+	}
+	if ct.Spans() < int(out.Counters.TxCommitted) {
+		t.Fatalf("chrome spans = %d, want at least %d (one per committed attempt)",
+			ct.Spans(), out.Counters.TxCommitted)
+	}
+	var sb strings.Builder
+	if err := ct.WriteJSON(&sb); err != nil {
+		t.Fatal(err)
+	}
+	for core := 0; core < 4; core++ {
+		want := `"tid":` + string(rune('0'+core))
+		if !strings.Contains(sb.String(), want) {
+			t.Fatalf("no trace events on core %d's track", core)
+		}
+	}
+}
+
+// TestMetricsAreObservationOnly re-runs a workload with and without the
+// full observability stack and requires identical simulated cycles and
+// counters: enabling metrics must never perturb the simulation.
+func TestMetricsAreObservationOnly(t *testing.T) {
+	base := Spec{App: "bank", Scheme: LogTMSE, Cores: 4, Scale: 0.3}
+	plain, err := Run(base)
+	if err != nil {
+		t.Fatal(err)
+	}
+	probed := base
+	probed.Metrics = true
+	probed.SampleInterval = 500
+	probed.ChromeTrace = true
+	traced, err := Run(probed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if plain.Cycles != traced.Cycles {
+		t.Fatalf("metrics changed the simulation: %d vs %d cycles", plain.Cycles, traced.Cycles)
+	}
+	if plain.Counters != traced.Counters {
+		t.Fatalf("metrics changed the counters:\n%+v\n%+v", plain.Counters, traced.Counters)
+	}
+}

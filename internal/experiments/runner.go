@@ -17,6 +17,8 @@ import (
 	"suvtm/internal/htm/logtmse"
 	"suvtm/internal/htm/suvtm"
 	"suvtm/internal/mem"
+	"suvtm/internal/metrics"
+	"suvtm/internal/sim"
 	"suvtm/internal/trace"
 	"suvtm/internal/workload"
 )
@@ -76,6 +78,20 @@ type Spec struct {
 	// TraceEvents, when positive, records the last N transaction
 	// lifecycle events into Outcome.Trace.
 	TraceEvents int
+	// Metrics enables counters/gauge/histogram collection and the
+	// end-of-run snapshot (Outcome.Metrics).
+	Metrics bool
+	// SampleInterval, when positive, additionally samples a time series
+	// every N simulated cycles (Outcome.Series), implying Metrics.
+	SampleInterval sim.Cycles
+	// ChromeTrace streams the full lifecycle-event sequence into a Chrome
+	// trace-event builder (Outcome.Chrome), implying Metrics.
+	ChromeTrace bool
+}
+
+// wantMetrics reports whether any observability output is requested.
+func (s *Spec) wantMetrics() bool {
+	return s.Metrics || s.SampleInterval > 0 || s.ChromeTrace
 }
 
 // Outcome is the result of one run plus identification and the
@@ -88,6 +104,11 @@ type Outcome struct {
 	PoolPages  uint64
 	RedirectEn int             // live redirect entries at end of run
 	Trace      *trace.Recorder // non-nil when Spec.TraceEvents > 0
+
+	// Observability outputs, populated per the Spec's metrics fields.
+	Metrics *metrics.Snapshot    // non-nil when metrics were enabled
+	Series  *metrics.Series      // non-nil when SampleInterval > 0
+	Chrome  *metrics.ChromeTrace // non-nil when ChromeTrace was set
 }
 
 // Run executes one simulation.
@@ -128,6 +149,23 @@ func Run(spec Spec) (*Outcome, error) {
 		rec = trace.NewRecorder(spec.TraceEvents)
 		machine.SetTracer(rec)
 	}
+	var col *metrics.Collector
+	var chrome *metrics.ChromeTrace
+	if spec.wantMetrics() {
+		col = metrics.NewCollector(spec.SampleInterval)
+		if spec.ChromeTrace {
+			chrome = metrics.NewChromeTrace()
+			col.AttachChromeTrace(chrome)
+			// The Chrome trace needs the full event stream; piggyback on
+			// the user's recorder or attach a minimal one.
+			if rec == nil {
+				rec = trace.NewRecorder(1)
+				machine.SetTracer(rec)
+			}
+			rec.Stream(chrome)
+		}
+		machine.EnableMetrics(col)
+	}
 	res, err := machine.Run()
 	if err != nil {
 		return nil, fmt.Errorf("%s under %s: %w", spec.App, spec.Scheme, err)
@@ -138,7 +176,22 @@ func Run(spec Spec) (*Outcome, error) {
 		AppMeta:    app,
 		PoolPages:  machine.Redirect.Pool().Pages(),
 		RedirectEn: machine.Redirect.EntryCount(),
-		Trace:      rec,
+		Chrome:     chrome,
+	}
+	if spec.TraceEvents > 0 {
+		out.Trace = rec
+	}
+	if col != nil {
+		snap := col.Snapshot()
+		snap.Meta["app"] = spec.App
+		snap.Meta["scheme"] = string(spec.Scheme)
+		snap.Meta["cores"] = fmt.Sprint(cores)
+		snap.Meta["seed"] = fmt.Sprint(seed)
+		snap.Meta["cycles"] = fmt.Sprint(res.Cycles)
+		out.Metrics = snap
+		if spec.SampleInterval > 0 {
+			out.Series = col.Series()
+		}
 	}
 	if app.Check != nil {
 		out.CheckErr = app.Check(machine.ArchMem())

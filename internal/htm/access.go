@@ -75,7 +75,7 @@ func (m *Machine) doStore(c *Core, addr sim.Addr, val sim.Word) {
 		for _, h := range m.Cores {
 			if h != c && m.modeOf(h) == ModeLazy && !h.abortPending &&
 				(h.ReadSig.Test(line) || h.WriteSig.Test(line)) {
-				h.abortPending = true
+				h.doomBy(c.ID)
 			}
 		}
 	}
@@ -265,7 +265,7 @@ func (m *Machine) handleNACK(c, holder *Core, line sim.Line, lat sim.Cycles, wri
 		// Alternative policy: the receiving core aborts its transaction
 		// to guarantee the older requester's execution (counted as a
 		// remote abort when the holder processes it).
-		holder.abortPending = true
+		holder.doomBy(c.ID)
 	} else if requesterEager {
 		if m.older(c, holder) {
 			holder.possibleCyc = true

@@ -75,8 +75,10 @@ type Core struct {
 	possibleCyc    bool // this core NACKed an older transaction (LogTM cycle avoidance)
 	consecAborts   int
 	attemptCyc     sim.Cycles // transactional work this attempt (Trans on commit, Wasted on abort)
+	attemptStart   sim.Cycles // cycle of this attempt's outermost begin (metrics)
 	overflowedL1   bool       // a written line was evicted this attempt (Table V)
 	abortPending   bool       // a committing lazy transaction killed us
+	abortedBy      int        // core whose commit doomed us (abortPending), or -1
 	// windowStart is the cycle of this attempt's first write acquisition
 	// (0 = none yet); the isolation window closes when commit completes
 	// or the abort roll-back finishes.
@@ -117,11 +119,21 @@ func (c *Core) TxActive() bool { return len(c.Frames) > 0 && !c.suspended }
 
 // DoomTx marks the core's current transaction for abort at its next
 // step. Version managers use it when a lazy transaction's speculative
-// state overflows the hardware that holds it.
+// state overflows the hardware that holds it (a self-inflicted kill:
+// the core itself is recorded as the killer).
 func (c *Core) DoomTx() {
 	if c.InTx() {
 		c.abortPending = true
+		c.abortedBy = c.ID
 	}
+}
+
+// doomBy marks the core's transaction for abort on behalf of killer
+// (a committing lazy transaction, a non-transactional store, or the
+// older-wins policy), remembering who for the trace.
+func (c *Core) doomBy(killer int) {
+	c.abortPending = true
+	c.abortedBy = killer
 }
 
 // Depth returns the transaction nesting depth (the TM nest counter).
@@ -166,6 +178,7 @@ func (c *Core) clearTxState() {
 	c.attemptCyc = 0
 	c.overflowedL1 = false
 	c.abortPending = false
+	c.abortedBy = -1
 	c.possibleCyc = false
 	c.suspended = false
 	c.windowStart = 0

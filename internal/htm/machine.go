@@ -6,6 +6,7 @@ import (
 	"suvtm/internal/coherence"
 	"suvtm/internal/interconnect"
 	"suvtm/internal/mem"
+	"suvtm/internal/metrics"
 	"suvtm/internal/redirect"
 	"suvtm/internal/signature"
 	"suvtm/internal/sim"
@@ -32,7 +33,9 @@ type Machine struct {
 	Redirect *redirect.Redirect
 	Summary  *signature.Summary
 
-	tracer *trace.Recorder
+	tracer  *trace.Recorder
+	metrics *metrics.Collector
+	obs     *observer
 
 	heap            sim.ReadyHeap
 	now             sim.Cycles
@@ -77,14 +80,15 @@ func New(cfg Config, vm VersionManager, programs []workload.Program, memory *mem
 	rng := sim.NewRNG(cfg.Seed)
 	for i := 0; i < cfg.Cores; i++ {
 		c := &Core{
-			ID:       i,
-			RNG:      rng.Fork(),
-			L1:       mem.NewCache(cfg.L1),
-			TLB:      mem.NewTLB(cfg.TLBEntries),
-			ReadSig:  signature.NewBloom(cfg.SigBits, signature.HashH3),
-			WriteSig: signature.NewBloom(cfg.SigBits, signature.HashH3),
-			readSet:  make(map[sim.Line]struct{}),
-			writeSet: make(map[sim.Line]struct{}),
+			ID:        i,
+			abortedBy: -1,
+			RNG:       rng.Fork(),
+			L1:        mem.NewCache(cfg.L1),
+			TLB:       mem.NewTLB(cfg.TLBEntries),
+			ReadSig:   signature.NewBloom(cfg.SigBits, signature.HashH3),
+			WriteSig:  signature.NewBloom(cfg.SigBits, signature.HashH3),
+			readSet:   make(map[sim.Line]struct{}),
+			writeSet:  make(map[sim.Line]struct{}),
 		}
 		c.writtenTargets = make(map[sim.Line]struct{})
 		if i < len(programs) {
@@ -146,6 +150,7 @@ func (m *Machine) Run() (*Result, error) {
 			return nil, fmt.Errorf("htm: watchdog: simulation exceeded %d cycles (livelock?)", m.cfg.MaxCycles)
 		}
 		m.now = at
+		m.metrics.Tick(at)
 		m.step(m.Cores[id])
 	}
 	if m.finished != len(m.Cores) {
@@ -167,6 +172,9 @@ func (m *Machine) Run() (*Result, error) {
 		res.Counters.Add(&c.Counters)
 	}
 	res.Cycles = end
+	if m.obs != nil {
+		m.obs.finish(m, end)
+	}
 	return res, nil
 }
 
@@ -187,6 +195,7 @@ func (m *Machine) step(c *Core) {
 		if c.abortPending && c.InTx() {
 			// A committer doomed us while we waited for the token.
 			c.Counters.RemoteAborts++
+			m.tracer.Record(trace.Event{Cycle: m.now, Core: c.ID, Kind: trace.RemoteKill, Other: c.abortedBy})
 			m.startAbort(c, 0)
 			return
 		}
@@ -195,7 +204,7 @@ func (m *Machine) step(c *Core) {
 	}
 	if c.abortPending && c.InTx() && !c.suspended {
 		c.Counters.RemoteAborts++
-		m.tracer.Record(trace.Event{Cycle: m.now, Core: c.ID, Kind: trace.RemoteKill, Other: -1})
+		m.tracer.Record(trace.Event{Cycle: m.now, Core: c.ID, Kind: trace.RemoteKill, Other: c.abortedBy})
 		m.startAbort(c, 0)
 		return
 	}

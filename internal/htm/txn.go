@@ -29,6 +29,7 @@ func (m *Machine) doBegin(c *Core, site uint32) {
 			c.Timestamp = m.now
 			c.hasTimestamp = true
 		}
+		c.attemptStart = m.now
 		c.Counters.TxStarted++
 		m.tracer.Record(trace.Event{Cycle: m.now, Core: c.ID, Kind: trace.Begin, Other: -1, Info: uint64(site)})
 	}
@@ -148,7 +149,7 @@ func (m *Machine) killLazyReaders(committer *Core) {
 			continue
 		}
 		if committer.WriteSig.Intersects(h.ReadSig) || committer.WriteSig.Intersects(h.WriteSig) {
-			h.abortPending = true
+			h.doomBy(committer.ID)
 		}
 	}
 }
@@ -186,6 +187,9 @@ func (m *Machine) lazyArbitrate(c *Core) bool {
 // transactional state is released.
 func (m *Machine) sealCommit(c *Core) {
 	m.tracer.Record(trace.Event{Cycle: m.now, Core: c.ID, Kind: trace.Commit, Other: -1, Info: uint64(c.Frames[0].Site)})
+	if m.obs != nil {
+		m.obs.onCommit(m, c)
+	}
 	m.closeIsolationWindow(c)
 	c.Breakdown.Add(stats.Trans, c.attemptCyc)
 	c.Counters.TxCommitted++
@@ -206,6 +210,9 @@ func (m *Machine) sealCommit(c *Core) {
 // that still has to elapse before the roll-back starts.
 func (m *Machine) startAbort(c *Core, lead sim.Cycles) {
 	m.tracer.Record(trace.Event{Cycle: m.now, Core: c.ID, Kind: trace.Abort, Other: -1, Info: uint64(c.Frames[0].Site)})
+	if m.obs != nil {
+		m.obs.onAbort(m, c)
+	}
 	c.Counters.TxAborted++
 	if c.overflowedL1 {
 		c.Counters.CacheOverflowTx++

@@ -3,6 +3,7 @@ package mem
 import (
 	"fmt"
 
+	"suvtm/internal/metrics"
 	"suvtm/internal/sim"
 )
 
@@ -55,6 +56,16 @@ type cacheWay struct {
 	lru   uint64
 }
 
+// CacheStats counts cache activity for the observability layer. The
+// counters are plain adds with no timing effect; Lookup counts demand
+// lookups (Peek, used by invariant checks, does not count).
+type CacheStats struct {
+	Lookups   metrics.Counter // Lookup calls
+	Hits      metrics.Counter // Lookup calls that found the line
+	Inserts   metrics.Counter // lines filled
+	Evictions metrics.Counter // valid victims displaced by fills
+}
+
 // Cache is a set-associative, write-back cache with true LRU replacement.
 // It tracks tags and per-line flags only; data values live in Memory.
 type Cache struct {
@@ -62,6 +73,10 @@ type Cache struct {
 	sets     [][]cacheWay
 	setMask  sim.Line
 	lruClock uint64
+
+	// Stats accumulates activity counts (read them via the metrics layer
+	// or directly in tests).
+	Stats CacheStats
 }
 
 // NewCache builds a cache with the given geometry. The number of sets
@@ -99,10 +114,12 @@ func (c *Cache) find(line sim.Line) *cacheWay {
 // Lookup reports whether line is present and in what state. A hit
 // refreshes the line's LRU position.
 func (c *Cache) Lookup(line sim.Line) (LineState, bool) {
+	c.Stats.Lookups.Inc()
 	w := c.find(line)
 	if w == nil {
 		return Invalid, false
 	}
+	c.Stats.Hits.Inc()
 	c.lruClock++
 	w.lru = c.lruClock
 	return w.state, true
@@ -156,6 +173,7 @@ func (c *Cache) Insert(line sim.Line, state LineState, avoidSpec bool) Victim {
 			return Victim{}
 		}
 	}
+	c.Stats.Inserts.Inc()
 	// Free way?
 	for i := range set {
 		if set[i].state == Invalid {
@@ -180,6 +198,7 @@ func (c *Cache) Insert(line sim.Line, state LineState, avoidSpec bool) Victim {
 			}
 		}
 	}
+	c.Stats.Evictions.Inc()
 	v := Victim{Line: set[victim].line, Dirty: set[victim].dirty, Spec: set[victim].spec, Valid: true}
 	set[victim] = cacheWay{line: line, state: state, lru: c.lruClock}
 	return v

@@ -1,0 +1,185 @@
+package metrics
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"sort"
+
+	"suvtm/internal/sim"
+	"suvtm/internal/trace"
+)
+
+// ChromeTrace builds a Chrome trace-event JSON file (the format read by
+// Perfetto and chrome://tracing) from streamed lifecycle events: one
+// track (tid) per core carrying a complete "X" span for every
+// transaction attempt from begin to commit or abort, instant events for
+// NACKs, remote kills, barriers and suspensions, and counter tracks for
+// every sampled time-series column when attached to a Collector.
+//
+// Timestamps map one simulated cycle to one microsecond, so the viewer's
+// time ruler reads directly in cycles.
+type ChromeTrace struct {
+	events []chromeEvent
+	open   map[int]openSpan
+	named  map[int]bool // tids whose thread_name metadata was emitted
+	spans  int          // completed X spans (tests, acceptance checks)
+}
+
+type openSpan struct {
+	start sim.Cycles
+	site  uint64
+}
+
+// chromeEvent is one trace-event record. Field names follow the Chrome
+// trace-event format spec.
+type chromeEvent struct {
+	Name  string         `json:"name"`
+	Cat   string         `json:"cat,omitempty"`
+	Ph    string         `json:"ph"`
+	Ts    float64        `json:"ts"`
+	Dur   float64        `json:"dur,omitempty"`
+	Pid   int            `json:"pid"`
+	Tid   int            `json:"tid"`
+	Scope string         `json:"s,omitempty"`
+	CName string         `json:"cname,omitempty"`
+	Args  map[string]any `json:"args,omitempty"`
+}
+
+// NewChromeTrace returns an empty trace builder.
+func NewChromeTrace() *ChromeTrace {
+	return &ChromeTrace{open: make(map[int]openSpan), named: make(map[int]bool)}
+}
+
+// Spans returns the number of completed transaction spans recorded.
+func (t *ChromeTrace) Spans() int {
+	if t == nil {
+		return 0
+	}
+	return t.spans
+}
+
+// Events returns the number of trace events accumulated.
+func (t *ChromeTrace) Events() int {
+	if t == nil {
+		return 0
+	}
+	return len(t.events)
+}
+
+// Emit implements trace.Sink: it converts one lifecycle event into trace
+// records. Begins open a per-core span; commits and aborts close it.
+func (t *ChromeTrace) Emit(e trace.Event) {
+	if t == nil {
+		return
+	}
+	t.ensureThread(e.Core)
+	switch e.Kind {
+	case trace.Begin:
+		t.open[e.Core] = openSpan{start: e.Cycle, site: e.Info}
+	case trace.Commit:
+		t.closeSpan(e.Core, e.Cycle, "commit", "good")
+	case trace.Abort:
+		t.closeSpan(e.Core, e.Cycle, "abort", "terrible")
+	case trace.NACK:
+		t.instant(e, "nack", map[string]any{
+			"line": fmt.Sprintf("%#x", e.Line), "holder": e.Other,
+		})
+	case trace.RemoteKill:
+		t.instant(e, "remote-kill", map[string]any{"by": e.Other})
+	case trace.BarrierArrive:
+		t.instant(e, fmt.Sprintf("barrier %d arrive", e.Info), nil)
+	case trace.BarrierRelease:
+		t.instant(e, fmt.Sprintf("barrier %d release", e.Info), nil)
+	case trace.Suspend:
+		t.instant(e, "suspend", nil)
+	case trace.Resume:
+		t.instant(e, "resume", nil)
+	}
+}
+
+// closeSpan emits the complete "X" event for core's open span.
+func (t *ChromeTrace) closeSpan(core int, end sim.Cycles, outcome, cname string) {
+	sp, ok := t.open[core]
+	if !ok {
+		return
+	}
+	delete(t.open, core)
+	dur := float64(end - sp.start)
+	if dur <= 0 {
+		dur = 1 // zero-width spans are invisible in the viewer
+	}
+	t.events = append(t.events, chromeEvent{
+		Name: fmt.Sprintf("tx site %d", sp.site), Cat: "tx", Ph: "X",
+		Ts: float64(sp.start), Dur: dur, Tid: core, CName: cname,
+		Args: map[string]any{"site": sp.site, "outcome": outcome},
+	})
+	t.spans++
+}
+
+// instant emits a thread-scoped instant event.
+func (t *ChromeTrace) instant(e trace.Event, name string, args map[string]any) {
+	t.events = append(t.events, chromeEvent{
+		Name: name, Cat: "event", Ph: "i", Scope: "t",
+		Ts: float64(e.Cycle), Tid: e.Core, Args: args,
+	})
+}
+
+// CounterSample emits a counter-track event ("C") for one sampled
+// time-series value.
+func (t *ChromeTrace) CounterSample(cycle sim.Cycles, name string, value float64) {
+	if t == nil {
+		return
+	}
+	t.events = append(t.events, chromeEvent{
+		Name: name, Ph: "C", Ts: float64(cycle),
+		Args: map[string]any{"value": value},
+	})
+}
+
+// CloseOpen closes every still-open span at the final cycle (a
+// transaction in flight when the run ended, or a trace cut short).
+func (t *ChromeTrace) CloseOpen(end sim.Cycles) {
+	if t == nil {
+		return
+	}
+	cores := make([]int, 0, len(t.open))
+	for core := range t.open {
+		cores = append(cores, core)
+	}
+	sort.Ints(cores)
+	for _, core := range cores {
+		t.closeSpan(core, end, "unfinished", "")
+	}
+}
+
+// ensureThread emits the thread_name metadata record for a core's track
+// the first time the core appears.
+func (t *ChromeTrace) ensureThread(core int) {
+	if t.named[core] {
+		return
+	}
+	t.named[core] = true
+	t.events = append(t.events, chromeEvent{
+		Name: "thread_name", Ph: "M", Tid: core,
+		Args: map[string]any{"name": fmt.Sprintf("core %d", core)},
+	})
+}
+
+// WriteJSON renders the accumulated events as a Chrome trace file.
+func (t *ChromeTrace) WriteJSON(w io.Writer) error {
+	if t == nil {
+		return fmt.Errorf("metrics: nil chrome trace")
+	}
+	doc := struct {
+		TraceEvents     []chromeEvent     `json:"traceEvents"`
+		DisplayTimeUnit string            `json:"displayTimeUnit"`
+		OtherData       map[string]string `json:"otherData"`
+	}{
+		TraceEvents:     t.events,
+		DisplayTimeUnit: "ms",
+		OtherData:       map[string]string{"timeUnit": "1 us = 1 simulated cycle"},
+	}
+	enc := json.NewEncoder(w)
+	return enc.Encode(doc)
+}

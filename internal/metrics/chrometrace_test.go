@@ -1,0 +1,137 @@
+package metrics
+
+import (
+	"encoding/json"
+	"strings"
+	"testing"
+
+	"suvtm/internal/trace"
+)
+
+func TestChromeTraceSpans(t *testing.T) {
+	ct := NewChromeTrace()
+	// Core 0: abort then commit; core 1: left open at the end of the run.
+	ct.Emit(trace.Event{Cycle: 10, Core: 0, Kind: trace.Begin, Info: 3})
+	ct.Emit(trace.Event{Cycle: 25, Core: 0, Kind: trace.Abort, Info: 3})
+	ct.Emit(trace.Event{Cycle: 40, Core: 0, Kind: trace.Begin, Info: 3})
+	ct.Emit(trace.Event{Cycle: 55, Core: 0, Kind: trace.Commit, Info: 3})
+	ct.Emit(trace.Event{Cycle: 50, Core: 1, Kind: trace.Begin, Info: 7})
+	ct.Emit(trace.Event{Cycle: 52, Core: 1, Kind: trace.NACK, Line: 0x1000, Other: 0})
+	ct.CloseOpen(90)
+
+	if ct.Spans() != 3 {
+		t.Fatalf("spans = %d, want 3 (abort + commit + unfinished)", ct.Spans())
+	}
+
+	var sb strings.Builder
+	if err := ct.WriteJSON(&sb); err != nil {
+		t.Fatal(err)
+	}
+	var doc struct {
+		TraceEvents []struct {
+			Name string         `json:"name"`
+			Ph   string         `json:"ph"`
+			Ts   float64        `json:"ts"`
+			Dur  float64        `json:"dur"`
+			Tid  int            `json:"tid"`
+			Args map[string]any `json:"args"`
+		} `json:"traceEvents"`
+		DisplayTimeUnit string `json:"displayTimeUnit"`
+	}
+	if err := json.Unmarshal([]byte(sb.String()), &doc); err != nil {
+		t.Fatalf("trace is not valid JSON: %v", err)
+	}
+	if doc.DisplayTimeUnit != "ms" {
+		t.Fatalf("displayTimeUnit = %q", doc.DisplayTimeUnit)
+	}
+
+	outcomes := map[string]int{}
+	threads := 0
+	for _, e := range doc.TraceEvents {
+		switch e.Ph {
+		case "X":
+			outcomes[e.Args["outcome"].(string)]++
+			if e.Dur <= 0 {
+				t.Fatalf("span %q has non-positive duration %v", e.Name, e.Dur)
+			}
+		case "M":
+			threads++
+		}
+	}
+	if outcomes["abort"] != 1 || outcomes["commit"] != 1 || outcomes["unfinished"] != 1 {
+		t.Fatalf("outcomes = %v", outcomes)
+	}
+	if threads != 2 {
+		t.Fatalf("thread metadata records = %d, want 2", threads)
+	}
+}
+
+func TestChromeTraceZeroWidthSpanIsVisible(t *testing.T) {
+	ct := NewChromeTrace()
+	ct.Emit(trace.Event{Cycle: 5, Core: 0, Kind: trace.Begin})
+	ct.Emit(trace.Event{Cycle: 5, Core: 0, Kind: trace.Commit})
+	var sb strings.Builder
+	if err := ct.WriteJSON(&sb); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(sb.String(), `"dur":1`) {
+		t.Fatalf("zero-width span not widened: %s", sb.String())
+	}
+}
+
+func TestChromeTraceCommitWithoutBeginIgnored(t *testing.T) {
+	ct := NewChromeTrace()
+	ct.Emit(trace.Event{Cycle: 5, Core: 0, Kind: trace.Commit})
+	if ct.Spans() != 0 {
+		t.Fatalf("spans = %d, want 0", ct.Spans())
+	}
+}
+
+func TestChromeTraceCounterTrack(t *testing.T) {
+	col := NewCollector(10)
+	ct := NewChromeTrace()
+	col.AttachChromeTrace(ct)
+	v := 0.0
+	col.Watch("aborts", Cumulative, func() float64 { return v })
+	v = 4
+	col.Tick(10)
+	v = 6
+	col.Finish(20)
+
+	var sb strings.Builder
+	if err := ct.WriteJSON(&sb); err != nil {
+		t.Fatal(err)
+	}
+	var doc struct {
+		TraceEvents []struct {
+			Name string         `json:"name"`
+			Ph   string         `json:"ph"`
+			Args map[string]any `json:"args"`
+		} `json:"traceEvents"`
+	}
+	if err := json.Unmarshal([]byte(sb.String()), &doc); err != nil {
+		t.Fatal(err)
+	}
+	var values []float64
+	for _, e := range doc.TraceEvents {
+		if e.Ph == "C" && e.Name == "aborts" {
+			values = append(values, e.Args["value"].(float64))
+		}
+	}
+	if len(values) != 2 || values[0] != 4 || values[1] != 2 {
+		t.Fatalf("counter samples = %v, want [4 2] (per-interval deltas)", values)
+	}
+}
+
+func TestNilChromeTraceIsNoOp(t *testing.T) {
+	var ct *ChromeTrace
+	ct.Emit(trace.Event{Kind: trace.Begin})
+	ct.CounterSample(1, "x", 2)
+	ct.CloseOpen(10)
+	if ct.Spans() != 0 || ct.Events() != 0 {
+		t.Fatal("nil chrome trace returned data")
+	}
+	if err := ct.WriteJSON(&strings.Builder{}); err == nil {
+		t.Fatal("nil chrome trace write succeeded")
+	}
+}

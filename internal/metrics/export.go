@@ -1,0 +1,50 @@
+package metrics
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+)
+
+// WriteCSV renders the time series with a "cycle,<probe>,..." header and
+// one row per sampled interval. Cycle stamps are written as integers,
+// probe values with minimal formatting.
+func (s *Series) WriteCSV(w io.Writer) error {
+	if s == nil {
+		return nil
+	}
+	if _, err := io.WriteString(w, strings.Join(s.Columns, ",")+"\n"); err != nil {
+		return err
+	}
+	var sb strings.Builder
+	for _, row := range s.Rows {
+		sb.Reset()
+		for i, v := range row {
+			if i > 0 {
+				sb.WriteByte(',')
+			}
+			if i == 0 {
+				sb.WriteString(strconv.FormatUint(uint64(v), 10))
+			} else {
+				sb.WriteString(strconv.FormatFloat(v, 'g', -1, 64))
+			}
+		}
+		sb.WriteByte('\n')
+		if _, err := io.WriteString(w, sb.String()); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// WriteJSON renders the snapshot as indented JSON.
+func (s *Snapshot) WriteJSON(w io.Writer) error {
+	if s == nil {
+		return fmt.Errorf("metrics: nil snapshot")
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(s)
+}

@@ -1,0 +1,173 @@
+package metrics
+
+import "math/bits"
+
+// NumBuckets is the number of log₂ buckets: bucket 0 holds the value 0,
+// bucket k (k ≥ 1) holds values in [2^(k-1), 2^k - 1], so every uint64
+// lands in exactly one of the 65 buckets.
+const NumBuckets = 65
+
+// BucketOf returns the bucket index of v (bits.Len64: 0 for 0, else the
+// position of the highest set bit plus one).
+func BucketOf(v uint64) int { return bits.Len64(v) }
+
+// BucketLow returns the smallest value in bucket b.
+func BucketLow(b int) uint64 {
+	if b <= 0 {
+		return 0
+	}
+	return 1 << uint(b-1)
+}
+
+// BucketHigh returns the largest value in bucket b.
+func BucketHigh(b int) uint64 {
+	if b <= 0 {
+		return 0
+	}
+	if b >= 64 {
+		return ^uint64(0)
+	}
+	return 1<<uint(b) - 1
+}
+
+// Histogram is a log₂-bucketed histogram of uint64 samples (cycle
+// latencies, set sizes, retry counts). Observe is allocation-free: a
+// bit-scan plus four adds into a fixed array. A nil *Histogram is a
+// valid no-op, so optional instrumentation needs no call-site checks.
+type Histogram struct {
+	name   string
+	unit   string
+	counts [NumBuckets]uint64
+	n      uint64
+	sum    uint64
+	min    uint64
+	max    uint64
+}
+
+// NewHistogram creates a standalone (unregistered) histogram; use
+// Collector.NewHistogram to register one for snapshot export.
+func NewHistogram(name, unit string) *Histogram {
+	return &Histogram{name: name, unit: unit}
+}
+
+// Name returns the histogram's registered name.
+func (h *Histogram) Name() string {
+	if h == nil {
+		return ""
+	}
+	return h.name
+}
+
+// Observe records one sample.
+func (h *Histogram) Observe(v uint64) {
+	if h == nil {
+		return
+	}
+	h.counts[BucketOf(v)]++
+	if h.n == 0 || v < h.min {
+		h.min = v
+	}
+	if v > h.max {
+		h.max = v
+	}
+	h.n++
+	h.sum += v
+}
+
+// Count returns the number of samples observed.
+func (h *Histogram) Count() uint64 {
+	if h == nil {
+		return 0
+	}
+	return h.n
+}
+
+// Sum returns the sum of all samples.
+func (h *Histogram) Sum() uint64 {
+	if h == nil {
+		return 0
+	}
+	return h.sum
+}
+
+// Mean returns the arithmetic mean (0 when empty).
+func (h *Histogram) Mean() float64 {
+	if h == nil || h.n == 0 {
+		return 0
+	}
+	return float64(h.sum) / float64(h.n)
+}
+
+// Quantile returns an upper bound for the q-quantile (0 ≤ q ≤ 1): the
+// high edge of the bucket in which the quantile sample falls, clamped to
+// the observed maximum. Bucketed histograms resolve quantiles to a
+// factor of two, which is enough to separate "hundreds of cycles" from
+// "tens of thousands".
+func (h *Histogram) Quantile(q float64) uint64 {
+	if h == nil || h.n == 0 {
+		return 0
+	}
+	if q < 0 {
+		q = 0
+	}
+	if q > 1 {
+		q = 1
+	}
+	rank := uint64(q * float64(h.n))
+	if rank >= h.n {
+		rank = h.n - 1
+	}
+	var seen uint64
+	for b := 0; b < NumBuckets; b++ {
+		seen += h.counts[b]
+		if seen > rank {
+			hi := BucketHigh(b)
+			if hi > h.max {
+				hi = h.max
+			}
+			return hi
+		}
+	}
+	return h.max
+}
+
+// BucketCount is one non-empty bucket of a histogram snapshot.
+type BucketCount struct {
+	Low   uint64 `json:"low"`
+	High  uint64 `json:"high"`
+	Count uint64 `json:"count"`
+}
+
+// HistogramSnapshot is the exportable summary of a histogram.
+type HistogramSnapshot struct {
+	Name    string        `json:"name"`
+	Unit    string        `json:"unit,omitempty"`
+	Count   uint64        `json:"count"`
+	Sum     uint64        `json:"sum"`
+	Min     uint64        `json:"min"`
+	Max     uint64        `json:"max"`
+	Mean    float64       `json:"mean"`
+	P50     uint64        `json:"p50"`
+	P90     uint64        `json:"p90"`
+	P99     uint64        `json:"p99"`
+	Buckets []BucketCount `json:"buckets,omitempty"`
+}
+
+// Snapshot summarizes the histogram (zero-valued on a nil receiver).
+func (h *Histogram) Snapshot() HistogramSnapshot {
+	if h == nil {
+		return HistogramSnapshot{}
+	}
+	s := HistogramSnapshot{
+		Name: h.name, Unit: h.unit,
+		Count: h.n, Sum: h.sum, Min: h.min, Max: h.max,
+		Mean: h.Mean(),
+		P50:  h.Quantile(0.50), P90: h.Quantile(0.90), P99: h.Quantile(0.99),
+	}
+	for b := 0; b < NumBuckets; b++ {
+		if h.counts[b] > 0 {
+			s.Buckets = append(s.Buckets, BucketCount{Low: BucketLow(b), High: BucketHigh(b), Count: h.counts[b]})
+		}
+	}
+	return s
+}

@@ -1,0 +1,118 @@
+package metrics
+
+import (
+	"math"
+	"testing"
+)
+
+func TestBucketBoundaries(t *testing.T) {
+	cases := []struct {
+		v      uint64
+		bucket int
+	}{
+		{0, 0},
+		{1, 1},
+		{2, 2}, {3, 2},
+		{4, 3}, {7, 3},
+		{8, 4}, {15, 4},
+		{1 << 10, 11},
+		{1<<32 - 1, 32}, {1 << 32, 33},
+		{math.MaxUint64, 64},
+	}
+	for _, c := range cases {
+		if got := BucketOf(c.v); got != c.bucket {
+			t.Errorf("BucketOf(%d) = %d, want %d", c.v, got, c.bucket)
+		}
+	}
+	if BucketLow(0) != 0 || BucketHigh(0) != 0 {
+		t.Error("bucket 0 must hold exactly {0}")
+	}
+	if BucketLow(64) != 1<<63 || BucketHigh(64) != math.MaxUint64 {
+		t.Errorf("bucket 64 = [%d, %d]", BucketLow(64), BucketHigh(64))
+	}
+}
+
+func TestHistogramStats(t *testing.T) {
+	h := NewHistogram("lat", "cycles")
+	for _, v := range []uint64{3, 10, 100, 1000, 0} {
+		h.Observe(v)
+	}
+	if h.Count() != 5 || h.Sum() != 1113 {
+		t.Fatalf("count=%d sum=%d", h.Count(), h.Sum())
+	}
+	s := h.Snapshot()
+	if s.Min != 0 || s.Max != 1000 {
+		t.Fatalf("min=%d max=%d", s.Min, s.Max)
+	}
+	if math.Abs(s.Mean-1113.0/5) > 1e-9 {
+		t.Fatalf("mean = %v", s.Mean)
+	}
+	// Five non-empty buckets: {0}, [2,3], [8,15], [64,127], [512,1023].
+	if len(s.Buckets) != 5 {
+		t.Fatalf("buckets = %+v", s.Buckets)
+	}
+	var n uint64
+	for _, b := range s.Buckets {
+		n += b.Count
+	}
+	if n != 5 {
+		t.Fatalf("bucket counts sum to %d", n)
+	}
+}
+
+func TestHistogramQuantiles(t *testing.T) {
+	h := NewHistogram("q", "")
+	// 90 fast samples, 10 slow ones: p50 must stay in the fast bucket,
+	// p99 must reach the slow one.
+	for i := 0; i < 90; i++ {
+		h.Observe(10) // bucket [8,15]
+	}
+	for i := 0; i < 10; i++ {
+		h.Observe(5000) // bucket [4096,8191]
+	}
+	if p50 := h.Quantile(0.50); p50 != 15 {
+		t.Fatalf("p50 = %d, want 15 (fast bucket's upper edge)", p50)
+	}
+	if p99 := h.Quantile(0.99); p99 != 5000 {
+		t.Fatalf("p99 = %d, want 5000 (bucket edge clamped to observed max)", p99)
+	}
+	// Out-of-range q clamps.
+	if h.Quantile(-1) != 15 || h.Quantile(2) != 5000 {
+		t.Fatalf("q clamping: %d, %d", h.Quantile(-1), h.Quantile(2))
+	}
+	single := NewHistogram("s", "")
+	single.Observe(7)
+	if single.Quantile(0.5) != 7 {
+		t.Fatalf("single-sample median = %d", single.Quantile(0.5))
+	}
+}
+
+// FuzzBucketBoundaries checks the bucketing invariants for arbitrary
+// values: every value lands in exactly one bucket whose [Low, High]
+// range contains it, and the ranges tile the uint64 domain.
+func FuzzBucketBoundaries(f *testing.F) {
+	for _, seed := range []uint64{0, 1, 2, 3, 4, 7, 8, 15, 16, 63, 64, 65,
+		1023, 1024, 1025, 1<<31 - 1, 1 << 31, 1<<63 - 1, 1 << 63, math.MaxUint64} {
+		f.Add(seed)
+	}
+	f.Fuzz(func(t *testing.T, v uint64) {
+		b := BucketOf(v)
+		if b < 0 || b >= NumBuckets {
+			t.Fatalf("BucketOf(%d) = %d out of range", v, b)
+		}
+		if lo, hi := BucketLow(b), BucketHigh(b); v < lo || v > hi {
+			t.Fatalf("value %d outside its bucket %d = [%d, %d]", v, b, lo, hi)
+		}
+		if b > 0 && BucketHigh(b-1) != BucketLow(b)-1 {
+			t.Fatalf("gap between bucket %d and %d", b-1, b)
+		}
+		h := NewHistogram("f", "")
+		h.Observe(v)
+		if h.Count() != 1 || h.Sum() != v {
+			t.Fatalf("observe(%d): count=%d sum=%d", v, h.Count(), h.Sum())
+		}
+		if q := h.Quantile(1); q != v {
+			t.Fatalf("max quantile of single sample %d = %d", v, q)
+		}
+	})
+}

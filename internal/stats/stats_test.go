@@ -43,6 +43,113 @@ func TestBreakdownFractions(t *testing.T) {
 	}
 }
 
+// TestBreakdownNormalization table-drives the percentage normalization:
+// fractions are cycles/total, an all-zero breakdown reports all zeros
+// (no NaN from the zero denominator), and single-component breakdowns
+// normalize to exactly 1.
+func TestBreakdownNormalization(t *testing.T) {
+	cases := []struct {
+		name   string
+		cycles [NumComponents]uint64
+		want   [NumComponents]float64
+	}{
+		{name: "zero total stays zero"},
+		{
+			name:   "single component is the whole",
+			cycles: [NumComponents]uint64{0, 100},
+			want:   [NumComponents]float64{0, 1},
+		},
+		{
+			name:   "even split",
+			cycles: [NumComponents]uint64{25, 25, 25, 25},
+			want:   [NumComponents]float64{0.25, 0.25, 0.25, 0.25},
+		},
+		{
+			name:   "paper-style mix",
+			cycles: [NumComponents]uint64{10, 50, 0, 0, 20, 15, 5, 0},
+			want:   [NumComponents]float64{0.10, 0.50, 0, 0, 0.20, 0.15, 0.05, 0},
+		},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			var b Breakdown
+			for i, v := range c.cycles {
+				b.Add(Component(i), v)
+			}
+			got := b.Fractions()
+			for i := range got {
+				if math.IsNaN(got[i]) {
+					t.Fatalf("component %d is NaN", i)
+				}
+				if math.Abs(got[i]-c.want[i]) > 1e-12 {
+					t.Fatalf("fractions = %v, want %v", got, c.want)
+				}
+			}
+		})
+	}
+}
+
+// TestCountersRatioDenominators table-drives the ratio accessors around
+// their zero-denominator guards.
+func TestCountersRatioDenominators(t *testing.T) {
+	cases := []struct {
+		name                   string
+		c                      Counters
+		abort, missRate, meanW float64
+	}{
+		{name: "all zero"},
+		{
+			name:  "commits only",
+			c:     Counters{TxCommitted: 50},
+			abort: 0,
+		},
+		{
+			name:  "aborts only",
+			c:     Counters{TxAborted: 5},
+			abort: 1,
+		},
+		{
+			name:     "lookups all hit",
+			c:        Counters{RedirectLookups: 10, RedirectL1Hits: 10},
+			missRate: 0,
+		},
+		{
+			name:     "lookups all miss",
+			c:        Counters{RedirectLookups: 10},
+			missRate: 1,
+		},
+		{
+			name:  "windows measured",
+			c:     Counters{IsoWindowCycles: 90, IsoWindows: 3},
+			meanW: 30,
+		},
+		{
+			name: "window cycles without windows",
+			c:    Counters{IsoWindowCycles: 90},
+		},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			checks := []struct {
+				what      string
+				got, want float64
+			}{
+				{"AbortRatio", tc.c.AbortRatio(), tc.abort},
+				{"RedirectL1MissRate", tc.c.RedirectL1MissRate(), tc.missRate},
+				{"MeanIsolationWindow", tc.c.MeanIsolationWindow(), tc.meanW},
+			}
+			for _, ch := range checks {
+				if math.IsNaN(ch.got) || math.IsInf(ch.got, 0) {
+					t.Fatalf("%s = %v (zero denominator leaked)", ch.what, ch.got)
+				}
+				if math.Abs(ch.got-ch.want) > 1e-12 {
+					t.Fatalf("%s = %v, want %v", ch.what, ch.got, ch.want)
+				}
+			}
+		})
+	}
+}
+
 // TestFractionsSumToOne property-checks normalization.
 func TestFractionsSumToOne(t *testing.T) {
 	f := func(vals [NumComponents]uint16) bool {

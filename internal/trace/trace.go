@@ -64,7 +64,11 @@ func (e Event) String() string {
 	case NACK:
 		fmt.Fprintf(&sb, " line=%#x holder=core%d", e.Line, e.Other)
 	case RemoteKill:
-		fmt.Fprintf(&sb, " by=core%d", e.Other)
+		if e.Other < 0 {
+			sb.WriteString(" by=?")
+		} else {
+			fmt.Fprintf(&sb, " by=core%d", e.Other)
+		}
 	case BarrierArrive, BarrierRelease:
 		fmt.Fprintf(&sb, " id=%d", e.Info)
 	default:
@@ -73,15 +77,23 @@ func (e Event) String() string {
 	return sb.String()
 }
 
-// Recorder is a bounded ring buffer of events. A nil *Recorder is a
-// valid no-op sink, so call sites never need nil checks beyond the
-// method's own.
+// Sink receives every recorded event as it happens. Attach one with
+// Recorder.Stream to export a full run (the ring buffer only retains a
+// bounded tail) — e.g. into a Chrome trace-event file.
+type Sink interface {
+	Emit(Event)
+}
+
+// Recorder is a bounded ring buffer of events, optionally streaming to a
+// Sink. A nil *Recorder is a valid no-op sink, so call sites never need
+// nil checks beyond the method's own.
 type Recorder struct {
 	events []Event
 	next   int
 	filled bool
 	total  uint64
 	mask   uint32 // bit per Kind; 0 = everything
+	sink   Sink
 }
 
 // NewRecorder creates a recorder keeping the last capacity events.
@@ -101,10 +113,21 @@ func (r *Recorder) Only(kinds ...Kind) *Recorder {
 	return r
 }
 
+// Stream attaches a sink receiving every event as it is recorded. The
+// sink sees the unfiltered stream: the Only mask governs only what the
+// ring buffer retains (and what Total counts).
+func (r *Recorder) Stream(s Sink) *Recorder {
+	r.sink = s
+	return r
+}
+
 // Record appends an event; on a nil recorder it is a no-op.
 func (r *Recorder) Record(e Event) {
 	if r == nil {
 		return
+	}
+	if r.sink != nil {
+		r.sink.Emit(e)
 	}
 	if r.mask != 0 && r.mask&(1<<uint(e.Kind)) == 0 {
 		return
@@ -132,7 +155,9 @@ func (r *Recorder) Events() []Event {
 		return nil
 	}
 	if !r.filled {
-		return append([]Event(nil), r.events[:r.next]...)
+		out := make([]Event, r.next)
+		copy(out, r.events[:r.next])
+		return out
 	}
 	out := make([]Event, 0, len(r.events))
 	out = append(out, r.events[r.next:]...)

@@ -53,6 +53,69 @@ func TestFilter(t *testing.T) {
 	}
 }
 
+func TestOnlyMaskGovernsRetentionAndTotal(t *testing.T) {
+	// The mask must keep filtered-out events from both the ring buffer
+	// and the Total count, even across wrap-around.
+	r := NewRecorder(2).Only(Abort)
+	for i := 0; i < 5; i++ {
+		r.Record(Event{Cycle: uint64(10 + i), Kind: Abort})
+		r.Record(Event{Cycle: uint64(100 + i), Kind: Begin})
+		r.Record(Event{Cycle: uint64(200 + i), Kind: NACK})
+	}
+	if r.Total() != 5 {
+		t.Fatalf("total = %d, want 5 (only the aborts)", r.Total())
+	}
+	evs := r.Events()
+	if len(evs) != 2 {
+		t.Fatalf("retained = %d, want 2", len(evs))
+	}
+	for _, e := range evs {
+		if e.Kind != Abort {
+			t.Fatalf("retained filtered-out event %v", e)
+		}
+	}
+	if evs[0].Cycle != 13 || evs[1].Cycle != 14 {
+		t.Fatalf("retained wrong tail: %v", evs)
+	}
+}
+
+func TestEventsPreSizesPartialCopy(t *testing.T) {
+	r := NewRecorder(1024)
+	r.Record(Event{Cycle: 1, Kind: Begin})
+	r.Record(Event{Cycle: 2, Kind: Commit})
+	evs := r.Events()
+	if len(evs) != 2 || cap(evs) != 2 {
+		t.Fatalf("partial copy len=%d cap=%d, want an exact-size copy", len(evs), cap(evs))
+	}
+	// The copy must be detached from the ring: later records don't alias.
+	r.Record(Event{Cycle: 3, Kind: Abort})
+	if evs[0].Cycle != 1 || evs[1].Cycle != 2 {
+		t.Fatalf("snapshot mutated: %v", evs)
+	}
+}
+
+// collectSink accumulates streamed events for tests.
+type collectSink struct{ got []Event }
+
+func (s *collectSink) Emit(e Event) { s.got = append(s.got, e) }
+
+func TestStreamSinkSeesUnfilteredStream(t *testing.T) {
+	sink := &collectSink{}
+	r := NewRecorder(4).Only(Abort).Stream(sink)
+	r.Record(Event{Cycle: 1, Kind: Begin})
+	r.Record(Event{Cycle: 2, Kind: Abort})
+	r.Record(Event{Cycle: 3, Kind: Commit})
+	if len(sink.got) != 3 {
+		t.Fatalf("sink saw %d events, want all 3 (mask must not filter the stream)", len(sink.got))
+	}
+	if r.Total() != 1 {
+		t.Fatalf("total = %d, want 1 (mask still governs the ring)", r.Total())
+	}
+	if sink.got[0].Kind != Begin || sink.got[2].Kind != Commit {
+		t.Fatalf("sink order wrong: %v", sink.got)
+	}
+}
+
 func TestEventStrings(t *testing.T) {
 	cases := []Event{
 		{Cycle: 5, Core: 2, Kind: NACK, Line: 0x40, Other: 7},
@@ -65,6 +128,11 @@ func TestEventStrings(t *testing.T) {
 		if !strings.Contains(e.String(), wants[i]) {
 			t.Errorf("event %d = %q, want substring %q", i, e.String(), wants[i])
 		}
+	}
+	// A remote kill with no known committer must not render a bogus core.
+	unknown := Event{Cycle: 9, Core: 5, Kind: RemoteKill, Other: -1}
+	if s := unknown.String(); !strings.Contains(s, "by=?") || strings.Contains(s, "core-1") {
+		t.Errorf("unknown killer = %q, want by=?", s)
 	}
 	if Kind(200).String() == "" {
 		t.Error("unknown kind has empty string")

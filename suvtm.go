@@ -25,8 +25,10 @@ import (
 	"suvtm/internal/experiments"
 	"suvtm/internal/htm"
 	"suvtm/internal/mem"
+	"suvtm/internal/metrics"
 	"suvtm/internal/sim"
 	"suvtm/internal/stats"
+	"suvtm/internal/trace"
 	"suvtm/internal/workload"
 )
 
@@ -161,6 +163,41 @@ func NewAllocator(base uint64, size uint64) *Allocator { return mem.NewAllocator
 
 // NewRegion allocates a region of n cache lines.
 func NewRegion(alloc *Allocator, n int) Region { return workload.NewRegion(alloc, n) }
+
+// Observability: the metrics layer samples a run into a time series,
+// summarizes it as a JSON snapshot, and exports transaction lifecycles
+// as a Chrome trace (Perfetto / chrome://tracing). Enable per run via
+// Spec.SampleInterval / Spec.Metrics / Spec.ChromeTrace, or attach a
+// collector to a Machine directly with Machine.EnableMetrics.
+type (
+	// MetricsCollector gathers counters, gauges, histograms and the
+	// interval-sampled time series of one run.
+	MetricsCollector = metrics.Collector
+	// MetricsSnapshot is the end-of-run state of every instrument.
+	MetricsSnapshot = metrics.Snapshot
+	// MetricsSeries is the interval-sampled time series (CSV-exportable).
+	MetricsSeries = metrics.Series
+	// MetricsHistogram is a log₂-bucketed histogram.
+	MetricsHistogram = metrics.Histogram
+	// ChromeTrace accumulates Chrome trace-event JSON.
+	ChromeTrace = metrics.ChromeTrace
+	// TraceRecorder is the bounded lifecycle-event ring buffer.
+	TraceRecorder = trace.Recorder
+)
+
+// NewMetricsCollector returns a collector sampling every interval cycles
+// (0 disables the time series; snapshot and histograms still work).
+func NewMetricsCollector(interval Cycles) *MetricsCollector {
+	return metrics.NewCollector(interval)
+}
+
+// NewChromeTrace returns an empty Chrome trace-event builder; stream a
+// machine's lifecycle events into it with NewTraceRecorder(n).Stream(ct).
+func NewChromeTrace() *ChromeTrace { return metrics.NewChromeTrace() }
+
+// NewTraceRecorder returns a lifecycle-event recorder keeping the last
+// capacity events.
+func NewTraceRecorder(capacity int) *TraceRecorder { return trace.NewRecorder(capacity) }
 
 // Hardware-cost model (Tables VI/VII and Section V-C).
 type (
