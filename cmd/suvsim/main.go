@@ -13,9 +13,16 @@
 //
 //	suvsim -app intruder -scheme SUV-TM -chrome-trace t.json \
 //	       -metrics-csv m.csv -sample-interval 10000 -metrics-json m.json
+//
+// Robustness (deterministic fault injection; see README.md):
+//
+//	suvsim -app intruder -scheme SUV-TM -faults nack-storm -fault-seed 7
+//	suvsim -faults list   # list the built-in fault plans
+//	suvsim -chaos         # sweep every scheme x plan x seed, with replay
 package main
 
 import (
+	"errors"
 	"flag"
 	"fmt"
 	"os"
@@ -39,6 +46,12 @@ func main() {
 		metricsCSV  = flag.String("metrics-csv", "", "write the interval-sampled time series to this CSV file")
 		chromeTrace = flag.String("chrome-trace", "", "write a Chrome trace-event JSON (Perfetto / chrome://tracing) to this file")
 		interval    = flag.Uint64("sample-interval", 10000, "time-series sampling interval in simulated cycles")
+
+		faultPlan    = flag.String("faults", "", "inject a built-in fault plan (\"list\" to enumerate), arming the escalation ladder")
+		faultFile    = flag.String("faults-file", "", "inject the exact fault plan decoded from this file (overrides -faults)")
+		faultSeed    = flag.Uint64("fault-seed", 1, "seed for the fault plan's window placement")
+		progressDump = flag.Bool("progress-dump", false, "print the robustness counters (injected faults, retries, escalations) after the run")
+		chaos        = flag.Bool("chaos", false, "run the full chaos sweep (schemes x plans x seeds, each replayed) and exit")
 	)
 	flag.Parse()
 
@@ -51,6 +64,14 @@ func main() {
 		printConfig(suvtm.DefaultConfig(*cores))
 		return
 	}
+	if *faultPlan == "list" {
+		fmt.Println("fault plans:", strings.Join(suvtm.FaultPlanNames(), ", "))
+		return
+	}
+	if *chaos {
+		runChaos()
+		return
+	}
 
 	spec := suvtm.Spec{
 		App: *app, Scheme: suvtm.Scheme(*scheme),
@@ -58,6 +79,22 @@ func main() {
 		TraceEvents: *traceN,
 		Metrics:     *metricsJSON != "",
 		ChromeTrace: *chromeTrace != "",
+		FaultPlan:   *faultPlan,
+		FaultSeed:   *faultSeed,
+	}
+	if *faultFile != "" {
+		f, err := os.Open(*faultFile)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "suvsim:", err)
+			os.Exit(2)
+		}
+		plan, err := suvtm.DecodeFaultPlan(f)
+		f.Close()
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "suvsim:", err)
+			os.Exit(2)
+		}
+		spec.Faults = plan
 	}
 	if *metricsCSV != "" {
 		if *interval == 0 {
@@ -69,6 +106,19 @@ func main() {
 	out, err := suvtm.Run(spec)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "suvsim:", err)
+		var wd *suvtm.WatchdogError
+		var dl *suvtm.DeadlockError
+		switch {
+		case errors.As(err, &wd):
+			fmt.Fprintln(os.Stderr, "\npost-mortem (watchdog):")
+			fmt.Fprintln(os.Stderr, wd.PostMortem())
+		case errors.As(err, &dl):
+			fmt.Fprintln(os.Stderr, "\npost-mortem (deadlock):")
+			fmt.Fprintln(os.Stderr, dl.PostMortem())
+		}
+		if out != nil {
+			writeMetrics(out, *metricsJSON, *metricsCSV, *chromeTrace)
+		}
 		os.Exit(1)
 	}
 	if out.CheckErr != nil {
@@ -104,11 +154,33 @@ func main() {
 			c.MeanIsolationWindow(), c.IsoWindows)
 	}
 	fmt.Println("  invariants:     OK (serializability checks passed)")
+	if *progressDump || spec.FaultPlan != "" || spec.Faults != nil {
+		fmt.Printf("  robustness:     %d injected NACKs, %d mesh timeouts / %d retries / %d duplicates\n",
+			c.InjectedNACKs, c.MeshTimeouts, c.MeshRetries, c.MeshDuplicates)
+		fmt.Printf("                  %d starvation escalations, %d token grants, %d degraded completions, %d pool-reclaim stalls\n",
+			c.StarveEscalations, c.TokenGrants, c.GracefulDegradation, c.PoolReclaimStalls)
+	}
 	if out.Trace != nil {
 		fmt.Printf("\nLast %d lifecycle events (of %d recorded):\n%s",
 			*traceN, out.Trace.Total(), out.Trace.Dump())
 	}
 	writeMetrics(out, *metricsJSON, *metricsCSV, *chromeTrace)
+}
+
+// runChaos executes the full robustness sweep and prints the verdict
+// table; a failed acceptance gate exits nonzero.
+func runChaos() {
+	ch, err := suvtm.RunChaos(suvtm.ChaosOptions{Replay: true})
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "suvsim:", err)
+		os.Exit(1)
+	}
+	fmt.Print(ch.Render())
+	if err := ch.Verify(); err != nil {
+		fmt.Fprintln(os.Stderr, "suvsim: chaos sweep FAILED:", err)
+		os.Exit(1)
+	}
+	fmt.Println("chaos sweep: all cells completed, serializable, and replayed bit-identically")
 }
 
 // writeMetrics exports the run's observability outputs to the requested

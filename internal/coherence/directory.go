@@ -40,6 +40,11 @@ type Directory struct {
 
 	// Stats accumulates the protocol message mix.
 	Stats DirStats
+
+	// Retry configures the timeout/retransmission protocol (zero value:
+	// disabled); RetryStats accumulates its activity. See retry.go.
+	Retry      RetryPolicy
+	RetryStats RetryStats
 }
 
 // NewDirectory creates a directory for the given core count.

@@ -1,0 +1,73 @@
+package coherence
+
+import (
+	"suvtm/internal/metrics"
+	"suvtm/internal/sim"
+)
+
+// RetryPolicy is the directory protocol's defense against a misbehaving
+// interconnect: a requester that has not heard back within Timeout cycles
+// retransmits, up to MaxRetries times. Retransmissions take an
+// adaptively-rerouted (fault-free) path, so the protocol bounds the
+// damage an injected message delay can do to one request at roughly
+// Timeout + base latency instead of the full injected delay. The zero
+// value disables retransmission (a delayed message simply arrives late).
+type RetryPolicy struct {
+	Timeout    sim.Cycles // cycles without a response before retransmitting
+	MaxRetries int        // retransmissions per request before giving up
+}
+
+// RetryStats counts the retry protocol's activity, in the DirStats
+// plain-adds style.
+type RetryStats struct {
+	Timeouts   metrics.Counter // response deadlines that expired
+	Retries    metrics.Counter // retransmissions sent (one per timeout)
+	Duplicates metrics.Counter // duplicated requests reprocessed idempotently
+}
+
+// resolve simulates one request whose first transmission suffers
+// `injected` extra interconnect delay on top of the nominal `base`
+// round-trip. It returns when a response finally arrives and how many
+// timeouts fired on the way.
+func (p RetryPolicy) resolve(base, injected sim.Cycles) (arrival sim.Cycles, timeouts int) {
+	arrival = base + injected
+	if p.Timeout == 0 {
+		return arrival, 0
+	}
+	for k := 1; k <= p.MaxRetries; k++ {
+		deadline := sim.Cycles(k) * p.Timeout
+		if arrival <= deadline {
+			break // a response lands before this deadline expires
+		}
+		timeouts++
+		if retry := deadline + base; retry < arrival {
+			arrival = retry
+		}
+	}
+	return arrival, timeouts
+}
+
+// Deliver charges one directory request against the retry protocol:
+// base is the nominal request latency, injected the fault-injected
+// interconnect delay afflicting it (0 when healthy), and dupCost the
+// directory-occupancy cost of idempotently reprocessing a duplicated
+// request (0 when not duplicated). It returns the effective latency the
+// requester observes and accumulates the retry statistics.
+//
+// Duplication is safe by construction: AddSharer and SetOwner are
+// idempotent, so the duplicate changes no sharing state — it only burns
+// a directory slot, which is the cost modeled here.
+func (d *Directory) Deliver(base, injected, dupCost sim.Cycles) sim.Cycles {
+	lat := base
+	if injected > 0 {
+		arrival, timeouts := d.Retry.resolve(base, injected)
+		lat = arrival
+		d.RetryStats.Timeouts.Add(uint64(timeouts))
+		d.RetryStats.Retries.Add(uint64(timeouts))
+	}
+	if dupCost > 0 {
+		d.RetryStats.Duplicates.Inc()
+		lat += dupCost
+	}
+	return lat
+}

@@ -1,0 +1,199 @@
+package experiments
+
+import (
+	"errors"
+	"fmt"
+	"strings"
+
+	"suvtm/internal/faults"
+	"suvtm/internal/htm"
+	"suvtm/internal/stats"
+)
+
+// AllSchemes is every version-management scheme the simulator implements.
+var AllSchemes = []Scheme{LogTMSE, FasTM, SUVTM, DynTM, DynTMSUV}
+
+// ChaosOptions configures a chaos sweep: every scheme crossed with every
+// fault plan and every seed, each run twice to prove bit-identical
+// replay. Zero values select the defaults in parentheses.
+type ChaosOptions struct {
+	App     string   // workload (intruder)
+	Schemes []Scheme // schemes under test (all five)
+	Plans   []string // built-in plan names (all of them)
+	Seeds   []uint64 // workload+fault seeds (1, 2, 3)
+	Cores   int      // simulated cores (8)
+	Scale   float64  // workload scale (0.08)
+	Replay  bool     // run every cell twice and compare
+}
+
+// ChaosRow is one cell of the sweep: a (scheme, plan, seed) run, its
+// outcome (possibly partial, when Err is set), and — when replay was
+// requested — whether the second run reproduced the first bit-for-bit.
+type ChaosRow struct {
+	Scheme Scheme
+	Plan   string
+	Seed   uint64
+
+	Outcome     *Outcome
+	Err         error
+	ReplayMatch bool // meaningful only when Replay was requested and Err is nil
+}
+
+// Chaos is the sweep result.
+type Chaos struct {
+	App    string
+	Replay bool
+	Rows   []ChaosRow
+}
+
+// RunChaos executes the sweep. Individual run failures (watchdog,
+// deadlock, invariant violation) land in their row's Err rather than
+// aborting the sweep; only setup errors (unknown scheme/plan/app)
+// return a top-level error.
+func RunChaos(opts ChaosOptions) (*Chaos, error) {
+	if opts.App == "" {
+		opts.App = "intruder"
+	}
+	if len(opts.Schemes) == 0 {
+		opts.Schemes = AllSchemes
+	}
+	if len(opts.Plans) == 0 {
+		opts.Plans = faults.BuiltinNames()
+	}
+	if len(opts.Seeds) == 0 {
+		opts.Seeds = []uint64{1, 2, 3}
+	}
+	if opts.Cores == 0 {
+		opts.Cores = 8
+	}
+	if opts.Scale == 0 {
+		opts.Scale = 0.08
+	}
+	for _, p := range opts.Plans {
+		if _, err := faults.Builtin(p, 1, opts.Cores); err != nil {
+			return nil, err
+		}
+	}
+
+	var specs []Spec
+	var rows []ChaosRow
+	for _, scheme := range opts.Schemes {
+		for _, plan := range opts.Plans {
+			for _, seed := range opts.Seeds {
+				rows = append(rows, ChaosRow{Scheme: scheme, Plan: plan, Seed: seed})
+				spec := Spec{
+					App: opts.App, Scheme: scheme, Cores: opts.Cores,
+					Seed: seed, Scale: opts.Scale,
+					FaultPlan: plan, FaultSeed: seed,
+				}
+				specs = append(specs, spec)
+				if opts.Replay {
+					specs = append(specs, spec)
+				}
+			}
+		}
+	}
+
+	outcomes, errs := runAll(specs)
+	stride := 1
+	if opts.Replay {
+		stride = 2
+	}
+	for i := range rows {
+		rows[i].Outcome = outcomes[i*stride]
+		rows[i].Err = errs[i*stride]
+		if opts.Replay && rows[i].Err == nil && errs[i*stride+1] == nil {
+			rows[i].ReplayMatch = sameRun(outcomes[i*stride], outcomes[i*stride+1])
+		}
+	}
+	return &Chaos{App: opts.App, Replay: opts.Replay, Rows: rows}, nil
+}
+
+// runAll is RunMany without the first-error abort: chaos sweeps want
+// every cell's individual verdict.
+func runAll(specs []Spec) ([]*Outcome, []error) {
+	outcomes := make([]*Outcome, len(specs))
+	errs := make([]error, len(specs))
+	done := make(chan int, len(specs))
+	sem := make(chan struct{}, 8)
+	for i := range specs {
+		go func(i int) {
+			sem <- struct{}{}
+			defer func() { <-sem; done <- i }()
+			outcomes[i], errs[i] = Run(specs[i])
+		}(i)
+	}
+	for range specs {
+		<-done
+	}
+	return outcomes, errs
+}
+
+// sameRun reports whether two outcomes are bit-identical where it
+// matters: total cycles and the full machine-wide counter set.
+func sameRun(a, b *Outcome) bool {
+	if a == nil || b == nil || a.Result == nil || b.Result == nil {
+		return false
+	}
+	return a.Cycles == b.Cycles && a.Counters == b.Counters
+}
+
+// Verify checks the robustness acceptance properties on every row:
+// the run completed (no watchdog trip, no deadlock, no invariant
+// violation), memory stayed serializable, transactions actually
+// committed, and — when replay was requested — the rerun was
+// bit-identical. The first violation is returned.
+func (c *Chaos) Verify() error {
+	for _, r := range c.Rows {
+		id := fmt.Sprintf("%s/%s/plan=%s/seed=%d", c.App, r.Scheme, r.Plan, r.Seed)
+		switch {
+		case errors.Is(r.Err, htm.ErrWatchdog):
+			return fmt.Errorf("chaos %s: watchdog tripped: %w", id, r.Err)
+		case errors.Is(r.Err, htm.ErrDeadlock):
+			return fmt.Errorf("chaos %s: deadlocked: %w", id, r.Err)
+		case r.Err != nil:
+			return fmt.Errorf("chaos %s: %w", id, r.Err)
+		case r.Outcome.CheckErr != nil:
+			return fmt.Errorf("chaos %s: serializability violated: %w", id, r.Outcome.CheckErr)
+		case r.Outcome.Counters.TxCommitted == 0:
+			return fmt.Errorf("chaos %s: no transaction ever committed", id)
+		case c.Replay && !r.ReplayMatch:
+			return fmt.Errorf("chaos %s: replay diverged from the original run", id)
+		}
+	}
+	return nil
+}
+
+// Render prints the sweep as a table: per cell, cycles, commit/abort
+// counts and the robustness counters that show the fault plan actually
+// bit (injected NACKs, protocol retries, escalations, token grants,
+// degraded completions).
+func (c *Chaos) Render() string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "Chaos sweep (%s)\n", c.App)
+	tab := stats.NewTable("scheme", "plan", "seed", "cycles", "commits", "aborts",
+		"inj-nacks", "retries", "escal", "tokens", "degraded", "verdict")
+	for _, r := range c.Rows {
+		verdict := "ok"
+		switch {
+		case r.Err != nil:
+			verdict = "FAILED"
+		case r.Outcome.CheckErr != nil:
+			verdict = "UNSERIALIZABLE"
+		case c.Replay && !r.ReplayMatch:
+			verdict = "NONDETERMINISTIC"
+		}
+		var cy, cm, ab, in, rt, es, tk, dg uint64
+		if r.Outcome != nil && r.Outcome.Result != nil {
+			cn := &r.Outcome.Counters
+			cy, cm, ab = uint64(r.Outcome.Cycles), cn.TxCommitted, cn.TxAborted
+			in, rt, es = cn.InjectedNACKs, cn.MeshRetries, cn.StarveEscalations
+			tk, dg = cn.TokenGrants, cn.GracefulDegradation
+		}
+		tab.AddRow(string(r.Scheme), r.Plan, fmt.Sprint(r.Seed), fmt.Sprint(cy),
+			fmt.Sprint(cm), fmt.Sprint(ab), fmt.Sprint(in), fmt.Sprint(rt),
+			fmt.Sprint(es), fmt.Sprint(tk), fmt.Sprint(dg), verdict)
+	}
+	sb.WriteString(tab.String())
+	return sb.String()
+}

@@ -11,6 +11,7 @@ import (
 	"runtime"
 	"sync"
 
+	"suvtm/internal/faults"
 	"suvtm/internal/htm"
 	"suvtm/internal/htm/dyntm"
 	"suvtm/internal/htm/fastm"
@@ -87,6 +88,15 @@ type Spec struct {
 	// ChromeTrace streams the full lifecycle-event sequence into a Chrome
 	// trace-event builder (Outcome.Chrome), implying Metrics.
 	ChromeTrace bool
+	// FaultPlan, when non-empty, names a built-in chaos plan (see
+	// faults.BuiltinNames) whose windows are injected into the run; the
+	// forward-progress escalation ladder is armed alongside it. FaultSeed
+	// parameterizes the plan's window placement (0 = 1).
+	FaultPlan string
+	FaultSeed uint64
+	// Faults, when non-nil, injects this exact plan instead of building
+	// one from FaultPlan/FaultSeed (replaying a decoded corpus file).
+	Faults *faults.Plan
 }
 
 // wantMetrics reports whether any observability output is requested.
@@ -138,12 +148,33 @@ func Run(spec Spec) (*Outcome, error) {
 	alloc := mem.NewAllocator(heapBase, heapSize)
 	app := gen(workload.GenConfig{Cores: cores, Seed: seed, Scale: scale}, alloc, memory)
 
+	plan := spec.Faults
+	if plan == nil && spec.FaultPlan != "" {
+		fseed := spec.FaultSeed
+		if fseed == 0 {
+			fseed = 1
+		}
+		plan, err = faults.Builtin(spec.FaultPlan, fseed, cores)
+		if err != nil {
+			return nil, err
+		}
+	}
+
 	cfg := htm.DefaultConfig(cores)
 	cfg.Seed = seed
+	if plan != nil {
+		// A chaos run arms the escalation ladder: injected storms are
+		// exactly what boosted backoff and the serialization token exist
+		// to survive.
+		cfg = cfg.WithProgressLadder()
+	}
 	if spec.Tweak != nil {
 		spec.Tweak(&cfg)
 	}
 	machine := htm.New(cfg, vm, app.Programs, memory, alloc)
+	if plan != nil {
+		machine.SetFaults(faults.NewInjector(plan))
+	}
 	var rec *trace.Recorder
 	if spec.TraceEvents > 0 {
 		rec = trace.NewRecorder(spec.TraceEvents)
@@ -167,9 +198,6 @@ func Run(spec Spec) (*Outcome, error) {
 		machine.EnableMetrics(col)
 	}
 	res, err := machine.Run()
-	if err != nil {
-		return nil, fmt.Errorf("%s under %s: %w", spec.App, spec.Scheme, err)
-	}
 	out := &Outcome{
 		Spec:       spec,
 		Result:     res,
@@ -187,11 +215,20 @@ func Run(spec Spec) (*Outcome, error) {
 		snap.Meta["scheme"] = string(spec.Scheme)
 		snap.Meta["cores"] = fmt.Sprint(cores)
 		snap.Meta["seed"] = fmt.Sprint(seed)
-		snap.Meta["cycles"] = fmt.Sprint(res.Cycles)
+		if res != nil {
+			snap.Meta["cycles"] = fmt.Sprint(res.Cycles)
+		}
 		out.Metrics = snap
 		if spec.SampleInterval > 0 {
 			out.Series = col.Series()
 		}
+	}
+	if err != nil {
+		// A failed run (watchdog, deadlock, invariant violation) still
+		// carries its diagnostics: the machine flushed the collector
+		// before erroring, so the partial Outcome holds the trace tail,
+		// metrics snapshot and Chrome trace for the post-mortem.
+		return out, fmt.Errorf("%s under %s: %w", spec.App, spec.Scheme, err)
 	}
 	if app.Check != nil {
 		out.CheckErr = app.Check(machine.ArchMem())

@@ -1,0 +1,135 @@
+package faults
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+
+	"suvtm/internal/sim"
+)
+
+// The plan text format is line-oriented and diff-friendly, one window per
+// line, so golden fault plans can live in testdata and be read in a code
+// review:
+//
+//	plan <name>
+//	<kind> at=<cycle> dur=<cycles> core=<id|*> [mag=<cycles>]
+//
+// Blank lines and lines starting with '#' are ignored. Encode always
+// normalizes first, so Encode(Decode(Encode(p))) is a fixed point.
+
+// Encode writes the plan in the text format.
+func Encode(w io.Writer, p *Plan) error {
+	if err := p.Normalize(); err != nil {
+		return err
+	}
+	bw := bufio.NewWriter(w)
+	fmt.Fprintf(bw, "plan %s\n", p.Name)
+	for _, e := range p.Events {
+		core := "*"
+		if e.Core >= 0 {
+			core = strconv.Itoa(e.Core)
+		}
+		fmt.Fprintf(bw, "%s at=%d dur=%d core=%s", e.Kind, e.At, e.Dur, core)
+		if e.Magnitude != 0 {
+			fmt.Fprintf(bw, " mag=%d", e.Magnitude)
+		}
+		fmt.Fprintln(bw)
+	}
+	return bw.Flush()
+}
+
+// EncodeString renders the plan as text (panics only on a plan Normalize
+// rejects; use Encode for error handling).
+func EncodeString(p *Plan) (string, error) {
+	var sb strings.Builder
+	if err := Encode(&sb, p); err != nil {
+		return "", err
+	}
+	return sb.String(), nil
+}
+
+// Decode parses a plan from the text format.
+func Decode(r io.Reader) (*Plan, error) {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 64*1024), 1<<20)
+	p := &Plan{}
+	sawHeader := false
+	lineNo := 0
+	for sc.Scan() {
+		lineNo++
+		line := strings.TrimSpace(sc.Text())
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		fields := strings.Fields(line)
+		if !sawHeader {
+			if fields[0] != "plan" || len(fields) != 2 {
+				return nil, fmt.Errorf("faults: line %d: want \"plan <name>\" header, got %q", lineNo, line)
+			}
+			p.Name = fields[1]
+			sawHeader = true
+			continue
+		}
+		kind, ok := kindByName(fields[0])
+		if !ok {
+			return nil, fmt.Errorf("faults: line %d: unknown fault kind %q", lineNo, fields[0])
+		}
+		e := Event{Kind: kind, Core: -1}
+		var sawAt, sawDur bool
+		for _, f := range fields[1:] {
+			key, val, ok := strings.Cut(f, "=")
+			if !ok {
+				return nil, fmt.Errorf("faults: line %d: malformed field %q", lineNo, f)
+			}
+			switch key {
+			case "at", "dur", "mag":
+				n, err := strconv.ParseUint(val, 10, 64)
+				if err != nil {
+					return nil, fmt.Errorf("faults: line %d: bad %s value %q", lineNo, key, val)
+				}
+				switch key {
+				case "at":
+					e.At, sawAt = sim.Cycles(n), true
+				case "dur":
+					e.Dur, sawDur = sim.Cycles(n), true
+				case "mag":
+					e.Magnitude = sim.Cycles(n)
+				}
+			case "core":
+				if val == "*" {
+					e.Core = -1
+					break
+				}
+				n, err := strconv.ParseUint(val, 10, 31)
+				if err != nil {
+					return nil, fmt.Errorf("faults: line %d: bad core %q", lineNo, val)
+				}
+				e.Core = int(n)
+			default:
+				return nil, fmt.Errorf("faults: line %d: unknown field %q", lineNo, key)
+			}
+		}
+		if !sawAt || !sawDur {
+			return nil, fmt.Errorf("faults: line %d: event needs at= and dur=", lineNo)
+		}
+		p.Events = append(p.Events, e)
+	}
+	if err := sc.Err(); err != nil {
+		return nil, fmt.Errorf("faults: reading plan: %w", err)
+	}
+	if !sawHeader {
+		return nil, fmt.Errorf("faults: empty plan text (missing \"plan <name>\" header)")
+	}
+	if err := p.Normalize(); err != nil {
+		return nil, err
+	}
+	return p, nil
+}
+
+// DecodeString parses a plan from text.
+func DecodeString(s string) (*Plan, error) {
+	return Decode(strings.NewReader(s))
+}

@@ -1,0 +1,268 @@
+package faults
+
+import (
+	"reflect"
+	"strings"
+	"testing"
+
+	"suvtm/internal/sim"
+)
+
+func TestBuiltinDeterministic(t *testing.T) {
+	for _, name := range BuiltinNames() {
+		for seed := uint64(1); seed <= 3; seed++ {
+			a, err := Builtin(name, seed, 16)
+			if err != nil {
+				t.Fatalf("Builtin(%q, %d): %v", name, seed, err)
+			}
+			b, err := Builtin(name, seed, 16)
+			if err != nil {
+				t.Fatalf("Builtin(%q, %d) second call: %v", name, seed, err)
+			}
+			if !reflect.DeepEqual(a, b) {
+				t.Errorf("Builtin(%q, %d) not deterministic", name, seed)
+			}
+			if len(a.Events) == 0 {
+				t.Errorf("Builtin(%q, %d) generated no events", name, seed)
+			}
+			for i, e := range a.Events {
+				if e.Core >= 16 {
+					t.Errorf("Builtin(%q, %d) event %d targets core %d of 16", name, seed, i, e.Core)
+				}
+			}
+		}
+	}
+	// Distinct seeds should give distinct schedules.
+	a, _ := Builtin("mixed", 1, 16)
+	b, _ := Builtin("mixed", 2, 16)
+	if reflect.DeepEqual(a, b) {
+		t.Error("Builtin(mixed) identical across seeds 1 and 2")
+	}
+}
+
+func TestBuiltinErrors(t *testing.T) {
+	if _, err := Builtin("no-such-plan", 1, 16); err == nil {
+		t.Error("unknown plan name accepted")
+	}
+	if _, err := Builtin("mixed", 1, 0); err == nil {
+		t.Error("zero core count accepted")
+	}
+}
+
+func TestCodecRoundTrip(t *testing.T) {
+	for _, name := range BuiltinNames() {
+		p, err := Builtin(name, 7, 16)
+		if err != nil {
+			t.Fatal(err)
+		}
+		text, err := EncodeString(p)
+		if err != nil {
+			t.Fatalf("Encode(%q): %v", name, err)
+		}
+		got, err := DecodeString(text)
+		if err != nil {
+			t.Fatalf("Decode(%q): %v\ntext:\n%s", name, err, text)
+		}
+		if !reflect.DeepEqual(p, got) {
+			t.Errorf("round trip of %q changed the plan\nbefore: %+v\nafter:  %+v", name, p, got)
+		}
+		// Encode is a fixed point on decoded plans.
+		text2, err := EncodeString(got)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if text != text2 {
+			t.Errorf("Encode not a fixed point for %q", name)
+		}
+	}
+}
+
+func TestDecodeRejectsMalformed(t *testing.T) {
+	cases := []string{
+		"",
+		"not-a-header",
+		"plan p\nbogus-kind at=1 dur=2",
+		"plan p\nnack-storm at=1",       // missing dur
+		"plan p\nnack-storm dur=2",      // missing at
+		"plan p\nnack-storm at=1 dur=0", // zero duration
+		"plan p\nnack-storm at=x dur=2", // bad number
+		"plan p\nnack-storm at=1 dur=2 core=-2",
+		"plan p\nnack-storm at=1 dur=2 zap=3",
+		"plan p\nnack-storm at=1 dur=2 core",
+	}
+	for _, in := range cases {
+		if _, err := DecodeString(in); err == nil {
+			t.Errorf("Decode accepted malformed input %q", in)
+		}
+	}
+}
+
+func TestDecodeCommentsAndWildcard(t *testing.T) {
+	p, err := DecodeString("# a comment\nplan demo\n\nnack-storm at=10 dur=5 core=*\nmesh-delay at=20 dur=5 core=3 mag=100\n")
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := &Plan{Name: "demo", Events: []Event{
+		{Kind: NACKStorm, At: 10, Dur: 5, Core: -1},
+		{Kind: MeshDelay, At: 20, Dur: 5, Core: 3, Magnitude: 100},
+	}}
+	if !reflect.DeepEqual(p, want) {
+		t.Errorf("got %+v want %+v", p, want)
+	}
+}
+
+func TestKindString(t *testing.T) {
+	for k := Kind(0); k < NumKinds; k++ {
+		name := k.String()
+		if name == "" || strings.HasPrefix(name, "Kind(") {
+			t.Errorf("kind %d has no name", k)
+		}
+		got, ok := kindByName(name)
+		if !ok || got != k {
+			t.Errorf("kindByName(%q) = %v, %v; want %v, true", name, got, ok, k)
+		}
+	}
+	if !strings.HasPrefix(NumKinds.String(), "Kind(") {
+		t.Error("out-of-range kind should stringify as Kind(n)")
+	}
+}
+
+func TestInjectorWindows(t *testing.T) {
+	p := &Plan{Name: "t", Events: []Event{
+		{Kind: NACKStorm, At: 100, Dur: 50, Core: 2},
+		{Kind: MeshDelay, At: 120, Dur: 100, Core: -1, Magnitude: 300},
+		{Kind: MeshDelay, At: 150, Dur: 10, Core: 1, Magnitude: 700},
+		{Kind: SigSaturate, At: 400, Dur: 20, Core: -1},
+	}}
+	if err := p.Normalize(); err != nil {
+		t.Fatal(err)
+	}
+	in := NewInjector(p)
+
+	if tr := in.Advance(50); tr != nil {
+		t.Fatalf("Advance(50) = %v, want nil", tr)
+	}
+	if in.NACKFor(2) {
+		t.Error("NACK active before window opens")
+	}
+
+	tr := in.Advance(100)
+	if len(tr) != 1 || !tr[0].Opened || tr[0].Event.Kind != NACKStorm {
+		t.Fatalf("Advance(100) = %v, want one NACKStorm open", tr)
+	}
+	if !in.NACKFor(2) || in.NACKFor(3) {
+		t.Error("NACK storm should cover core 2 only")
+	}
+
+	in.Advance(155)
+	// Both delay windows open: the all-cores 300 and core 1's 700.
+	if d := in.MeshDelayFor(1); d != 700 {
+		t.Errorf("MeshDelayFor(1) = %d, want 700 (max of open windows)", d)
+	}
+	if d := in.MeshDelayFor(5); d != 300 {
+		t.Errorf("MeshDelayFor(5) = %d, want 300", d)
+	}
+
+	if in.NACKFor(2) {
+		t.Error("NACK storm (ends at 150) still active at 155")
+	}
+	tr = in.Advance(165)
+	// Core 1's short delay window (ends at 160) closes.
+	closed := 0
+	for _, x := range tr {
+		if !x.Opened {
+			closed++
+		}
+	}
+	if closed != 1 {
+		t.Fatalf("Advance(165) closed %d windows, want 1 (%v)", closed, tr)
+	}
+	if d := in.MeshDelayFor(1); d != 300 {
+		t.Errorf("after close, MeshDelayFor(1) = %d, want 300", d)
+	}
+
+	// Sleeping far past a window reports both its open and its close.
+	tr = in.Advance(10_000)
+	var sawOpen, sawClose bool
+	for _, x := range tr {
+		if x.Event.Kind == SigSaturate {
+			if x.Opened {
+				sawOpen = true
+			} else {
+				sawClose = true
+			}
+		}
+	}
+	if !sawOpen || !sawClose {
+		t.Errorf("skipped-over window must still report open+close: %v", tr)
+	}
+	if !in.Done() {
+		t.Error("injector not Done after final window")
+	}
+	st := in.Stats()
+	if st.Opened != 4 || st.Closed != 4 {
+		t.Errorf("stats = %+v, want 4 opened / 4 closed", st)
+	}
+	if st.PerKind[MeshDelay] != 2 {
+		t.Errorf("PerKind[MeshDelay] = %d, want 2", st.PerKind[MeshDelay])
+	}
+}
+
+func TestInjectorNilSafe(t *testing.T) {
+	var in *Injector
+	if tr := in.Advance(100); tr != nil {
+		t.Error("nil injector Advance should return nil")
+	}
+	if in.NACKFor(0) || in.MeshDupFor(0) || in.SaturatedFor(0) || in.SaturatedAny() || in.Pressured() {
+		t.Error("nil injector reported an active fault")
+	}
+	if d := in.MeshDelayFor(0); d != 0 {
+		t.Error("nil injector reported a mesh delay")
+	}
+	if pen, on := in.PoolExhausted(); on || pen != 0 {
+		t.Error("nil injector reported pool exhaustion")
+	}
+	if !in.Done() {
+		t.Error("nil injector should be Done")
+	}
+	if st := in.Stats(); st != (Stats{}) {
+		t.Error("nil injector has non-zero stats")
+	}
+	if NewInjector(nil) != nil {
+		t.Error("NewInjector(nil) should be nil")
+	}
+}
+
+func TestInjectorReplayIdentical(t *testing.T) {
+	p, err := Builtin("mixed", 42, 16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	run := func() ([]Transition, Stats) {
+		in := NewInjector(p)
+		var all []Transition
+		for now := sim.Cycles(0); now < p.Horizon()+1000; now += 137 {
+			all = append(all, in.Advance(now)...)
+		}
+		return all, in.Stats()
+	}
+	a, as := run()
+	b, bs := run()
+	if !reflect.DeepEqual(a, b) || as != bs {
+		t.Error("two injector walks over the same plan diverged")
+	}
+	if as.Opened != uint64(len(p.Events)) || as.Closed != as.Opened {
+		t.Errorf("stats %+v do not cover all %d events", as, len(p.Events))
+	}
+}
+
+func TestPlanHorizon(t *testing.T) {
+	p := &Plan{}
+	if p.Horizon() != 0 {
+		t.Error("empty plan has non-zero horizon")
+	}
+	p.Events = []Event{{Kind: NACKStorm, At: 10, Dur: 5, Core: -1}, {Kind: NACKStorm, At: 2, Dur: 100, Core: -1}}
+	if h := p.Horizon(); h != 102 {
+		t.Errorf("Horizon = %d, want 102", h)
+	}
+}

@@ -1,0 +1,50 @@
+package faults
+
+import (
+	"reflect"
+	"testing"
+)
+
+// FuzzPlanCodec feeds arbitrary text through Decode and, for every input
+// that parses, asserts the round-trip law: Encode(Decode(x)) must decode
+// to the same plan, and Encode must be a fixed point on it.
+func FuzzPlanCodec(f *testing.F) {
+	for _, name := range BuiltinNames() {
+		p, err := Builtin(name, 1, 8)
+		if err != nil {
+			f.Fatal(err)
+		}
+		text, err := EncodeString(p)
+		if err != nil {
+			f.Fatal(err)
+		}
+		f.Add(text)
+	}
+	f.Add("plan p\nnack-storm at=1 dur=2 core=*\n")
+	f.Add("# comment\nplan x\nmesh-delay at=0 dur=1 core=0 mag=9\n")
+	f.Add("plan empty\n")
+	f.Fuzz(func(t *testing.T, text string) {
+		p, err := DecodeString(text)
+		if err != nil {
+			return // malformed input is allowed to fail, not to panic
+		}
+		enc, err := EncodeString(p)
+		if err != nil {
+			t.Fatalf("decoded plan failed to encode: %v", err)
+		}
+		p2, err := DecodeString(enc)
+		if err != nil {
+			t.Fatalf("encoded plan failed to decode: %v\ntext:\n%s", err, enc)
+		}
+		if !reflect.DeepEqual(p, p2) {
+			t.Fatalf("round trip changed plan:\nbefore: %+v\nafter:  %+v", p, p2)
+		}
+		enc2, err := EncodeString(p2)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if enc != enc2 {
+			t.Fatalf("Encode not a fixed point:\nfirst:\n%s\nsecond:\n%s", enc, enc2)
+		}
+	})
+}

@@ -1,0 +1,167 @@
+package faults
+
+import "suvtm/internal/sim"
+
+// Injector walks a Plan alongside the machine's event loop. The machine
+// calls Advance at each event-loop step with the (monotonically
+// non-decreasing) simulated time; Advance reports the windows that opened
+// or closed so the machine can apply level-type faults and trace them,
+// and the per-access query methods answer from the currently-open window
+// set. The Injector draws no randomness of its own — all nondeterminism
+// lives in the Plan — so a run replays bit-identically.
+//
+// A nil *Injector is a valid "no faults" injector: Advance returns nil
+// and every query reports the benign answer, mirroring the nil-receiver
+// idiom of *trace.Recorder and *metrics.Collector.
+type Injector struct {
+	plan  *Plan
+	next  int     // index of the next not-yet-opened event
+	open  []Event // currently-open windows
+	now   sim.Cycles
+	stats Stats
+}
+
+// Stats summarizes injector activity for the end-of-run report.
+type Stats struct {
+	Opened  uint64           // windows opened so far
+	Closed  uint64           // windows closed so far
+	PerKind [NumKinds]uint64 // windows opened, by kind
+}
+
+// Transition reports one window opening or closing during an Advance.
+type Transition struct {
+	Event  Event
+	Opened bool // true = window opened, false = window closed
+}
+
+// NewInjector returns an injector over a normalized plan. A nil plan
+// yields a nil (no-op) injector.
+func NewInjector(p *Plan) *Injector {
+	if p == nil {
+		return nil
+	}
+	return &Injector{plan: p}
+}
+
+// Stats returns the activity counters so far.
+func (in *Injector) Stats() Stats {
+	if in == nil {
+		return Stats{}
+	}
+	return in.stats
+}
+
+// Done reports whether every window in the plan has opened and closed.
+func (in *Injector) Done() bool {
+	return in == nil || (in.next == len(in.plan.Events) && len(in.open) == 0)
+}
+
+// Advance moves simulated time forward to now and returns the windows
+// that opened or closed on the way, closings first (a window whose end
+// equals another's start is closed before the other opens). It returns
+// nil — allocating nothing — when no window state changes, which is the
+// overwhelmingly common case.
+func (in *Injector) Advance(now sim.Cycles) []Transition {
+	if in == nil {
+		return nil
+	}
+	in.now = now
+	if len(in.open) == 0 && (in.next >= len(in.plan.Events) || in.plan.Events[in.next].At > now) {
+		return nil
+	}
+	var trans []Transition
+	// Close expired windows. Order within the open set is insertion
+	// (= plan) order, kept stable by the filter below.
+	kept := in.open[:0]
+	for _, e := range in.open {
+		if e.End() <= now {
+			trans = append(trans, Transition{Event: e, Opened: false})
+			in.stats.Closed++
+		} else {
+			kept = append(kept, e)
+		}
+	}
+	in.open = kept
+	// Open windows whose start has been reached. A window may open and
+	// expire within the same Advance step (the machine slept past it);
+	// it still reports both transitions so counters and traces see it.
+	for in.next < len(in.plan.Events) && in.plan.Events[in.next].At <= now {
+		e := in.plan.Events[in.next]
+		in.next++
+		in.stats.Opened++
+		in.stats.PerKind[e.Kind]++
+		trans = append(trans, Transition{Event: e, Opened: true})
+		if e.End() <= now {
+			trans = append(trans, Transition{Event: e, Opened: false})
+			in.stats.Closed++
+		} else {
+			in.open = append(in.open, e)
+		}
+	}
+	return trans
+}
+
+// active reports whether any open window of the kind covers core
+// (windows with Core == -1 cover every core; query core -1 to ask
+// "any core").
+func (in *Injector) active(kind Kind, core int) bool {
+	if in == nil {
+		return false
+	}
+	for _, e := range in.open {
+		if e.Kind == kind && (e.Core == -1 || core == -1 || e.Core == core) {
+			return true
+		}
+	}
+	return false
+}
+
+// magnitude returns the largest Magnitude among open windows of the kind
+// covering core, and whether any is open.
+func (in *Injector) magnitude(kind Kind, core int) (sim.Cycles, bool) {
+	if in == nil {
+		return 0, false
+	}
+	var best sim.Cycles
+	found := false
+	for _, e := range in.open {
+		if e.Kind == kind && (e.Core == -1 || core == -1 || e.Core == core) {
+			found = true
+			if e.Magnitude > best {
+				best = e.Magnitude
+			}
+		}
+	}
+	return best, found
+}
+
+// MeshDelayFor returns the extra interconnect delay (cycles) currently
+// afflicting requests from core, 0 when none.
+func (in *Injector) MeshDelayFor(core int) sim.Cycles {
+	d, _ := in.magnitude(MeshDelay, core)
+	return d
+}
+
+// MeshDupFor reports whether requests from core are currently duplicated.
+func (in *Injector) MeshDupFor(core int) bool { return in.active(MeshDup, core) }
+
+// SaturatedFor reports whether core's signatures are currently forced
+// saturated. SaturatedAny reports whether any core's are (the machine
+// uses it for the shared redirect summary signature).
+func (in *Injector) SaturatedFor(core int) bool { return in.active(SigSaturate, core) }
+
+// SaturatedAny reports whether any saturation window is open.
+func (in *Injector) SaturatedAny() bool { return in.active(SigSaturate, -1) }
+
+// Pressured reports whether the first-level redirect table is under
+// injected entry pressure.
+func (in *Injector) Pressured() bool { return in.active(RedirectPressure, -1) }
+
+// PoolExhausted reports whether the preserved pool is exhausted, and the
+// per-allocation software-reclamation penalty while it is.
+func (in *Injector) PoolExhausted() (sim.Cycles, bool) {
+	return in.magnitude(PoolExhaust, -1)
+}
+
+// NACKFor reports whether core is currently inside a NACK storm.
+func (in *Injector) NACKFor(core int) bool { return in.active(NACKStorm, core) }

@@ -1,0 +1,207 @@
+// Package faults is the deterministic chaos layer of the simulated CMP:
+// a seeded, replayable Plan of adversity — interconnect message delay and
+// duplication, Bloom-signature saturation storms, redirect-table entry
+// pressure, preserved-pool exhaustion, and spurious NACK storms — opened
+// and closed at exact simulated cycles by an Injector the HTM machine
+// consults at its injection points. Because a Plan is pure data derived
+// from a seed and the Injector holds no randomness of its own, any run
+// replays bit-identically from (plan, machine seed).
+package faults
+
+import (
+	"fmt"
+	"sort"
+
+	"suvtm/internal/sim"
+)
+
+// Kind classifies a fault event.
+type Kind uint8
+
+// The fault kinds the injector knows how to apply.
+const (
+	// MeshDelay delays every directory request issued by the target
+	// core(s) by Magnitude cycles, exercising the protocol-level timeout
+	// and bounded-retry path in internal/coherence.
+	MeshDelay Kind = iota
+	// MeshDup duplicates directory requests: the home slice processes the
+	// request twice (idempotently) and the duplicate costs an extra
+	// directory access.
+	MeshDup
+	// SigSaturate forces the target core(s)' read/write signatures — and
+	// the machine-wide redirect summary signature — to answer "maybe" for
+	// every address (a saturation storm of false positives).
+	SigSaturate
+	// RedirectPressure makes the first-level redirect table refuse to pin
+	// new entries, forcing every transaction through SUV's degenerated
+	// software-structure overflow path.
+	RedirectPressure
+	// PoolExhaust marks the preserved redirect pool exhausted: every
+	// allocation runs software reclamation and pays Magnitude extra
+	// cycles instead of wedging.
+	PoolExhaust
+	// NACKStorm injects spurious NACKs: every memory access by the target
+	// core(s) is refused and retried for the window's duration.
+	NACKStorm
+	// NumKinds bounds the Kind enum.
+	NumKinds
+)
+
+var kindNames = [NumKinds]string{
+	"mesh-delay", "mesh-dup", "sig-saturate", "redirect-pressure",
+	"pool-exhaust", "nack-storm",
+}
+
+// String names the kind.
+func (k Kind) String() string {
+	if k < NumKinds {
+		return kindNames[k]
+	}
+	return fmt.Sprintf("Kind(%d)", uint8(k))
+}
+
+// kindByName resolves a kind name (inverse of String).
+func kindByName(name string) (Kind, bool) {
+	for k, n := range kindNames {
+		if n == name {
+			return Kind(k), true
+		}
+	}
+	return 0, false
+}
+
+// Event is one fault window: Kind is active on Core (-1 = every core)
+// from cycle At for Dur cycles. Magnitude is a kind-specific intensity:
+// delay cycles for MeshDelay, reclamation cycles for PoolExhaust, and
+// unused (0) elsewhere.
+type Event struct {
+	Kind      Kind
+	At        sim.Cycles
+	Dur       sim.Cycles
+	Core      int
+	Magnitude sim.Cycles
+}
+
+// End returns the first cycle at which the window is no longer active.
+func (e Event) End() sim.Cycles { return e.At + e.Dur }
+
+// Plan is a named, ordered schedule of fault events. Events must be
+// sorted by At (Normalize enforces this); a Plan is pure data and safe to
+// share between concurrent runs, each of which owns its own Injector.
+type Plan struct {
+	Name   string
+	Events []Event
+}
+
+// Normalize sorts the events into injection order (by start cycle, ties
+// broken on kind then core for determinism) and validates them.
+func (p *Plan) Normalize() error {
+	sort.SliceStable(p.Events, func(i, j int) bool {
+		a, b := p.Events[i], p.Events[j]
+		if a.At != b.At {
+			return a.At < b.At
+		}
+		if a.Kind != b.Kind {
+			return a.Kind < b.Kind
+		}
+		return a.Core < b.Core
+	})
+	for i, e := range p.Events {
+		if e.Kind >= NumKinds {
+			return fmt.Errorf("faults: event %d: unknown kind %d", i, e.Kind)
+		}
+		if e.Dur == 0 {
+			return fmt.Errorf("faults: event %d: zero-duration window", i)
+		}
+		if e.Core < -1 {
+			return fmt.Errorf("faults: event %d: bad core %d", i, e.Core)
+		}
+	}
+	return nil
+}
+
+// Horizon returns the cycle at which the last window closes (0 for an
+// empty plan).
+func (p *Plan) Horizon() sim.Cycles {
+	var h sim.Cycles
+	for _, e := range p.Events {
+		if e.End() > h {
+			h = e.End()
+		}
+	}
+	return h
+}
+
+// BuiltinNames lists the built-in plan generators, in a fixed order.
+func BuiltinNames() []string {
+	return []string{
+		"nack-storm", "mesh-delay", "mesh-dup", "sig-storm",
+		"redirect-pressure", "pool-exhaust", "mixed",
+	}
+}
+
+// Builtin generates one of the named built-in plans for a machine with
+// the given core count, deterministically from seed. Window placement,
+// targets and magnitudes are drawn from a private RNG, so distinct seeds
+// give distinct — but individually replayable — adversity schedules.
+func Builtin(name string, seed uint64, cores int) (*Plan, error) {
+	if cores <= 0 {
+		return nil, fmt.Errorf("faults: bad core count %d", cores)
+	}
+	rng := sim.NewRNG(seed ^ 0xfa0175)
+	p := &Plan{Name: name}
+	// Window starts are spread over the first 60k cycles — early enough
+	// that even heavily reduced-scale chaos runs (tens of thousands of
+	// cycles) live through real adversity, while longer runs simply get
+	// all of it up front. The first window of each group is forced into
+	// the opening stretch so every plan bites from the start.
+	const span = 60_000
+	windows := func(kind Kind, n int, minDur, maxDur, magLo, magHi sim.Cycles, perCore bool) {
+		for i := 0; i < n; i++ {
+			at := sim.Cycles(rng.Uint64n(span))
+			if i == 0 {
+				at = sim.Cycles(rng.Uint64n(span / 8))
+			}
+			dur := minDur + sim.Cycles(rng.Uint64n(uint64(maxDur-minDur+1)))
+			core := -1
+			if perCore {
+				core = rng.Intn(cores)
+			}
+			var mag sim.Cycles
+			if magHi > 0 {
+				mag = magLo + sim.Cycles(rng.Uint64n(uint64(magHi-magLo+1)))
+			}
+			p.Events = append(p.Events, Event{Kind: kind, At: at, Dur: dur, Core: core, Magnitude: mag})
+		}
+	}
+	switch name {
+	case "nack-storm":
+		windows(NACKStorm, 4, 2_000, 6_000, 0, 0, false)
+		windows(NACKStorm, 6, 1_000, 5_000, 0, 0, true)
+	case "mesh-delay":
+		windows(MeshDelay, 6, 3_000, 10_000, 200, 2_000, false)
+		windows(MeshDelay, 6, 2_000, 8_000, 500, 4_000, true)
+	case "mesh-dup":
+		windows(MeshDup, 8, 4_000, 15_000, 0, 0, false)
+	case "sig-storm":
+		windows(SigSaturate, 3, 1_000, 3_000, 0, 0, false)
+		windows(SigSaturate, 5, 500, 2_000, 0, 0, true)
+	case "redirect-pressure":
+		windows(RedirectPressure, 5, 3_000, 12_000, 0, 0, false)
+	case "pool-exhaust":
+		windows(PoolExhaust, 5, 3_000, 12_000, 100, 400, false)
+	case "mixed":
+		windows(NACKStorm, 2, 1_000, 4_000, 0, 0, true)
+		windows(MeshDelay, 2, 2_000, 6_000, 200, 1_500, false)
+		windows(MeshDup, 2, 2_000, 6_000, 0, 0, false)
+		windows(SigSaturate, 2, 500, 1_500, 0, 0, false)
+		windows(RedirectPressure, 2, 2_000, 8_000, 0, 0, false)
+		windows(PoolExhaust, 2, 2_000, 8_000, 100, 300, false)
+	default:
+		return nil, fmt.Errorf("faults: unknown built-in plan %q", name)
+	}
+	if err := p.Normalize(); err != nil {
+		return nil, err
+	}
+	return p, nil
+}

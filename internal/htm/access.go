@@ -19,6 +19,9 @@ func translatedAddr(target sim.Line, addr sim.Addr) sim.Addr {
 // with eager conflict detection on the program address, then the
 // scheme's value read.
 func (m *Machine) doLoad(c *Core, op workloadOp) {
+	if m.injectedNACK(c) {
+		return
+	}
 	line := sim.LineOf(op.Addr)
 	target, tlat := m.VM.Translate(m, c, line, false)
 	flat, holder := m.acquire(c, target, line, false)
@@ -39,6 +42,9 @@ func (m *Machine) doLoad(c *Core, op workloadOp) {
 // shared copy (conflict-checked against eager holders only) and let the
 // scheme buffer or redirect the value.
 func (m *Machine) doStore(c *Core, addr sim.Addr, val sim.Word) {
+	if m.injectedNACK(c) {
+		return
+	}
 	line := sim.LineOf(addr)
 	lazy := c.TxActive() && m.modeOf(c) == ModeLazy
 	target, tlat := m.VM.Translate(m, c, line, true)
@@ -53,6 +59,17 @@ func (m *Machine) doStore(c *Core, addr sim.Addr, val sim.Word) {
 	if holder != nil {
 		m.handleNACK(c, holder, line, tlat+flat, true)
 		return
+	}
+	if !c.TxActive() && m.tokenCore >= 0 && m.tokenCore != c.ID {
+		// The serialization-token holder is irrevocable: a durable store
+		// that would doom it (strong isolation against its lazy
+		// speculation) stalls and retries instead, before the value lands.
+		h := m.Cores[m.tokenCore]
+		if m.modeOf(h) == ModeLazy && !h.abortPending &&
+			(h.ReadSig.Test(line) || h.WriteSig.Test(line)) {
+			m.handleNACK(c, h, line, tlat+flat, true)
+			return
+		}
 	}
 
 	finalLine, slat := m.VM.Store(m, c, addr, val)
@@ -71,7 +88,9 @@ func (m *Machine) doStore(c *Core, addr sim.Addr, val sim.Word) {
 	} else {
 		// A non-transactional store is immediately durable: lazy
 		// transactions that speculatively read or wrote the line cannot
-		// serialize around it (strong isolation).
+		// serialize around it (strong isolation). The serialization-token
+		// holder cannot be doomed here: the pre-store guard above stalled
+		// this storer before its value could land.
 		for _, h := range m.Cores {
 			if h != c && m.modeOf(h) == ModeLazy && !h.abortPending &&
 				(h.ReadSig.Test(line) || h.WriteSig.Test(line)) {
@@ -105,9 +124,11 @@ func (m *Machine) acquire(c *Core, target, confLine sim.Line, write bool) (sim.C
 		return m.cfg.L1Latency, nil
 	}
 
-	// Coherence request to the line's home directory slice.
+	// Coherence request to the line's home directory slice, routed
+	// through the protocol retry layer when a fault window delays or
+	// duplicates this core's messages.
 	home := m.Mesh.HomeTile(target)
-	lat := m.Mesh.RoundTrip(c.ID, home) + m.cfg.DirLatency
+	lat := m.meshRequestLatency(c, m.Mesh.RoundTrip(c.ID, home)+m.cfg.DirLatency)
 	if holder := m.conflictHolder(c, confLine, write); holder != nil {
 		return lat, holder
 	}
@@ -261,21 +282,32 @@ func (m *Machine) handleNACK(c, holder *Core, line sim.Line, lat sim.Cycles, wri
 	}
 	requesterEager := c.TxActive() && m.modeOf(c) == ModeEager
 	if m.cfg.Policy == PolicyOlderWins && requesterEager &&
-		m.older(c, holder) && !holder.abortPending && holder.status == statusRunning {
+		m.older(c, holder) && !holder.abortPending && holder.status == statusRunning &&
+		holder.ID != m.tokenCore {
 		// Alternative policy: the receiving core aborts its transaction
 		// to guarantee the older requester's execution (counted as a
-		// remote abort when the holder processes it).
+		// remote abort when the holder processes it). The serialization-
+		// token holder is irrevocable and never doomed.
 		holder.doomBy(c.ID)
 	} else if requesterEager {
 		if m.older(c, holder) {
 			holder.possibleCyc = true
 		}
-		if c.possibleCyc && m.older(holder, c) {
+		if c.possibleCyc && m.older(holder, c) && c.ID != m.tokenCore {
+			// Possible-cycle self-abort — except for the token holder,
+			// which only ever stalls (the cores it waits on are doomed or
+			// parked, so the stall drains; aborting it would forfeit the
+			// very guarantee the token exists to provide).
 			c.Breakdown.Add(stats.Stalled, lat)
 			c.Counters.CycleAborts++
 			m.startAbort(c, lat)
 			return
 		}
+	}
+	if c.InTx() {
+		// A stall is another lost round: it may push this transaction
+		// over a starvation threshold.
+		m.maybeEscalate(c)
 	}
 	c.Breakdown.Add(stats.Stalled, lat+m.cfg.RetryInterval)
 	m.heap.Push(m.now+lat+m.cfg.RetryInterval, c.ID)

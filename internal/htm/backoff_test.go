@@ -1,0 +1,67 @@
+package htm
+
+import (
+	"testing"
+
+	"suvtm/internal/sim"
+)
+
+// TestBackoffWindow pins the randomized-backoff window math: the classic
+// clamped exponential (shift capped at 8, window capped at BackoffMax)
+// and the boosted escalation beyond the cap, including the degenerate
+// configurations (backoff disabled, no cap, boost disabled).
+func TestBackoffWindow(t *testing.T) {
+	const base, max = 40, 8192
+	cases := []struct {
+		name         string
+		base, max    sim.Cycles
+		consecAborts int
+		boostAt      int
+		want         sim.Cycles
+	}{
+		{"first abort", base, max, 1, 0, 40},
+		{"second abort doubles", base, max, 2, 0, 80},
+		{"exponential growth", base, max, 6, 0, 40 << 5},
+		{"cap reached", base, max, 9, 0, 8192},
+		{"shift clamps at 8", base, max, 30, 0, 8192},
+		{"shift clamp without cap", base, 0, 30, 0, 40 << 8},
+		{"no cap grows freely", base, 0, 9, 0, 40 << 8},
+		{"zero base disables backoff", 0, max, 5, 0, 0},
+		{"zero aborts yields no window", base, max, 0, 0, 0},
+		{"negative aborts yields no window", base, max, -1, 0, 0},
+
+		// Boosted backoff: at boostAt consecutive aborts the window jumps
+		// past the cap and doubles per further abort, saturating at 64x.
+		{"below boost threshold is classic", base, max, 23, 24, 8192},
+		{"boost entry doubles the cap", base, max, 24, 24, 8192 << 1},
+		{"boost keeps doubling", base, max, 26, 24, 8192 << 3},
+		{"boost saturates at 64x", base, max, 29, 24, 8192 << 6},
+		{"boost stays saturated", base, max, 200, 24, 8192 << 6},
+		{"boost disabled by zero threshold", base, max, 200, 0, 8192},
+		{"boost needs a cap to scale", base, 0, 30, 24, 40 << 8},
+		{"boosted zero base still disabled", 0, max, 30, 24, 0},
+	}
+	for _, tc := range cases {
+		if got := backoffWindow(tc.base, tc.max, tc.consecAborts, tc.boostAt); got != tc.want {
+			t.Errorf("%s: backoffWindow(%d, %d, %d, %d) = %d, want %d",
+				tc.name, tc.base, tc.max, tc.consecAborts, tc.boostAt, got, tc.want)
+		}
+	}
+}
+
+// TestBackoffWindowMatchesLadderDisabled checks that an armed ladder
+// (WithProgressLadder) leaves every window below its boost threshold
+// identical to the disabled ladder — the fault-free schedule only
+// diverges once a rung actually engages.
+func TestBackoffWindowMatchesLadderDisabled(t *testing.T) {
+	cfg := DefaultConfig(4)
+	armed := cfg.WithProgressLadder()
+	for consec := 0; consec < armed.BoostAborts; consec++ {
+		plain := backoffWindow(cfg.BackoffBase, cfg.BackoffMax, consec, cfg.BoostAborts)
+		boosted := backoffWindow(armed.BackoffBase, armed.BackoffMax, consec, armed.BoostAborts)
+		if plain != boosted {
+			t.Fatalf("consec=%d: armed ladder window %d differs from disabled %d",
+				consec, boosted, plain)
+		}
+	}
+}

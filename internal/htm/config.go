@@ -85,7 +85,37 @@ type Config struct {
 	// 8-way 10-cycle L2 table).
 	Redirect redirect.Config
 
+	// Robustness: protocol-level recovery from interconnect misbehavior.
+	// A directory request unanswered for ProtocolTimeout cycles is
+	// retransmitted over a rerouted path, up to MeshMaxRetries times,
+	// bounding the damage an injected message delay can do (0 = off).
+	ProtocolTimeout sim.Cycles
+	MeshMaxRetries  int
+
+	// Forward-progress escalation ladder. A transaction that has aborted
+	// BoostAborts times in a row backs off beyond BackoffMax (boosted
+	// backoff); at HopelessAborts consecutive aborts — or after
+	// StarveThreshold cycles inside one transaction without committing —
+	// it is granted the global serialization token and runs irrevocably
+	// while other cores park at their next transaction begin ("hopeless
+	// transaction" mode). Zero disables each rung, which is the default:
+	// high-contention paper workloads legitimately see hundreds of
+	// consecutive aborts that classic backoff resolves, so the ladder is
+	// an opt-in for chaos/fault runs (WithProgressLadder) rather than a
+	// change to the evaluated schemes' fault-free behavior.
+	StarveThreshold sim.Cycles
+	BoostAborts     int
+	HopelessAborts  int
+
+	// CheckInterval, when positive, runs the machine's invariant checker
+	// (coherence + redirect cross-consistency) every so many cycles and
+	// fails the run on the first violation. Debug aid; expensive.
+	CheckInterval sim.Cycles
+
 	// Watchdog: abort the simulation after this many cycles (0 = off).
+	// The forward-progress ladder above should make this unreachable; it
+	// remains as the last-resort backstop, now returning a typed
+	// *WatchdogError with per-core diagnostics.
 	MaxCycles sim.Cycles
 }
 
@@ -115,6 +145,21 @@ func DefaultConfig(cores int) Config {
 		LazyMergePerLn:  15,
 		LazyArbitration: 24,
 		Redirect:        redirect.DefaultConfig(cores),
+		ProtocolTimeout: 500,
+		MeshMaxRetries:  3,
 		MaxCycles:       2_000_000_000,
 	}
+}
+
+// WithProgressLadder returns the config with the forward-progress
+// escalation ladder armed at its standard thresholds. Chaos runs (and
+// suvsim -faults) use it: under injected NACK storms, saturation and
+// message delay, boosted backoff plus the serialization token bound how
+// long any one transaction can starve, at the price of diverging from
+// the paper's classic-backoff schedule once a rung engages.
+func (c Config) WithProgressLadder() Config {
+	c.StarveThreshold = 1_000_000
+	c.BoostAborts = 24
+	c.HopelessAborts = 48
+	return c
 }

@@ -16,6 +16,7 @@ const (
 	statusAborting                  // consuming the abort roll-back window
 	statusBarrier                   // blocked on a barrier
 	statusLazyCommitWait            // waiting for the commit token / validation
+	statusTokenWait                 // parked at a begin while another core holds the serialization token
 	statusFinished
 )
 
@@ -94,6 +95,14 @@ type Core struct {
 	barrierAt  sim.Cycles // arrival time (Barrier attribution)
 	abortEndAt sim.Cycles // end of the abort roll-back window
 	finishedAt sim.Cycles
+
+	// Forward-progress monitoring (see progress.go): when this core last
+	// committed (0 = never), when it parked waiting for the serialization
+	// token, and whether its current struggle already counted a
+	// starvation escalation.
+	lastCommitAt sim.Cycles
+	tokenParkAt  sim.Cycles
+	escalated    bool
 
 	// Compensation execution state (open nesting): after an abort, the
 	// queued compensating actions run as plain code before the restart.

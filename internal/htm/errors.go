@@ -1,0 +1,160 @@
+package htm
+
+import (
+	"errors"
+	"fmt"
+	"strings"
+
+	"suvtm/internal/sim"
+)
+
+// Sentinel errors for the two ways a run can fail. The machine returns
+// structured *WatchdogError / *DeadlockError / *InvariantError values
+// that unwrap to these, so callers can classify with errors.Is and dig
+// out diagnostics with errors.As.
+var (
+	// ErrWatchdog means the simulation exceeded Config.MaxCycles without
+	// finishing — forward progress was lost despite the escalation ladder.
+	ErrWatchdog = errors.New("htm: watchdog: no forward progress")
+	// ErrDeadlock means every schedulable event drained but some cores
+	// never finished (mismatched barriers, or cores wedged waiting).
+	ErrDeadlock = errors.New("htm: deadlock")
+)
+
+// CoreSnapshot is one core's state at the moment a run failed, the raw
+// material of a post-mortem: what was it doing, how long since it last
+// committed, how hard was it struggling.
+type CoreSnapshot struct {
+	Core              int
+	Status            string     // engine status (running, aborting, barrier, ...)
+	PC                int        // program counter
+	InTx              bool       // has an open transaction
+	Suspended         bool       // transaction descheduled (summary-signature mode)
+	ConsecAborts      int        // consecutive aborts of the current struggle
+	CyclesSinceCommit sim.Cycles // cycles since this core's last commit (or run start)
+	TxAge             sim.Cycles // age of the open transaction (0 when not in one)
+	HeldToken         bool       // held the global serialization token
+}
+
+// String renders the snapshot on one line.
+func (s CoreSnapshot) String() string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "core%-2d %-10s pc=%-6d consec-aborts=%-3d since-commit=%d",
+		s.Core, s.Status, s.PC, s.ConsecAborts, s.CyclesSinceCommit)
+	if s.InTx {
+		fmt.Fprintf(&sb, " in-tx age=%d", s.TxAge)
+	}
+	if s.Suspended {
+		sb.WriteString(" suspended")
+	}
+	if s.HeldToken {
+		sb.WriteString(" TOKEN")
+	}
+	return sb.String()
+}
+
+// WatchdogError reports a watchdog trip with per-core diagnostics.
+type WatchdogError struct {
+	MaxCycles sim.Cycles     // the configured limit
+	At        sim.Cycles     // cycle of the event that tripped it
+	Cores     []CoreSnapshot // every core's state at the trip
+}
+
+// Error implements error.
+func (e *WatchdogError) Error() string {
+	return fmt.Sprintf("htm: watchdog: simulation exceeded %d cycles (livelock?) at cycle %d", e.MaxCycles, e.At)
+}
+
+// Unwrap makes errors.Is(err, ErrWatchdog) work.
+func (e *WatchdogError) Unwrap() error { return ErrWatchdog }
+
+// PostMortem renders the per-core diagnostic table.
+func (e *WatchdogError) PostMortem() string { return postMortem(e.Cores) }
+
+// DeadlockError reports an exhausted event queue with unfinished cores.
+type DeadlockError struct {
+	Finished int            // cores that ran to completion
+	Total    int            // total cores
+	At       sim.Cycles     // last simulated cycle
+	Cores    []CoreSnapshot // every core's state when the queue drained
+}
+
+// Error implements error.
+func (e *DeadlockError) Error() string {
+	return fmt.Sprintf("htm: deadlock: %d of %d cores finished (mismatched barriers?)", e.Finished, e.Total)
+}
+
+// Unwrap makes errors.Is(err, ErrDeadlock) work.
+func (e *DeadlockError) Unwrap() error { return ErrDeadlock }
+
+// PostMortem renders the per-core diagnostic table.
+func (e *DeadlockError) PostMortem() string { return postMortem(e.Cores) }
+
+// InvariantError reports a periodic invariant-check failure (enabled via
+// Config.CheckInterval): the machine's cross-structure state became
+// inconsistent at cycle At.
+type InvariantError struct {
+	At    sim.Cycles
+	Check string // which checker fired ("coherence", "redirect")
+	Err   error  // the violated invariant
+}
+
+// Error implements error.
+func (e *InvariantError) Error() string {
+	return fmt.Sprintf("htm: invariant check (%s) failed at cycle %d: %v", e.Check, e.At, e.Err)
+}
+
+// Unwrap exposes the underlying invariant violation.
+func (e *InvariantError) Unwrap() error { return e.Err }
+
+// postMortem renders snapshots, one core per line.
+func postMortem(cores []CoreSnapshot) string {
+	var sb strings.Builder
+	for _, s := range cores {
+		sb.WriteString("  ")
+		sb.WriteString(s.String())
+		sb.WriteByte('\n')
+	}
+	return sb.String()
+}
+
+// String names the engine status for diagnostics.
+func (s coreStatus) String() string {
+	switch s {
+	case statusRunning:
+		return "running"
+	case statusAborting:
+		return "aborting"
+	case statusBarrier:
+		return "barrier"
+	case statusLazyCommitWait:
+		return "commit-wait"
+	case statusTokenWait:
+		return "token-wait"
+	case statusFinished:
+		return "finished"
+	}
+	return fmt.Sprintf("status(%d)", uint8(s))
+}
+
+// snapshotCores captures every core's diagnostic state at m.now.
+func (m *Machine) snapshotCores() []CoreSnapshot {
+	out := make([]CoreSnapshot, len(m.Cores))
+	for i, c := range m.Cores {
+		s := CoreSnapshot{
+			Core:              c.ID,
+			Status:            c.status.String(),
+			PC:                c.PC,
+			InTx:              c.InTx(),
+			Suspended:         c.suspended,
+			ConsecAborts:      c.consecAborts,
+			CyclesSinceCommit: m.now - c.lastCommitAt,
+			HeldToken:         m.tokenCore == c.ID,
+		}
+		if c.InTx() && c.hasTimestamp && m.now > c.Timestamp {
+			s.TxAge = m.now - c.Timestamp
+		}
+		out[i] = s
+	}
+	return out
+}

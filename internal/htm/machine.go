@@ -4,6 +4,7 @@ import (
 	"fmt"
 
 	"suvtm/internal/coherence"
+	"suvtm/internal/faults"
 	"suvtm/internal/interconnect"
 	"suvtm/internal/mem"
 	"suvtm/internal/metrics"
@@ -43,6 +44,16 @@ type Machine struct {
 	commitBusyUntil sim.Cycles
 	finished        int
 	participants    int // cores with a non-empty program (barrier quorum)
+
+	// Robustness layer (see progress.go): the fault injector driving a
+	// chaos plan, the pool-exhaustion reclamation penalty currently in
+	// force, the global serialization token (-1 = free) with the cores
+	// parked on it, and the next periodic invariant check.
+	faults       *faults.Injector
+	poolPenalty  sim.Cycles
+	tokenCore    int
+	tokenWaiting []int
+	nextCheckAt  sim.Cycles
 }
 
 type barrierState struct {
@@ -66,17 +77,19 @@ func New(cfg Config, vm VersionManager, programs []workload.Program, memory *mem
 		panic(fmt.Sprintf("htm: %d programs for %d cores", len(programs), cfg.Cores))
 	}
 	m := &Machine{
-		cfg:      cfg,
-		Memory:   memory,
-		Alloc:    alloc,
-		L2:       mem.NewCache(cfg.L2),
-		Dir:      coherence.NewDirectory(cfg.Cores),
-		Mesh:     interconnect.NewMesh(cfg.Cores, cfg.WireLatency, cfg.RouteLatency),
-		VM:       vm,
-		Redirect: redirect.New(cfg.Redirect, alloc),
-		Summary:  signature.NewSummary(cfg.SigBits, signature.HashH3),
-		barriers: make(map[uint32]*barrierState),
+		cfg:       cfg,
+		Memory:    memory,
+		Alloc:     alloc,
+		L2:        mem.NewCache(cfg.L2),
+		Dir:       coherence.NewDirectory(cfg.Cores),
+		Mesh:      interconnect.NewMesh(cfg.Cores, cfg.WireLatency, cfg.RouteLatency),
+		VM:        vm,
+		Redirect:  redirect.New(cfg.Redirect, alloc),
+		Summary:   signature.NewSummary(cfg.SigBits, signature.HashH3),
+		barriers:  make(map[uint32]*barrierState),
+		tokenCore: -1,
 	}
+	m.Dir.Retry = coherence.RetryPolicy{Timeout: cfg.ProtocolTimeout, MaxRetries: cfg.MeshMaxRetries}
 	rng := sim.NewRNG(cfg.Seed)
 	for i := 0; i < cfg.Cores; i++ {
 		c := &Core{
@@ -147,14 +160,21 @@ func (m *Machine) Run() (*Result, error) {
 	for m.heap.Len() > 0 {
 		at, id := m.heap.Pop()
 		if m.cfg.MaxCycles > 0 && at > m.cfg.MaxCycles {
-			return nil, fmt.Errorf("htm: watchdog: simulation exceeded %d cycles (livelock?)", m.cfg.MaxCycles)
+			m.now = at
+			return nil, m.failRun(&WatchdogError{MaxCycles: m.cfg.MaxCycles, At: at, Cores: m.snapshotCores()})
 		}
 		m.now = at
+		if m.faults != nil {
+			m.advanceFaults(at)
+		}
+		if err := m.maybeCheckInvariants(at); err != nil {
+			return nil, m.failRun(err)
+		}
 		m.metrics.Tick(at)
 		m.step(m.Cores[id])
 	}
 	if m.finished != len(m.Cores) {
-		return nil, fmt.Errorf("htm: deadlock: %d of %d cores finished (mismatched barriers?)", m.finished, len(m.Cores))
+		return nil, m.failRun(&DeadlockError{Finished: m.finished, Total: len(m.Cores), At: m.now, Cores: m.snapshotCores()})
 	}
 	res := &Result{PerCore: make([]stats.Breakdown, len(m.Cores))}
 	var end sim.Cycles
@@ -176,6 +196,18 @@ func (m *Machine) Run() (*Result, error) {
 		m.obs.finish(m, end)
 	}
 	return res, nil
+}
+
+// failRun finalizes a failed run before the error propagates: the
+// metrics collector flushes its trailing interval and builds the
+// snapshot breakouts, so the diagnostics (time series, histograms,
+// Chrome trace via the streaming sink) survive the failure instead of
+// being lost with the *Result that never materialized.
+func (m *Machine) failRun(err error) error {
+	if m.obs != nil {
+		m.obs.finish(m, m.now)
+	}
+	return err
 }
 
 // step advances one core by one operation (or one engine event).

@@ -4,6 +4,8 @@ import (
 	"fmt"
 	"sort"
 
+	"suvtm/internal/faults"
+
 	"suvtm/internal/metrics"
 	"suvtm/internal/stats"
 )
@@ -76,6 +78,12 @@ func (m *Machine) EnableMetrics(col *metrics.Collector) {
 	col.Watch("dir.gets", metrics.Cumulative, func() float64 { return float64(m.Dir.Stats.GETS.Value()) })
 	col.Watch("dir.getm", metrics.Cumulative, func() float64 { return float64(m.Dir.Stats.GETM.Value()) })
 	col.Watch("dir.invalidations", metrics.Cumulative, func() float64 { return float64(m.Dir.Stats.Invalidations.Value()) })
+	// Robustness: injected-fault activity, protocol recovery and
+	// forward-progress escalation (flat zero series on fault-free runs).
+	col.Watch("faults.injected-nacks", metrics.Cumulative, sum(func(c *stats.Counters) uint64 { return c.InjectedNACKs }))
+	col.Watch("mesh.retries", metrics.Cumulative, sum(func(c *stats.Counters) uint64 { return c.MeshRetries }))
+	col.Watch("progress.escalations", metrics.Cumulative, sum(func(c *stats.Counters) uint64 { return c.StarveEscalations }))
+	col.Watch("progress.token-grants", metrics.Cumulative, sum(func(c *stats.Counters) uint64 { return c.TokenGrants }))
 	// Redirect machinery occupancy (instantaneous levels).
 	col.Watch("redirect.entries", metrics.Level, func() float64 { return float64(m.Redirect.EntryCount()) })
 	col.Watch("redirect.transient", metrics.Level, func() float64 {
@@ -151,6 +159,18 @@ func (o *observer) finish(m *Machine, end uint64) {
 		})
 	}
 	o.col.AddBreakout("mesh.links", links)
+
+	// Fault-window activity by kind, when a chaos plan drove the run.
+	if m.faults != nil {
+		fs := m.faults.Stats()
+		mixf := make([]metrics.LabeledValue, 0, len(fs.PerKind))
+		for k, n := range fs.PerKind {
+			if n > 0 {
+				mixf = append(mixf, metrics.LabeledValue{Label: faults.Kind(k).String(), Value: float64(n)})
+			}
+		}
+		o.col.AddBreakout("faults.windows", mixf)
+	}
 
 	// Per-site commit mix, so the snapshot names the hot sites even
 	// without digging into the histograms.

@@ -1,0 +1,167 @@
+package htm_test
+
+import (
+	"errors"
+	"testing"
+
+	"suvtm/internal/faults"
+	"suvtm/internal/htm"
+	"suvtm/internal/htm/logtmse"
+	"suvtm/internal/htm/suvtm"
+	"suvtm/internal/sim"
+	"suvtm/internal/workload"
+)
+
+// contendedProgs builds cores programs that all increment the same
+// shared word in a transaction iters times — maximal write contention.
+func contendedProgs(region workload.Region, cores, iters int) []workload.Program {
+	progs := make([]workload.Program, cores)
+	addr := region.WordAddr(0, 0)
+	for c := range progs {
+		b := workload.NewBuilder()
+		for i := 0; i < iters; i++ {
+			b.Begin(0)
+			b.Load(0, addr)
+			b.Compute(30) // widen the window so conflicts actually overlap
+			b.AddImm(0, 1)
+			b.Store(addr, 0)
+			b.Commit()
+		}
+		progs[c] = b.Build()
+	}
+	return progs
+}
+
+// TestSerializationToken arms the escalation ladder with hair-trigger
+// thresholds under maximal contention and checks the full token
+// lifecycle: escalations fire, the token is granted and released
+// (otherwise later grants could not happen and the run could not end),
+// every transaction still commits, and the shared counter proves
+// serializability.
+func TestSerializationToken(t *testing.T) {
+	const cores, iters = 8, 30
+	r := newRig()
+	region := workload.NewRegion(r.alloc, 8)
+
+	cfg := htm.DefaultConfig(cores).WithProgressLadder()
+	cfg.BoostAborts = 4
+	cfg.HopelessAborts = 3
+	cfg.MaxCycles = 50_000_000
+	m := htm.New(cfg, logtmse.New(), contendedProgs(region, cores, iters), r.memory, r.alloc)
+	res, err := m.Run()
+	if err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	if res.Counters.TxCommitted != cores*iters {
+		t.Errorf("committed %d transactions, want %d", res.Counters.TxCommitted, cores*iters)
+	}
+	if res.Counters.StarveEscalations == 0 {
+		t.Error("no starvation escalation ever fired under hair-trigger thresholds")
+	}
+	if res.Counters.TokenGrants == 0 {
+		t.Error("the serialization token was never granted")
+	}
+	got := m.ArchMem().Read(region.WordAddr(0, 0))
+	if got != sim.Word(cores*iters) {
+		t.Errorf("shared counter = %d, want %d (lost updates)", got, cores*iters)
+	}
+}
+
+// TestInjectedNACKStorm drives a machine through a global NACK storm
+// window and checks that accesses were refused, the run completed, and
+// no update was lost.
+func TestInjectedNACKStorm(t *testing.T) {
+	const cores, iters = 4, 20
+	r := newRig()
+	region := workload.NewRegion(r.alloc, 8)
+
+	cfg := htm.DefaultConfig(cores).WithProgressLadder()
+	cfg.MaxCycles = 50_000_000
+	m := htm.New(cfg, suvtm.New(), contendedProgs(region, cores, iters), r.memory, r.alloc)
+	plan := &faults.Plan{Name: "test-storm", Events: []faults.Event{
+		{Kind: faults.NACKStorm, At: 50, Dur: 3_000, Core: -1},
+	}}
+	if err := plan.Normalize(); err != nil {
+		t.Fatal(err)
+	}
+	m.SetFaults(faults.NewInjector(plan))
+	res, err := m.Run()
+	if err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	if res.Counters.InjectedNACKs == 0 {
+		t.Error("a global 3000-cycle NACK storm injected no NACKs")
+	}
+	if res.Counters.TxCommitted != cores*iters {
+		t.Errorf("committed %d transactions, want %d", res.Counters.TxCommitted, cores*iters)
+	}
+	if got := m.ArchMem().Read(region.WordAddr(0, 0)); got != sim.Word(cores*iters) {
+		t.Errorf("shared counter = %d, want %d", got, cores*iters)
+	}
+	if st := m.FaultStats(); st.Opened == 0 || st.Closed == 0 {
+		t.Errorf("injector stats did not record the window: %+v", st)
+	}
+}
+
+// TestWatchdogTypedError checks satellite requirement: a watchdog trip
+// surfaces as a typed *WatchdogError carrying per-core snapshots,
+// classifiable via errors.Is and extractable via errors.As.
+func TestWatchdogTypedError(t *testing.T) {
+	r := newRig()
+	region := workload.NewRegion(r.alloc, 8)
+	cfg := htm.DefaultConfig(2)
+	cfg.MaxCycles = 50 // absurdly tight: trips immediately
+	m := htm.New(cfg, suvtm.New(), contendedProgs(region, 2, 50), r.memory, r.alloc)
+	_, err := m.Run()
+	if !errors.Is(err, htm.ErrWatchdog) {
+		t.Fatalf("errors.Is(err, ErrWatchdog) = false for %v", err)
+	}
+	var we *htm.WatchdogError
+	if !errors.As(err, &we) {
+		t.Fatalf("errors.As failed to extract *WatchdogError from %v", err)
+	}
+	if we.MaxCycles != 50 || len(we.Cores) != 2 {
+		t.Errorf("WatchdogError = {MaxCycles: %d, %d cores}, want {50, 2 cores}", we.MaxCycles, len(we.Cores))
+	}
+	if we.PostMortem() == "" {
+		t.Error("empty post-mortem")
+	}
+}
+
+// TestDeadlockTypedError checks that a drained event queue with
+// unfinished cores (mismatched barriers) surfaces as *DeadlockError.
+func TestDeadlockTypedError(t *testing.T) {
+	r := newRig()
+	b0 := workload.NewBuilder()
+	b0.Compute(5)
+	b0.Barrier(0) // never released: core 1 does not participate
+	b1 := workload.NewBuilder()
+	b1.Compute(5)
+	m := htm.New(htm.DefaultConfig(2), suvtm.New(),
+		[]workload.Program{b0.Build(), b1.Build()}, r.memory, r.alloc)
+	_, err := m.Run()
+	if !errors.Is(err, htm.ErrDeadlock) {
+		t.Fatalf("errors.Is(err, ErrDeadlock) = false for %v", err)
+	}
+	var de *htm.DeadlockError
+	if !errors.As(err, &de) {
+		t.Fatalf("errors.As failed to extract *DeadlockError from %v", err)
+	}
+	if de.Finished != 1 || de.Total != 2 {
+		t.Errorf("DeadlockError = %d/%d finished, want 1/2", de.Finished, de.Total)
+	}
+}
+
+// TestInvariantCheckerClean runs the periodic cross-structure audit on a
+// healthy contended run: it must never fire.
+func TestInvariantCheckerClean(t *testing.T) {
+	r := newRig()
+	region := workload.NewRegion(r.alloc, 8)
+	cfg := htm.DefaultConfig(4)
+	cfg.CheckInterval = 500
+	cfg.MaxCycles = 50_000_000
+	m := htm.New(cfg, suvtm.New(), contendedProgs(region, 4, 15), r.memory, r.alloc)
+	if _, err := m.Run(); err != nil {
+		t.Fatalf("invariant checker fired on a healthy run: %v", err)
+	}
+}

@@ -103,7 +103,16 @@ func (v *VM) Store(m *htm.Machine, c *htm.Core, addr sim.Addr, val sim.Word) (si
 	if out.RedirectBack {
 		c.Counters.RedirectBacks++
 	}
-	return out.Target, out.ExtraLatency
+	lat := out.ExtraLatency
+	if out.PoolReclaim {
+		// The preserved pool was exhausted: the allocation was served by
+		// software reclamation of a committed pool page — slow, but the
+		// transaction still proceeds (graceful degradation rather than a
+		// hard failure).
+		c.Counters.PoolReclaimStalls++
+		lat += m.PoolReclaimPenalty()
+	}
+	return out.Target, lat
 }
 
 // CommitOuter flash-converts the journaled entries (Figure 4(e)) and
@@ -112,7 +121,11 @@ func (v *VM) Store(m *htm.Machine, c *htm.Core, addr sim.Addr, val sim.Word) (si
 func (v *VM) CommitOuter(m *htm.Machine, c *htm.Core) sim.Cycles {
 	lat := m.Config().CommitLatency
 	if m.Redirect.TxOverflowed(c.ID) {
+		// The first-level table overflowed (entry pressure or plain
+		// capacity): the transaction completes through the software-walked
+		// slow path instead of failing.
 		c.Counters.TableOverflowTx++
+		c.Counters.GracefulDegradation++
 		lat += m.Config().MemLatency
 	}
 	for _, ev := range m.Redirect.CommitFrame(c.ID) {
@@ -152,6 +165,7 @@ func (v *VM) Abort(m *htm.Machine, c *htm.Core) sim.Cycles {
 	lat := m.Config().FastAbortFixed
 	if m.Redirect.TxOverflowed(c.ID) {
 		c.Counters.TableOverflowTx++
+		c.Counters.GracefulDegradation++
 		lat += m.Config().MemLatency
 	}
 	for m.Redirect.InFrame(c.ID) {

@@ -14,6 +14,11 @@ type workloadOp = workload.Op
 // timestamp assignment (kept across retries so aborted transactions age
 // and eventually win conflicts) and the scheme's begin work.
 func (m *Machine) doBegin(c *Core, site uint32) {
+	if m.parkAtBegin(c) {
+		// Another core runs in hopeless-transaction mode: this outermost
+		// begin waits for the serialization token to release.
+		return
+	}
 	frame := TxFrame{BeginPC: c.PC, Site: site, Regs: c.Regs}
 	if len(c.Frames) > 0 {
 		// Nested frame: snapshot the signatures and precise sets so an
@@ -148,6 +153,13 @@ func (m *Machine) killLazyReaders(committer *Core) {
 		if h == committer || m.modeOf(h) != ModeLazy || h.abortPending {
 			continue
 		}
+		if h.ID == m.tokenCore {
+			// The serialization-token holder is irrevocable; it was the
+			// only transaction allowed to run, so a committer here can only
+			// be the holder itself (already excluded) or a non-parked core
+			// draining a pre-grant commit — which must not kill the holder.
+			continue
+		}
 		if committer.WriteSig.Intersects(h.ReadSig) || committer.WriteSig.Intersects(h.WriteSig) {
 			h.doomBy(committer.ID)
 		}
@@ -200,6 +212,11 @@ func (m *Machine) sealCommit(c *Core) {
 	c.clearTxState()
 	c.hasTimestamp = false
 	c.consecAborts = 0
+	c.escalated = false
+	c.lastCommitAt = m.now
+	if m.tokenCore == c.ID {
+		m.releaseToken(c)
+	}
 }
 
 // startAbort begins the roll-back window: the scheme undoes the
@@ -259,14 +276,23 @@ func (m *Machine) finishAbort(c *Core) {
 		c.compRemaining = comps[0].n
 	}
 
-	shift := c.consecAborts - 1
-	if shift > 8 {
-		shift = 8
+	// Forward-progress escalation (progress.go): a struggle that reaches
+	// BoostAborts consecutive aborts counts one starvation escalation and
+	// enters boosted backoff; past HopelessAborts (or StarveThreshold
+	// cycles of age) it competes for the serialization token, and a grant
+	// retries immediately — the token already cleared the field.
+	if m.cfg.BoostAborts > 0 && c.consecAborts >= m.cfg.BoostAborts && !c.escalated {
+		c.escalated = true
+		c.Counters.StarveEscalations++
+		m.tracer.Record(trace.Event{Cycle: m.now, Core: c.ID, Kind: trace.StarveEscalate,
+			Other: -1, Info: uint64(c.consecAborts)})
 	}
-	window := m.cfg.BackoffBase << uint(shift)
-	if window > m.cfg.BackoffMax {
-		window = m.cfg.BackoffMax
+	m.maybeEscalate(c)
+	if m.tokenCore == c.ID {
+		m.heap.Push(m.now+1, c.ID)
+		return
 	}
+	window := backoffWindow(m.cfg.BackoffBase, m.cfg.BackoffMax, c.consecAborts, m.cfg.BoostAborts)
 	backoff := window/2 + sim.Cycles(c.RNG.Uint64n(uint64(window/2+1)))
 	c.Breakdown.Add(stats.Backoff, backoff)
 	m.heap.Push(m.now+backoff, c.ID)

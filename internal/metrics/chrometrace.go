@@ -6,9 +6,13 @@ import (
 	"io"
 	"sort"
 
+	"suvtm/internal/faults"
 	"suvtm/internal/sim"
 	"suvtm/internal/trace"
 )
+
+// faultsTid is the pseudo-thread id carrying fault-window instants.
+const faultsTid = -1
 
 // ChromeTrace builds a Chrome trace-event JSON file (the format read by
 // Perfetto and chrome://tracing) from streamed lifecycle events: one
@@ -95,6 +99,25 @@ func (t *ChromeTrace) Emit(e trace.Event) {
 		t.instant(e, "suspend", nil)
 	case trace.Resume:
 		t.instant(e, "resume", nil)
+	case trace.FaultOn, trace.FaultOff:
+		// Fault windows render on a dedicated pseudo-track so injected
+		// adversity lines up visually with the per-core transaction spans.
+		name := "fault-on"
+		if e.Kind == trace.FaultOff {
+			name = "fault-off"
+		}
+		fe := e
+		fe.Core = faultsTid
+		t.ensureThread(faultsTid)
+		t.instant(fe, fmt.Sprintf("%s %s", name, faults.Kind(e.Info)), map[string]any{
+			"fault": faults.Kind(e.Info).String(), "core": e.Other,
+		})
+	case trace.StarveEscalate:
+		t.instant(e, "starve-escalate", map[string]any{"consecAborts": e.Info})
+	case trace.TokenAcquire:
+		t.instant(e, "token-acquire", map[string]any{"consecAborts": e.Info})
+	case trace.TokenRelease:
+		t.instant(e, "token-release", nil)
 	}
 }
 
@@ -160,9 +183,13 @@ func (t *ChromeTrace) ensureThread(core int) {
 		return
 	}
 	t.named[core] = true
+	name := fmt.Sprintf("core %d", core)
+	if core == faultsTid {
+		name = "faults"
+	}
 	t.events = append(t.events, chromeEvent{
 		Name: "thread_name", Ph: "M", Tid: core,
-		Args: map[string]any{"name": fmt.Sprintf("core %d", core)},
+		Args: map[string]any{"name": name},
 	})
 }
 

@@ -1,0 +1,79 @@
+package redirect
+
+import (
+	"fmt"
+
+	"suvtm/internal/sim"
+)
+
+// Audit cross-checks the redirect structures against each other and
+// returns the first inconsistency found, or nil. It is the redirect half
+// of the machine's periodic invariant checker: cheap enough to run every
+// few hundred thousand cycles in debug runs, exhaustive enough to catch
+// a fault-injection path that corrupts the mapping state.
+//
+// Invariants checked:
+//  1. committed mappings target pairwise-distinct pool lines;
+//  2. no committed mapping targets a line on the pool free list;
+//  3. claimedBy values name a real core holding a TransientDelete entry
+//     for that line (and vice versa);
+//  4. transient adds target pool lines distinct from each other, from
+//     every committed target, and from the free list;
+//  5. every line recorded as swapped out still has a committed mapping.
+func (r *Redirect) Audit() error {
+	onFreeList := make(map[sim.Line]bool, len(r.pool.free))
+	for _, l := range r.pool.free {
+		onFreeList[l] = true
+	}
+	targets := make(map[sim.Line]string, len(r.global))
+	for line, g := range r.global {
+		owner := fmt.Sprintf("global %#x", line)
+		if prev, dup := targets[g.pool]; dup {
+			return fmt.Errorf("redirect audit: pool line %#x targeted by both %s and %s", g.pool, prev, owner)
+		}
+		targets[g.pool] = owner
+		if onFreeList[g.pool] {
+			return fmt.Errorf("redirect audit: %s targets pool line %#x that is on the free list", owner, g.pool)
+		}
+		if g.claimedBy != -1 {
+			if g.claimedBy < 0 || g.claimedBy >= r.cfg.Cores {
+				return fmt.Errorf("redirect audit: %s claimed by out-of-range core %d", owner, g.claimedBy)
+			}
+			te, ok := r.trans[g.claimedBy][line]
+			if !ok || te.state != TransientDelete {
+				return fmt.Errorf("redirect audit: %s claimed by core %d without a transient delete", owner, g.claimedBy)
+			}
+		}
+	}
+	for core, entries := range r.trans {
+		for line, te := range entries {
+			switch te.state {
+			case TransientAdd:
+				owner := fmt.Sprintf("core %d transient add %#x", core, line)
+				if prev, dup := targets[te.pool]; dup {
+					return fmt.Errorf("redirect audit: pool line %#x targeted by both %s and %s", te.pool, prev, owner)
+				}
+				targets[te.pool] = owner
+				if onFreeList[te.pool] {
+					return fmt.Errorf("redirect audit: %s targets pool line %#x that is on the free list", owner, te.pool)
+				}
+			case TransientDelete:
+				g, ok := r.global[line]
+				if !ok {
+					return fmt.Errorf("redirect audit: core %d transient delete %#x has no committed mapping", core, line)
+				}
+				if g.claimedBy != core {
+					return fmt.Errorf("redirect audit: core %d transient delete %#x but mapping claimed by %d", core, line, g.claimedBy)
+				}
+			default:
+				return fmt.Errorf("redirect audit: core %d entry %#x in impossible state %v", core, line, te.state)
+			}
+		}
+	}
+	for line := range r.inMemory {
+		if _, ok := r.global[line]; !ok {
+			return fmt.Errorf("redirect audit: swapped-out entry %#x has no committed mapping", line)
+		}
+	}
+	return nil
+}

@@ -17,6 +17,13 @@ type Pool struct {
 	nextLine  sim.Line
 	linesLeft int
 	pages     uint64
+	// exhausted simulates preserved-pool exhaustion (the fault
+	// injector's PoolExhaust window): allocations still succeed — the OS
+	// reclamation path always finds a line eventually — but the caller
+	// is told the allocation went through software reclamation so it can
+	// charge the stall and count the graceful degradation.
+	exhausted bool
+	reclaims  uint64
 }
 
 // NewPool creates a pool drawing pages from alloc.
@@ -27,6 +34,9 @@ func NewPool(alloc *mem.Allocator) *Pool {
 // Alloc returns a fresh pool line, reusing freed lines first and
 // claiming a new page when the current one is exhausted.
 func (p *Pool) Alloc() sim.Line {
+	if p.exhausted {
+		p.reclaims++
+	}
 	if n := len(p.free); n > 0 {
 		line := p.free[n-1]
 		p.free = p.free[:n-1]
@@ -54,3 +64,14 @@ func (p *Pool) Pages() uint64 { return p.pages }
 
 // FreeLines returns the current free-list length (tests).
 func (p *Pool) FreeLines() int { return len(p.free) }
+
+// SetExhausted marks (or unmarks) the pool exhausted; see the field
+// comment.
+func (p *Pool) SetExhausted(on bool) { p.exhausted = on }
+
+// Exhausted reports whether the pool is in the exhausted regime.
+func (p *Pool) Exhausted() bool { return p.exhausted }
+
+// Reclaims returns the number of allocations served through software
+// reclamation while the pool was exhausted.
+func (p *Pool) Reclaims() uint64 { return p.reclaims }

@@ -64,6 +64,7 @@ type StoreOutcome struct {
 	NeedFill     bool       // Target holds stale data and needs the fill copy
 	ExtraLatency sim.Cycles // table-maintenance latency (overflow handling)
 	Overflowed   bool       // the first-level table could not pin the entry
+	PoolReclaim  bool       // the pool line came from software reclamation (pool exhausted)
 }
 
 // LookupOutcome describes a timing lookup of the redirect table.
@@ -122,6 +123,12 @@ type Redirect struct {
 	journals   [][]journalRec
 	frameMarks [][]int
 	overflow   []bool // current transaction overflowed the first-level table
+
+	// pressured simulates first-level entry pressure (the fault
+	// injector's RedirectPressure window): pin refuses every insertion,
+	// as if all slots were already pinned, forcing transactions through
+	// the degenerated software-structure overflow path.
+	pressured bool
 }
 
 // New creates the redirect state, drawing pool pages from alloc.
@@ -273,7 +280,8 @@ func (r *Redirect) TxStore(core int, line sim.Line) StoreOutcome {
 		poolLine := r.pool.Alloc()
 		r.trans[core][line] = &transEntry{state: TransientAdd, pool: poolLine}
 		r.journals[core] = append(r.journals[core], journalRec{kind: journalAdd, line: line})
-		out := StoreOutcome{Target: poolLine, NewEntry: true, FillFrom: line, NeedFill: true}
+		out := StoreOutcome{Target: poolLine, NewEntry: true, FillFrom: line, NeedFill: true,
+			PoolReclaim: r.pool.Exhausted()}
 		r.pin(core, line, &out)
 		return out
 
@@ -293,7 +301,8 @@ func (r *Redirect) TxStore(core int, line sim.Line) StoreOutcome {
 		poolLine := r.pool.Alloc()
 		r.trans[core][line] = &transEntry{state: TransientAdd, pool: poolLine}
 		r.journals[core] = append(r.journals[core], journalRec{kind: journalAdd, line: line})
-		out := StoreOutcome{Target: poolLine, NewEntry: true, Chained: true, FillFrom: g.pool, NeedFill: true}
+		out := StoreOutcome{Target: poolLine, NewEntry: true, Chained: true, FillFrom: g.pool, NeedFill: true,
+			PoolReclaim: r.pool.Exhausted()}
 		r.pin(core, line, &out)
 		return out
 	}
@@ -303,9 +312,14 @@ func (r *Redirect) TxStore(core int, line sim.Line) StoreOutcome {
 // duration of the transaction; on overflow the entry lives in the shared
 // levels and the store pays the second-level latency.
 func (r *Redirect) pin(core int, line sim.Line, out *StoreOutcome) {
-	victim, evicted, ok := r.l1[core].insert(line, true)
-	if evicted {
-		r.spillToL2(victim)
+	ok := false
+	if !r.pressured {
+		var victim sim.Line
+		var evicted bool
+		victim, evicted, ok = r.l1[core].insert(line, true)
+		if evicted {
+			r.spillToL2(victim)
+		}
 	}
 	if !ok {
 		r.overflow[core] = true
@@ -434,6 +448,13 @@ func (r *Redirect) AbortFrame(core int) int {
 // TxOverflowed reports whether core's current transaction overflowed the
 // first-level table (Table V statistics).
 func (r *Redirect) TxOverflowed(core int) bool { return r.overflow[core] }
+
+// SetPressure forces (or releases) first-level entry pressure; see the
+// field comment.
+func (r *Redirect) SetPressure(on bool) { r.pressured = on }
+
+// Pressured reports whether injected entry pressure is active.
+func (r *Redirect) Pressured() bool { return r.pressured }
 
 // fillL1 caches an entry line in core's first-level table (unpinned).
 func (r *Redirect) fillL1(core int, line sim.Line, pinned bool) {

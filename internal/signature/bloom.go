@@ -14,6 +14,14 @@ type Bloom struct {
 	kind HashKind
 	bits uint32
 	word []uint64
+	// saturated, when set, makes the signature answer as if every bit
+	// were 1 — the fault injector's saturation storm. It is a virtual
+	// overlay: the underlying bits keep tracking the real address set
+	// (so clearing the flag restores exact behavior) and Clear does not
+	// reset it (only the injector window does). Saturation can only
+	// produce extra false positives, never false negatives, so it
+	// degrades performance without endangering correctness.
+	saturated bool
 }
 
 // NewBloom creates a signature with the given number of bits (a power of
@@ -38,9 +46,19 @@ func (b *Bloom) Add(line sim.Line) {
 	}
 }
 
+// SetSaturated forces (or releases) the saturated overlay; see the field
+// comment.
+func (b *Bloom) SetSaturated(on bool) { b.saturated = on }
+
+// Saturated reports whether the saturation overlay is active.
+func (b *Bloom) Saturated() bool { return b.saturated }
+
 // Test reports whether line may be in the signature (false positives are
 // possible, false negatives are not).
 func (b *Bloom) Test(line sim.Line) bool {
+	if b.saturated {
+		return true
+	}
 	var idx [NumHashes]uint32
 	hashIndices(b.kind, line, b.bits, &idx)
 	for _, i := range idx {
@@ -92,6 +110,18 @@ func (b *Bloom) Or(other *Bloom) {
 func (b *Bloom) Intersects(other *Bloom) bool {
 	if b.bits != other.bits {
 		panic("signature: Intersects of differently sized signatures")
+	}
+	// A saturated side behaves as all-ones: it intersects anything that
+	// represents at least one address. Two empty, unsaturated signatures
+	// never intersect, saturated peer or not.
+	if b.saturated || other.saturated {
+		if b.saturated && other.saturated {
+			return true
+		}
+		if b.saturated {
+			return !other.Empty()
+		}
+		return !b.Empty()
 	}
 	for i := range b.word {
 		if b.word[i]&other.word[i] != 0 {

@@ -18,6 +18,13 @@ type Summary struct {
 	bits uint32
 	sig  []uint64 // the redirect summary signature
 	once []uint64 // bits set by exactly one Add since they were last 0
+	// saturated makes Test answer "maybe redirected" for every address
+	// (the fault injector's saturation storm): every access pays a
+	// wasteful redirect-table lookup, which is the documented cost of a
+	// polluted summary — a superset is always safe. Add/Delete keep
+	// maintaining the real bits underneath so behavior is exact again
+	// the moment the flag drops, and Clear does not reset it.
+	saturated bool
 }
 
 // NewSummary creates a summary signature with numBits bits (a power of
@@ -67,6 +74,9 @@ func (s *Summary) Delete(line sim.Line) {
 // definitive (no table lookup needed); a true result may be a false
 // positive that costs a wasteful lookup.
 func (s *Summary) Test(line sim.Line) bool {
+	if s.saturated {
+		return true
+	}
 	var idx [NumHashes]uint32
 	hashIndices(s.kind, line, s.bits, &idx)
 	for _, i := range idx {
@@ -76,6 +86,13 @@ func (s *Summary) Test(line sim.Line) bool {
 	}
 	return true
 }
+
+// SetSaturated forces (or releases) the saturation overlay; see the
+// field comment.
+func (s *Summary) SetSaturated(on bool) { s.saturated = on }
+
+// Saturated reports whether the saturation overlay is active.
+func (s *Summary) Saturated() bool { return s.saturated }
 
 // Clear resets both the signature and the bit-vector.
 func (s *Summary) Clear() {

@@ -49,6 +49,17 @@ type Counters struct {
 	EagerTx uint64 // transactions executed in eager mode
 	LazyTx  uint64 // transactions executed in lazy mode
 
+	// Robustness: fault injection, protocol recovery, and forward-progress
+	// escalation.
+	InjectedNACKs       uint64 // memory accesses refused by an injected NACK storm
+	MeshTimeouts        uint64 // directory-request deadlines that expired (delayed messages)
+	MeshRetries         uint64 // protocol retransmissions sent after a timeout
+	MeshDuplicates      uint64 // duplicated requests reprocessed idempotently
+	PoolReclaimStalls   uint64 // redirect-pool allocations served via software reclamation
+	StarveEscalations   uint64 // starving transactions escalated to boosted backoff
+	TokenGrants         uint64 // global serialization token grants (hopeless-transaction mode)
+	GracefulDegradation uint64 // transactions completed through a degenerated fallback path
+
 	// Isolation windows (the paper's central quantity): for every
 	// transaction attempt that wrote at least one line, the cycles from
 	// its first write acquisition until its isolation was released —
@@ -92,6 +103,14 @@ func (c *Counters) Add(other *Counters) {
 	c.PoolPagesAlloc += other.PoolPagesAlloc
 	c.EagerTx += other.EagerTx
 	c.LazyTx += other.LazyTx
+	c.InjectedNACKs += other.InjectedNACKs
+	c.MeshTimeouts += other.MeshTimeouts
+	c.MeshRetries += other.MeshRetries
+	c.MeshDuplicates += other.MeshDuplicates
+	c.PoolReclaimStalls += other.PoolReclaimStalls
+	c.StarveEscalations += other.StarveEscalations
+	c.TokenGrants += other.TokenGrants
+	c.GracefulDegradation += other.GracefulDegradation
 	c.IsoWindowCycles += other.IsoWindowCycles
 	c.IsoWindows += other.IsoWindows
 }

@@ -9,6 +9,7 @@ import (
 	"fmt"
 	"strings"
 
+	"suvtm/internal/faults"
 	"suvtm/internal/sim"
 )
 
@@ -26,12 +27,24 @@ const (
 	BarrierRelease
 	Suspend
 	Resume
+	// FaultOn / FaultOff bracket an injected fault window (Info carries
+	// the faults.Kind; Other is the targeted core or -1 for all).
+	FaultOn
+	FaultOff
+	// StarveEscalate marks a starving core entering boosted backoff
+	// (Info carries its consecutive-abort count).
+	StarveEscalate
+	// TokenAcquire / TokenRelease bracket hopeless-transaction mode: the
+	// core holds the global serialization token and runs irrevocably.
+	TokenAcquire
+	TokenRelease
 	numKinds
 )
 
 var kindNames = [numKinds]string{
 	"begin", "commit", "abort", "nack", "remote-kill",
 	"barrier-arrive", "barrier-release", "suspend", "resume",
+	"fault-on", "fault-off", "starve-escalate", "token-acquire", "token-release",
 }
 
 // String names the kind.
@@ -62,7 +75,21 @@ func (e Event) String() string {
 	fmt.Fprintf(&sb, "%10d core%-2d %-15s", e.Cycle, e.Core, e.Kind)
 	switch e.Kind {
 	case NACK:
-		fmt.Fprintf(&sb, " line=%#x holder=core%d", e.Line, e.Other)
+		if e.Other < 0 {
+			fmt.Fprintf(&sb, " line=%#x holder=injected", e.Line)
+		} else {
+			fmt.Fprintf(&sb, " line=%#x holder=core%d", e.Line, e.Other)
+		}
+	case FaultOn, FaultOff:
+		if e.Other < 0 {
+			fmt.Fprintf(&sb, " fault=%s core=*", faults.Kind(e.Info))
+		} else {
+			fmt.Fprintf(&sb, " fault=%s core=%d", faults.Kind(e.Info), e.Other)
+		}
+	case StarveEscalate:
+		fmt.Fprintf(&sb, " consec-aborts=%d", e.Info)
+	case TokenAcquire, TokenRelease:
+		fmt.Fprintf(&sb, " consec-aborts=%d", e.Info)
 	case RemoteKill:
 		if e.Other < 0 {
 			sb.WriteString(" by=?")

@@ -21,8 +21,11 @@
 package suvtm
 
 import (
+	"io"
+
 	"suvtm/internal/cactimodel"
 	"suvtm/internal/experiments"
+	"suvtm/internal/faults"
 	"suvtm/internal/htm"
 	"suvtm/internal/mem"
 	"suvtm/internal/metrics"
@@ -198,6 +201,60 @@ func NewChromeTrace() *ChromeTrace { return metrics.NewChromeTrace() }
 // NewTraceRecorder returns a lifecycle-event recorder keeping the last
 // capacity events.
 func NewTraceRecorder(capacity int) *TraceRecorder { return trace.NewRecorder(capacity) }
+
+// Robustness: the deterministic chaos layer injects seeded, replayable
+// fault plans (NACK storms, mesh delay/duplication, signature
+// saturation, redirect pressure, pool exhaustion) into a run, armed
+// alongside the forward-progress escalation ladder. Enable per run via
+// Spec.FaultPlan/FaultSeed (or Spec.Faults for an exact decoded plan),
+// or sweep every scheme x plan x seed with RunChaos.
+type (
+	// FaultPlan is a named, ordered schedule of fault windows.
+	FaultPlan = faults.Plan
+	// FaultEvent is one fault window of a plan.
+	FaultEvent = faults.Event
+	// FaultKind classifies a fault window.
+	FaultKind = faults.Kind
+	// FaultInjector drives a plan through one run.
+	FaultInjector = faults.Injector
+	// ChaosOptions configures a chaos sweep.
+	ChaosOptions = experiments.ChaosOptions
+	// Chaos is a completed sweep (Verify checks its acceptance gates).
+	Chaos = experiments.Chaos
+	// WatchdogError reports a tripped cycle watchdog with per-core
+	// diagnostic snapshots (match with errors.As).
+	WatchdogError = htm.WatchdogError
+	// DeadlockError reports a drained event queue with unfinished cores.
+	DeadlockError = htm.DeadlockError
+	// InvariantError reports a periodic invariant-checker violation.
+	InvariantError = htm.InvariantError
+)
+
+// Typed failure classes for errors.Is.
+var (
+	// ErrWatchdog matches any watchdog trip.
+	ErrWatchdog = htm.ErrWatchdog
+	// ErrDeadlock matches any deadlock detection.
+	ErrDeadlock = htm.ErrDeadlock
+)
+
+// FaultPlanNames lists the built-in chaos plan generators.
+func FaultPlanNames() []string { return faults.BuiltinNames() }
+
+// BuildFaultPlan derives a built-in plan deterministically from a seed.
+func BuildFaultPlan(name string, seed uint64, cores int) (*FaultPlan, error) {
+	return faults.Builtin(name, seed, cores)
+}
+
+// DecodeFaultPlan parses a plan from its line-oriented text format.
+func DecodeFaultPlan(r io.Reader) (*FaultPlan, error) { return faults.Decode(r) }
+
+// EncodeFaultPlan writes a plan in the text format (golden corpora).
+func EncodeFaultPlan(w io.Writer, p *FaultPlan) error { return faults.Encode(w, p) }
+
+// RunChaos sweeps schemes x fault plans x seeds, optionally running every
+// cell twice to prove bit-identical replay.
+func RunChaos(opts ChaosOptions) (*Chaos, error) { return experiments.RunChaos(opts) }
 
 // Hardware-cost model (Tables VI/VII and Section V-C).
 type (
