@@ -29,6 +29,7 @@ import (
 	"strings"
 
 	"suvtm"
+	"suvtm/internal/hostprof"
 )
 
 func main() {
@@ -52,8 +53,18 @@ func main() {
 		faultSeed    = flag.Uint64("fault-seed", 1, "seed for the fault plan's window placement")
 		progressDump = flag.Bool("progress-dump", false, "print the robustness counters (injected faults, retries, escalations) after the run")
 		chaos        = flag.Bool("chaos", false, "run the full chaos sweep (schemes x plans x seeds, each replayed) and exit")
+
+		cpuProfile = flag.String("cpuprofile", "", "write a host CPU profile of the run to this file (go tool pprof)")
+		memProfile = flag.String("memprofile", "", "write a host heap profile taken after the run to this file")
 	)
 	flag.Parse()
+
+	stopProfiles, err := hostprof.Start(*cpuProfile, *memProfile)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "suvsim:", err)
+		os.Exit(2)
+	}
+	defer stopProfiles()
 
 	if *list {
 		fmt.Println("applications:", strings.Join(suvtm.Apps(), ", "))
@@ -119,10 +130,12 @@ func main() {
 		if out != nil {
 			writeMetrics(out, *metricsJSON, *metricsCSV, *chromeTrace)
 		}
+		stopProfiles()
 		os.Exit(1)
 	}
 	if out.CheckErr != nil {
 		fmt.Fprintln(os.Stderr, "suvsim: INVARIANT VIOLATION:", out.CheckErr)
+		stopProfiles()
 		os.Exit(1)
 	}
 	c := out.Counters

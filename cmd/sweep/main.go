@@ -17,6 +17,7 @@ import (
 	"strings"
 
 	"suvtm/internal/experiments"
+	"suvtm/internal/hostprof"
 )
 
 func main() {
@@ -33,8 +34,18 @@ func main() {
 		apps     = flag.String("apps", "", "comma-separated app subset (default: all eight)")
 		series   = flag.String("series", "", "per-interval time series for one app under the Figure 6 schemes (requires -csv)")
 		interval = flag.Uint64("sample-interval", 10000, "sampling interval for -series, in simulated cycles")
+
+		cpuProfile = flag.String("cpuprofile", "", "write a host CPU profile of the sweep to this file (go tool pprof)")
+		memProfile = flag.String("memprofile", "", "write a host heap profile taken after the sweep to this file")
 	)
 	flag.Parse()
+
+	stopProfiles, err := hostprof.Start(*cpuProfile, *memProfile)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "sweep:", err)
+		os.Exit(2)
+	}
+	defer stopProfiles()
 
 	opts := experiments.Options{Cores: *cores, Seed: *seed, Scale: *scale}
 	if *apps != "" {
@@ -42,6 +53,7 @@ func main() {
 	}
 	fail := func(err error) {
 		fmt.Fprintln(os.Stderr, "sweep:", err)
+		stopProfiles()
 		os.Exit(1)
 	}
 	ran := false

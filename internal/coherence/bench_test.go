@@ -1,0 +1,28 @@
+package coherence
+
+import (
+	"testing"
+
+	"suvtm/internal/sim"
+)
+
+// BenchmarkDirectoryRoundtrip models the directory traffic of one memory
+// operation: a shared fill, an exclusive fill that invalidates the
+// sharers, and the eviction drop — the exact sequence the HTM machine's
+// acquire path generates under contention.
+func BenchmarkDirectoryRoundtrip(b *testing.B) {
+	d := NewDirectory(16)
+	const lines = 1 << 12
+	b.ReportAllocs()
+	b.ResetTimer()
+	sink := 0
+	for i := 0; i < b.N; i++ {
+		line := sim.Line(i) & (lines - 1)
+		d.AddSharer(line, i&15)
+		d.AddSharer(line, (i+1)&15)
+		d.SetOwner(line, (i+2)&15)
+		sink += d.Owner(line)
+		d.Drop(line, (i+2)&15)
+	}
+	_ = sink
+}

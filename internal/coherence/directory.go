@@ -8,12 +8,28 @@
 package coherence
 
 import (
+	"math/bits"
+
 	"suvtm/internal/metrics"
 	"suvtm/internal/sim"
 )
 
 // maxCores bounds the sharer bit-vector width.
 const maxCores = 64
+
+// Paged-entry geometry: directory state is a two-level structure of
+// fixed-size pages indexed directly by line number, so the per-access
+// owner/sharer reads are indexed loads instead of map probes.
+const (
+	dirPageShift = 10 // 1024 entries per page
+	dirPageSize  = 1 << dirPageShift
+	dirPageMask  = dirPageSize - 1
+
+	// dirDirectPages bounds the directly-indexed page table (line
+	// numbers below 2^27, i.e. an 8 GiB physical space); pathological
+	// line numbers beyond it fall back to a map.
+	dirDirectPages = 1 << 17
+)
 
 // DirStats counts the directory's protocol message mix for the
 // observability layer: how a run's coherence traffic splits into read
@@ -27,16 +43,25 @@ type DirStats struct {
 	Drops         metrics.Counter // evictions / explicit copy removals
 }
 
-// entry is the directory state for one line.
+// entry is the directory state for one line. The zero value is the
+// untracked state (no owner, no sharers): owner is stored +1 so that
+// owner==0 means "none" and zero-filled pages need no initialization.
 type entry struct {
-	owner   int8   // core holding the line Modified, or -1
 	sharers uint64 // bit per core with a Shared copy
+	ownerP1 int8   // owning core + 1, or 0 for none
 }
+
+func (e *entry) owner() int { return int(e.ownerP1) - 1 }
+func (e *entry) live() bool { return e.ownerP1 != 0 || e.sharers != 0 }
+
+type dirPage [dirPageSize]entry
 
 // Directory is a full-map directory over all lines ever referenced.
 type Directory struct {
 	cores   int
-	entries map[sim.Line]entry
+	pages   []*dirPage
+	far     map[uint64]*dirPage
+	tracked int // lines with any cached copy
 
 	// Stats accumulates the protocol message mix.
 	Stats DirStats
@@ -52,33 +77,106 @@ func NewDirectory(cores int) *Directory {
 	if cores <= 0 || cores > maxCores {
 		panic("coherence: unsupported core count")
 	}
-	return &Directory{cores: cores, entries: make(map[sim.Line]entry)}
+	return &Directory{cores: cores}
+}
+
+// peek returns the entry for line, or nil when the line is untracked
+// (its page may not even exist). The pointer stays valid until the next
+// mutation of the directory.
+func (d *Directory) peek(line sim.Line) *entry {
+	pi := line >> dirPageShift
+	if pi < uint64(len(d.pages)) {
+		if p := d.pages[pi]; p != nil {
+			return &p[line&dirPageMask]
+		}
+		return nil
+	}
+	if pi >= dirDirectPages {
+		if p := d.far[pi]; p != nil {
+			return &p[line&dirPageMask]
+		}
+	}
+	return nil
+}
+
+// at returns the entry for line, materializing its page on first touch.
+func (d *Directory) at(line sim.Line) *entry {
+	pi := line >> dirPageShift
+	if pi >= dirDirectPages {
+		if d.far == nil {
+			d.far = make(map[uint64]*dirPage)
+		}
+		p := d.far[pi]
+		if p == nil {
+			p = new(dirPage)
+			d.far[pi] = p
+		}
+		return &p[line&dirPageMask]
+	}
+	if pi >= uint64(len(d.pages)) {
+		grown := make([]*dirPage, max(pi+1, uint64(2*len(d.pages))))
+		copy(grown, d.pages)
+		d.pages = grown
+	}
+	p := d.pages[pi]
+	if p == nil {
+		p = new(dirPage)
+		d.pages[pi] = p
+	}
+	return &p[line&dirPageMask]
 }
 
 // Owner returns the core holding line in Modified state, or -1.
 func (d *Directory) Owner(line sim.Line) int {
-	e, ok := d.entries[line]
-	if !ok {
-		return -1
+	if e := d.peek(line); e != nil {
+		return e.owner()
 	}
-	return int(e.owner)
+	return -1
 }
 
 // Sharers returns the bit-vector of cores holding Shared copies.
 func (d *Directory) Sharers(line sim.Line) uint64 {
-	return d.entries[line].sharers
+	if e := d.peek(line); e != nil {
+		return e.sharers
+	}
+	return 0
 }
 
-// SharerList returns the sharer core ids in ascending order.
+// SharerCount returns the number of cores holding Shared copies without
+// allocating.
+func (d *Directory) SharerCount(line sim.Line) int {
+	return bits.OnesCount64(d.Sharers(line))
+}
+
+// ForEachSharer calls fn for every sharer core id in ascending order.
+// The sharer set is read once up front, so fn may mutate the directory
+// (Drop, SetOwner) without disturbing the iteration.
+func (d *Directory) ForEachSharer(line sim.Line, fn func(core int)) {
+	s := d.Sharers(line)
+	for s != 0 {
+		fn(bits.TrailingZeros64(s))
+		s &= s - 1
+	}
+}
+
+// AppendSharers appends the sharer core ids in ascending order to buf
+// and returns it — the zero-alloc variant of SharerList for callers
+// holding a reusable buffer.
+func (d *Directory) AppendSharers(buf []int, line sim.Line) []int {
+	s := d.Sharers(line)
+	for s != 0 {
+		buf = append(buf, bits.TrailingZeros64(s))
+		s &= s - 1
+	}
+	return buf
+}
+
+// SharerList returns the sharer core ids in ascending order. It
+// allocates a fresh slice per call; hot paths should use ForEachSharer
+// or AppendSharers instead.
 func (d *Directory) SharerList(line sim.Line) []int {
 	var out []int
-	s := d.entries[line].sharers
-	for c := 0; c < d.cores; c++ {
-		if s&(1<<uint(c)) != 0 {
-			out = append(out, c)
-		}
-	}
-	return out
+	return d.AppendSharers(out, line)
 }
 
 // AddSharer records a GETS fill: core now holds line Shared. A Modified
@@ -86,65 +184,66 @@ func (d *Directory) SharerList(line sim.Line) []int {
 // cache keeps a Shared copy after servicing the read, per MESI.
 func (d *Directory) AddSharer(line sim.Line, core int) {
 	d.Stats.GETS.Inc()
-	e := d.get(line)
-	if e.owner >= 0 {
-		e.sharers |= 1 << uint(e.owner)
-		e.owner = -1
+	e := d.at(line)
+	if !e.live() {
+		d.tracked++
+	}
+	if e.ownerP1 != 0 {
+		e.sharers |= 1 << uint(e.owner())
+		e.ownerP1 = 0
 	}
 	e.sharers |= 1 << uint(core)
-	d.entries[line] = e
 }
 
 // SetOwner records a GETM fill: core now holds line Modified and every
 // other copy is invalidated. It returns the cores whose copies were
 // invalidated (the previous owner and/or sharers, excluding core itself).
 func (d *Directory) SetOwner(line sim.Line, core int) []int {
-	e := d.get(line)
-	var invalidated []int
-	if e.owner >= 0 && int(e.owner) != core {
-		invalidated = append(invalidated, int(e.owner))
+	e := d.at(line)
+	if !e.live() {
+		d.tracked++
 	}
-	for c := 0; c < d.cores; c++ {
-		if c != core && e.sharers&(1<<uint(c)) != 0 {
-			invalidated = append(invalidated, c)
-		}
+	var invalidated []int
+	if e.ownerP1 != 0 && e.owner() != core {
+		invalidated = append(invalidated, e.owner())
+	}
+	others := e.sharers &^ (1 << uint(core))
+	for s := others; s != 0; s &= s - 1 {
+		invalidated = append(invalidated, bits.TrailingZeros64(s))
 	}
 	d.Stats.GETM.Inc()
 	d.Stats.Invalidations.Add(uint64(len(invalidated)))
-	e.owner = int8(core)
+	e.ownerP1 = int8(core) + 1
 	e.sharers = 0
-	d.entries[line] = e
 	return invalidated
 }
 
 // Downgrade converts core's Modified ownership of line into a Shared
 // copy (a remote GETS hit the owner). No-op if core is not the owner.
 func (d *Directory) Downgrade(line sim.Line, core int) {
-	e := d.get(line)
-	if int(e.owner) == core {
-		d.Stats.Downgrades.Inc()
-		e.owner = -1
-		e.sharers |= 1 << uint(core)
-		d.entries[line] = e
+	e := d.peek(line)
+	if e == nil || e.owner() != core {
+		return
 	}
+	d.Stats.Downgrades.Inc()
+	e.ownerP1 = 0
+	e.sharers |= 1 << uint(core)
 }
 
 // Drop removes core's copy of line (eviction or invalidation).
 func (d *Directory) Drop(line sim.Line, core int) {
-	e, ok := d.entries[line]
-	if !ok {
+	e := d.peek(line)
+	if e == nil || !e.live() {
 		return
 	}
 	d.Stats.Drops.Inc()
-	if int(e.owner) == core {
-		e.owner = -1
+	if e.owner() == core {
+		e.ownerP1 = 0
 	}
 	e.sharers &^= 1 << uint(core)
-	if e.owner < 0 && e.sharers == 0 {
-		delete(d.entries, line)
-		return
+	if !e.live() {
+		d.tracked--
 	}
-	d.entries[line] = e
 }
 
 // HoldsModified reports whether core owns line in Modified state.
@@ -153,12 +252,4 @@ func (d *Directory) HoldsModified(line sim.Line, core int) bool {
 }
 
 // Tracked returns the number of lines with any cached copy (tests).
-func (d *Directory) Tracked() int { return len(d.entries) }
-
-func (d *Directory) get(line sim.Line) entry {
-	e, ok := d.entries[line]
-	if !ok {
-		return entry{owner: -1}
-	}
-	return e
-}
+func (d *Directory) Tracked() int { return d.tracked }

@@ -3,6 +3,8 @@ package coherence
 import (
 	"testing"
 	"testing/quick"
+
+	"suvtm/internal/sim"
 )
 
 func TestDirectoryBasicTransitions(t *testing.T) {
@@ -112,4 +114,102 @@ func TestDirectoryBadCoresPanics(t *testing.T) {
 		}
 	}()
 	NewDirectory(0)
+}
+
+// TestDirectorySharerIteration checks the zero-alloc sharer accessors
+// against SharerList, including mutation from inside the callback (the
+// invalidation pattern the HTM machine uses).
+func TestDirectorySharerIteration(t *testing.T) {
+	d := NewDirectory(16)
+	for _, c := range []int{1, 4, 9, 15} {
+		d.AddSharer(42, c)
+	}
+	if got := d.SharerCount(42); got != 4 {
+		t.Fatalf("SharerCount = %d, want 4", got)
+	}
+	var seen []int
+	d.ForEachSharer(42, func(core int) { seen = append(seen, core) })
+	want := d.SharerList(42)
+	if len(seen) != len(want) {
+		t.Fatalf("ForEachSharer saw %v, want %v", seen, want)
+	}
+	for i := range seen {
+		if seen[i] != want[i] {
+			t.Fatalf("ForEachSharer saw %v, want %v", seen, want)
+		}
+	}
+	if buf := d.AppendSharers(make([]int, 0, 8), 42); len(buf) != 4 || buf[0] != 1 || buf[3] != 15 {
+		t.Fatalf("AppendSharers = %v", buf)
+	}
+	// Dropping sharers mid-iteration must not disturb the visit order.
+	var dropped []int
+	d.ForEachSharer(42, func(core int) {
+		d.Drop(42, core)
+		dropped = append(dropped, core)
+	})
+	if len(dropped) != 4 || d.SharerCount(42) != 0 || d.Tracked() != 0 {
+		t.Fatalf("drop-in-callback: dropped %v, count %d, tracked %d", dropped, d.SharerCount(42), d.Tracked())
+	}
+}
+
+// TestDirectoryTrackedCounter pins the Tracked bookkeeping across the
+// full transition mix now that entries are paged instead of deleted.
+func TestDirectoryTrackedCounter(t *testing.T) {
+	d := NewDirectory(4)
+	d.AddSharer(1, 0)
+	d.AddSharer(1, 1)
+	d.SetOwner(2, 3)
+	if d.Tracked() != 2 {
+		t.Fatalf("Tracked = %d, want 2", d.Tracked())
+	}
+	d.Drop(1, 0)
+	d.Drop(1, 1)
+	if d.Tracked() != 1 {
+		t.Fatalf("Tracked after drops = %d, want 1", d.Tracked())
+	}
+	d.Drop(1, 1) // dropping a dead line is a no-op
+	d.Drop(2, 3)
+	if d.Tracked() != 0 {
+		t.Fatalf("Tracked after all drops = %d, want 0", d.Tracked())
+	}
+	// Re-touching a dead-but-paged line revives it exactly once.
+	d.AddSharer(1, 2)
+	if d.Tracked() != 1 {
+		t.Fatalf("Tracked after revive = %d, want 1", d.Tracked())
+	}
+}
+
+// TestDirectoryHotPathAllocs asserts the steady-state directory
+// round-trip (the acquire path's fills and drops) allocates nothing
+// once the touched pages exist.
+func TestDirectoryHotPathAllocs(t *testing.T) {
+	d := NewDirectory(16)
+	d.AddSharer(100, 0)
+	d.Drop(100, 0)
+	if allocs := testing.AllocsPerRun(200, func() {
+		d.AddSharer(100, 1)
+		d.AddSharer(100, 2)
+		d.ForEachSharer(100, func(core int) { d.Drop(100, core) })
+		d.SetOwner(100, 3)
+		_ = d.Owner(100)
+		_ = d.Sharers(100)
+		d.Drop(100, 3)
+	}); allocs != 0 {
+		t.Fatalf("directory hot path allocates %.1f objects/op, want 0", allocs)
+	}
+}
+
+// TestDirectoryFarPages exercises the overflow page table for line
+// numbers beyond the directly-indexed range.
+func TestDirectoryFarPages(t *testing.T) {
+	d := NewDirectory(8)
+	far := sim.Line(1) << 40
+	d.AddSharer(far, 5)
+	if d.Sharers(far) != 1<<5 || d.Tracked() != 1 {
+		t.Fatalf("far line not tracked: sharers %b tracked %d", d.Sharers(far), d.Tracked())
+	}
+	d.Drop(far, 5)
+	if d.Tracked() != 0 {
+		t.Fatalf("far line not dropped")
+	}
 }

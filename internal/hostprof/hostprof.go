@@ -1,0 +1,58 @@
+// Package hostprof wires the -cpuprofile/-memprofile flags of the
+// command-line tools to runtime/pprof. It profiles the simulator
+// process itself (host time and host allocations, the quantities the
+// hot-path benchmarks track), not the simulated machine.
+package hostprof
+
+import (
+	"fmt"
+	"os"
+	"runtime"
+	"runtime/pprof"
+)
+
+// Start begins CPU profiling to cpuPath (if non-empty) and arranges a
+// heap profile to be written to memPath (if non-empty) when the
+// returned stop function runs. stop is idempotent and never nil; call
+// it on every exit path — os.Exit skips deferred calls, so error paths
+// that exit directly must call it explicitly first.
+func Start(cpuPath, memPath string) (stop func(), err error) {
+	var cpuFile *os.File
+	if cpuPath != "" {
+		cpuFile, err = os.Create(cpuPath)
+		if err != nil {
+			return func() {}, err
+		}
+		if err := pprof.StartCPUProfile(cpuFile); err != nil {
+			cpuFile.Close()
+			return func() {}, err
+		}
+	}
+	done := false
+	return func() {
+		if done {
+			return
+		}
+		done = true
+		if cpuFile != nil {
+			pprof.StopCPUProfile()
+			if err := cpuFile.Close(); err != nil {
+				fmt.Fprintln(os.Stderr, "hostprof:", err)
+			}
+		}
+		if memPath != "" {
+			f, err := os.Create(memPath)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, "hostprof:", err)
+				return
+			}
+			runtime.GC() // settle the heap so the profile shows live objects
+			if err := pprof.WriteHeapProfile(f); err != nil {
+				fmt.Fprintln(os.Stderr, "hostprof:", err)
+			}
+			if err := f.Close(); err != nil {
+				fmt.Fprintln(os.Stderr, "hostprof:", err)
+			}
+		}
+	}, nil
+}

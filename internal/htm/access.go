@@ -2,6 +2,7 @@ package htm
 
 import (
 	"suvtm/internal/mem"
+	"suvtm/internal/signature"
 	"suvtm/internal/sim"
 	"suvtm/internal/stats"
 	"suvtm/internal/trace"
@@ -84,16 +85,18 @@ func (m *Machine) doStore(c *Core, addr sim.Addr, val sim.Word) {
 			c.windowStart = m.now + 1 // first write acquisition opens the window
 		}
 		c.trackWrite(line)
-		c.writtenTargets[finalLine] = struct{}{}
+		c.writtenTargets.Add(finalLine)
 	} else {
 		// A non-transactional store is immediately durable: lazy
 		// transactions that speculatively read or wrote the line cannot
 		// serialize around it (strong isolation). The serialization-token
 		// holder cannot be doomed here: the pre-store guard above stalled
 		// this storer before its value could land.
+		var idx [signature.NumHashes]uint32
+		signature.Indices(c.ReadSig.Kind(), line, c.ReadSig.Bits(), &idx)
 		for _, h := range m.Cores {
 			if h != c && m.modeOf(h) == ModeLazy && !h.abortPending &&
-				(h.ReadSig.Test(line) || h.WriteSig.Test(line)) {
+				(h.ReadSig.TestIdx(&idx) || h.WriteSig.TestIdx(&idx)) {
 				h.doomBy(c.ID)
 			}
 		}
@@ -137,7 +140,6 @@ func (m *Machine) acquire(c *Core, target, confLine sim.Line, write bool) (sim.C
 	}
 
 	owner := m.Dir.Owner(target)
-	sharers := m.Dir.SharerList(target)
 	switch {
 	case owner >= 0 && owner != c.ID:
 		// Cache-to-cache transfer from the modified owner.
@@ -163,16 +165,19 @@ func (m *Machine) acquire(c *Core, target, confLine sim.Line, write bool) (sim.C
 		// Upgrade from Shared: data already present, invalidations only.
 	}
 	if write {
+		// The sharer set is unchanged since the pre-switch directory read:
+		// the owner branch only drops the owner (never a sharer), so the
+		// zero-alloc iteration here sees exactly the pre-fill sharers.
 		var worst sim.Cycles
-		for _, s := range sharers {
+		m.Dir.ForEachSharer(target, func(s int) {
 			if s == c.ID {
-				continue
+				return
 			}
 			if l := m.Mesh.RoundTrip(home, s); l > worst {
 				worst = l
 			}
 			m.invalidateCopy(m.Cores[s], target)
-		}
+		})
 		lat += worst
 		m.Dir.SetOwner(target, c.ID)
 		m.installL1(c, target, mem.Modified)
@@ -221,7 +226,7 @@ func (m *Machine) installL1(c *Core, target sim.Line, state mem.LineState) {
 	}
 	m.Dir.Drop(v.Line, c.ID)
 	if c.InTx() {
-		if _, written := c.writtenTargets[v.Line]; written {
+		if c.writtenTargets.Has(v.Line) {
 			c.overflowedL1 = true
 		}
 	}
@@ -239,11 +244,11 @@ func (m *Machine) takeOwnership(c *Core, finalLine sim.Line) {
 	if owner >= 0 && owner != c.ID {
 		m.invalidateCopy(m.Cores[owner], finalLine)
 	}
-	for _, s := range m.Dir.SharerList(finalLine) {
+	m.Dir.ForEachSharer(finalLine, func(s int) {
 		if s != c.ID {
 			m.invalidateCopy(m.Cores[s], finalLine)
 		}
-	}
+	})
 	m.Dir.SetOwner(finalLine, c.ID)
 	m.installL1(c, finalLine, mem.Modified)
 	c.L1.MarkDirty(finalLine)
@@ -254,6 +259,10 @@ func (m *Machine) takeOwnership(c *Core, finalLine sim.Line) {
 // read: write set only). Lazy transactions are invisible here — they
 // resolve at commit.
 func (m *Machine) conflictHolder(requester *Core, line sim.Line, write bool) *Core {
+	// Every core's signatures share one shape, so hash the line once and
+	// probe each filter with the precomputed indices.
+	var idx [signature.NumHashes]uint32
+	signature.Indices(requester.WriteSig.Kind(), line, requester.WriteSig.Bits(), &idx)
 	for _, h := range m.Cores {
 		if h == requester || !h.InTx() {
 			continue
@@ -261,7 +270,7 @@ func (m *Machine) conflictHolder(requester *Core, line sim.Line, write bool) *Co
 		if m.VM.Mode(h) != ModeEager {
 			continue
 		}
-		if h.WriteSig.Test(line) || (write && h.ReadSig.Test(line)) {
+		if h.WriteSig.TestIdx(&idx) || (write && h.ReadSig.TestIdx(&idx)) {
 			return h
 		}
 	}
@@ -353,11 +362,11 @@ func (m *Machine) AccessPrivate(c *Core, line sim.Line, write bool) sim.Cycles {
 		// Register exclusive ownership so later remote GETMs invalidate
 		// this copy; without it a stale Modified line could take the
 		// no-check L1-hit fast path and breach isolation.
-		for _, s := range m.Dir.SharerList(line) {
+		m.Dir.ForEachSharer(line, func(s int) {
 			if s != c.ID {
 				m.invalidateCopy(m.Cores[s], line)
 			}
-		}
+		})
 		if o := m.Dir.Owner(line); o >= 0 && o != c.ID {
 			m.invalidateCopy(m.Cores[o], line)
 		}

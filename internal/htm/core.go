@@ -41,8 +41,8 @@ type TxFrame struct {
 
 	savedReadSig  *signature.Bloom // nil for the outermost frame
 	savedWriteSig *signature.Bloom
-	savedReadSet  map[sim.Line]struct{}
-	savedWriteSet map[sim.Line]struct{}
+	savedReadSet  *sim.LineSet
+	savedWriteSet *sim.LineSet
 	comps         []compRange // compensations registered by open-committed children
 }
 
@@ -64,13 +64,13 @@ type Core struct {
 	Frames   []TxFrame
 	ReadSig  *signature.Bloom
 	WriteSig *signature.Bloom
-	readSet  map[sim.Line]struct{}
-	writeSet map[sim.Line]struct{}
+	readSet  *sim.LineSet
+	writeSet *sim.LineSet
 	// writtenTargets are the physical lines written this attempt (equal
 	// to writeSet except under SUV, whose stores land in the preserved
 	// pool). An eviction of one of these marks transactional data
 	// overflow (Table V).
-	writtenTargets map[sim.Line]struct{}
+	writtenTargets *sim.LineSet
 	Timestamp      sim.Cycles // outermost begin time; kept across retries so old transactions win
 	hasTimestamp   bool
 	possibleCyc    bool // this core NACKed an older transaction (LogTM cycle avoidance)
@@ -150,29 +150,27 @@ func (c *Core) Depth() int { return len(c.Frames) }
 
 // InReadSet reports precise read-set membership (no aliasing).
 func (c *Core) InReadSet(line sim.Line) bool {
-	_, ok := c.readSet[line]
-	return ok
+	return c.readSet.Has(line)
 }
 
 // InWriteSet reports precise write-set membership (no aliasing).
 func (c *Core) InWriteSet(line sim.Line) bool {
-	_, ok := c.writeSet[line]
-	return ok
+	return c.writeSet.Has(line)
 }
 
 // WriteSetSize returns the number of distinct lines written this attempt.
-func (c *Core) WriteSetSize() int { return len(c.writeSet) }
+func (c *Core) WriteSetSize() int { return c.writeSet.Len() }
 
 // trackRead records line in the read signature and precise set.
 func (c *Core) trackRead(line sim.Line) {
 	c.ReadSig.Add(line)
-	c.readSet[line] = struct{}{}
+	c.readSet.Add(line)
 }
 
 // trackWrite records line in the write signature and precise set.
 func (c *Core) trackWrite(line sim.Line) {
 	c.WriteSig.Add(line)
-	c.writeSet[line] = struct{}{}
+	c.writeSet.Add(line)
 }
 
 // clearTxState resets all transactional bookkeeping (after the outermost
@@ -181,9 +179,9 @@ func (c *Core) clearTxState() {
 	c.Frames = c.Frames[:0]
 	c.ReadSig.Clear()
 	c.WriteSig.Clear()
-	clear(c.readSet)
-	clear(c.writeSet)
-	clear(c.writtenTargets)
+	c.readSet.Clear()
+	c.writeSet.Clear()
+	c.writtenTargets.Clear()
 	c.attemptCyc = 0
 	c.overflowedL1 = false
 	c.abortPending = false

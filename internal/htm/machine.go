@@ -100,10 +100,10 @@ func New(cfg Config, vm VersionManager, programs []workload.Program, memory *mem
 			TLB:       mem.NewTLB(cfg.TLBEntries),
 			ReadSig:   signature.NewBloom(cfg.SigBits, signature.HashH3),
 			WriteSig:  signature.NewBloom(cfg.SigBits, signature.HashH3),
-			readSet:   make(map[sim.Line]struct{}),
-			writeSet:  make(map[sim.Line]struct{}),
+			readSet:   sim.NewLineSet(),
+			writeSet:  sim.NewLineSet(),
 		}
-		c.writtenTargets = make(map[sim.Line]struct{})
+		c.writtenTargets = sim.NewLineSet()
 		if i < len(programs) {
 			c.Prog = programs[i]
 		}
@@ -133,13 +133,23 @@ func (m *Machine) Tracer() *trace.Recorder { return m.tracer }
 func (m *Machine) ArchMem() *ArchView { return &ArchView{m: m} }
 
 // ArchView adapts the machine's physical memory plus redirect state into
-// a workload.MemReader.
-type ArchView struct{ m *Machine }
+// a workload.MemReader. It memoizes the last line's redirect resolution
+// (invariant checks scan regions word by word, so 7 of 8 reads hit the
+// memo); create a fresh view after the redirect state changes.
+type ArchView struct {
+	m        *Machine
+	lastLine sim.Line
+	lastTgt  sim.Line
+	memoOK   bool
+}
 
 // Read returns the architectural value at addr.
 func (v *ArchView) Read(addr sim.Addr) sim.Word {
-	target := v.m.Redirect.Resolve(-1, sim.LineOf(addr))
-	return v.m.Memory.Read(sim.AddrOf(target) | (addr & (sim.LineBytes - 1)))
+	line := sim.LineOf(addr)
+	if !v.memoOK || line != v.lastLine {
+		v.lastLine, v.lastTgt, v.memoOK = line, v.m.Redirect.Resolve(-1, line), true
+	}
+	return v.m.Memory.Read(sim.AddrOf(v.lastTgt) | (addr & (sim.LineBytes - 1)))
 }
 
 // Now returns the current simulated cycle.

@@ -119,11 +119,11 @@ func (o *observer) onCommit(m *Machine, c *Core) {
 	dur := m.now - c.attemptStart
 	o.txDuration.Observe(dur)
 	o.txRetries.Observe(uint64(c.consecAborts))
-	o.txReadSet.Observe(uint64(len(c.readSet)))
-	o.txWriteSet.Observe(uint64(len(c.writeSet)))
+	o.txReadSet.Observe(uint64(c.readSet.Len()))
+	o.txWriteSet.Observe(uint64(c.writeSet.Len()))
 	sh := o.site(c.Frames[0].Site)
 	sh.duration.Observe(dur)
-	sh.writeSet.Observe(uint64(len(c.writeSet)))
+	sh.writeSet.Observe(uint64(c.writeSet.Len()))
 }
 
 // onAbort records an aborting attempt's wasted window.

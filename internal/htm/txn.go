@@ -25,8 +25,8 @@ func (m *Machine) doBegin(c *Core, site uint32) {
 		// open-nested commit can restore the parent's isolation exactly.
 		frame.savedReadSig = c.ReadSig.Clone()
 		frame.savedWriteSig = c.WriteSig.Clone()
-		frame.savedReadSet = copyLineSet(c.readSet)
-		frame.savedWriteSet = copyLineSet(c.writeSet)
+		frame.savedReadSet = c.readSet.Clone()
+		frame.savedWriteSet = c.writeSet.Clone()
 	}
 	c.Frames = append(c.Frames, frame)
 	if len(c.Frames) == 1 {
@@ -134,15 +134,6 @@ func (m *Machine) doCommitOpen(c *Core, compLen int) {
 	}
 	c.Frames = c.Frames[:top]
 	m.advanceCommit(c, lat)
-}
-
-// copyLineSet clones a precise address set for a frame snapshot.
-func copyLineSet(src map[sim.Line]struct{}) map[sim.Line]struct{} {
-	out := make(map[sim.Line]struct{}, len(src))
-	for k := range src {
-		out[k] = struct{}{}
-	}
-	return out
 }
 
 // killLazyReaders dooms every active lazy transaction whose read or

@@ -1,0 +1,56 @@
+package mem
+
+import (
+	"testing"
+
+	"suvtm/internal/sim"
+)
+
+// BenchmarkMemoryLine exercises the memory data plane the way the
+// simulator's hot path does: a word write, a word read, a full line
+// write-back and a line fill, over a working set large enough to defeat
+// trivial caching but small enough to stay resident.
+func BenchmarkMemoryLine(b *testing.B) {
+	m := NewMemory()
+	const lines = 1 << 12
+	var vals [sim.WordsPerLine]sim.Word
+	for i := range vals {
+		vals[i] = sim.Word(i)
+	}
+	for line := sim.Line(0); line < lines; line++ {
+		m.WriteLine(line, vals)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	var sink sim.Word
+	for i := 0; i < b.N; i++ {
+		line := sim.Line(i) & (lines - 1)
+		addr := sim.AddrOf(line)
+		m.Write(addr, sim.Word(i))
+		sink += m.Read(addr)
+		m.WriteLine(line, vals)
+		got := m.ReadLine(line)
+		sink += got[0]
+	}
+	_ = sink
+}
+
+// BenchmarkMemoryCopyLine measures the line-granularity copy SUV issues
+// on every first transactional store (the write-miss fill).
+func BenchmarkMemoryCopyLine(b *testing.B) {
+	m := NewMemory()
+	const lines = 1 << 12
+	var vals [sim.WordsPerLine]sim.Word
+	for i := range vals {
+		vals[i] = sim.Word(i * 3)
+	}
+	for line := sim.Line(0); line < lines; line++ {
+		m.WriteLine(line, vals)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		src := sim.Line(i) & (lines - 1)
+		m.CopyLine(src, src^1)
+	}
+}

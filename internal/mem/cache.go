@@ -69,8 +69,13 @@ type CacheStats struct {
 // Cache is a set-associative, write-back cache with true LRU replacement.
 // It tracks tags and per-line flags only; data values live in Memory.
 type Cache struct {
-	cfg      CacheConfig
-	sets     [][]cacheWay
+	cfg  CacheConfig
+	sets [][]cacheWay
+	// tagSets mirrors each way's line number in a dense parallel array so
+	// the hot membership scan touches one cache line instead of the full
+	// way structs. Tags of Invalid ways are stale (never cleared); find
+	// confirms validity on a tag match before trusting it.
+	tagSets  [][]sim.Line
 	setMask  sim.Line
 	lruClock uint64
 
@@ -88,8 +93,14 @@ func NewCache(cfg CacheConfig) *Cache {
 	}
 	c := &Cache{cfg: cfg, setMask: sim.Line(sets - 1)}
 	c.sets = make([][]cacheWay, sets)
+	c.tagSets = make([][]sim.Line, sets)
+	// One flat backing array for every way keeps construction at a few
+	// allocations regardless of geometry (the 8 MB L2 has 16384 sets).
+	backing := make([]cacheWay, sets*cfg.Ways)
+	tagBacking := make([]sim.Line, sets*cfg.Ways)
 	for i := range c.sets {
-		c.sets[i] = make([]cacheWay, cfg.Ways)
+		c.sets[i] = backing[i*cfg.Ways : (i+1)*cfg.Ways : (i+1)*cfg.Ways]
+		c.tagSets[i] = tagBacking[i*cfg.Ways : (i+1)*cfg.Ways : (i+1)*cfg.Ways]
 	}
 	return c
 }
@@ -102,9 +113,11 @@ func (c *Cache) Config() CacheConfig { return c.cfg }
 func (c *Cache) SetIndex(line sim.Line) int { return int(line & c.setMask) }
 
 func (c *Cache) find(line sim.Line) *cacheWay {
-	set := c.sets[line&c.setMask]
-	for i := range set {
-		if set[i].state != Invalid && set[i].line == line {
+	si := line & c.setMask
+	tags := c.tagSets[si]
+	set := c.sets[si]
+	for i := range tags {
+		if tags[i] == line && set[i].state != Invalid {
 			return &set[i]
 		}
 	}
@@ -163,7 +176,9 @@ func (c *Cache) Insert(line sim.Line, state LineState, avoidSpec bool) Victim {
 	if state == Invalid {
 		panic("mem: Insert with Invalid state")
 	}
-	set := c.sets[line&c.setMask]
+	si := line & c.setMask
+	set := c.sets[si]
+	tags := c.tagSets[si]
 	c.lruClock++
 	// Re-use the existing way on an insert-over-present (state change).
 	for i := range set {
@@ -178,6 +193,7 @@ func (c *Cache) Insert(line sim.Line, state LineState, avoidSpec bool) Victim {
 	for i := range set {
 		if set[i].state == Invalid {
 			set[i] = cacheWay{line: line, state: state, lru: c.lruClock}
+			tags[i] = line
 			return Victim{}
 		}
 	}
@@ -201,6 +217,7 @@ func (c *Cache) Insert(line sim.Line, state LineState, avoidSpec bool) Victim {
 	c.Stats.Evictions.Inc()
 	v := Victim{Line: set[victim].line, Dirty: set[victim].dirty, Spec: set[victim].spec, Valid: true}
 	set[victim] = cacheWay{line: line, state: state, lru: c.lruClock}
+	tags[victim] = line
 	return v
 }
 

@@ -10,44 +10,152 @@
 // its pre-transaction state.
 package mem
 
-import "suvtm/internal/sim"
+import (
+	"math/bits"
 
-// Memory is the flat, value-accurate physical memory. It stores 8-byte
-// words sparsely; unwritten locations read as zero.
+	"suvtm/internal/sim"
+)
+
+// Paged-memory geometry: the host-side backing store is a two-level
+// structure of fixed-size pages of 8-byte words, so every simulated
+// access is an indexed load/store instead of a map probe. The host page
+// size (32 KiB of data) is unrelated to the simulated OS PageBytes.
+const (
+	memPageWordShift = 12 // 4096 words = 32 KiB of data per host page
+	memPageWords     = 1 << memPageWordShift
+	memPageWordMask  = memPageWords - 1
+
+	// memDirectPages bounds the directly-indexed page table: word
+	// addresses below memDirectPages*memPageWords*8 (32 GiB) — every
+	// address the bump allocator can hand out in practice — resolve
+	// through a flat slice; pathological addresses beyond it fall back
+	// to a map so a stray huge address cannot balloon the table.
+	memDirectPages = 1 << 20
+)
+
+// memPage is one fixed-size page of backing words plus a written bitmap.
+// The bitmap preserves the sparse-memory semantics of the original
+// map-backed implementation: Footprint and Snapshot see exactly the
+// words ever stored (even if the stored value was zero), not whole
+// zero-filled pages.
+type memPage struct {
+	words   [memPageWords]sim.Word
+	written [memPageWords / 64]uint64
+}
+
+// Memory is the flat, value-accurate physical memory. Pages are
+// zero-filled on demand; unwritten locations read as zero. The data
+// plane (Read/Write/ReadLine/WriteLine/CopyLine) is O(1) indexed and
+// allocation-free once a page exists.
 type Memory struct {
-	words map[sim.Addr]sim.Word
+	pages    []*memPage          // page table, indexed by wordIndex >> memPageWordShift
+	far      map[uint64]*memPage // overflow for page indices >= memDirectPages
+	written  int                 // distinct words ever written
+	zeroLine [sim.WordsPerLine]sim.Word
 }
 
 // NewMemory returns an empty memory image.
 func NewMemory() *Memory {
-	return &Memory{words: make(map[sim.Addr]sim.Word)}
+	return &Memory{}
+}
+
+// peek returns the page holding word index w, or nil if none exists yet.
+func (m *Memory) peek(w uint64) *memPage {
+	pi := w >> memPageWordShift
+	if pi < uint64(len(m.pages)) {
+		return m.pages[pi]
+	}
+	if pi >= memDirectPages {
+		return m.far[pi]
+	}
+	return nil
+}
+
+// page returns the page holding word index w, materializing it (and
+// growing the page table) on first touch.
+func (m *Memory) page(w uint64) *memPage {
+	pi := w >> memPageWordShift
+	if pi >= memDirectPages {
+		if m.far == nil {
+			m.far = make(map[uint64]*memPage)
+		}
+		p := m.far[pi]
+		if p == nil {
+			p = new(memPage)
+			m.far[pi] = p
+		}
+		return p
+	}
+	if pi >= uint64(len(m.pages)) {
+		grown := make([]*memPage, max(pi+1, uint64(2*len(m.pages))))
+		copy(grown, m.pages)
+		m.pages = grown
+	}
+	p := m.pages[pi]
+	if p == nil {
+		p = new(memPage)
+		m.pages[pi] = p
+	}
+	return p
+}
+
+// markWritten sets the written bit for in-page word offset off and keeps
+// the footprint counter exact.
+func (p *memPage) markWritten(off uint64, written *int) {
+	idx, bit := off>>6, uint64(1)<<(off&63)
+	if p.written[idx]&bit == 0 {
+		p.written[idx] |= bit
+		*written++
+	}
 }
 
 // Read returns the word at addr (aligned down to 8 bytes).
 func (m *Memory) Read(addr sim.Addr) sim.Word {
-	return m.words[sim.WordAddr(addr)]
+	w := addr >> 3
+	if p := m.peek(w); p != nil {
+		return p.words[w&memPageWordMask]
+	}
+	return 0
 }
 
 // Write stores val at addr (aligned down to 8 bytes).
 func (m *Memory) Write(addr sim.Addr, val sim.Word) {
-	m.words[sim.WordAddr(addr)] = val
+	w := addr >> 3
+	p := m.page(w)
+	off := w & memPageWordMask
+	p.markWritten(off, &m.written)
+	p.words[off] = val
 }
 
-// ReadLine returns the eight words of line.
+// ReadLine returns the eight words of line. A cache line never straddles
+// a host page (both are power-of-two sized and line-aligned), so this is
+// a single indexed copy.
 func (m *Memory) ReadLine(line sim.Line) [sim.WordsPerLine]sim.Word {
-	var out [sim.WordsPerLine]sim.Word
-	base := sim.AddrOf(line)
-	for i := range out {
-		out[i] = m.words[base+sim.Addr(i*8)]
+	w := line << (sim.LineShift - 3)
+	if p := m.peek(w); p != nil {
+		off := w & memPageWordMask
+		return [sim.WordsPerLine]sim.Word(p.words[off : off+sim.WordsPerLine])
 	}
-	return out
+	return m.zeroLine
 }
 
 // WriteLine stores the eight words of line.
 func (m *Memory) WriteLine(line sim.Line, vals [sim.WordsPerLine]sim.Word) {
-	base := sim.AddrOf(line)
-	for i, v := range vals {
-		m.words[base+sim.Addr(i*8)] = v
+	w := line << (sim.LineShift - 3)
+	p := m.page(w)
+	off := w & memPageWordMask
+	copy(p.words[off:off+sim.WordsPerLine], vals[:])
+	m.markLineWritten(p, off)
+}
+
+// markLineWritten marks the eight line words at in-page offset off as
+// written. The offset is 8-word aligned, so the line's bits occupy one
+// byte of a single bitmap word.
+func (m *Memory) markLineWritten(p *memPage, off uint64) {
+	idx, mask := off>>6, uint64(0xFF)<<(off&63)
+	if fresh := mask &^ p.written[idx]; fresh != 0 {
+		p.written[idx] |= fresh
+		m.written += bits.OnesCount64(fresh)
 	}
 }
 
@@ -56,19 +164,58 @@ func (m *Memory) WriteLine(line sim.Line, vals [sim.WordsPerLine]sim.Word) {
 // redirected location on the first transactional store (it is the normal
 // write-miss fill, not an extra data movement).
 func (m *Memory) CopyLine(src, dst sim.Line) {
-	m.WriteLine(dst, m.ReadLine(src))
+	sw := src << (sim.LineShift - 3)
+	sp := m.peek(sw)
+	dw := dst << (sim.LineShift - 3)
+	dp := m.page(dw)
+	doff := dw & memPageWordMask
+	if sp == nil {
+		for i := range sim.WordsPerLine {
+			dp.words[doff+uint64(i)] = 0
+		}
+	} else {
+		soff := sw & memPageWordMask
+		copy(dp.words[doff:doff+sim.WordsPerLine], sp.words[soff:soff+sim.WordsPerLine])
+	}
+	m.markLineWritten(dp, doff)
 }
 
 // Footprint returns the number of distinct words ever written, used by
 // tests and capacity diagnostics.
-func (m *Memory) Footprint() int { return len(m.words) }
+func (m *Memory) Footprint() int { return m.written }
 
-// Snapshot returns a copy of the full memory image (tests only; the
+// Snapshot returns a copy of the written memory image — exactly the
+// words ever stored, not whole zero-filled pages (tests only; the
 // simulator itself never copies memory wholesale).
 func (m *Memory) Snapshot() map[sim.Addr]sim.Word {
-	out := make(map[sim.Addr]sim.Word, len(m.words))
-	for k, v := range m.words {
-		out[k] = v
-	}
+	out := make(map[sim.Addr]sim.Word, m.written)
+	m.ForEachWritten(func(addr sim.Addr, val sim.Word) {
+		out[addr] = val
+	})
 	return out
+}
+
+// ForEachWritten visits every written word in ascending address order
+// within each page table level (direct pages first, then overflow pages
+// in unspecified order).
+func (m *Memory) ForEachWritten(fn func(addr sim.Addr, val sim.Word)) {
+	emit := func(pi uint64, p *memPage) {
+		base := pi << memPageWordShift
+		for idx, bm := range p.written {
+			for bm != 0 {
+				b := uint64(bits.TrailingZeros64(bm))
+				bm &= bm - 1
+				w := base + uint64(idx)<<6 + b
+				fn(sim.Addr(w<<3), p.words[w&memPageWordMask])
+			}
+		}
+	}
+	for pi, p := range m.pages {
+		if p != nil {
+			emit(uint64(pi), p)
+		}
+	}
+	for pi, p := range m.far {
+		emit(pi, p)
+	}
 }

@@ -120,3 +120,105 @@ func TestTLBSamePageAliases(t *testing.T) {
 		t.Fatal("same-page address missed")
 	}
 }
+
+// TestMemorySnapshotSparseEquivalence property-checks that the paged
+// memory's Snapshot/Footprint match a sparse map oracle under a random
+// mix of word writes, line writes and line copies: exactly the words
+// ever stored are enumerated — zero-valued writes included, untouched
+// page remainders excluded.
+func TestMemorySnapshotSparseEquivalence(t *testing.T) {
+	m := NewMemory()
+	oracle := make(map[sim.Addr]sim.Word)
+	rng := sim.NewRNG(7)
+	oracleWriteLine := func(line sim.Line, vals [sim.WordsPerLine]sim.Word) {
+		base := sim.AddrOf(line)
+		for i, v := range vals {
+			oracle[base+sim.Addr(i*8)] = v
+		}
+	}
+	for i := 0; i < 5000; i++ {
+		// Spread across pages, including the high overflow range.
+		addr := sim.Addr(rng.Uint64n(1 << 22))
+		if rng.Uint64n(50) == 0 {
+			addr += 1 << 40
+		}
+		switch rng.Uint64n(4) {
+		case 0:
+			val := sim.Word(rng.Uint64n(3)) // zero values must still count
+			m.Write(addr, val)
+			oracle[sim.WordAddr(addr)] = val
+		case 1:
+			var vals [sim.WordsPerLine]sim.Word
+			for j := range vals {
+				vals[j] = sim.Word(rng.Uint64n(100))
+			}
+			m.WriteLine(sim.LineOf(addr), vals)
+			oracleWriteLine(sim.LineOf(addr), vals)
+		case 2:
+			src := sim.LineOf(sim.Addr(rng.Uint64n(1 << 22)))
+			m.CopyLine(src, sim.LineOf(addr))
+			var vals [sim.WordsPerLine]sim.Word
+			base := sim.AddrOf(src)
+			for j := range vals {
+				vals[j] = oracle[base+sim.Addr(j*8)]
+			}
+			oracleWriteLine(sim.LineOf(addr), vals)
+		case 3:
+			if m.Read(addr) != oracle[sim.WordAddr(addr)] {
+				t.Fatalf("Read(%#x) = %d, oracle %d", addr, m.Read(addr), oracle[sim.WordAddr(addr)])
+			}
+		}
+	}
+	if m.Footprint() != len(oracle) {
+		t.Fatalf("Footprint = %d, oracle %d", m.Footprint(), len(oracle))
+	}
+	snap := m.Snapshot()
+	if len(snap) != len(oracle) {
+		t.Fatalf("Snapshot has %d words, oracle %d", len(snap), len(oracle))
+	}
+	for addr, val := range oracle {
+		if snap[addr] != val {
+			t.Fatalf("Snapshot[%#x] = %d, oracle %d", addr, snap[addr], val)
+		}
+	}
+}
+
+// TestMemoryZeroWriteCountsInFootprint pins the sparse-map semantics the
+// paged rewrite must preserve: storing zero to a fresh address is a
+// written word.
+func TestMemoryZeroWriteCountsInFootprint(t *testing.T) {
+	m := NewMemory()
+	m.Write(0x2000, 0)
+	if m.Footprint() != 1 {
+		t.Fatalf("Footprint after zero write = %d, want 1", m.Footprint())
+	}
+	snap := m.Snapshot()
+	if v, ok := snap[0x2000]; !ok || v != 0 {
+		t.Fatalf("Snapshot missing zero-valued word: %v %v", v, ok)
+	}
+	if _, ok := snap[0x2008]; ok {
+		t.Fatal("Snapshot enumerated an unwritten neighbour word")
+	}
+}
+
+// TestMemoryHotPathAllocs asserts the steady-state data plane performs
+// zero heap allocations once pages exist.
+func TestMemoryHotPathAllocs(t *testing.T) {
+	m := NewMemory()
+	var vals [sim.WordsPerLine]sim.Word
+	for i := range vals {
+		vals[i] = sim.Word(i)
+	}
+	m.Write(0x1000, 1)
+	m.WriteLine(4, vals)
+	m.WriteLine(9, vals)
+	if allocs := testing.AllocsPerRun(200, func() {
+		m.Write(0x1000, 2)
+		_ = m.Read(0x1000)
+		m.WriteLine(4, vals)
+		_ = m.ReadLine(4)
+		m.CopyLine(4, 9)
+	}); allocs != 0 {
+		t.Fatalf("memory hot path allocates %.1f objects/op, want 0", allocs)
+	}
+}

@@ -25,55 +25,74 @@ func (r *Redirect) Audit() error {
 	for _, l := range r.pool.free {
 		onFreeList[l] = true
 	}
-	targets := make(map[sim.Line]string, len(r.global))
-	for line, g := range r.global {
+	targets := make(map[sim.Line]string, r.global.Len())
+	var err error
+	r.global.ForEach(func(line sim.Line, g *globalEntry) {
+		if err != nil {
+			return
+		}
 		owner := fmt.Sprintf("global %#x", line)
 		if prev, dup := targets[g.pool]; dup {
-			return fmt.Errorf("redirect audit: pool line %#x targeted by both %s and %s", g.pool, prev, owner)
+			err = fmt.Errorf("redirect audit: pool line %#x targeted by both %s and %s", g.pool, prev, owner)
+			return
 		}
 		targets[g.pool] = owner
 		if onFreeList[g.pool] {
-			return fmt.Errorf("redirect audit: %s targets pool line %#x that is on the free list", owner, g.pool)
+			err = fmt.Errorf("redirect audit: %s targets pool line %#x that is on the free list", owner, g.pool)
+			return
 		}
 		if g.claimedBy != -1 {
 			if g.claimedBy < 0 || g.claimedBy >= r.cfg.Cores {
-				return fmt.Errorf("redirect audit: %s claimed by out-of-range core %d", owner, g.claimedBy)
+				err = fmt.Errorf("redirect audit: %s claimed by out-of-range core %d", owner, g.claimedBy)
+				return
 			}
-			te, ok := r.trans[g.claimedBy][line]
+			te, ok := r.trans[g.claimedBy].Get(line)
 			if !ok || te.state != TransientDelete {
-				return fmt.Errorf("redirect audit: %s claimed by core %d without a transient delete", owner, g.claimedBy)
+				err = fmt.Errorf("redirect audit: %s claimed by core %d without a transient delete", owner, g.claimedBy)
 			}
 		}
+	})
+	if err != nil {
+		return err
 	}
-	for core, entries := range r.trans {
-		for line, te := range entries {
+	for core := range r.trans {
+		core := core
+		r.trans[core].ForEach(func(line sim.Line, te *transEntry) {
+			if err != nil {
+				return
+			}
 			switch te.state {
 			case TransientAdd:
 				owner := fmt.Sprintf("core %d transient add %#x", core, line)
 				if prev, dup := targets[te.pool]; dup {
-					return fmt.Errorf("redirect audit: pool line %#x targeted by both %s and %s", te.pool, prev, owner)
+					err = fmt.Errorf("redirect audit: pool line %#x targeted by both %s and %s", te.pool, prev, owner)
+					return
 				}
 				targets[te.pool] = owner
 				if onFreeList[te.pool] {
-					return fmt.Errorf("redirect audit: %s targets pool line %#x that is on the free list", owner, te.pool)
+					err = fmt.Errorf("redirect audit: %s targets pool line %#x that is on the free list", owner, te.pool)
 				}
 			case TransientDelete:
-				g, ok := r.global[line]
+				g, ok := r.global.Get(line)
 				if !ok {
-					return fmt.Errorf("redirect audit: core %d transient delete %#x has no committed mapping", core, line)
+					err = fmt.Errorf("redirect audit: core %d transient delete %#x has no committed mapping", core, line)
+					return
 				}
 				if g.claimedBy != core {
-					return fmt.Errorf("redirect audit: core %d transient delete %#x but mapping claimed by %d", core, line, g.claimedBy)
+					err = fmt.Errorf("redirect audit: core %d transient delete %#x but mapping claimed by %d", core, line, g.claimedBy)
 				}
 			default:
-				return fmt.Errorf("redirect audit: core %d entry %#x in impossible state %v", core, line, te.state)
+				err = fmt.Errorf("redirect audit: core %d entry %#x in impossible state %v", core, line, te.state)
 			}
-		}
+		})
 	}
-	for line := range r.inMemory {
-		if _, ok := r.global[line]; !ok {
-			return fmt.Errorf("redirect audit: swapped-out entry %#x has no committed mapping", line)
-		}
+	if err != nil {
+		return err
 	}
-	return nil
+	r.inMemory.ForEach(func(line sim.Line, _ *struct{}) {
+		if err == nil && !r.global.Has(line) {
+			err = fmt.Errorf("redirect audit: swapped-out entry %#x has no committed mapping", line)
+		}
+	})
+	return err
 }

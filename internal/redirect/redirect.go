@@ -113,16 +113,17 @@ type transEntry struct {
 // which one publishes at commit.
 type Redirect struct {
 	cfg      Config
-	global   map[sim.Line]*globalEntry
-	trans    []map[sim.Line]*transEntry
+	global   sim.LineMap[globalEntry]
+	trans    []sim.LineMap[transEntry]
 	pool     *Pool
 	l1       []*l1Table
 	l2       *l2Table
-	inMemory map[sim.Line]bool // global-entry lines resident only in the software structure
+	inMemory sim.LineMap[struct{}] // global-entry lines resident only in the software structure
 
 	journals   [][]journalRec
 	frameMarks [][]int
 	overflow   []bool // current transaction overflowed the first-level table
+	eventsBuf  []CommitEvent
 
 	// pressured simulates first-level entry pressure (the fault
 	// injector's RedirectPressure window): pin refuses every insertion,
@@ -134,17 +135,14 @@ type Redirect struct {
 // New creates the redirect state, drawing pool pages from alloc.
 func New(cfg Config, alloc *mem.Allocator) *Redirect {
 	r := &Redirect{
-		cfg:      cfg,
-		global:   make(map[sim.Line]*globalEntry),
-		pool:     NewPool(alloc),
-		l2:       newL2Table(cfg.L2Entries, cfg.L2Ways),
-		inMemory: make(map[sim.Line]bool),
+		cfg:  cfg,
+		pool: NewPool(alloc),
+		l2:   newL2Table(cfg.L2Entries, cfg.L2Ways),
 	}
-	r.trans = make([]map[sim.Line]*transEntry, cfg.Cores)
+	r.trans = make([]sim.LineMap[transEntry], cfg.Cores)
 	r.l1 = make([]*l1Table, cfg.Cores)
 	for i := range r.l1 {
 		r.l1[i] = newL1Table(cfg.L1Entries)
-		r.trans[i] = make(map[sim.Line]*transEntry)
 	}
 	r.journals = make([][]journalRec, cfg.Cores)
 	r.frameMarks = make([][]int, cfg.Cores)
@@ -161,30 +159,27 @@ func (r *Redirect) Pool() *Pool { return r.pool }
 // GlobalTarget returns the committed mapping for line (ok=false if the
 // line is not redirected).
 func (r *Redirect) GlobalTarget(line sim.Line) (sim.Line, bool) {
-	g, ok := r.global[line]
-	if !ok {
-		return 0, false
-	}
-	return g.pool, true
+	g, ok := r.global.Get(line)
+	return g.pool, ok
 }
 
 // TransientState returns the state of core's private entry for line
 // (Free when none exists).
 func (r *Redirect) TransientState(core int, line sim.Line) State {
-	if te, ok := r.trans[core][line]; ok {
+	if te, ok := r.trans[core].Get(line); ok {
 		return te.state
 	}
 	return Free
 }
 
 // EntryCount returns the number of live committed mappings.
-func (r *Redirect) EntryCount() int { return len(r.global) }
+func (r *Redirect) EntryCount() int { return r.global.Len() }
 
 // TransientCount returns core's live transient entries (tests).
-func (r *Redirect) TransientCount(core int) int { return len(r.trans[core]) }
+func (r *Redirect) TransientCount(core int) int { return r.trans[core].Len() }
 
 // SwappedOut returns the number of entry lines resident only in memory.
-func (r *Redirect) SwappedOut() int { return len(r.inMemory) }
+func (r *Redirect) SwappedOut() int { return r.inMemory.Len() }
 
 // Resolve returns the physical line an access by core to line must use,
 // with no timing side effects: the core's own transient entry if any,
@@ -192,14 +187,14 @@ func (r *Redirect) SwappedOut() int { return len(r.inMemory) }
 // (post-commit) view.
 func (r *Redirect) Resolve(core int, line sim.Line) sim.Line {
 	if core >= 0 {
-		if te, ok := r.trans[core][line]; ok {
+		if te, ok := r.trans[core].Get(line); ok {
 			if te.state == TransientAdd {
 				return te.pool
 			}
 			return line // TransientDelete: owner sees the original
 		}
 	}
-	if g, ok := r.global[line]; ok {
+	if g, ok := r.global.Get(line); ok {
 		return g.pool
 	}
 	return line
@@ -210,8 +205,8 @@ func (r *Redirect) Resolve(core int, line sim.Line) sim.Line {
 // core's write signature) indicated a possible redirection.
 func (r *Redirect) Lookup(core int, line sim.Line) LookupOutcome {
 	target := r.Resolve(core, line)
-	_, isTrans := r.trans[core][line]
-	_, isGlobal := r.global[line]
+	isTrans := r.trans[core].Has(line)
+	isGlobal := r.global.Has(line)
 	found := isTrans || isGlobal
 	if r.l1[core].contains(line) {
 		return LookupOutcome{Target: target, Found: found, Level: LevelL1}
@@ -237,10 +232,10 @@ func (r *Redirect) Lookup(core int, line sim.Line) LookupOutcome {
 	if !isGlobal {
 		return LookupOutcome{Target: target, Level: LevelAbsent}
 	}
-	if r.inMemory[line] {
+	if r.inMemory.Has(line) {
 		// The entry really is swapped out: the speculative access to the
 		// original address was wrong and must be squashed.
-		delete(r.inMemory, line)
+		r.inMemory.Delete(line)
 		r.fillL2(line)
 		r.fillL1(core, line, false)
 		return LookupOutcome{Target: target, Found: true, Level: LevelMemory,
@@ -268,17 +263,17 @@ func (r *Redirect) TxStore(core int, line sim.Line) StoreOutcome {
 	if len(r.frameMarks[core]) == 0 {
 		panic("redirect: TxStore outside a transaction frame")
 	}
-	if te, ok := r.trans[core][line]; ok {
+	if te, ok := r.trans[core].Get(line); ok {
 		if te.state == TransientAdd {
 			return StoreOutcome{Target: te.pool}
 		}
 		return StoreOutcome{Target: line}
 	}
-	g, hasGlobal := r.global[line]
+	g := r.global.Ref(line)
 	switch {
-	case !hasGlobal:
+	case g == nil:
 		poolLine := r.pool.Alloc()
-		r.trans[core][line] = &transEntry{state: TransientAdd, pool: poolLine}
+		r.trans[core].Put(line, transEntry{state: TransientAdd, pool: poolLine})
 		r.journals[core] = append(r.journals[core], journalRec{kind: journalAdd, line: line})
 		out := StoreOutcome{Target: poolLine, NewEntry: true, FillFrom: line, NeedFill: true,
 			PoolReclaim: r.pool.Exhausted()}
@@ -289,9 +284,10 @@ func (r *Redirect) TxStore(core int, line sim.Line) StoreOutcome {
 		// Redirect-back (Figure 4(d)): the variable currently lives at
 		// g.pool; the new version goes back to the original address.
 		g.claimedBy = core
-		r.trans[core][line] = &transEntry{state: TransientDelete}
+		fillFrom := g.pool
+		r.trans[core].Put(line, transEntry{state: TransientDelete})
 		r.journals[core] = append(r.journals[core], journalRec{kind: journalClaim, line: line})
-		out := StoreOutcome{Target: line, RedirectBack: true, FillFrom: g.pool, NeedFill: true}
+		out := StoreOutcome{Target: line, RedirectBack: true, FillFrom: fillFrom, NeedFill: true}
 		r.pin(core, line, &out)
 		return out
 
@@ -299,9 +295,10 @@ func (r *Redirect) TxStore(core int, line sim.Line) StoreOutcome {
 		// The original space is claimed by another in-flight transaction:
 		// chain to a fresh pool line.
 		poolLine := r.pool.Alloc()
-		r.trans[core][line] = &transEntry{state: TransientAdd, pool: poolLine}
+		fillFrom := g.pool
+		r.trans[core].Put(line, transEntry{state: TransientAdd, pool: poolLine})
 		r.journals[core] = append(r.journals[core], journalRec{kind: journalAdd, line: line})
-		out := StoreOutcome{Target: poolLine, NewEntry: true, Chained: true, FillFrom: g.pool, NeedFill: true,
+		out := StoreOutcome{Target: poolLine, NewEntry: true, Chained: true, FillFrom: fillFrom, NeedFill: true,
 			PoolReclaim: r.pool.Exhausted()}
 		r.pin(core, line, &out)
 		return out
@@ -376,35 +373,38 @@ func (r *Redirect) CommitOpenFrame(core int) []CommitEvent {
 }
 
 // applyCommit runs the Figure 4(e) transitions over journal records.
+// The returned slice aliases a buffer owned by the Redirect and is
+// valid until the next commit; callers consume it immediately.
 func (r *Redirect) applyCommit(core int, journal []journalRec) []CommitEvent {
-	var events []CommitEvent
+	events := r.eventsBuf[:0]
 	for _, rec := range journal {
-		te, ok := r.trans[core][rec.line]
+		te, ok := r.trans[core].Get(rec.line)
 		if !ok {
 			continue // unwound by a partial abort
 		}
 		switch rec.kind {
 		case journalAdd:
-			if g, had := r.global[rec.line]; had {
+			if g := r.global.Ref(rec.line); g != nil {
 				// Chained re-redirect: the new mapping replaces the old;
 				// the line stays redirected, so no summary change.
 				r.pool.Release(g.pool)
 				g.pool = te.pool
 				g.claimedBy = -1
 			} else {
-				r.global[rec.line] = &globalEntry{pool: te.pool, claimedBy: -1}
+				r.global.Put(rec.line, globalEntry{pool: te.pool, claimedBy: -1})
 				events = append(events, CommitEvent{Line: rec.line, Added: true})
 			}
 			r.l1[core].unpin(rec.line)
 		case journalClaim:
-			if g, had := r.global[rec.line]; had && g.claimedBy == core {
+			if g, had := r.global.Get(rec.line); had && g.claimedBy == core {
 				r.pool.Release(g.pool)
 				r.dropGlobal(rec.line)
 				events = append(events, CommitEvent{Line: rec.line, Removed: true})
 			}
 		}
-		delete(r.trans[core], rec.line)
+		r.trans[core].Delete(rec.line)
 	}
+	r.eventsBuf = events
 	return events
 }
 
@@ -421,7 +421,7 @@ func (r *Redirect) AbortFrame(core int) int {
 	n := len(journal) - mark
 	for i := len(journal) - 1; i >= mark; i-- {
 		rec := journal[i]
-		te, ok := r.trans[core][rec.line]
+		te, ok := r.trans[core].Get(rec.line)
 		if !ok {
 			continue
 		}
@@ -430,12 +430,12 @@ func (r *Redirect) AbortFrame(core int) int {
 			r.pool.Release(te.pool)
 			r.l1[core].remove(rec.line)
 		case journalClaim:
-			if g, had := r.global[rec.line]; had && g.claimedBy == core {
+			if g := r.global.Ref(rec.line); g != nil && g.claimedBy == core {
 				g.claimedBy = -1
 			}
 			r.l1[core].unpin(rec.line)
 		}
-		delete(r.trans[core], rec.line)
+		r.trans[core].Delete(rec.line)
 	}
 	r.journals[core] = journal[:mark]
 	r.frameMarks[core] = marks[:len(marks)-1]
@@ -469,27 +469,27 @@ func (r *Redirect) fillL1(core int, line sim.Line, pinned bool) {
 func (r *Redirect) fillL2(line sim.Line) {
 	victim, evicted := r.l2.insert(line)
 	if evicted {
-		if _, live := r.global[victim]; live {
-			r.inMemory[victim] = true
+		if r.global.Has(victim) {
+			r.inMemory.Put(victim, struct{}{})
 		}
 	}
-	delete(r.inMemory, line)
+	r.inMemory.Delete(line)
 }
 
 // spillToL2 writes an entry evicted from a first-level table back to the
 // shared level, unless the mapping no longer exists.
 func (r *Redirect) spillToL2(line sim.Line) {
-	if _, live := r.global[line]; live {
+	if r.global.Has(line) {
 		r.fillL2(line)
 	}
 }
 
 // dropGlobal removes a committed mapping from every structure.
 func (r *Redirect) dropGlobal(line sim.Line) {
-	delete(r.global, line)
+	r.global.Delete(line)
 	for _, t := range r.l1 {
 		t.remove(line)
 	}
 	r.l2.remove(line)
-	delete(r.inMemory, line)
+	r.inMemory.Delete(line)
 }

@@ -41,30 +41,48 @@ func (l Level) String() string {
 // LRU-replaced, zero access latency (it is integrated in the core's
 // pipeline — Section IV-A). Transient entries of the running transaction
 // are pinned; when every slot is pinned the table has overflowed.
+//
+// Entries live in a fixed way array; an open-addressed line→way index
+// makes membership O(1). The eviction scan uses the same total order as
+// the map implementation it replaced — minimum LRU stamp, ties broken
+// by the smaller line — so the victim (and hence the whole simulation)
+// is identical regardless of storage layout.
 type l1Table struct {
 	capacity int
-	slots    map[sim.Line]*l1Slot
+	ways     []l1Way
+	index    sim.LineMap[int32]
+	free     []int32
 	clock    uint64
 	pinned   int
 }
 
-type l1Slot struct {
+type l1Way struct {
+	line   sim.Line
 	lru    uint64
+	live   bool
 	pinned bool
 }
 
 func newL1Table(capacity int) *l1Table {
-	return &l1Table{capacity: capacity, slots: make(map[sim.Line]*l1Slot, capacity)}
+	t := &l1Table{
+		capacity: capacity,
+		ways:     make([]l1Way, capacity),
+		free:     make([]int32, capacity),
+	}
+	for i := range t.free {
+		t.free[i] = int32(capacity - 1 - i)
+	}
+	return t
 }
 
 // contains refreshes LRU and reports presence.
 func (t *l1Table) contains(line sim.Line) bool {
-	s, ok := t.slots[line]
+	wi, ok := t.index.Get(line)
 	if !ok {
 		return false
 	}
 	t.clock++
-	s.lru = t.clock
+	t.ways[wi].lru = t.clock
 	return true
 }
 
@@ -72,34 +90,41 @@ func (t *l1Table) contains(line sim.Line) bool {
 // full. It returns the evicted line and whether an eviction happened; if
 // every slot is pinned the insert fails (overflow) and ok is false.
 func (t *l1Table) insert(line sim.Line, pinned bool) (victim sim.Line, evicted, ok bool) {
-	if s, exists := t.slots[line]; exists {
+	if wi, exists := t.index.Get(line); exists {
+		w := &t.ways[wi]
 		t.clock++
-		s.lru = t.clock
-		if pinned && !s.pinned {
-			s.pinned = true
+		w.lru = t.clock
+		if pinned && !w.pinned {
+			w.pinned = true
 			t.pinned++
 		}
 		return 0, false, true
 	}
-	if len(t.slots) >= t.capacity {
-		var victimLine sim.Line
-		var victimSlot *l1Slot
-		for l, s := range t.slots {
-			if s.pinned {
+	var wi int32
+	if len(t.free) == 0 {
+		vi := -1
+		for i := range t.ways {
+			w := &t.ways[i]
+			if !w.live || w.pinned {
 				continue
 			}
-			if victimSlot == nil || s.lru < victimSlot.lru || (s.lru == victimSlot.lru && l < victimLine) {
-				victimLine, victimSlot = l, s
+			if vi < 0 || w.lru < t.ways[vi].lru || (w.lru == t.ways[vi].lru && w.line < t.ways[vi].line) {
+				vi = i
 			}
 		}
-		if victimSlot == nil {
+		if vi < 0 {
 			return 0, false, false // all pinned: table overflow
 		}
-		delete(t.slots, victimLine)
-		victim, evicted = victimLine, true
+		victim, evicted = t.ways[vi].line, true
+		t.index.Delete(victim)
+		wi = int32(vi)
+	} else {
+		wi = t.free[len(t.free)-1]
+		t.free = t.free[:len(t.free)-1]
 	}
 	t.clock++
-	t.slots[line] = &l1Slot{lru: t.clock, pinned: pinned}
+	t.ways[wi] = l1Way{line: line, lru: t.clock, live: true, pinned: pinned}
+	t.index.Put(line, wi)
 	if pinned {
 		t.pinned++
 	}
@@ -108,32 +133,47 @@ func (t *l1Table) insert(line sim.Line, pinned bool) (victim sim.Line, evicted, 
 
 // unpin clears the pinned flag (commit/abort of the owning transaction).
 func (t *l1Table) unpin(line sim.Line) {
-	if s, ok := t.slots[line]; ok && s.pinned {
-		s.pinned = false
+	if wi, ok := t.index.Get(line); ok && t.ways[wi].pinned {
+		t.ways[wi].pinned = false
 		t.pinned--
 	}
 }
 
 // remove drops line from the table.
 func (t *l1Table) remove(line sim.Line) {
-	if s, ok := t.slots[line]; ok {
-		if s.pinned {
+	if wi, ok := t.index.Get(line); ok {
+		if t.ways[wi].pinned {
 			t.pinned--
 		}
-		delete(t.slots, line)
+		t.ways[wi] = l1Way{}
+		t.index.Delete(line)
+		t.free = append(t.free, wi)
 	}
 }
 
-func (t *l1Table) len() int { return len(t.slots) }
+func (t *l1Table) len() int { return t.index.Len() }
 
 // l2Table is the shared second-level redirect table: set-associative,
 // LRU-replaced, fixed access latency. Entries evicted here are swapped
 // out to a software-managed structure in main memory.
+//
+// Each set is a fixed run of ways in one flat array — with the paper's
+// 8-way geometry a lookup is a short linear scan over contiguous
+// memory, and nothing on this path allocates. The eviction comparator
+// (minimum stamp, ties to the smaller line) matches the map version's,
+// keeping victims bit-identical.
 type l2Table struct {
 	sets  int
 	ways  int
-	slots []map[sim.Line]uint64 // per-set line -> lru stamp
+	slots []l2Way // sets*ways; set s occupies [s*ways, (s+1)*ways)
 	clock uint64
+	n     int
+}
+
+type l2Way struct {
+	line  sim.Line
+	stamp uint64
+	live  bool
 }
 
 func newL2Table(entries, ways int) *l2Table {
@@ -144,25 +184,24 @@ func newL2Table(entries, ways int) *l2Table {
 	if sets <= 0 || sets&(sets-1) != 0 {
 		panic("redirect: second-level table set count must be a power of two")
 	}
-	t := &l2Table{sets: sets, ways: ways, slots: make([]map[sim.Line]uint64, sets)}
-	for i := range t.slots {
-		t.slots[i] = make(map[sim.Line]uint64, ways)
-	}
-	return t
+	return &l2Table{sets: sets, ways: ways, slots: make([]l2Way, sets*ways)}
 }
 
-func (t *l2Table) setOf(line sim.Line) map[sim.Line]uint64 {
-	return t.slots[int(line)&(t.sets-1)]
+func (t *l2Table) setOf(line sim.Line) []l2Way {
+	s := int(line) & (t.sets - 1)
+	return t.slots[s*t.ways : (s+1)*t.ways]
 }
 
 func (t *l2Table) contains(line sim.Line) bool {
 	set := t.setOf(line)
-	if _, ok := set[line]; !ok {
-		return false
+	for i := range set {
+		if set[i].live && set[i].line == line {
+			t.clock++
+			set[i].stamp = t.clock
+			return true
+		}
 	}
-	t.clock++
-	set[line] = t.clock
-	return true
+	return false
 }
 
 // insert places line, evicting the set's LRU entry when full. The
@@ -170,35 +209,40 @@ func (t *l2Table) contains(line sim.Line) bool {
 func (t *l2Table) insert(line sim.Line) (victim sim.Line, evicted bool) {
 	set := t.setOf(line)
 	t.clock++
-	if _, ok := set[line]; ok {
-		set[line] = t.clock
-		return 0, false
+	target := -1
+	for i := range set {
+		if set[i].live && set[i].line == line {
+			set[i].stamp = t.clock
+			return 0, false
+		}
+		if !set[i].live && target < 0 {
+			target = i
+		}
 	}
-	if len(set) >= t.ways {
-		var victimLine sim.Line
-		var victimStamp uint64
-		first := true
-		for l, stamp := range set {
-			if first || stamp < victimStamp || (stamp == victimStamp && l < victimLine) {
-				victimLine, victimStamp = l, stamp
-				first = false
+	if target < 0 {
+		target = 0
+		for i := 1; i < len(set); i++ {
+			if set[i].stamp < set[target].stamp || (set[i].stamp == set[target].stamp && set[i].line < set[target].line) {
+				target = i
 			}
 		}
-		delete(set, victimLine)
-		victim, evicted = victimLine, true
+		victim, evicted = set[target].line, true
+		t.n--
 	}
-	set[line] = t.clock
+	set[target] = l2Way{line: line, stamp: t.clock, live: true}
+	t.n++
 	return victim, evicted
 }
 
 func (t *l2Table) remove(line sim.Line) {
-	delete(t.setOf(line), line)
+	set := t.setOf(line)
+	for i := range set {
+		if set[i].live && set[i].line == line {
+			set[i] = l2Way{}
+			t.n--
+			return
+		}
+	}
 }
 
-func (t *l2Table) len() int {
-	n := 0
-	for _, s := range t.slots {
-		n += len(s)
-	}
-	return n
-}
+func (t *l2Table) len() int { return t.n }

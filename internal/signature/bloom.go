@@ -69,6 +69,23 @@ func (b *Bloom) Test(line sim.Line) bool {
 	return true
 }
 
+// TestIdx is Test with the bit indices precomputed by Indices (which
+// must have used this signature's kind and size).
+func (b *Bloom) TestIdx(idx *[NumHashes]uint32) bool {
+	if b.saturated {
+		return true
+	}
+	for _, i := range idx {
+		if b.word[i/64]&(1<<(i%64)) == 0 {
+			return false
+		}
+	}
+	return true
+}
+
+// Kind returns the signature's hash family.
+func (b *Bloom) Kind() HashKind { return b.kind }
+
 // Clear flash-clears the signature (transaction begin/commit/abort).
 func (b *Bloom) Clear() {
 	for i := range b.word {

@@ -28,20 +28,29 @@ const (
 // two; 2 Kbit Bloom filters with k=2 match the paper's configuration).
 const NumHashes = 2
 
-// hashIndices writes the NumHashes bit indices of line into idx.
-func hashIndices(kind HashKind, line sim.Line, bits uint32, idx *[NumHashes]uint32) {
+// Indices writes the NumHashes bit indices of line into idx. It is
+// exported so a hot loop testing one line against many same-shaped
+// signatures (eager conflict detection scans every core) can hash once
+// and probe with Bloom.TestIdx. Signature sizes are enforced powers of
+// two, so the reductions use masks; x&(bits-1) == x%bits bit-for-bit.
+func Indices(kind HashKind, line sim.Line, bits uint32, idx *[NumHashes]uint32) {
 	switch kind {
 	case HashFig5:
-		m := uint64(bits)
-		idx[0] = uint32(line % m)
-		idx[1] = uint32((line ^ (2 * line)) % m)
+		mask := uint64(bits - 1)
+		idx[0] = uint32(line & mask)
+		idx[1] = uint32((line ^ (2 * line)) & mask)
 	default:
 		// Two rounds of a strong 64-bit mixer with distinct constants.
+		mask := bits - 1
 		h1 := mix(line * 0x9e3779b97f4a7c15)
 		h2 := mix(line*0xc2b2ae3d27d4eb4f + 0x165667b19e3779f9)
-		idx[0] = uint32(h1 % uint64(bits))
-		idx[1] = uint32(h2 % uint64(bits))
+		idx[0] = uint32(h1) & mask
+		idx[1] = uint32(h2) & mask
 	}
+}
+
+func hashIndices(kind HashKind, line sim.Line, bits uint32, idx *[NumHashes]uint32) {
+	Indices(kind, line, bits, idx)
 }
 
 func mix(z uint64) uint64 {

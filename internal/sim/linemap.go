@@ -1,0 +1,148 @@
+package sim
+
+// lineMapMinCap is the initial slot count of a LineMap.
+const lineMapMinCap = 16
+
+// LineMap is an open-addressed, linearly-probed map from cache-line
+// numbers to small value types, built for the simulator's hot path: no
+// per-entry heap allocation (values live inline in a flat slot array)
+// and no tombstones (deletion backward-shifts the cluster, so probe
+// chains never grow stale). It deliberately has no iteration order
+// guarantee and no iterator at all — the redirect machinery only ever
+// addresses entries by key, which is what keeps the simulation
+// bit-identical to the map-based implementation it replaced.
+//
+// The zero value is ready to use.
+type LineMap[V any] struct {
+	keys []Line
+	vals []V
+	used []bool
+	mask uint64
+	n    int
+}
+
+// Len returns the number of live entries.
+func (m *LineMap[V]) Len() int { return m.n }
+
+// find returns the slot holding key, or ok=false.
+func (m *LineMap[V]) find(key Line) (uint64, bool) {
+	if m.n == 0 {
+		return 0, false
+	}
+	i := lineSetHash(key) & m.mask
+	for m.used[i] {
+		if m.keys[i] == key {
+			return i, true
+		}
+		i = (i + 1) & m.mask
+	}
+	return 0, false
+}
+
+// Has reports whether key is present.
+func (m *LineMap[V]) Has(key Line) bool {
+	_, ok := m.find(key)
+	return ok
+}
+
+// Get returns the value for key (the zero value if absent).
+func (m *LineMap[V]) Get(key Line) (V, bool) {
+	if i, ok := m.find(key); ok {
+		return m.vals[i], true
+	}
+	var zero V
+	return zero, false
+}
+
+// Ref returns a pointer to key's value for in-place mutation, or nil if
+// absent. The pointer is invalidated by the next Put or Delete.
+func (m *LineMap[V]) Ref(key Line) *V {
+	if i, ok := m.find(key); ok {
+		return &m.vals[i]
+	}
+	return nil
+}
+
+// Put inserts or overwrites key's value.
+func (m *LineMap[V]) Put(key Line, val V) {
+	if i, ok := m.find(key); ok {
+		m.vals[i] = val
+		return
+	}
+	if len(m.keys) == 0 || (m.n+1)*4 > len(m.keys)*3 {
+		m.grow()
+	}
+	i := lineSetHash(key) & m.mask
+	for m.used[i] {
+		i = (i + 1) & m.mask
+	}
+	m.keys[i], m.vals[i], m.used[i] = key, val, true
+	m.n++
+}
+
+// Delete removes key, reporting whether it was present. The vacated
+// slot is filled by backward-shifting the probe cluster, so lookups
+// never trip over tombstones.
+func (m *LineMap[V]) Delete(key Line) bool {
+	i, ok := m.find(key)
+	if !ok {
+		return false
+	}
+	var zero V
+	j := i
+	for {
+		m.used[i] = false
+		m.vals[i] = zero
+		for {
+			j = (j + 1) & m.mask
+			if !m.used[j] {
+				m.n--
+				return true
+			}
+			// The element at j may move into the hole at i only if its
+			// home slot precedes the hole in cyclic probe order.
+			h := lineSetHash(m.keys[j]) & m.mask
+			if ((j - h) & m.mask) >= ((j - i) & m.mask) {
+				break
+			}
+		}
+		m.keys[i], m.vals[i], m.used[i] = m.keys[j], m.vals[j], true
+		i = j
+	}
+}
+
+// ForEach visits every entry in slot order (NOT insertion order — no
+// simulation decision may depend on it; it exists for audits and
+// tests). fn must not mutate the map.
+func (m *LineMap[V]) ForEach(fn func(Line, *V)) {
+	for i, u := range m.used {
+		if u {
+			fn(m.keys[i], &m.vals[i])
+		}
+	}
+}
+
+// grow doubles the table and rehashes. This is the only allocating
+// path; a map that has reached its high-water size never allocates
+// again.
+func (m *LineMap[V]) grow() {
+	newCap := lineMapMinCap
+	if len(m.keys) > 0 {
+		newCap = 2 * len(m.keys)
+	}
+	oldKeys, oldVals, oldUsed := m.keys, m.vals, m.used
+	m.keys = make([]Line, newCap)
+	m.vals = make([]V, newCap)
+	m.used = make([]bool, newCap)
+	m.mask = uint64(newCap - 1)
+	for i, u := range oldUsed {
+		if !u {
+			continue
+		}
+		j := lineSetHash(oldKeys[i]) & m.mask
+		for m.used[j] {
+			j = (j + 1) & m.mask
+		}
+		m.keys[j], m.vals[j], m.used[j] = oldKeys[i], oldVals[i], true
+	}
+}

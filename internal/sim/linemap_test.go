@@ -1,0 +1,78 @@
+package sim
+
+import "testing"
+
+// TestLineMapOracle drives LineMap against a Go map with a random
+// put/get/delete mix. The narrow key range forces dense clusters, so
+// backward-shift deletion is exercised constantly; occasional wide keys
+// exercise hash spreading and growth.
+func TestLineMapOracle(t *testing.T) {
+	var m LineMap[uint64]
+	oracle := make(map[Line]uint64)
+	rng := NewRNG(7)
+	for i := 0; i < 200000; i++ {
+		line := Line(rng.Uint64n(256))
+		if rng.Uint64n(64) == 0 {
+			line = rng.Uint64() | 1<<40
+		}
+		switch rng.Uint64n(8) {
+		case 0, 1, 2:
+			v := rng.Uint64()
+			m.Put(line, v)
+			oracle[line] = v
+		case 3, 4:
+			gotOK := m.Delete(line)
+			_, wantOK := oracle[line]
+			if gotOK != wantOK {
+				t.Fatalf("step %d: Delete(%#x) = %v, oracle %v", i, line, gotOK, wantOK)
+			}
+			delete(oracle, line)
+		default:
+			got, gotOK := m.Get(line)
+			want, wantOK := oracle[line]
+			if gotOK != wantOK || got != want {
+				t.Fatalf("step %d: Get(%#x) = %d,%v, oracle %d,%v", i, line, got, gotOK, want, wantOK)
+			}
+		}
+		if m.Len() != len(oracle) {
+			t.Fatalf("step %d: Len = %d, oracle %d", i, m.Len(), len(oracle))
+		}
+	}
+	for k, want := range oracle {
+		if got, ok := m.Get(k); !ok || got != want {
+			t.Fatalf("final: Get(%#x) = %d,%v, oracle %d", k, got, ok, want)
+		}
+	}
+}
+
+// TestLineMapRef checks in-place mutation through the returned pointer.
+func TestLineMapRef(t *testing.T) {
+	var m LineMap[[2]int]
+	if m.Ref(9) != nil {
+		t.Fatal("Ref on empty map not nil")
+	}
+	m.Put(9, [2]int{1, 2})
+	m.Ref(9)[1] = 99
+	if v, _ := m.Get(9); v != [2]int{1, 99} {
+		t.Fatalf("mutation through Ref lost: %v", v)
+	}
+}
+
+// TestLineMapHotPathAllocs asserts the steady-state put/get/delete
+// cycle allocates nothing once the table has reached its working size.
+func TestLineMapHotPathAllocs(t *testing.T) {
+	var m LineMap[int32]
+	for i := Line(0); i < 64; i++ {
+		m.Put(i*3, int32(i))
+	}
+	if allocs := testing.AllocsPerRun(200, func() {
+		m.Put(1000, 5)
+		if !m.Has(1000) {
+			t.Fatal("lost key")
+		}
+		m.Delete(1000)
+		_, _ = m.Get(7)
+	}); allocs != 0 {
+		t.Fatalf("line-map hot path allocates %.1f objects/op, want 0", allocs)
+	}
+}

@@ -1,0 +1,153 @@
+package sim
+
+import "testing"
+
+// TestLineSetOracle drives the hybrid set against a map oracle with a
+// random add/has/clear mix, at working-set sizes that exercise both the
+// inline tier and the overflow table (including growth and epoch reuse).
+func TestLineSetOracle(t *testing.T) {
+	s := NewLineSet()
+	oracle := make(map[Line]struct{})
+	rng := NewRNG(99)
+	for i := 0; i < 200000; i++ {
+		// Small key range forces duplicates; occasional wide keys force
+		// hash spreading.
+		line := Line(rng.Uint64n(512))
+		if rng.Uint64n(64) == 0 {
+			line = rng.Uint64() | 1<<40
+		}
+		switch rng.Uint64n(8) {
+		case 0:
+			s.Clear()
+			clear(oracle)
+		case 1, 2, 3:
+			s.Add(line)
+			oracle[line] = struct{}{}
+		default:
+			_, want := oracle[line]
+			if got := s.Has(line); got != want {
+				t.Fatalf("step %d: Has(%#x) = %v, oracle %v", i, line, got, want)
+			}
+		}
+		if s.Len() != len(oracle) {
+			t.Fatalf("step %d: Len = %d, oracle %d", i, s.Len(), len(oracle))
+		}
+	}
+	// Final sweep: every oracle member present, ForEach visits each once.
+	seen := make(map[Line]int)
+	s.ForEach(func(l Line) { seen[l]++ })
+	if len(seen) != len(oracle) {
+		t.Fatalf("ForEach visited %d lines, oracle %d", len(seen), len(oracle))
+	}
+	for l, n := range seen {
+		if n != 1 {
+			t.Fatalf("ForEach visited %#x %d times", l, n)
+		}
+		if _, ok := oracle[l]; !ok {
+			t.Fatalf("ForEach visited %#x not in oracle", l)
+		}
+	}
+}
+
+// TestLineSetClone checks snapshot independence (nested-frame saves).
+func TestLineSetClone(t *testing.T) {
+	s := NewLineSet()
+	for i := Line(0); i < 40; i++ { // spills past the inline tier
+		s.Add(i * 7)
+	}
+	c := s.Clone()
+	s.Add(1000)
+	c.Add(2000)
+	if s.Has(2000) || !s.Has(1000) || c.Has(1000) || !c.Has(2000) {
+		t.Fatal("clone not independent")
+	}
+	if c.Len() != 41 || s.Len() != 41 {
+		t.Fatalf("lens: s=%d c=%d, want 41", s.Len(), c.Len())
+	}
+	s.Clear()
+	if c.Len() != 41 {
+		t.Fatal("clearing the source disturbed the clone")
+	}
+}
+
+// TestLineSetEpochWrap forces the uint32 epoch to wrap and checks no
+// stale marks resurrect.
+func TestLineSetEpochWrap(t *testing.T) {
+	s := NewLineSet()
+	for i := Line(0); i < 2*lineSetSmallCap; i++ {
+		s.Add(i)
+	}
+	s.epoch = ^uint32(0) - 1 // two bumps from wrapping
+	s.Clear()
+	s.Clear()
+	if s.Len() != 0 || s.Has(3) || s.Has(lineSetSmallCap+1) {
+		t.Fatal("stale members survived the epoch wrap")
+	}
+	s.Add(7)
+	if !s.Has(7) || s.Len() != 1 {
+		t.Fatal("set unusable after epoch wrap")
+	}
+}
+
+// TestLineSetHotPathAllocs asserts the steady-state transactional
+// pattern — clear at begin, add/has during the attempt — allocates
+// nothing once the overflow table has reached its high-water mark.
+func TestLineSetHotPathAllocs(t *testing.T) {
+	s := NewLineSet()
+	for i := Line(0); i < 100; i++ { // warm the table to its final size
+		s.Add(i * 13)
+	}
+	if allocs := testing.AllocsPerRun(200, func() {
+		s.Clear()
+		for i := Line(0); i < 100; i++ {
+			s.Add(i * 13)
+			if !s.Has(i * 13) {
+				t.Fatal("lost a line")
+			}
+		}
+		_ = s.Len()
+	}); allocs != 0 {
+		t.Fatalf("line-set hot path allocates %.1f objects/op, want 0", allocs)
+	}
+}
+
+// BenchmarkLineSet measures the per-op cost of the transactional
+// pattern: flash clear, then a mixed add/has working set.
+func BenchmarkLineSet(b *testing.B) {
+	s := NewLineSet()
+	for i := Line(0); i < 64; i++ {
+		s.Add(i * 13)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		s.Clear()
+		for j := Line(0); j < 64; j++ {
+			s.Add(j * 13)
+		}
+		for j := Line(0); j < 64; j++ {
+			if !s.Has(j * 13) {
+				b.Fatal("lost a line")
+			}
+		}
+	}
+}
+
+// BenchmarkLineSetMap is the map-based reference point the rewrite
+// replaced (kept so the win stays measurable in one -bench run).
+func BenchmarkLineSetMap(b *testing.B) {
+	s := make(map[Line]struct{}, 64)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		clear(s)
+		for j := Line(0); j < 64; j++ {
+			s[j*13] = struct{}{}
+		}
+		for j := Line(0); j < 64; j++ {
+			if _, ok := s[j*13]; !ok {
+				b.Fatal("lost a line")
+			}
+		}
+	}
+}
