@@ -1,0 +1,164 @@
+// Fleet-throughput benchmarks and the BENCH_fleet.json regression
+// harness. Where bench_hotpath_test.go measures one simulation's data
+// plane, these measure a whole experiment campaign — the full Figure 6
+// grid (eight STAMP analogues under LogTM-SE, FasTM and SUV-TM) — under
+// the three fleet configurations:
+//
+//   - Baseline: every run cold (fresh memory/directory/redirect, no
+//     cache, submission-order dispatch) — the pre-fleet behavior.
+//   - Cold: machine arenas + longest-expected-first scheduling, cache
+//     off — the first pass of a campaign.
+//   - Warm: the run cache primed — a repeated pipeline (re-rendering a
+//     figure, a sweep sharing the default point) served from memory.
+//
+// Regenerate the checked-in baseline with:
+//
+//	BENCH_FLEET=BENCH_fleet.json go test -run TestWriteFleetBench -v .
+package suvtm_test
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"runtime"
+	"testing"
+	"time"
+
+	"suvtm"
+)
+
+// fleetGridSpecs is the benchmark campaign: the Figure 6 grid at a
+// reduced scale so one campaign stays in benchmark territory while
+// still exercising every app's allocation profile.
+func fleetGridSpecs() []suvtm.Spec {
+	var specs []suvtm.Spec
+	for _, app := range suvtm.StampApps() {
+		for _, scheme := range []suvtm.Scheme{suvtm.LogTMSE, suvtm.FasTM, suvtm.SUVTM} {
+			specs = append(specs, suvtm.Spec{App: app, Scheme: scheme, Cores: 8, Scale: 0.05})
+		}
+	}
+	return specs
+}
+
+// runFleetCampaign executes the grid once under the given options and
+// fails the benchmark on any error.
+func runFleetCampaign(b *testing.B, specs []suvtm.Spec, o suvtm.BatchOptions) {
+	b.Helper()
+	outs, err := suvtm.RunManyWith(specs, o)
+	if err != nil {
+		b.Fatal(err)
+	}
+	for _, out := range outs {
+		if out == nil || out.CheckErr != nil {
+			b.Fatalf("campaign outcome missing or invariant-violating: %v", out)
+		}
+	}
+}
+
+// BenchmarkFleetBaseline is the pre-fleet cost of the campaign: no
+// arenas, no scheduling, no cache.
+func BenchmarkFleetBaseline(b *testing.B) {
+	specs := fleetGridSpecs()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		runFleetCampaign(b, specs, suvtm.BatchOptions{NoArena: true, NoSchedule: true, NoCache: true})
+	}
+}
+
+// BenchmarkFleetCold is a first-pass campaign with arenas and
+// straggler-aware dispatch but nothing cached.
+func BenchmarkFleetCold(b *testing.B) {
+	specs := fleetGridSpecs()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		runFleetCampaign(b, specs, suvtm.BatchOptions{NoCache: true})
+	}
+}
+
+// BenchmarkFleetWarm is a repeated campaign: the cache was primed by an
+// identical pass, so every point is a hit.
+func BenchmarkFleetWarm(b *testing.B) {
+	specs := fleetGridSpecs()
+	if err := suvtm.ResetRunCache(); err != nil {
+		b.Fatal(err)
+	}
+	runFleetCampaign(b, specs, suvtm.BatchOptions{})
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		runFleetCampaign(b, specs, suvtm.BatchOptions{})
+	}
+	b.StopTimer()
+	if s := suvtm.FleetSnapshot(); s.Hits == 0 {
+		b.Fatal("warm campaign never hit the cache")
+	}
+}
+
+// fleetDump is the schema of BENCH_fleet.json: the three campaign
+// configurations plus the speedups the fleet layer is accountable for.
+type fleetDump struct {
+	Written     string        `json:"written"`
+	GoVersion   string        `json:"go_version"`
+	HostCPUs    int           `json:"host_cpus"`
+	GridRuns    int           `json:"grid_runs"`
+	Results     []benchRecord `json:"results"`
+	SpeedupCold float64       `json:"speedup_cold"` // baseline / cold: arenas + scheduling
+	SpeedupWarm float64       `json:"speedup_warm"` // baseline / warm: cache hits
+}
+
+// TestWriteFleetBench regenerates BENCH_fleet.json and enforces the
+// fleet acceptance gates: arenas + scheduling must buy at least 1.3x on
+// a cold campaign and the warm cache at least 3x. Opt-in via BENCH_FLEET
+// so a plain `go test ./...` stays fast.
+func TestWriteFleetBench(t *testing.T) {
+	path := os.Getenv("BENCH_FLEET")
+	if path == "" {
+		t.Skip("set BENCH_FLEET=<output path> to write the fleet benchmark baseline")
+	}
+	dump := fleetDump{
+		Written:   time.Now().UTC().Format(time.RFC3339),
+		GoVersion: runtime.Version(),
+		HostCPUs:  runtime.GOMAXPROCS(0),
+		GridRuns:  len(fleetGridSpecs()),
+	}
+	record := func(name string, fn func(b *testing.B)) float64 {
+		runtime.GC()
+		res := testing.Benchmark(fn)
+		rec := benchRecord{
+			Name:     name,
+			NsPerOp:  float64(res.NsPerOp()),
+			AllocsOp: float64(res.AllocsPerOp()),
+			BytesOp:  float64(res.AllocedBytesPerOp()),
+		}
+		dump.Results = append(dump.Results, rec)
+		t.Logf("%s: %.0f ns/op, %.0f allocs/op, %.0f B/op", name, rec.NsPerOp, rec.AllocsOp, rec.BytesOp)
+		return rec.NsPerOp
+	}
+	baseline := record("BenchmarkFleetBaseline", BenchmarkFleetBaseline)
+	cold := record("BenchmarkFleetCold", BenchmarkFleetCold)
+	warm := record("BenchmarkFleetWarm", BenchmarkFleetWarm)
+	dump.SpeedupCold = baseline / cold
+	dump.SpeedupWarm = baseline / warm
+	t.Logf("speedup: cold %.2fx, warm %.2fx", dump.SpeedupCold, dump.SpeedupWarm)
+	if dump.SpeedupCold < 1.3 {
+		t.Errorf("cold-campaign speedup %.2fx is below the 1.3x gate", dump.SpeedupCold)
+	}
+	if dump.SpeedupWarm < 3 {
+		t.Errorf("warm-cache speedup %.2fx is below the 3x gate", dump.SpeedupWarm)
+	}
+	f, err := os.Create(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	enc := json.NewEncoder(f)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(&dump); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Close(); err != nil {
+		t.Fatal(err)
+	}
+	fmt.Printf("wrote %s (%d benchmarks)\n", path, len(dump.Results))
+}

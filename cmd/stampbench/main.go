@@ -36,10 +36,16 @@ func main() {
 		seed   = flag.Uint64("seed", 1, "simulation seed")
 		scale  = flag.Float64("scale", 1.0, "workload scale factor")
 		apps   = flag.String("apps", "", "comma-separated app subset (default: all eight)")
+		jobs   = flag.Int("jobs", 0, "concurrent simulations (0 = one per host CPU)")
+
+		cacheDir = flag.String("cache-dir", os.Getenv("SUVTM_RUNCACHE"),
+			"persist the run cache under this directory (default $SUVTM_RUNCACHE; empty = in-memory only)")
+		cacheVerify = flag.Bool("cache-verify", false,
+			"re-simulate a sample of cache hits and fail on divergence")
 	)
 	flag.Parse()
 
-	opts := experiments.Options{Cores: *cores, Seed: *seed, Scale: *scale}
+	opts := experiments.Options{Cores: *cores, Seed: *seed, Scale: *scale, Jobs: *jobs}
 	if *apps != "" {
 		opts.Apps = strings.Split(*apps, ",")
 	}
@@ -47,6 +53,14 @@ func main() {
 	fail := func(err error) {
 		fmt.Fprintln(os.Stderr, "stampbench:", err)
 		os.Exit(1)
+	}
+	if *cacheDir != "" {
+		if err := experiments.SetRunCacheDir(*cacheDir); err != nil {
+			fail(err)
+		}
+	}
+	if *cacheVerify {
+		experiments.SetRunCacheVerify(4)
 	}
 	if *fig1 || *all {
 		ran = true
@@ -118,6 +132,7 @@ func main() {
 		flag.Usage()
 		os.Exit(2)
 	}
+	fmt.Println(experiments.FleetSnapshot())
 }
 
 // writeCSV saves a matrix as dir/name for external plotting.

@@ -56,6 +56,11 @@ func main() {
 
 		cpuProfile = flag.String("cpuprofile", "", "write a host CPU profile of the run to this file (go tool pprof)")
 		memProfile = flag.String("memprofile", "", "write a host heap profile taken after the run to this file")
+
+		cacheDir = flag.String("cache-dir", os.Getenv("SUVTM_RUNCACHE"),
+			"serve repeated pure runs from a persistent run cache under this directory (default $SUVTM_RUNCACHE)")
+		cacheVerify = flag.Bool("cache-verify", false,
+			"re-simulate a sample of cache hits and fail on divergence")
 	)
 	flag.Parse()
 
@@ -114,7 +119,18 @@ func main() {
 		}
 		spec.SampleInterval = suvtm.Cycles(*interval)
 	}
-	out, err := suvtm.Run(spec)
+	run := suvtm.Run
+	if *cacheDir != "" {
+		if err := suvtm.SetRunCacheDir(*cacheDir); err != nil {
+			fmt.Fprintln(os.Stderr, "suvsim:", err)
+			os.Exit(2)
+		}
+		if *cacheVerify {
+			suvtm.SetRunCacheVerify(4)
+		}
+		run = suvtm.RunCached
+	}
+	out, err := run(spec)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "suvsim:", err)
 		var wd *suvtm.WatchdogError
@@ -178,6 +194,9 @@ func main() {
 			*traceN, out.Trace.Total(), out.Trace.Dump())
 	}
 	writeMetrics(out, *metricsJSON, *metricsCSV, *chromeTrace)
+	if *cacheDir != "" {
+		fmt.Printf("  %s\n", suvtm.FleetSnapshot())
+	}
 }
 
 // runChaos executes the full robustness sweep and prints the verdict

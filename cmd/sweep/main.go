@@ -34,6 +34,11 @@ func main() {
 		apps     = flag.String("apps", "", "comma-separated app subset (default: all eight)")
 		series   = flag.String("series", "", "per-interval time series for one app under the Figure 6 schemes (requires -csv)")
 		interval = flag.Uint64("sample-interval", 10000, "sampling interval for -series, in simulated cycles")
+		jobs     = flag.Int("jobs", 0, "concurrent simulations (0 = one per host CPU)")
+		cacheDir = flag.String("cache-dir", os.Getenv("SUVTM_RUNCACHE"),
+			"persist the run cache under this directory (default $SUVTM_RUNCACHE; empty = in-memory only)")
+		cacheVerify = flag.Bool("cache-verify", false,
+			"re-simulate a sample of cache hits and fail on divergence")
 
 		cpuProfile = flag.String("cpuprofile", "", "write a host CPU profile of the sweep to this file (go tool pprof)")
 		memProfile = flag.String("memprofile", "", "write a host heap profile taken after the sweep to this file")
@@ -47,7 +52,7 @@ func main() {
 	}
 	defer stopProfiles()
 
-	opts := experiments.Options{Cores: *cores, Seed: *seed, Scale: *scale}
+	opts := experiments.Options{Cores: *cores, Seed: *seed, Scale: *scale, Jobs: *jobs}
 	if *apps != "" {
 		opts.Apps = strings.Split(*apps, ",")
 	}
@@ -55,6 +60,14 @@ func main() {
 		fmt.Fprintln(os.Stderr, "sweep:", err)
 		stopProfiles()
 		os.Exit(1)
+	}
+	if *cacheDir != "" {
+		if err := experiments.SetRunCacheDir(*cacheDir); err != nil {
+			fail(err)
+		}
+	}
+	if *cacheVerify {
+		experiments.SetRunCacheVerify(4)
 	}
 	ran := false
 	if *fig7 || *all {
@@ -105,6 +118,7 @@ func main() {
 		flag.Usage()
 		os.Exit(2)
 	}
+	fmt.Println(experiments.FleetSnapshot())
 }
 
 // runSeries samples one app under each Figure 6 scheme and writes

@@ -80,6 +80,28 @@ func NewDirectory(cores int) *Directory {
 	return &Directory{cores: cores}
 }
 
+// Reset returns the directory to the untracked state for a (possibly
+// different) core count while keeping the entry pages allocated. Because
+// the zero entry is the untracked state, a reset directory is
+// indistinguishable from a fresh NewDirectory(cores); stats and the
+// retry policy are cleared along with the sharing state.
+func (d *Directory) Reset(cores int) {
+	if cores <= 0 || cores > maxCores {
+		panic("coherence: unsupported core count")
+	}
+	d.cores = cores
+	for _, p := range d.pages {
+		if p != nil {
+			*p = dirPage{}
+		}
+	}
+	d.far = nil
+	d.tracked = 0
+	d.Stats = DirStats{}
+	d.Retry = RetryPolicy{}
+	d.RetryStats = RetryStats{}
+}
+
 // peek returns the entry for line, or nil when the line is untracked
 // (its page may not even exist). The pointer stays valid until the next
 // mutation of the directory.

@@ -43,7 +43,7 @@ func runAblation(opts Options, name string, scheme Scheme, configs []struct {
 			})
 		}
 	}
-	outs, err := RunMany(specs)
+	outs, err := RunManyWith(specs, BatchOptions{Jobs: opts.Jobs})
 	if err != nil {
 		return nil, err
 	}

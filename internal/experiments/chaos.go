@@ -110,23 +110,13 @@ func RunChaos(opts ChaosOptions) (*Chaos, error) {
 }
 
 // runAll is RunMany without the first-error abort: chaos sweeps want
-// every cell's individual verdict.
+// every cell's individual verdict. Fault-injected specs bypass the run
+// cache (so replay pairs genuinely re-simulate), but the per-worker
+// arenas still apply — a replay that diverged under a reused arena
+// would fail the sweep's bit-identity gate, which is exactly the
+// property the arenas must preserve.
 func runAll(specs []Spec) ([]*Outcome, []error) {
-	outcomes := make([]*Outcome, len(specs))
-	errs := make([]error, len(specs))
-	done := make(chan int, len(specs))
-	sem := make(chan struct{}, 8)
-	for i := range specs {
-		go func(i int) {
-			sem <- struct{}{}
-			defer func() { <-sem; done <- i }()
-			outcomes[i], errs[i] = Run(specs[i])
-		}(i)
-	}
-	for range specs {
-		<-done
-	}
-	return outcomes, errs
+	return runBatch(specs, BatchOptions{Jobs: 8, KeepGoing: true})
 }
 
 // sameRun reports whether two outcomes are bit-identical where it

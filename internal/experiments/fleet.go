@@ -1,0 +1,455 @@
+package experiments
+
+// fleet.go is the campaign-throughput layer around Run: a
+// content-addressed cache of pure outcomes (internal/runcache),
+// per-worker machine arenas that reuse the big allocations (memory
+// pages, directory pages, redirect tables) across consecutive runs, and
+// straggler-aware longest-expected-first scheduling. Every path keeps
+// simulations bit-identical to a cold Run — arenas reset to the
+// freshly-constructed state, and the cache only ever serves a
+// fingerprint that resolves to the exact same machine.
+
+import (
+	"fmt"
+	"math"
+	"runtime"
+	"sort"
+	"sync"
+	"sync/atomic"
+
+	"suvtm/internal/faults"
+	"suvtm/internal/htm"
+	"suvtm/internal/mem"
+	"suvtm/internal/runcache"
+	"suvtm/internal/stats"
+	"suvtm/internal/workload"
+)
+
+// BatchOptions tunes a RunManyWith batch. The zero value is the
+// default fleet behavior: GOMAXPROCS workers, arenas on, cache on,
+// straggler-aware dispatch, stop dispatching after the first failure.
+type BatchOptions struct {
+	// Jobs bounds the number of concurrent workers (0 = GOMAXPROCS).
+	Jobs int
+	// KeepGoing runs every spec even after one fails (chaos sweeps want
+	// each cell's individual verdict).
+	KeepGoing bool
+	// NoArena cold-constructs every machine instead of reusing
+	// per-worker arenas (baseline measurements).
+	NoArena bool
+	// NoSchedule dispatches in submission order instead of
+	// longest-expected-first.
+	NoSchedule bool
+	// NoCache skips the run cache entirely.
+	NoCache bool
+}
+
+// RunManyWith executes the specs concurrently under the given fleet
+// options, returning outcomes in spec order regardless of dispatch
+// order. On failure it returns the first error in spec order among the
+// runs that executed; see RunMany for the partial-outcome contract.
+func RunManyWith(specs []Spec, o BatchOptions) ([]*Outcome, error) {
+	outcomes, errs := runBatch(specs, o)
+	for _, err := range errs {
+		if err != nil {
+			return outcomes, err
+		}
+	}
+	return outcomes, nil
+}
+
+// RunCached is Run behind the fleet cache: a pure spec is served from
+// (and stored to) the in-process and optional on-disk tiers, while
+// specs with observability or fault-injection outputs fall through to a
+// cold Run.
+func RunCached(spec Spec) (*Outcome, error) {
+	return runCachedSpec(spec, nil, BatchOptions{})
+}
+
+// runBatch is the fleet engine: one goroutine per worker, each holding
+// its own arena, pulling the next spec index from a shared cursor over
+// the dispatch order. Results land at their spec index, so consumers
+// see submission order no matter how the scheduler reordered execution.
+func runBatch(specs []Spec, o BatchOptions) ([]*Outcome, []error) {
+	if len(specs) == 0 {
+		return nil, nil
+	}
+	workers := o.Jobs
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > len(specs) {
+		workers = len(specs)
+	}
+	order := dispatchOrder(specs, o)
+	outcomes := make([]*Outcome, len(specs))
+	errs := make([]error, len(specs))
+	var cursor atomic.Int64
+	var failed atomic.Bool
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			var arena *machineArena
+			if !o.NoArena {
+				arena = new(machineArena)
+			}
+			for {
+				if !o.KeepGoing && failed.Load() {
+					return
+				}
+				n := int(cursor.Add(1)) - 1
+				if n >= len(order) {
+					return
+				}
+				i := order[n]
+				outcomes[i], errs[i] = runCachedSpec(specs[i], arena, o)
+				if errs[i] != nil {
+					failed.Store(true)
+				} else {
+					observeCost(specs[i], outcomes[i])
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	return outcomes, errs
+}
+
+// machineArena is one worker's reusable machine state. The memory and
+// allocator are reset between runs; the directory and redirect state
+// are handed back to htm.NewWith, which resets them itself (they are
+// geometry-dependent, so the reset needs the next run's config).
+type machineArena struct {
+	memory *mem.Memory
+	alloc  *mem.Allocator
+	pre    htm.Prebuilt
+}
+
+// take returns the arena's memory, allocator and prebuilt components
+// ready for the next run, constructing them on first use.
+func (a *machineArena) take() (*mem.Memory, *mem.Allocator, htm.Prebuilt) {
+	if a.memory == nil {
+		a.memory = mem.NewMemory()
+		a.alloc = mem.NewAllocator(heapBase, heapSize)
+	} else {
+		a.memory.Reset()
+		a.alloc.Reset(heapBase, heapSize)
+		fleetArenaReuses.Add(1)
+	}
+	return a.memory, a.alloc, a.pre
+}
+
+// keep retains the machine's reusable components for the next run.
+func (a *machineArena) keep(m *htm.Machine) {
+	l1s := a.pre.L1s[:0]
+	for _, c := range m.Cores {
+		l1s = append(l1s, c.L1)
+	}
+	a.pre = htm.Prebuilt{Dir: m.Dir, Redirect: m.Redirect, L2: m.L2, L1s: l1s}
+}
+
+// ---------------------------------------------------------------------
+// Run cache glue.
+
+var (
+	fleetCache       atomic.Pointer[runcache.Cache]
+	fleetCacheRoot   sync.Mutex // guards the configured disk root below
+	fleetCacheDir    string
+	fleetVerifyEvery atomic.Int64 // 0 = off; N = re-simulate 1st and every Nth hit
+	fleetHitSeq      atomic.Uint64
+	fleetVerified    atomic.Uint64
+	fleetArenaReuses atomic.Uint64
+)
+
+func init() { fleetCache.Store(runcache.New()) }
+
+// SetRunCacheDir attaches (dir != "") or detaches (dir == "") the
+// on-disk cache tier for this process.
+func SetRunCacheDir(dir string) error {
+	if err := fleetCache.Load().SetDir(dir); err != nil {
+		return err
+	}
+	fleetCacheRoot.Lock()
+	fleetCacheDir = dir
+	fleetCacheRoot.Unlock()
+	return nil
+}
+
+// SetRunCacheVerify arms spot-check mode: the first and every Nth cache
+// hit is re-simulated and compared bit-for-bit against the cached
+// entry; a divergence fails the run. 0 disables.
+func SetRunCacheVerify(everyN int) {
+	fleetVerifyEvery.Store(int64(everyN))
+	fleetHitSeq.Store(0)
+}
+
+// ResetRunCache drops the in-process cache tier and zeroes the fleet
+// counters, keeping any configured disk tier attached (tests and
+// benchmarks use it to return to a cold or disk-only state).
+func ResetRunCache() error {
+	c := runcache.New()
+	fleetCacheRoot.Lock()
+	dir := fleetCacheDir
+	fleetCacheRoot.Unlock()
+	if dir != "" {
+		if err := c.SetDir(dir); err != nil {
+			return err
+		}
+	}
+	fleetCache.Store(c)
+	fleetHitSeq.Store(0)
+	fleetVerified.Store(0)
+	fleetArenaReuses.Store(0)
+	return nil
+}
+
+// FleetStats snapshots the campaign-layer counters: run-cache activity,
+// verify spot-checks, and arena reuse, cumulative since process start
+// or the last ResetRunCache.
+type FleetStats struct {
+	runcache.Stats
+	Verified    uint64 // cache hits cross-checked against a live re-run
+	ArenaReuses uint64 // machine constructions served from a warm arena
+}
+
+// FleetSnapshot returns the current fleet counters.
+func FleetSnapshot() FleetStats {
+	return FleetStats{
+		Stats:       fleetCache.Load().Stats(),
+		Verified:    fleetVerified.Load(),
+		ArenaReuses: fleetArenaReuses.Load(),
+	}
+}
+
+// String renders the counters as the one-line summary the sweep
+// commands print.
+func (s FleetStats) String() string {
+	return fmt.Sprintf("fleet: %d cache hits (%d from disk), %d misses, %d bypasses, %d verified, %d corrupt entries, %d arena reuses",
+		s.Hits, s.DiskHits, s.Misses, s.Bypasses, s.Verified, s.Corrupt, s.ArenaReuses)
+}
+
+// Cacheable reports whether spec is a pure run the cache may serve.
+// Trace, metrics, Chrome-trace and fault-injected runs carry outputs
+// that live outside the cached entry, so they always bypass.
+func Cacheable(spec Spec) bool {
+	return spec.TraceEvents == 0 && !spec.wantMetrics() &&
+		spec.FaultPlan == "" && spec.Faults == nil
+}
+
+// fingerprintOf resolves spec exactly as runSpec does — defaults
+// applied, progress ladder armed for fault runs, Spec.Tweak applied to
+// the Table III config — and digests the canonical encoding. Tweak
+// closures must therefore be deterministic functions of the config
+// alone (every sweep/ablation tweak is).
+func fingerprintOf(spec Spec) (runcache.Key, error) {
+	cores, seed, scale := spec.resolved()
+	plan := spec.Faults
+	if plan == nil && spec.FaultPlan != "" {
+		fseed := spec.FaultSeed
+		if fseed == 0 {
+			fseed = 1
+		}
+		var err error
+		plan, err = faults.Builtin(spec.FaultPlan, fseed, cores)
+		if err != nil {
+			return runcache.Key{}, err
+		}
+	}
+	cfg := htm.DefaultConfig(cores)
+	cfg.Seed = seed
+	if plan != nil {
+		cfg = cfg.WithProgressLadder()
+	}
+	if spec.Tweak != nil {
+		spec.Tweak(&cfg)
+	}
+	var planText string
+	if plan != nil {
+		var err error
+		planText, err = faults.EncodeString(plan)
+		if err != nil {
+			return runcache.Key{}, err
+		}
+	}
+	return runcache.KeyOf(spec.App, string(spec.Scheme), cores, seed, scale, cfg, planText), nil
+}
+
+// runCachedSpec is runSpec behind the cache: bypass impure specs, serve
+// hits (spot-checking when armed), store successful invariant-clean
+// outcomes on misses.
+func runCachedSpec(spec Spec, arena *machineArena, o BatchOptions) (*Outcome, error) {
+	if o.NoCache {
+		return runSpec(spec, arena)
+	}
+	c := fleetCache.Load()
+	if !Cacheable(spec) {
+		c.Bypass()
+		return runSpec(spec, arena)
+	}
+	key, err := fingerprintOf(spec)
+	if err != nil {
+		// Fingerprinting failed (unresolvable spec); let the live path
+		// produce the authoritative error.
+		return runSpec(spec, arena)
+	}
+	if e, ok := c.Get(key); ok {
+		if every := fleetVerifyEvery.Load(); every > 0 {
+			if n := fleetHitSeq.Add(1); (n-1)%uint64(every) == 0 {
+				fresh, ferr := runSpec(spec, arena)
+				if ferr != nil {
+					return fresh, fmt.Errorf("runcache verify: live re-run failed: %w", ferr)
+				}
+				if !e.Equal(entryOf(fresh)) {
+					return fresh, fmt.Errorf("runcache verify: cached outcome for %s under %s diverges from a live re-run (stale or corrupted cache dir?)", spec.App, spec.Scheme)
+				}
+				fleetVerified.Add(1)
+			}
+		}
+		return outcomeFromEntry(spec, e), nil
+	}
+	out, err := runSpec(spec, arena)
+	if err == nil && out.CheckErr == nil {
+		// A disk-write failure degrades the cache, not the run: the
+		// entry still serves from memory, so the error is dropped.
+		_ = c.Put(key, entryOf(out))
+	}
+	return out, err
+}
+
+// entryOf extracts the cacheable portion of a successful outcome.
+func entryOf(out *Outcome) *runcache.Entry {
+	if out == nil || out.Result == nil {
+		return nil
+	}
+	return &runcache.Entry{
+		Cycles:     out.Cycles,
+		Breakdown:  out.Breakdown,
+		PerCore:    append([]stats.Breakdown(nil), out.PerCore...),
+		Counters:   out.Counters,
+		PoolPages:  out.PoolPages,
+		RedirectEn: out.RedirectEn,
+	}
+}
+
+// outcomeFromEntry reconstitutes a cache-served Outcome. AppMeta stays
+// nil (no generator ran) and CheckErr nil (only invariant-clean runs
+// are ever stored).
+func outcomeFromEntry(spec Spec, e *runcache.Entry) *Outcome {
+	return &Outcome{
+		Spec: spec,
+		Result: &htm.Result{
+			Cycles:    e.Cycles,
+			Breakdown: e.Breakdown,
+			PerCore:   append([]stats.Breakdown(nil), e.PerCore...),
+			Counters:  e.Counters,
+		},
+		PoolPages:  e.PoolPages,
+		RedirectEn: e.RedirectEn,
+	}
+}
+
+// ---------------------------------------------------------------------
+// Straggler-aware scheduling.
+
+var (
+	costMu    sync.Mutex
+	costTable = make(map[string]float64) // app -> estimated cycles per unit scale
+)
+
+// dispatchOrder returns the order in which to execute specs:
+// longest-expected-first (the classic LPT makespan heuristic), so a
+// slow bayes run starts immediately instead of serializing the tail of
+// the batch. The sort is stable, keeping submission order among equals
+// — a batch of identical specs (chaos replays) executes unchanged.
+func dispatchOrder(specs []Spec, o BatchOptions) []int {
+	order := make([]int, len(specs))
+	for i := range order {
+		order[i] = i
+	}
+	if o.NoSchedule || len(specs) < 2 {
+		return order
+	}
+	cost := make([]float64, len(specs))
+	for i := range specs {
+		cost[i] = expectedCost(specs[i])
+	}
+	sort.SliceStable(order, func(a, b int) bool {
+		return cost[order[a]] > cost[order[b]]
+	})
+	return order
+}
+
+// expectedCost estimates how long spec will simulate, in comparable
+// units: the per-app cost table (observed cycles per unit scale once a
+// run finishes, a generator-metadata estimate before that) times the
+// spec's scale.
+func expectedCost(spec Spec) float64 {
+	_, _, scale := spec.resolved()
+	return appCost(spec.App) * scale
+}
+
+// appCost returns the table entry for app, seeding it on first use.
+func appCost(app string) float64 {
+	costMu.Lock()
+	c, ok := costTable[app]
+	costMu.Unlock()
+	if ok {
+		return c
+	}
+	c = seedCost(app) // generation probe runs outside the lock
+	costMu.Lock()
+	if cur, exists := costTable[app]; exists {
+		c = cur // an observed value raced in; prefer it
+	} else {
+		costTable[app] = c
+	}
+	costMu.Unlock()
+	return c
+}
+
+// seedCost derives a first estimate from the workload generator's
+// metadata (AppMeta): generate a tiny instance — a few thousand trace
+// ops, microseconds of host time — and extrapolate ops per core per
+// unit scale. High-contention apps weigh extra because their
+// abort/retry traffic, not their op count, dominates campaign wall
+// time; the nominal per-op cycle factor keeps seeded and observed
+// entries in roughly the same units within one table. Unknown apps get
+// +Inf so they dispatch first and fail the batch fast.
+func seedCost(app string) float64 {
+	gen, err := workload.Get(app)
+	if err != nil {
+		return math.Inf(1)
+	}
+	const (
+		probeCores = 2
+		probeScale = 0.05
+		nominalCPI = 6 // rough simulated cycles per trace op
+	)
+	memory := mem.NewMemory()
+	alloc := mem.NewAllocator(heapBase, heapSize)
+	meta := gen(workload.GenConfig{Cores: probeCores, Seed: 1, Scale: probeScale}, alloc, memory)
+	cost := nominalCPI * float64(meta.TotalOps()) / (probeCores * probeScale)
+	if meta.HighContention {
+		cost *= 3
+	}
+	return cost
+}
+
+// observeCost refines the table with a finished run's actual cycle
+// count, normalized per unit scale, as an equal-weight moving average.
+func observeCost(spec Spec, out *Outcome) {
+	if out == nil || out.Result == nil || out.Cycles == 0 {
+		return
+	}
+	_, _, scale := spec.resolved()
+	obs := float64(out.Cycles) / scale
+	costMu.Lock()
+	if cur, ok := costTable[spec.App]; ok && !math.IsInf(cur, 1) {
+		costTable[spec.App] = (cur + obs) / 2
+	} else {
+		costTable[spec.App] = obs
+	}
+	costMu.Unlock()
+}

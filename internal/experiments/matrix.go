@@ -16,6 +16,8 @@ type Options struct {
 	Seed  uint64
 	Scale float64
 	Apps  []string
+	// Jobs bounds the concurrent simulations (0 = GOMAXPROCS).
+	Jobs int
 }
 
 func (o Options) apps() []string {
@@ -44,7 +46,7 @@ func RunMatrix(opts Options, schemes []Scheme) (*Matrix, error) {
 			})
 		}
 	}
-	outcomes, err := RunMany(specs)
+	outcomes, err := RunManyWith(specs, BatchOptions{Jobs: opts.Jobs})
 	if err != nil {
 		return nil, err
 	}

@@ -8,8 +8,6 @@ package experiments
 
 import (
 	"fmt"
-	"runtime"
-	"sync"
 
 	"suvtm/internal/faults"
 	"suvtm/internal/htm"
@@ -104,13 +102,29 @@ func (s *Spec) wantMetrics() bool {
 	return s.Metrics || s.SampleInterval > 0 || s.ChromeTrace
 }
 
+// resolved returns the spec's effective cores/seed/scale with the
+// paper's defaults applied.
+func (s *Spec) resolved() (cores int, seed uint64, scale float64) {
+	cores, seed, scale = s.Cores, s.Seed, s.Scale
+	if cores == 0 {
+		cores = 16
+	}
+	if seed == 0 {
+		seed = 1
+	}
+	if scale == 0 {
+		scale = 1.0
+	}
+	return cores, seed, scale
+}
+
 // Outcome is the result of one run plus identification and the
 // post-run invariant check.
 type Outcome struct {
 	Spec Spec
 	*htm.Result
-	AppMeta    *workload.App
-	CheckErr   error // nil when the serializability invariants held
+	AppMeta    *workload.App // generator metadata; nil for cache-served outcomes
+	CheckErr   error         // nil when the serializability invariants held
 	PoolPages  uint64
 	RedirectEn int             // live redirect entries at end of run
 	Trace      *trace.Recorder // non-nil when Spec.TraceEvents > 0
@@ -121,20 +135,15 @@ type Outcome struct {
 	Chrome  *metrics.ChromeTrace // non-nil when ChromeTrace was set
 }
 
-// Run executes one simulation.
-func Run(spec Spec) (*Outcome, error) {
-	cores := spec.Cores
-	if cores == 0 {
-		cores = 16
-	}
-	seed := spec.Seed
-	if seed == 0 {
-		seed = 1
-	}
-	scale := spec.Scale
-	if scale == 0 {
-		scale = 1.0
-	}
+// Run executes one simulation, cold: fresh memory, directory and
+// redirect state, no cache involvement. The fleet layer (RunMany,
+// RunManyWith, RunCached) builds on runSpec to add arenas and caching.
+func Run(spec Spec) (*Outcome, error) { return runSpec(spec, nil) }
+
+// runSpec executes one simulation, drawing the big allocations from
+// arena when non-nil (the per-worker reuse path of runBatch).
+func runSpec(spec Spec, arena *machineArena) (*Outcome, error) {
+	cores, seed, scale := spec.resolved()
 	gen, err := workload.Get(spec.App)
 	if err != nil {
 		return nil, err
@@ -144,8 +153,15 @@ func Run(spec Spec) (*Outcome, error) {
 		return nil, err
 	}
 
-	memory := mem.NewMemory()
-	alloc := mem.NewAllocator(heapBase, heapSize)
+	var memory *mem.Memory
+	var alloc *mem.Allocator
+	var pre htm.Prebuilt
+	if arena != nil {
+		memory, alloc, pre = arena.take()
+	} else {
+		memory = mem.NewMemory()
+		alloc = mem.NewAllocator(heapBase, heapSize)
+	}
 	app := gen(workload.GenConfig{Cores: cores, Seed: seed, Scale: scale}, alloc, memory)
 
 	plan := spec.Faults
@@ -171,7 +187,10 @@ func Run(spec Spec) (*Outcome, error) {
 	if spec.Tweak != nil {
 		spec.Tweak(&cfg)
 	}
-	machine := htm.New(cfg, vm, app.Programs, memory, alloc)
+	machine := htm.NewWith(cfg, vm, app.Programs, memory, alloc, pre)
+	if arena != nil {
+		arena.keep(machine)
+	}
 	if plan != nil {
 		machine.SetFaults(faults.NewInjector(plan))
 	}
@@ -237,40 +256,14 @@ func Run(spec Spec) (*Outcome, error) {
 }
 
 // RunMany executes the specs concurrently on a worker pool sized to the
-// machine (simulations are CPU-bound) and returns outcomes in spec order.
-// The first simulation error aborts the batch.
+// machine (simulations are CPU-bound) and returns outcomes in spec
+// order. It runs with the default fleet options: per-worker machine
+// arenas, the run cache for pure specs, and longest-expected-first
+// dispatch. The first simulation error stops further dispatch —
+// in-flight runs finish, already-computed outcomes are returned for
+// post-mortems (never-dispatched slots stay nil) along with the error.
 func RunMany(specs []Spec) ([]*Outcome, error) {
-	workers := runtime.GOMAXPROCS(0)
-	if workers > len(specs) {
-		workers = len(specs)
-	}
-	if workers < 1 {
-		workers = 1
-	}
-	outcomes := make([]*Outcome, len(specs))
-	errs := make([]error, len(specs))
-	var wg sync.WaitGroup
-	next := make(chan int)
-	for w := 0; w < workers; w++ {
-		wg.Add(1)
-		go func() {
-			defer wg.Done()
-			for i := range next {
-				outcomes[i], errs[i] = Run(specs[i])
-			}
-		}()
-	}
-	for i := range specs {
-		next <- i
-	}
-	close(next)
-	wg.Wait()
-	for _, err := range errs {
-		if err != nil {
-			return outcomes, err
-		}
-	}
-	return outcomes, nil
+	return RunManyWith(specs, BatchOptions{})
 }
 
 // Speedup returns how much faster b completed than a (the paper's

@@ -1,0 +1,127 @@
+package htm_test
+
+import (
+	"reflect"
+	"testing"
+
+	"suvtm/internal/htm"
+	"suvtm/internal/htm/logtmse"
+	"suvtm/internal/htm/suvtm"
+	"suvtm/internal/mem"
+	"suvtm/internal/sim"
+	"suvtm/internal/workload"
+)
+
+const (
+	arenaHeapBase = sim.Addr(0x10_0000)
+	arenaHeapSize = uint64(1 << 30)
+)
+
+// arenaRun generates app at the given geometry and runs it on the
+// supplied memory/allocator, threading pre through NewWith.
+func arenaRun(t *testing.T, app string, vm htm.VersionManager, cores int, scale float64,
+	memory *mem.Memory, alloc *mem.Allocator, pre htm.Prebuilt) (*htm.Machine, *htm.Result) {
+	t.Helper()
+	gen, err := workload.Get(app)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a := gen(workload.GenConfig{Cores: cores, Seed: 1, Scale: scale}, alloc, memory)
+	cfg := htm.DefaultConfig(cores)
+	m := htm.NewWith(cfg, vm, a.Programs, memory, alloc, pre)
+	res, err := m.Run()
+	if err != nil {
+		t.Fatalf("%s: %v", app, err)
+	}
+	return m, res
+}
+
+// TestArenaReuseBitIdentical is the acceptance gate for machine-arena
+// reuse: a run on recycled memory, directory and redirect state — left
+// dirty by a different app, scheme and core count — must be
+// bit-identical to a cold run, both in its Result (cycles, breakdowns,
+// counters) and in the final simulated memory image.
+func TestArenaReuseBitIdentical(t *testing.T) {
+	const cores, scale = 4, 0.1
+
+	// Cold reference run.
+	coldMem := mem.NewMemory()
+	coldAlloc := mem.NewAllocator(arenaHeapBase, arenaHeapSize)
+	_, want := arenaRun(t, "intruder", suvtm.New(), cores, scale, coldMem, coldAlloc, htm.Prebuilt{})
+	wantImage := coldMem.Snapshot()
+
+	// Dirty the arena with a different app, scheme AND geometry (8
+	// cores), then reset everything and replay the reference spec on the
+	// reused state. The geometry change exercises the partial-reallocate
+	// paths of Directory.Reset and Redirect.Reset.
+	arenaMem := mem.NewMemory()
+	arenaAlloc := mem.NewAllocator(arenaHeapBase, arenaHeapSize)
+	first, _ := arenaRun(t, "vacation", logtmse.New(), 8, scale, arenaMem, arenaAlloc, htm.Prebuilt{})
+	pre := htm.Prebuilt{Dir: first.Dir, Redirect: first.Redirect}
+
+	arenaMem.Reset()
+	arenaAlloc.Reset(arenaHeapBase, arenaHeapSize)
+	reused, got := arenaRun(t, "intruder", suvtm.New(), cores, scale, arenaMem, arenaAlloc, pre)
+
+	if reused.Dir != first.Dir || reused.Redirect != first.Redirect {
+		t.Fatal("NewWith did not reuse the prebuilt directory/redirect state")
+	}
+	if got.Cycles != want.Cycles {
+		t.Errorf("cycles: reused %d, cold %d", got.Cycles, want.Cycles)
+	}
+	if got.Breakdown != want.Breakdown {
+		t.Errorf("breakdown diverged:\nreused %+v\ncold   %+v", got.Breakdown, want.Breakdown)
+	}
+	if got.Counters != want.Counters {
+		t.Errorf("counters diverged:\nreused %+v\ncold   %+v", got.Counters, want.Counters)
+	}
+	if !reflect.DeepEqual(got.PerCore, want.PerCore) {
+		t.Error("per-core breakdowns diverged")
+	}
+	gotImage := arenaMem.Snapshot()
+	if len(gotImage) != len(wantImage) {
+		t.Fatalf("memory image size: reused %d words, cold %d words", len(gotImage), len(wantImage))
+	}
+	for addr, w := range wantImage {
+		if gotImage[addr] != w {
+			t.Fatalf("memory image diverged at %#x: reused %#x, cold %#x", addr, gotImage[addr], w)
+		}
+	}
+}
+
+// TestArenaReuseAcrossSchemes cycles one arena through every scheme on
+// the same app and checks each run matches its cold twin — the pattern
+// a figure sweep produces.
+func TestArenaReuseAcrossSchemes(t *testing.T) {
+	const cores, scale = 4, 0.05
+	vms := []struct {
+		name string
+		mk   func() htm.VersionManager
+	}{
+		{"SUV-TM", func() htm.VersionManager { return suvtm.New() }},
+		{"LogTM-SE", func() htm.VersionManager { return logtmse.New() }},
+		{"SUV-TM-again", func() htm.VersionManager { return suvtm.New() }},
+	}
+	arenaMem := mem.NewMemory()
+	arenaAlloc := mem.NewAllocator(arenaHeapBase, arenaHeapSize)
+	var pre htm.Prebuilt
+	for _, v := range vms {
+		coldMem := mem.NewMemory()
+		coldAlloc := mem.NewAllocator(arenaHeapBase, arenaHeapSize)
+		_, want := arenaRun(t, "kmeans", v.mk(), cores, scale, coldMem, coldAlloc, htm.Prebuilt{})
+
+		if pre.Dir != nil {
+			arenaMem.Reset()
+			arenaAlloc.Reset(arenaHeapBase, arenaHeapSize)
+		}
+		m, got := arenaRun(t, "kmeans", v.mk(), cores, scale, arenaMem, arenaAlloc, pre)
+		pre = htm.Prebuilt{Dir: m.Dir, Redirect: m.Redirect}
+
+		if got.Cycles != want.Cycles || got.Counters != want.Counters {
+			t.Errorf("%s: reused run diverged (cycles %d vs %d)", v.name, got.Cycles, want.Cycles)
+		}
+		if !reflect.DeepEqual(coldMem.Snapshot(), arenaMem.Snapshot()) {
+			t.Errorf("%s: memory image diverged", v.name)
+		}
+	}
+}

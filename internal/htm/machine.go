@@ -69,22 +69,58 @@ type Result struct {
 	Counters  stats.Counters
 }
 
+// Prebuilt carries reusable machine components a campaign worker retains
+// across consecutive simulations: the coherence directory, the redirect
+// state and the cache models, whose page tables and way arrays dominate
+// per-run allocation (the 8 MB L2 alone). NewWith resets every provided
+// component before use, so a machine built on a warm arena is
+// bit-identical to a cold one; nil fields are constructed fresh.
+type Prebuilt struct {
+	Dir      *coherence.Directory
+	Redirect *redirect.Redirect
+	L2       *mem.Cache
+	L1s      []*mem.Cache // per-core; shorter slices fall back to fresh L1s
+}
+
 // New builds a machine executing one program per core under vm. Programs
 // beyond cfg.Cores are rejected; fewer programs leave the extra cores
 // idle. Memory and alloc must be the ones the workload generator used.
 func New(cfg Config, vm VersionManager, programs []workload.Program, memory *mem.Memory, alloc *mem.Allocator) *Machine {
+	return NewWith(cfg, vm, programs, memory, alloc, Prebuilt{})
+}
+
+// NewWith is New with an arena of reusable components (see Prebuilt).
+func NewWith(cfg Config, vm VersionManager, programs []workload.Program, memory *mem.Memory, alloc *mem.Allocator, pre Prebuilt) *Machine {
 	if len(programs) > cfg.Cores {
 		panic(fmt.Sprintf("htm: %d programs for %d cores", len(programs), cfg.Cores))
+	}
+	dir := pre.Dir
+	if dir == nil {
+		dir = coherence.NewDirectory(cfg.Cores)
+	} else {
+		dir.Reset(cfg.Cores)
+	}
+	rd := pre.Redirect
+	if rd == nil {
+		rd = redirect.New(cfg.Redirect, alloc)
+	} else {
+		rd.Reset(cfg.Redirect, alloc)
+	}
+	l2 := pre.L2
+	if l2 == nil {
+		l2 = mem.NewCache(cfg.L2)
+	} else {
+		l2.Reset(cfg.L2)
 	}
 	m := &Machine{
 		cfg:       cfg,
 		Memory:    memory,
 		Alloc:     alloc,
-		L2:        mem.NewCache(cfg.L2),
-		Dir:       coherence.NewDirectory(cfg.Cores),
+		L2:        l2,
+		Dir:       dir,
 		Mesh:      interconnect.NewMesh(cfg.Cores, cfg.WireLatency, cfg.RouteLatency),
 		VM:        vm,
-		Redirect:  redirect.New(cfg.Redirect, alloc),
+		Redirect:  rd,
 		Summary:   signature.NewSummary(cfg.SigBits, signature.HashH3),
 		barriers:  make(map[uint32]*barrierState),
 		tokenCore: -1,
@@ -92,11 +128,18 @@ func New(cfg Config, vm VersionManager, programs []workload.Program, memory *mem
 	m.Dir.Retry = coherence.RetryPolicy{Timeout: cfg.ProtocolTimeout, MaxRetries: cfg.MeshMaxRetries}
 	rng := sim.NewRNG(cfg.Seed)
 	for i := 0; i < cfg.Cores; i++ {
+		var l1 *mem.Cache
+		if i < len(pre.L1s) && pre.L1s[i] != nil {
+			l1 = pre.L1s[i]
+			l1.Reset(cfg.L1)
+		} else {
+			l1 = mem.NewCache(cfg.L1)
+		}
 		c := &Core{
 			ID:        i,
 			abortedBy: -1,
 			RNG:       rng.Fork(),
-			L1:        mem.NewCache(cfg.L1),
+			L1:        l1,
 			TLB:       mem.NewTLB(cfg.TLBEntries),
 			ReadSig:   signature.NewBloom(cfg.SigBits, signature.HashH3),
 			WriteSig:  signature.NewBloom(cfg.SigBits, signature.HashH3),

@@ -24,6 +24,13 @@ func NewAllocator(base sim.Addr, size uint64) *Allocator {
 	return &Allocator{next: base, top: base + size}
 }
 
+// Reset rewinds the allocator to a fresh [base, base+size) region,
+// making it equivalent to NewAllocator(base, size). Regions handed out
+// before the reset must no longer be used.
+func (a *Allocator) Reset(base sim.Addr, size uint64) {
+	a.next, a.top = base, base+size
+}
+
 // Alloc returns the base address of a fresh region of size bytes aligned
 // to align (a power of two). It panics when the address space is
 // exhausted, which indicates a mis-sized workload, not a runtime error.

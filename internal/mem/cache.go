@@ -79,6 +79,13 @@ type Cache struct {
 	setMask  sim.Line
 	lruClock uint64
 
+	// touched tracks which sets have been filled since construction (or
+	// the last Reset) so Reset invalidates only the footprint a run
+	// actually used — the 8 MB L2 has 16384 sets, and small workloads
+	// touch a fraction of them.
+	setTouched  []bool
+	touchedSets []sim.Line
+
 	// Stats accumulates activity counts (read them via the metrics layer
 	// or directly in tests).
 	Stats CacheStats
@@ -102,7 +109,34 @@ func NewCache(cfg CacheConfig) *Cache {
 		c.sets[i] = backing[i*cfg.Ways : (i+1)*cfg.Ways : (i+1)*cfg.Ways]
 		c.tagSets[i] = tagBacking[i*cfg.Ways : (i+1)*cfg.Ways : (i+1)*cfg.Ways]
 	}
+	c.setTouched = make([]bool, sets)
+	c.touchedSets = make([]sim.Line, 0, sets)
 	return c
+}
+
+// Reset returns the cache to its post-construction state while keeping
+// the way arrays (an arena-reuse path: the 8 MB L2's backing array is
+// the single largest per-run allocation). Every valid way is
+// invalidated and the stats are zeroed; stale tags and LRU stamps stay
+// in place — find ignores Invalid ways, and victim selection only
+// compares stamps among ways filled after the reset, so a reset cache
+// is behaviorally identical to a fresh one. A geometry change rebuilds.
+func (c *Cache) Reset(cfg CacheConfig) {
+	if cfg != c.cfg {
+		*c = *NewCache(cfg)
+		return
+	}
+	for _, si := range c.touchedSets {
+		set := c.sets[si]
+		for i := range set {
+			set[i].state = Invalid
+			set[i].dirty = false
+			set[i].spec = false
+		}
+		c.setTouched[si] = false
+	}
+	c.touchedSets = c.touchedSets[:0]
+	c.Stats = CacheStats{}
 }
 
 // Config returns the cache geometry.
@@ -179,6 +213,10 @@ func (c *Cache) Insert(line sim.Line, state LineState, avoidSpec bool) Victim {
 	si := line & c.setMask
 	set := c.sets[si]
 	tags := c.tagSets[si]
+	if !c.setTouched[si] {
+		c.setTouched[si] = true
+		c.touchedSets = append(c.touchedSets, si)
+	}
 	c.lruClock++
 	// Re-use the existing way on an insert-over-present (state change).
 	for i := range set {

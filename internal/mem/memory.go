@@ -180,6 +180,22 @@ func (m *Memory) CopyLine(src, dst sim.Line) {
 	m.markLineWritten(dp, doff)
 }
 
+// Reset returns the memory to the empty image while keeping the backing
+// pages allocated, so a Memory reused across simulations serves the next
+// run's writes without growing the host heap. A reset memory is
+// indistinguishable from a fresh NewMemory(): every address reads zero
+// and the footprint is empty (zero-filled retained pages behave exactly
+// like absent ones).
+func (m *Memory) Reset() {
+	for _, p := range m.pages {
+		if p != nil {
+			*p = memPage{}
+		}
+	}
+	m.far = nil
+	m.written = 0
+}
+
 // Footprint returns the number of distinct words ever written, used by
 // tests and capacity diagnostics.
 func (m *Memory) Footprint() int { return m.written }

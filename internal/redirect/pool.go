@@ -31,6 +31,20 @@ func NewPool(alloc *mem.Allocator) *Pool {
 	return &Pool{alloc: alloc}
 }
 
+// Reset re-arms the pool on a (typically rewound) allocator, dropping
+// every page claim and free line of the previous run. A reset pool is
+// equivalent to NewPool(alloc) except that the free-list storage is
+// retained.
+func (p *Pool) Reset(alloc *mem.Allocator) {
+	p.alloc = alloc
+	p.free = p.free[:0]
+	p.nextLine = 0
+	p.linesLeft = 0
+	p.pages = 0
+	p.exhausted = false
+	p.reclaims = 0
+}
+
 // Alloc returns a fresh pool line, reusing freed lines first and
 // claiming a new page when the current one is exhausted.
 func (p *Pool) Alloc() sim.Line {

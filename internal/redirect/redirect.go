@@ -150,6 +150,47 @@ func New(cfg Config, alloc *mem.Allocator) *Redirect {
 	return r
 }
 
+// Reset rebuilds the redirect state for cfg on a (typically rewound)
+// allocator, reusing the previous run's table storage wherever the
+// geometry still matches and reallocating only what changed. A reset
+// Redirect behaves identically to New(cfg, alloc) — the tables, pool,
+// journals and summary-relevant maps all return to their freshly
+// constructed state.
+func (r *Redirect) Reset(cfg Config, alloc *mem.Allocator) {
+	r.cfg = cfg
+	r.pool.Reset(alloc)
+	if r.l2.ways == cfg.L2Ways && r.l2.sets*r.l2.ways == cfg.L2Entries {
+		r.l2.reset()
+	} else {
+		r.l2 = newL2Table(cfg.L2Entries, cfg.L2Ways)
+	}
+	if len(r.l1) == cfg.Cores {
+		for i := range r.trans {
+			r.trans[i].Clear()
+			r.journals[i] = r.journals[i][:0]
+			r.frameMarks[i] = r.frameMarks[i][:0]
+			r.overflow[i] = false
+		}
+	} else {
+		r.trans = make([]sim.LineMap[transEntry], cfg.Cores)
+		r.l1 = make([]*l1Table, cfg.Cores)
+		r.journals = make([][]journalRec, cfg.Cores)
+		r.frameMarks = make([][]int, cfg.Cores)
+		r.overflow = make([]bool, cfg.Cores)
+	}
+	for i, t := range r.l1 {
+		if t != nil && t.capacity == cfg.L1Entries {
+			t.reset()
+		} else {
+			r.l1[i] = newL1Table(cfg.L1Entries)
+		}
+	}
+	r.global.Clear()
+	r.inMemory.Clear()
+	r.eventsBuf = r.eventsBuf[:0]
+	r.pressured = false
+}
+
 // Config returns the configuration.
 func (r *Redirect) Config() Config { return r.cfg }
 

@@ -75,6 +75,24 @@ func newL1Table(capacity int) *l1Table {
 	return t
 }
 
+// reset restores the table to its newL1Table state, reusing the way and
+// free-stack storage. The free stack is rebuilt in construction order so
+// a reset table hands out way indices in exactly the same sequence as a
+// fresh one (way order is invisible to the simulation, but keeping it
+// identical makes reuse trivially bit-safe).
+func (t *l1Table) reset() {
+	for i := range t.ways {
+		t.ways[i] = l1Way{}
+	}
+	t.free = t.free[:t.capacity]
+	for i := range t.free {
+		t.free[i] = int32(t.capacity - 1 - i)
+	}
+	t.index.Clear()
+	t.clock = 0
+	t.pinned = 0
+}
+
 // contains refreshes LRU and reports presence.
 func (t *l1Table) contains(line sim.Line) bool {
 	wi, ok := t.index.Get(line)
@@ -185,6 +203,15 @@ func newL2Table(entries, ways int) *l2Table {
 		panic("redirect: second-level table set count must be a power of two")
 	}
 	return &l2Table{sets: sets, ways: ways, slots: make([]l2Way, sets*ways)}
+}
+
+// reset empties every set, reusing the slot storage.
+func (t *l2Table) reset() {
+	for i := range t.slots {
+		t.slots[i] = l2Way{}
+	}
+	t.clock = 0
+	t.n = 0
 }
 
 func (t *l2Table) setOf(line sim.Line) []l2Way {

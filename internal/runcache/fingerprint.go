@@ -1,0 +1,75 @@
+package runcache
+
+import (
+	"crypto/sha256"
+	"fmt"
+	"io"
+	"reflect"
+	"strconv"
+	"strings"
+
+	"suvtm/internal/htm"
+)
+
+// CanonicalConfig renders a fully resolved machine configuration as a
+// canonical text encoding: every field in declared order as name=value,
+// recursing into nested structs. Field *names* are part of the encoding
+// on purpose — adding, renaming or reordering a Config field changes the
+// text (and so every fingerprint), which the golden-digest test turns
+// into a forced, explicit Version bump instead of silently serving
+// outcomes computed under a different machine model.
+func CanonicalConfig(cfg htm.Config) string {
+	var sb strings.Builder
+	writeCanonical(&sb, reflect.ValueOf(cfg))
+	return sb.String()
+}
+
+// writeCanonical emits one value. Only the kinds htm.Config actually
+// uses are supported; a new field of an unsupported kind (map, slice,
+// func, pointer...) panics loudly at fingerprint time rather than
+// encoding ambiguously.
+func writeCanonical(sb *strings.Builder, v reflect.Value) {
+	switch v.Kind() {
+	case reflect.Struct:
+		t := v.Type()
+		sb.WriteByte('{')
+		for i := 0; i < v.NumField(); i++ {
+			sb.WriteString(t.Field(i).Name)
+			sb.WriteByte('=')
+			writeCanonical(sb, v.Field(i))
+			sb.WriteByte(';')
+		}
+		sb.WriteByte('}')
+	case reflect.Bool:
+		sb.WriteString(strconv.FormatBool(v.Bool()))
+	case reflect.Int, reflect.Int8, reflect.Int16, reflect.Int32, reflect.Int64:
+		sb.WriteString(strconv.FormatInt(v.Int(), 10))
+	case reflect.Uint, reflect.Uint8, reflect.Uint16, reflect.Uint32, reflect.Uint64:
+		sb.WriteString(strconv.FormatUint(v.Uint(), 10))
+	case reflect.Float32, reflect.Float64:
+		sb.WriteString(strconv.FormatFloat(v.Float(), 'g', -1, 64))
+	case reflect.String:
+		sb.WriteString(strconv.Quote(v.String()))
+	default:
+		panic(fmt.Sprintf("runcache: cannot canonically encode kind %s (%s) — extend writeCanonical and bump Version", v.Kind(), v.Type()))
+	}
+}
+
+// KeyOf digests one resolved run: the workload identity (app, scheme,
+// cores, seed, scale), the machine configuration after every default and
+// Spec.Tweak has been applied, and the canonical fault-plan text
+// (faults.EncodeString; empty for fault-free runs). Two specs that
+// resolve to the same KeyOf produce bit-identical simulations.
+func KeyOf(app, scheme string, cores int, seed uint64, scale float64, cfg htm.Config, faultPlanText string) Key {
+	h := sha256.New()
+	fmt.Fprintf(h, "suvtm-runcache/v%d\n", Version)
+	fmt.Fprintf(h, "app=%s\nscheme=%s\ncores=%d\nseed=%d\nscale=%s\n",
+		app, scheme, cores, seed, strconv.FormatFloat(scale, 'g', -1, 64))
+	io.WriteString(h, "config=")
+	io.WriteString(h, CanonicalConfig(cfg))
+	io.WriteString(h, "\nfaults=")
+	io.WriteString(h, faultPlanText)
+	var k Key
+	h.Sum(k[:0])
+	return k
+}

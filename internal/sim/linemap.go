@@ -122,6 +122,22 @@ func (m *LineMap[V]) ForEach(fn func(Line, *V)) {
 	}
 }
 
+// Clear removes every entry while keeping the slot arrays, so a map
+// reused across simulations never re-grows past its high-water size.
+// A cleared map behaves identically to a zero-value one: lookups miss,
+// and the first Put probes exactly as it would in a fresh table.
+func (m *LineMap[V]) Clear() {
+	if m.n == 0 {
+		return
+	}
+	var zero V
+	for i := range m.used {
+		m.used[i] = false
+		m.vals[i] = zero
+	}
+	m.n = 0
+}
+
 // grow doubles the table and rehashes. This is the only allocating
 // path; a map that has reached its high-water size never allocates
 // again.

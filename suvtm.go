@@ -65,8 +65,50 @@ type Options = experiments.Options
 // Run executes one application under one scheme on the simulated CMP.
 func Run(spec Spec) (*Outcome, error) { return experiments.Run(spec) }
 
-// RunMany executes specs concurrently on a worker pool.
+// RunMany executes specs concurrently on a worker pool with the default
+// fleet options: per-worker machine arenas, the content-addressed run
+// cache for pure specs, and longest-expected-first dispatch. The first
+// simulation error stops further dispatch; already-computed outcomes are
+// returned alongside the error.
 func RunMany(specs []Spec) ([]*Outcome, error) { return experiments.RunMany(specs) }
+
+// Fleet-throughput layer: batches share per-worker machine arenas, pure
+// runs are memoized in a content-addressed cache (optionally persisted
+// on disk and spot-checked against live re-runs), and dispatch is
+// longest-expected-first so stragglers start early.
+type (
+	// BatchOptions tune one batch (worker count, cache/arena/scheduling
+	// opt-outs, keep-going error handling).
+	BatchOptions = experiments.BatchOptions
+	// FleetStats are the process-wide cache/arena/scheduler counters.
+	FleetStats = experiments.FleetStats
+)
+
+// RunManyWith is RunMany with explicit batch options.
+func RunManyWith(specs []Spec, o BatchOptions) ([]*Outcome, error) {
+	return experiments.RunManyWith(specs, o)
+}
+
+// RunCached executes one spec through the run cache: a repeated pure
+// spec is served from memory (or the on-disk tier) instead of being
+// re-simulated. Specs requesting metrics, traces or fault injection
+// bypass the cache.
+func RunCached(spec Spec) (*Outcome, error) { return experiments.RunCached(spec) }
+
+// SetRunCacheDir attaches a persistent on-disk tier (entries live under
+// dir/v<version>/); the empty string detaches it.
+func SetRunCacheDir(dir string) error { return experiments.SetRunCacheDir(dir) }
+
+// SetRunCacheVerify arms spot-check mode: the first and every Nth cache
+// hit is re-simulated and compared; divergence fails the run. 0 disables.
+func SetRunCacheVerify(everyN int) { experiments.SetRunCacheVerify(everyN) }
+
+// ResetRunCache drops the in-memory tier and zeroes the fleet counters
+// (the on-disk tier, if configured, is kept).
+func ResetRunCache() error { return experiments.ResetRunCache() }
+
+// FleetSnapshot returns the current fleet counters.
+func FleetSnapshot() FleetStats { return experiments.FleetSnapshot() }
 
 // Experiment entry points, one per table/figure of the paper.
 var (
