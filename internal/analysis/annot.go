@@ -1,0 +1,85 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+	"strings"
+
+	xanalysis "golang.org/x/tools/go/analysis"
+)
+
+// A directive is one parsed //suv: line annotation.
+type directive struct {
+	name   string // e.g. "orderinsensitive"
+	reason string // justification text after the name; may be empty
+	pos    token.Pos
+}
+
+// fileAnnots indexes a file's //suv: directives by source line.
+type fileAnnots map[int][]directive
+
+// collectAnnots parses every //suv: comment in file. Directives look
+// like "//suv:name reason..." with no space before the name.
+func collectAnnots(fset *token.FileSet, file *ast.File) fileAnnots {
+	out := fileAnnots{}
+	for _, cg := range file.Comments {
+		for _, c := range cg.List {
+			text, ok := strings.CutPrefix(c.Text, "//suv:")
+			if !ok {
+				continue
+			}
+			name, reason, _ := strings.Cut(text, " ")
+			// A follow-on comment ("//suv:x reason // note") is not part
+			// of the justification.
+			reason, _, _ = strings.Cut(reason, "//")
+			line := fset.Position(c.Pos()).Line
+			out[line] = append(out[line], directive{
+				name:   strings.TrimSpace(name),
+				reason: strings.TrimSpace(reason),
+				pos:    c.Pos(),
+			})
+		}
+	}
+	return out
+}
+
+// suppressed reports whether a finding at pos is covered by a `name`
+// directive on the same line or the line directly above. Directives
+// without a justification do not suppress; instead they are themselves
+// reported (once, at the directive) so that every annotation in the
+// tree carries an auditable reason.
+func (fa fileAnnots) suppressed(pass *xanalysis.Pass, pos token.Pos, name string) bool {
+	line := pass.Fset.Position(pos).Line
+	for _, l := range [2]int{line, line - 1} {
+		for _, d := range fa[l] {
+			if d.name != name {
+				continue
+			}
+			if d.reason == "" {
+				pass.Reportf(d.pos, "//suv:%s annotation requires a justification (write //suv:%s <reason>)", name, name)
+				continue
+			}
+			return true
+		}
+	}
+	return false
+}
+
+// funcHotPath reports whether decl's doc comment carries //suv:hotpath.
+func funcHotPath(decl *ast.FuncDecl) bool {
+	if decl.Doc == nil {
+		return false
+	}
+	for _, c := range decl.Doc.List {
+		if strings.HasPrefix(c.Text, "//suv:hotpath") {
+			return true
+		}
+	}
+	return false
+}
+
+// isTestFile reports whether file was parsed from a _test.go file; the
+// determinism and allocation contracts bind simulator code, not tests.
+func isTestFile(fset *token.FileSet, file *ast.File) bool {
+	return strings.HasSuffix(fset.File(file.Pos()).Name(), "_test.go")
+}

@@ -1,0 +1,82 @@
+package analysis
+
+import (
+	"go/ast"
+
+	xanalysis "golang.org/x/tools/go/analysis"
+	"golang.org/x/tools/go/analysis/passes/inspect"
+	"golang.org/x/tools/go/ast/inspector"
+)
+
+// DetMapAnalyzer flags non-deterministic map iteration in the
+// deterministic core. Go randomizes map iteration order per run, so a
+// `range` over a map (or a maps.Keys/maps.Values sequence that is not
+// immediately sorted) inside the simulated machine is the classic way
+// to break bit-identical replay: the divergence only shows up as a
+// mismatched golden digest or a poisoned runcache fingerprint long
+// after the commit that introduced it.
+var DetMapAnalyzer = &xanalysis.Analyzer{
+	Name: "detmap",
+	Doc: "flag map iteration in the deterministic core\n\n" +
+		"Ranges over maps and unsorted maps.Keys/maps.Values calls in the\n" +
+		"deterministic-core packages must either be rewritten over a sorted\n" +
+		"key slice or carry //suv:orderinsensitive <reason> explaining why\n" +
+		"iteration order cannot leak into simulated state or canonical output.",
+	Requires: []*xanalysis.Analyzer{inspect.Analyzer},
+	Run:      runDetMap,
+}
+
+func runDetMap(pass *xanalysis.Pass) (any, error) {
+	if !inDetCore(pass.Pkg.Path()) {
+		return nil, nil
+	}
+	ins := pass.ResultOf[inspect.Analyzer].(*inspector.Inspector)
+
+	// maps.Keys/maps.Values results handed straight to slices.Sorted*
+	// are deterministic; remember those call nodes so the CallExpr walk
+	// below skips them.
+	sortedArgs := map[ast.Node]bool{}
+	nodeFilter := []ast.Node{(*ast.File)(nil), (*ast.RangeStmt)(nil), (*ast.CallExpr)(nil)}
+
+	var annots fileAnnots
+	var skipFile bool
+	ins.Preorder(nodeFilter, func(n ast.Node) {
+		switch n := n.(type) {
+		case *ast.File:
+			skipFile = isTestFile(pass.Fset, n)
+			if !skipFile {
+				annots = collectAnnots(pass.Fset, n)
+			}
+		case *ast.RangeStmt:
+			if skipFile || !isMapType(pass.TypesInfo.TypeOf(n.X)) {
+				return
+			}
+			if annots.suppressed(pass, n.Pos(), "orderinsensitive") {
+				return
+			}
+			pass.Reportf(n.Pos(), "range over map in deterministic core package %s: iteration order is randomized and can break bit-identical replay; iterate a sorted key slice or annotate //suv:orderinsensitive <reason>", pass.Pkg.Path())
+		case *ast.CallExpr:
+			if skipFile {
+				return
+			}
+			if name, ok := calleeIsPkgFunc(pass.TypesInfo, n, "slices"); ok {
+				switch name {
+				case "Sorted", "SortedFunc", "SortedStableFunc":
+					for _, arg := range n.Args {
+						sortedArgs[ast.Unparen(arg)] = true
+					}
+				}
+				return
+			}
+			name, ok := calleeIsPkgFunc(pass.TypesInfo, n, "maps")
+			if !ok || (name != "Keys" && name != "Values") {
+				return
+			}
+			if sortedArgs[n] || annots.suppressed(pass, n.Pos(), "orderinsensitive") {
+				return
+			}
+			pass.Reportf(n.Pos(), "maps.%s in deterministic core package %s yields keys in randomized order; wrap in slices.Sorted or annotate //suv:orderinsensitive <reason>", name, pass.Pkg.Path())
+		}
+	})
+	return nil, nil
+}

@@ -1,0 +1,162 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/constant"
+	"go/token"
+	"go/types"
+	"sort"
+	"strings"
+
+	xanalysis "golang.org/x/tools/go/analysis"
+	"golang.org/x/tools/go/analysis/passes/inspect"
+	"golang.org/x/tools/go/ast/inspector"
+)
+
+// ExhaustiveAnalyzer requires switches over the repo's enum-like types
+// (coherence line states, HTM scheme modes, fault kinds, redirect
+// entry states, trace kinds, ...) to cover every declared constant or
+// to carry a default clause that panics. A silently-ignored new enum
+// value is how "add a fault kind" or "add a line state" rots into a
+// simulation that drops events without any test noticing.
+var ExhaustiveAnalyzer = &xanalysis.Analyzer{
+	Name: "exhaustive",
+	Doc: "require switches over enum-like types to be exhaustive\n\n" +
+		"A type is enum-like when it is a defined integer/string type with at\n" +
+		"least two package-level constants. Switches over such a type must\n" +
+		"either list every constant value, have a default that panics, or be\n" +
+		"annotated //suv:nonexhaustive <reason>.",
+	Requires: []*xanalysis.Analyzer{inspect.Analyzer},
+	Run:      runExhaustive,
+}
+
+func runExhaustive(pass *xanalysis.Pass) (any, error) {
+	if p := pass.Pkg.Path(); p != "suvtm" && !strings.HasPrefix(p, "suvtm/") {
+		return nil, nil // the contract binds this module, not dependencies
+	}
+	ins := pass.ResultOf[inspect.Analyzer].(*inspector.Inspector)
+
+	var annots fileAnnots
+	var skipFile bool
+	ins.Preorder([]ast.Node{(*ast.File)(nil), (*ast.SwitchStmt)(nil)}, func(n ast.Node) {
+		switch n := n.(type) {
+		case *ast.File:
+			skipFile = isTestFile(pass.Fset, n)
+			if !skipFile {
+				annots = collectAnnots(pass.Fset, n)
+			}
+		case *ast.SwitchStmt:
+			if skipFile || n.Tag == nil {
+				return
+			}
+			checkSwitch(pass, annots, n)
+		}
+	})
+	return nil, nil
+}
+
+func checkSwitch(pass *xanalysis.Pass, annots fileAnnots, sw *ast.SwitchStmt) {
+	tagType := pass.TypesInfo.TypeOf(sw.Tag)
+	if tagType == nil {
+		return
+	}
+	named, ok := types.Unalias(tagType).(*types.Named)
+	if !ok {
+		return
+	}
+	consts := enumConstants(named)
+	if len(consts) < 2 {
+		return
+	}
+
+	var defaultClause *ast.CaseClause
+	var covered []constant.Value
+	for _, stmt := range sw.Body.List {
+		cc := stmt.(*ast.CaseClause)
+		if cc.List == nil {
+			defaultClause = cc
+			continue
+		}
+		for _, e := range cc.List {
+			v := pass.TypesInfo.Types[e].Value
+			if v == nil {
+				return // non-constant case: cannot reason about coverage
+			}
+			covered = append(covered, v)
+		}
+	}
+
+	var missing []string
+	for _, c := range consts {
+		if !containsValue(covered, c.Val()) {
+			missing = append(missing, c.Name())
+			covered = append(covered, c.Val()) // aliases of one value report once
+		}
+	}
+	if len(missing) == 0 {
+		return
+	}
+	if defaultClause != nil && clausePanics(pass.TypesInfo, defaultClause) {
+		return
+	}
+	if annots.suppressed(pass, sw.Pos(), "nonexhaustive") {
+		return
+	}
+	sort.Strings(missing)
+	what := "add the missing cases or a default that panics"
+	if defaultClause != nil {
+		what = "the default silently swallows them; make it panic or add the cases"
+	}
+	pass.Reportf(sw.Pos(), "switch over %s is not exhaustive: missing %s (%s, or annotate //suv:nonexhaustive <reason>)",
+		typeLabel(named), strings.Join(missing, ", "), what)
+}
+
+// enumConstants returns the package-level constants declared with
+// exactly type T in T's defining package, deduplicated by name.
+func enumConstants(named *types.Named) []*types.Const {
+	obj := named.Obj()
+	if obj == nil || obj.Pkg() == nil {
+		return nil
+	}
+	basic, ok := named.Underlying().(*types.Basic)
+	if !ok || basic.Info()&(types.IsInteger|types.IsString) == 0 {
+		return nil
+	}
+	scope := obj.Pkg().Scope()
+	var out []*types.Const
+	for _, name := range scope.Names() {
+		if c, ok := scope.Lookup(name).(*types.Const); ok && types.Identical(c.Type(), named) {
+			out = append(out, c)
+		}
+	}
+	return out
+}
+
+func containsValue(vals []constant.Value, v constant.Value) bool {
+	for _, w := range vals {
+		if constant.Compare(w, token.EQL, v) {
+			return true
+		}
+	}
+	return false
+}
+
+// clausePanics reports whether the clause body contains a call to the
+// builtin panic (directly or nested in an if/block), which is the
+// accepted way for a default to reject unknown enum values loudly.
+func clausePanics(info *types.Info, cc *ast.CaseClause) bool {
+	found := false
+	for _, stmt := range cc.Body {
+		ast.Inspect(stmt, func(n ast.Node) bool {
+			if call, ok := n.(*ast.CallExpr); ok {
+				if id, ok := ast.Unparen(call.Fun).(*ast.Ident); ok {
+					if b, ok := info.Uses[id].(*types.Builtin); ok && b.Name() == "panic" {
+						found = true
+					}
+				}
+			}
+			return !found
+		})
+	}
+	return found
+}

@@ -1,0 +1,267 @@
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/types"
+
+	xanalysis "golang.org/x/tools/go/analysis"
+	"golang.org/x/tools/go/analysis/passes/inspect"
+	"golang.org/x/tools/go/ast/inspector"
+)
+
+// HotAllocAnalyzer reports allocation-introducing constructs inside
+// functions annotated //suv:hotpath. The runtime AllocsPerRun==0 gates
+// catch a regression only after the right benchmark runs; this analyzer
+// names the offending construct at review time instead. It is
+// deliberately intraprocedural and conservative: an amortized
+// allocating slow path (table growth, error exits) belongs in its own
+// un-annotated function, or carries //suv:allocok <reason>.
+var HotAllocAnalyzer = &xanalysis.Analyzer{
+	Name: "hotalloc",
+	Doc: "report allocating constructs in //suv:hotpath functions\n\n" +
+		"Flags, inside annotated functions: map/slice composite literals and\n" +
+		"&T{...}, make/new, fmt.* calls, non-constant string concatenation,\n" +
+		"string<->[]byte conversions, concrete-to-interface conversions,\n" +
+		"appends to un-presized local slices, and func literals (closures).\n" +
+		"Suppress an intentional allocation with //suv:allocok <reason>.",
+	Requires: []*xanalysis.Analyzer{inspect.Analyzer},
+	Run:      runHotAlloc,
+}
+
+func runHotAlloc(pass *xanalysis.Pass) (any, error) {
+	ins := pass.ResultOf[inspect.Analyzer].(*inspector.Inspector)
+
+	var annots fileAnnots
+	ins.Preorder([]ast.Node{(*ast.File)(nil), (*ast.FuncDecl)(nil)}, func(n ast.Node) {
+		switch n := n.(type) {
+		case *ast.File:
+			annots = nil
+			if !isTestFile(pass.Fset, n) {
+				annots = collectAnnots(pass.Fset, n)
+			}
+		case *ast.FuncDecl:
+			if annots == nil || !funcHotPath(n) || n.Body == nil {
+				return
+			}
+			checkHotFunc(pass, annots, n)
+		}
+	})
+	return nil, nil
+}
+
+// checkHotFunc walks one annotated function body.
+func checkHotFunc(pass *xanalysis.Pass, annots fileAnnots, decl *ast.FuncDecl) {
+	unpresized := collectUnpresizedSlices(pass.TypesInfo, decl.Body)
+
+	flag := func(n ast.Node, format string, args ...any) {
+		if annots.suppressed(pass, n.Pos(), "allocok") {
+			return
+		}
+		pass.Reportf(n.Pos(), "hot path %s: %s (hoist the allocation out of the hot path or annotate //suv:allocok <reason>)",
+			decl.Name.Name, fmt.Sprintf(format, args...))
+	}
+
+	ast.Inspect(decl.Body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.FuncLit:
+			flag(n, "func literal allocates a closure")
+			return false // the closure body is not the hot path's frame
+		case *ast.UnaryExpr:
+			if lit, ok := n.X.(*ast.CompositeLit); ok {
+				flag(n, "&%s composite literal escapes to the heap", typeLabel(pass.TypesInfo.TypeOf(lit)))
+				return false
+			}
+		case *ast.CompositeLit:
+			switch pass.TypesInfo.TypeOf(n).Underlying().(type) {
+			case *types.Slice:
+				flag(n, "slice literal allocates backing storage")
+			case *types.Map:
+				flag(n, "map literal allocates")
+			}
+		case *ast.BinaryExpr:
+			if n.Op.String() == "+" && isStringExpr(pass.TypesInfo, n) && pass.TypesInfo.Types[n].Value == nil {
+				flag(n, "string concatenation allocates")
+				return false
+			}
+		case *ast.AssignStmt:
+			if n.Tok.String() == "+=" && len(n.Lhs) == 1 && isStringExpr(pass.TypesInfo, n.Lhs[0]) {
+				flag(n, "string concatenation allocates")
+			}
+		case *ast.CallExpr:
+			checkHotCall(pass, flag, unpresized, n)
+		}
+		return true
+	})
+}
+
+func checkHotCall(pass *xanalysis.Pass, flag func(ast.Node, string, ...any), unpresized map[types.Object]bool, call *ast.CallExpr) {
+	info := pass.TypesInfo
+
+	// Builtins and conversions first: they have no *types.Func callee.
+	if id, ok := ast.Unparen(call.Fun).(*ast.Ident); ok {
+		if b, ok := info.Uses[id].(*types.Builtin); ok {
+			switch b.Name() {
+			case "make":
+				flag(call, "make allocates %s", typeLabel(info.TypeOf(call.Args[0])))
+			case "new":
+				flag(call, "new(%s) allocates", typeLabel(info.TypeOf(call.Args[0])))
+			case "append":
+				if base, ok := ast.Unparen(call.Args[0]).(*ast.Ident); ok && unpresized[info.Uses[base]] {
+					flag(call, "append to un-presized slice %s may grow the backing array; presize with make(..., n) outside the hot path", base.Name)
+				}
+			}
+			return
+		}
+	}
+	if tv, ok := info.Types[call.Fun]; ok && tv.IsType() && len(call.Args) == 1 {
+		// Explicit conversion T(x).
+		dst := tv.Type
+		src := info.TypeOf(call.Args[0])
+		checkConversion(flag, call, dst, src, info.Types[call.Args[0]].Value != nil)
+		return
+	}
+
+	if fn := calleeFunc(info, call); fn != nil && fn.Pkg() != nil && fn.Pkg().Path() == "fmt" {
+		flag(call, "fmt.%s allocates (formats through reflection into fresh storage)", fn.Name())
+		return
+	}
+
+	// Concrete values passed as interface parameters are boxed.
+	sig, ok := info.TypeOf(call.Fun).(*types.Signature)
+	if !ok {
+		return
+	}
+	params := sig.Params()
+	for i, arg := range call.Args {
+		var pt types.Type
+		switch {
+		case call.Ellipsis.IsValid() && i == len(call.Args)-1:
+			continue // s... spreads an existing slice; no boxing here
+		case sig.Variadic() && i >= params.Len()-1:
+			pt = params.At(params.Len() - 1).Type().(*types.Slice).Elem()
+		case i < params.Len():
+			pt = params.At(i).Type()
+		default:
+			continue
+		}
+		checkConversion(flag, arg, pt, info.TypeOf(arg), info.Types[arg].Value != nil)
+	}
+}
+
+// checkConversion flags a concrete-to-interface conversion that boxes
+// its operand. Pointer-shaped values (pointers, chans, maps, funcs,
+// unsafe.Pointer) ride in the interface word without allocating, and
+// constants are folded, so neither is flagged. string<->[]byte/[]rune
+// conversions copy and are flagged too.
+func checkConversion(flag func(ast.Node, string, ...any), n ast.Node, dst, src types.Type, srcConst bool) {
+	if dst == nil || src == nil || srcConst {
+		return
+	}
+	if isStringBytesConv(dst, src) {
+		flag(n, "%s(%s) conversion copies its operand", typeLabel(dst), typeLabel(src))
+		return
+	}
+	if !types.IsInterface(dst) || types.IsInterface(src) {
+		return
+	}
+	switch src.Underlying().(type) {
+	case *types.Pointer, *types.Chan, *types.Map, *types.Signature:
+		return
+	case *types.Basic:
+		if src.Underlying().(*types.Basic).Kind() == types.UnsafePointer {
+			return
+		}
+	}
+	flag(n, "concrete %s converted to interface %s may allocate a box", typeLabel(src), typeLabel(dst))
+}
+
+func isStringBytesConv(dst, src types.Type) bool {
+	return (isStringType(dst) && isByteOrRuneSlice(src)) || (isByteOrRuneSlice(dst) && isStringType(src))
+}
+
+func isStringType(t types.Type) bool {
+	b, ok := t.Underlying().(*types.Basic)
+	return ok && b.Info()&types.IsString != 0
+}
+
+func isByteOrRuneSlice(t types.Type) bool {
+	s, ok := t.Underlying().(*types.Slice)
+	if !ok {
+		return false
+	}
+	b, ok := s.Elem().Underlying().(*types.Basic)
+	return ok && (b.Kind() == types.Byte || b.Kind() == types.Rune)
+}
+
+func isStringExpr(info *types.Info, e ast.Expr) bool {
+	t := info.TypeOf(e)
+	return t != nil && isStringType(t)
+}
+
+// collectUnpresizedSlices finds local slice variables born without
+// capacity — `var x []T`, `x := []T{}`, `x := []T(nil)` — which an
+// append in the hot path would have to grow. Locals initialized from
+// make(...), parameters, and fields are presumed presized/reused.
+func collectUnpresizedSlices(info *types.Info, body *ast.BlockStmt) map[types.Object]bool {
+	out := map[types.Object]bool{}
+	mark := func(nameExpr ast.Expr, init ast.Expr) {
+		id, ok := nameExpr.(*ast.Ident)
+		if !ok || id.Name == "_" {
+			return
+		}
+		obj := info.Defs[id]
+		if obj == nil {
+			return
+		}
+		if _, isSlice := obj.Type().Underlying().(*types.Slice); !isSlice {
+			return
+		}
+		switch init := ast.Unparen(init).(type) {
+		case nil:
+			out[obj] = true // var x []T
+		case *ast.CompositeLit:
+			if len(init.Elts) == 0 {
+				out[obj] = true // x := []T{}
+			}
+		case *ast.CallExpr:
+			if tv, ok := info.Types[init.Fun]; ok && tv.IsType() {
+				out[obj] = true // x := []T(nil)
+			}
+		}
+	}
+	ast.Inspect(body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.AssignStmt:
+			if n.Tok.String() != ":=" || len(n.Lhs) != len(n.Rhs) {
+				return true
+			}
+			for i := range n.Lhs {
+				mark(n.Lhs[i], n.Rhs[i])
+			}
+		case *ast.GenDecl:
+			for _, spec := range n.Specs {
+				vs, ok := spec.(*ast.ValueSpec)
+				if !ok {
+					continue
+				}
+				for i, name := range vs.Names {
+					if i < len(vs.Values) {
+						mark(name, vs.Values[i])
+					} else {
+						mark(name, nil)
+					}
+				}
+			}
+		}
+		return true
+	})
+	return out
+}
+
+func typeLabel(t types.Type) string {
+	if t == nil {
+		return "<unknown>"
+	}
+	return types.TypeString(t, func(p *types.Package) string { return p.Name() })
+}

@@ -1,0 +1,79 @@
+package analysis_test
+
+import (
+	"bytes"
+	"encoding/json"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"testing"
+)
+
+// TestSuvlintTreeIsFindingFree builds cmd/suvlint and runs it (via
+// go vet -vettool, exactly as CI does) over the whole module: the tree
+// must stay finding-free, so any new map iteration in the deterministic
+// core, host-state read in the simulated machine, allocation on an
+// annotated hot path, or non-exhaustive enum switch fails tier-1 here
+// even when no runtime probe happens to exercise it.
+func TestSuvlintTreeIsFindingFree(t *testing.T) {
+	if testing.Short() {
+		t.Skip("short mode: skipping whole-tree lint (builds and vets every package)")
+	}
+	root := moduleRoot(t)
+	tool := filepath.Join(t.TempDir(), "suvlint")
+
+	build := exec.Command("go", "build", "-o", tool, "./cmd/suvlint")
+	build.Dir = root
+	if out, err := build.CombinedOutput(); err != nil {
+		t.Fatalf("building suvlint: %v\n%s", err, out)
+	}
+
+	vet := exec.Command("go", "vet", "-vettool="+tool, "./...")
+	vet.Dir = root
+	if out, err := vet.CombinedOutput(); err != nil {
+		t.Errorf("suvlint reported findings (or failed): %v\n%s", err, out)
+	}
+
+	// The -json mode must emit well-formed JSON so CI annotation
+	// tooling can consume findings; on a clean tree it is a stream of
+	// empty per-package objects.
+	vetJSON := exec.Command("go", "vet", "-vettool="+tool, "-json", "./internal/sim/")
+	vetJSON.Dir = root
+	out, err := vetJSON.Output()
+	if err != nil {
+		t.Fatalf("suvlint -json: %v", err)
+	}
+	dec := json.NewDecoder(bytes.NewReader(out))
+	for dec.More() {
+		var per map[string]map[string][]struct {
+			Posn    string `json:"posn"`
+			Message string `json:"message"`
+		}
+		if err := dec.Decode(&per); err != nil {
+			t.Fatalf("suvlint -json emitted malformed JSON: %v\n%s", err, out)
+		}
+		for pkg, byAnalyzer := range per {
+			for analyzer, findings := range byAnalyzer {
+				if len(findings) > 0 {
+					t.Errorf("unexpected %s findings in %s: %+v", analyzer, pkg, findings)
+				}
+			}
+		}
+	}
+}
+
+func moduleRoot(t *testing.T) string {
+	t.Helper()
+	wd, err := os.Getwd()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for dir := wd; ; dir = filepath.Dir(dir) {
+		if _, err := os.Stat(filepath.Join(dir, "go.mod")); err == nil {
+			return dir
+		}
+		if dir == filepath.Dir(dir) {
+			t.Fatalf("no go.mod above %s", wd)
+		}
+	}
+}

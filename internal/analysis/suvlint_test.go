@@ -1,0 +1,58 @@
+package analysis_test
+
+import (
+	"testing"
+
+	"suvtm/internal/analysis"
+	"suvtm/internal/analysis/analyzertest"
+)
+
+// Each analyzer runs over a testdata package type-checked under an
+// import path chosen to land inside (or outside) the analyzer's scope,
+// with expectations expressed as analysistest-style `// want` comments:
+// positive findings, annotation suppressions, and clean-code negatives
+// live side by side in the fixtures.
+
+func TestDetMapCore(t *testing.T) {
+	analyzertest.Run(t, "testdata/detmap/core", "suvtm/internal/sim", analysis.DetMapAnalyzer)
+}
+
+func TestDetMapOutsideCore(t *testing.T) {
+	analyzertest.Run(t, "testdata/detmap/outside", "suvtm/internal/metrics", analysis.DetMapAnalyzer)
+}
+
+func TestWallClockMachine(t *testing.T) {
+	analyzertest.Run(t, "testdata/wallclock/machine", "suvtm/internal/htm", analysis.WallClockAnalyzer)
+}
+
+func TestWallClockExempt(t *testing.T) {
+	analyzertest.Run(t, "testdata/wallclock/exempt", "suvtm/internal/hostprof", analysis.WallClockAnalyzer)
+}
+
+func TestHotAlloc(t *testing.T) {
+	analyzertest.Run(t, "testdata/hotalloc/hot", "suvtm/internal/mem", analysis.HotAllocAnalyzer)
+}
+
+func TestExhaustive(t *testing.T) {
+	analyzertest.Run(t, "testdata/exhaustive/enums", "suvtm/internal/mem", analysis.ExhaustiveAnalyzer)
+}
+
+// TestDetMapScopeIsPackagePathSensitive pins the scope predicate: the
+// same sources that fire inside suvtm/internal/sim are clean when the
+// package sits outside the deterministic core.
+func TestDetMapScopeIsPackagePathSensitive(t *testing.T) {
+	diags := analyzertest.Diagnostics(t, "testdata/detmap/core", "suvtm/internal/hostprof", analysis.DetMapAnalyzer)
+	if len(diags) != 0 {
+		t.Fatalf("detmap fired outside the deterministic core: %v", diags)
+	}
+}
+
+// TestWallClockScopeCoversWholeMachine pins that non-exempt simulator
+// packages beyond the detmap core list (e.g. metrics) are still banned
+// from host state.
+func TestWallClockScopeCoversWholeMachine(t *testing.T) {
+	diags := analyzertest.Diagnostics(t, "testdata/wallclock/machine", "suvtm/internal/metrics", analysis.WallClockAnalyzer)
+	if len(diags) == 0 {
+		t.Fatal("wallclock did not fire in suvtm/internal/metrics")
+	}
+}

@@ -1,0 +1,50 @@
+// Package core exercises detmap inside a deterministic-core import
+// path (the harness type-checks it as suvtm/internal/sim).
+package core
+
+import (
+	"maps"
+	"slices"
+)
+
+func rangesOverMap(m map[uint64]int) int {
+	sum := 0
+	for k, v := range m { // want `range over map in deterministic core`
+		sum += int(k) + v
+	}
+	return sum
+}
+
+func rangesOverSlice(s []int) int {
+	sum := 0
+	for _, v := range s { // slices are ordered: no finding
+		sum += v
+	}
+	return sum
+}
+
+func unsortedKeys(m map[uint64]int) []uint64 {
+	return slices.Collect(maps.Keys(m)) // want `maps.Keys in deterministic core`
+}
+
+func sortedKeys(m map[uint64]int) []uint64 {
+	return slices.Sorted(maps.Keys(m)) // immediately sorted: no finding
+}
+
+func annotatedRange(m map[uint64]int) int {
+	sum := 0
+	//suv:orderinsensitive integer addition commutes; no simulated state observes order
+	for k := range m {
+		sum += int(k)
+	}
+	return sum
+}
+
+func annotatedWithoutReason(m map[uint64]int) int {
+	sum := 0
+	//suv:orderinsensitive // want `annotation requires a justification`
+	for k := range m { // want `range over map in deterministic core`
+		sum += int(k)
+	}
+	return sum
+}

@@ -1,0 +1,11 @@
+// Package outside exercises detmap outside the deterministic core
+// (type-checked as suvtm/internal/metrics): map iteration is allowed.
+package outside
+
+func rangesOverMapFreely(m map[string]int) int {
+	sum := 0
+	for _, v := range m { // not in the deterministic core: no finding
+		sum += v
+	}
+	return sum
+}

@@ -1,0 +1,94 @@
+// Package enums exercises the exhaustive analyzer.
+package enums
+
+type Color uint8
+
+const (
+	Red Color = iota
+	Green
+	Blue
+)
+
+// Crimson aliases Red's value; covering Red covers it.
+const Crimson Color = 0
+
+type Mode string
+
+const (
+	Eager Mode = "eager"
+	Lazy  Mode = "lazy"
+)
+
+// plain is not enum-like (no constants of the type): never flagged.
+type plain int
+
+func covered(c Color) int {
+	switch c {
+	case Red:
+		return 0
+	case Green:
+		return 1
+	case Blue:
+		return 2
+	}
+	return -1
+}
+
+func missingCase(c Color) int {
+	switch c { // want `switch over enums.Color is not exhaustive: missing Blue`
+	case Red, Green:
+		return 0
+	}
+	return -1
+}
+
+func swallowingDefault(c Color) int {
+	switch c { // want `missing Green.*default silently swallows`
+	case Red, Blue:
+		return 0
+	default:
+		return -1
+	}
+}
+
+func panickingDefault(c Color) int {
+	switch c {
+	case Red:
+		return 0
+	default:
+		panic("unknown color") // loud default: no finding
+	}
+}
+
+func annotated(c Color) int {
+	//suv:nonexhaustive only Red matters to this probe; others are counted elsewhere
+	switch c {
+	case Red:
+		return 0
+	}
+	return -1
+}
+
+func stringEnum(m Mode) int {
+	switch m { // want `switch over enums.Mode is not exhaustive: missing Lazy`
+	case Eager:
+		return 0
+	}
+	return -1
+}
+
+func nonEnum(p plain) int {
+	switch p { // no constants of type plain: no finding
+	case 1:
+		return 1
+	}
+	return 0
+}
+
+func nonConstantCase(c Color, dynamic Color) int {
+	switch c { // non-constant case: analyzer stays silent
+	case dynamic:
+		return 1
+	}
+	return 0
+}

@@ -1,0 +1,90 @@
+// Package hot exercises hotalloc on annotated and un-annotated
+// functions.
+package hot
+
+import "fmt"
+
+type pair struct{ a, b int }
+
+type sink interface{ accept() }
+
+func (pair) accept() {}
+
+func consume(s sink)    { s.accept() }
+func consumeAny(v any)  { _ = v }
+func consumePtr(p *int) { _ = p }
+
+// lookup is the annotated hot path; every allocating construct in it
+// is a finding.
+//
+//suv:hotpath
+func lookup(keys []uint64, key uint64) int {
+	for i, k := range keys {
+		if k == key {
+			return i
+		}
+	}
+	msg := fmt.Sprintf("missing %d", key) // want `fmt.Sprintf allocates`
+	_ = msg
+	return -1
+}
+
+//suv:hotpath
+func buildThings(n int, name string, b []byte) {
+	s := []int{1, 2, 3} // want `slice literal allocates`
+	_ = s
+	m := map[int]int{} // want `map literal allocates`
+	_ = m
+	p := &pair{1, 2} // want `&hot.pair composite literal escapes`
+	_ = p
+	q := new(pair) // want `new\(hot.pair\) allocates`
+	_ = q
+	t := make([]int, n) // want `make allocates`
+	_ = t
+	label := name + "!" // want `string concatenation allocates`
+	_ = label
+	str := string(b) // want `string\(\[\]byte\) conversion copies`
+	_ = str
+}
+
+//suv:hotpath
+func appends(n int) []int {
+	var grown []int
+	for i := 0; i < n; i++ {
+		grown = append(grown, i) // want `append to un-presized slice grown`
+	}
+	presized := make([]int, 0, 8) // want `make allocates`
+	for i := 0; i < n; i++ {
+		presized = append(presized, i) // presized: append itself not flagged
+	}
+	return presized
+}
+
+//suv:hotpath
+func boxes(x pair, p *int) {
+	consume(x)     // want `concrete hot.pair converted to interface hot.sink may allocate`
+	consumeAny(7)  // constants fold: no finding
+	consumePtr(p)  // pointer arg, pointer param: no finding
+	consumeAny(p)  // pointers ride in the interface word: no finding
+	var s sink = x // assignments are not flagged (rare on hot paths)
+	_ = s
+}
+
+//suv:hotpath
+func closures() func() int {
+	n := 0
+	f := func() int { n++; return n } // want `func literal allocates a closure`
+	return f
+}
+
+//suv:hotpath
+func justified() []int {
+	//suv:allocok grow is amortized; table doubles at 3/4 load
+	out := make([]int, 0, 4)
+	return out
+}
+
+// coldPath is not annotated: nothing is flagged.
+func coldPath() string {
+	return fmt.Sprintf("%v", []int{1, 2, 3})
+}

@@ -1,0 +1,12 @@
+// Package exempt exercises wallclock in an exempt package
+// (type-checked as suvtm/internal/hostprof): host state is allowed.
+package exempt
+
+import (
+	"os"
+	"time"
+)
+
+func hostProfilingMayUseTheClock() (time.Time, string) {
+	return time.Now(), os.Getenv("SUVTM_PROFILE") // exempt package: no finding
+}

@@ -1,0 +1,40 @@
+// Package machine exercises wallclock inside the simulated machine
+// (type-checked as suvtm/internal/htm).
+package machine
+
+import (
+	"math/rand"
+	randv2 "math/rand/v2"
+	"os"
+	"time"
+)
+
+func readsHostClock() int64 {
+	t := time.Now() // want `time.Now is banned`
+	return t.Unix()
+}
+
+func measuresHostDuration(start time.Time) time.Duration {
+	return time.Since(start) // want `time.Since is banned`
+}
+
+func readsEnvironment() string {
+	return os.Getenv("SUVTM_MODE") // want `os.Getenv is banned`
+}
+
+func globalRand() int {
+	return rand.Intn(10) // want `math/rand.Intn is banned`
+}
+
+func globalRandV2() uint64 {
+	return randv2.Uint64() // want `math/rand/v2.Uint64 is banned`
+}
+
+func seededSourceIsFine(seed int64) int {
+	r := rand.New(rand.NewSource(seed)) // explicit seedable source: no finding
+	return r.Intn(10)                   // method on *rand.Rand: no finding
+}
+
+func cycleArithmeticIsFine(cycles uint64) time.Duration {
+	return time.Duration(cycles) * time.Nanosecond // no host clock read
+}

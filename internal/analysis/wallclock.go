@@ -1,0 +1,86 @@
+package analysis
+
+import (
+	"go/ast"
+
+	xanalysis "golang.org/x/tools/go/analysis"
+	"golang.org/x/tools/go/analysis/passes/inspect"
+	"golang.org/x/tools/go/ast/inspector"
+)
+
+// WallClockAnalyzer bans host state inside the simulated machine.
+// Every run must be a pure function of (config, seed): time advances
+// only as simulated cycles, randomness only through sim.RNG streams,
+// and configuration only through explicit Config/Spec fields. Reading
+// the host clock, the global math/rand source, or the process
+// environment from any internal package other than the exempt ones
+// (hostprof, runcache's disk tier, the lint tooling) makes replay and
+// the content-addressed run cache silently wrong.
+var WallClockAnalyzer = &xanalysis.Analyzer{
+	Name: "wallclock",
+	Doc: "ban wall-clock time, global rand, and environment in the simulated machine\n\n" +
+		"time.Now/Since/Until, the global math/rand(/v2) source, and\n" +
+		"os.Getenv/LookupEnv/Environ are only permitted in internal/hostprof,\n" +
+		"internal/runcache, and cmd/; simulator packages must derive all state\n" +
+		"from (config, seed, cycle count).",
+	Requires: []*xanalysis.Analyzer{inspect.Analyzer},
+	Run:      runWallClock,
+}
+
+// wallClockBanned maps import path -> banned package-level functions.
+// A nil set bans every package-level function except the explicitly
+// allowed constructors (which take an explicit, seedable source).
+var wallClockBanned = map[string]map[string]bool{
+	"time":         {"Now": true, "Since": true, "Until": true},
+	"os":           {"Getenv": true, "LookupEnv": true, "Environ": true},
+	"math/rand":    nil,
+	"math/rand/v2": nil,
+}
+
+// wallClockAllowedRand lists math/rand(/v2) constructors that are fine:
+// they operate on an explicit caller-seeded source, not the global one.
+var wallClockAllowedRand = map[string]bool{
+	"New": true, "NewSource": true, "NewZipf": true,
+	"NewPCG": true, "NewChaCha8": true,
+}
+
+func runWallClock(pass *xanalysis.Pass) (any, error) {
+	if !inSimulatedMachine(pass.Pkg.Path()) {
+		return nil, nil
+	}
+	ins := pass.ResultOf[inspect.Analyzer].(*inspector.Inspector)
+
+	var skipFile bool
+	ins.Preorder([]ast.Node{(*ast.File)(nil), (*ast.CallExpr)(nil)}, func(n ast.Node) {
+		switch n := n.(type) {
+		case *ast.File:
+			skipFile = isTestFile(pass.Fset, n)
+		case *ast.CallExpr:
+			if skipFile {
+				return
+			}
+			fn := calleeFunc(pass.TypesInfo, n)
+			if fn == nil || fn.Pkg() == nil {
+				return
+			}
+			path := fn.Pkg().Path()
+			banned, ok := wallClockBanned[path]
+			if !ok {
+				return
+			}
+			if _, isPkgFunc := calleeIsPkgFunc(pass.TypesInfo, n, path); !isPkgFunc {
+				return // methods on rand.Rand etc. use an explicit source
+			}
+			name := fn.Name()
+			if banned == nil {
+				if wallClockAllowedRand[name] {
+					return
+				}
+			} else if !banned[name] {
+				return
+			}
+			pass.Reportf(n.Pos(), "host state in simulated machine: %s.%s is banned in %s (only internal/hostprof, internal/runcache, and cmd/ may touch host state); derive time from simulated cycles and randomness from sim.RNG", path, name, pass.Pkg.Path())
+		}
+	})
+	return nil, nil
+}

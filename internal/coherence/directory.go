@@ -105,6 +105,8 @@ func (d *Directory) Reset(cores int) {
 // peek returns the entry for line, or nil when the line is untracked
 // (its page may not even exist). The pointer stays valid until the next
 // mutation of the directory.
+//
+//suv:hotpath
 func (d *Directory) peek(line sim.Line) *entry {
 	pi := line >> dirPageShift
 	if pi < uint64(len(d.pages)) {
@@ -149,6 +151,8 @@ func (d *Directory) at(line sim.Line) *entry {
 }
 
 // Owner returns the core holding line in Modified state, or -1.
+//
+//suv:hotpath
 func (d *Directory) Owner(line sim.Line) int {
 	if e := d.peek(line); e != nil {
 		return e.owner()
@@ -157,6 +161,8 @@ func (d *Directory) Owner(line sim.Line) int {
 }
 
 // Sharers returns the bit-vector of cores holding Shared copies.
+//
+//suv:hotpath
 func (d *Directory) Sharers(line sim.Line) uint64 {
 	if e := d.peek(line); e != nil {
 		return e.sharers
@@ -166,6 +172,8 @@ func (d *Directory) Sharers(line sim.Line) uint64 {
 
 // SharerCount returns the number of cores holding Shared copies without
 // allocating.
+//
+//suv:hotpath
 func (d *Directory) SharerCount(line sim.Line) int {
 	return bits.OnesCount64(d.Sharers(line))
 }
@@ -173,6 +181,8 @@ func (d *Directory) SharerCount(line sim.Line) int {
 // ForEachSharer calls fn for every sharer core id in ascending order.
 // The sharer set is read once up front, so fn may mutate the directory
 // (Drop, SetOwner) without disturbing the iteration.
+//
+//suv:hotpath
 func (d *Directory) ForEachSharer(line sim.Line, fn func(core int)) {
 	s := d.Sharers(line)
 	for s != 0 {
@@ -204,6 +214,8 @@ func (d *Directory) SharerList(line sim.Line) []int {
 // AddSharer records a GETS fill: core now holds line Shared. A Modified
 // owner (core itself or a remote one) is downgraded to a sharer — its
 // cache keeps a Shared copy after servicing the read, per MESI.
+//
+//suv:hotpath
 func (d *Directory) AddSharer(line sim.Line, core int) {
 	d.Stats.GETS.Inc()
 	e := d.at(line)

@@ -67,6 +67,7 @@ func runAblation(opts Options, name string, scheme Scheme, configs []struct {
 // TotalCycles sums a row's cycles over all apps.
 func (r AblationRow) TotalCycles() uint64 {
 	var t uint64
+	//suv:orderinsensitive unsigned-integer addition commutes bit-exactly
 	for _, o := range r.Outcomes {
 		t += o.Cycles
 	}
@@ -135,6 +136,7 @@ func (a *Ablation) Render() string {
 	base := float64(a.Rows[0].TotalCycles())
 	for _, row := range a.Rows {
 		var aborts, falsePos, entries, pages uint64
+		//suv:orderinsensitive unsigned-integer addition commutes bit-exactly
 		for _, o := range row.Outcomes {
 			aborts += o.Counters.TxAborted
 			falsePos += o.Counters.FalsePositive

@@ -146,6 +146,7 @@ func (m *Matrix) RenderBreakdown(title string) string {
 // sortedKeys returns map keys in sorted order (deterministic rendering).
 func sortedKeys[V any](m map[string]V) []string {
 	keys := make([]string, 0, len(m))
+	//suv:orderinsensitive keys are collected then sorted before any use
 	for k := range m {
 		keys = append(keys, k)
 	}

@@ -2,6 +2,7 @@ package htm
 
 import (
 	"fmt"
+	"slices"
 
 	"suvtm/internal/mem"
 	"suvtm/internal/sim"
@@ -27,10 +28,21 @@ func (m *Machine) CheckCoherence() error {
 			copies[line] = append(copies[line], holder{c.ID, state})
 		})
 	}
-	for line, hs := range copies {
+	// Audit lines in sorted order so that, when several invariants are
+	// violated at once, every run (and every replay) reports the same
+	// first error.
+	lines := make([]sim.Line, 0, len(copies))
+	//suv:orderinsensitive keys are collected then sorted before any check runs
+	for line := range copies {
+		lines = append(lines, line)
+	}
+	slices.Sort(lines)
+	for _, line := range lines {
+		hs := copies[line]
 		modified := -1
 		shared := 0
 		for _, h := range hs {
+			//suv:nonexhaustive only the sharing states matter here; Invalid lines are not visited by ForEach
 			switch h.state {
 			case mem.Modified:
 				if modified >= 0 {

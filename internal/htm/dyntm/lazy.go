@@ -83,6 +83,7 @@ func (v *lazyBuffered) Store(m *htm.Machine, c *htm.Core, addr sim.Addr, val sim
 // structure at second-level latency.
 func (v *lazyBuffered) CommitOuter(m *htm.Machine, c *htm.Core) sim.Cycles {
 	s := &v.st[c.ID]
+	//suv:orderinsensitive distinct word addresses; Memory.Write commutes across distinct words and the merge cost depends only on set sizes
 	for addr, val := range s.buf {
 		m.Memory.Write(addr, val)
 	}

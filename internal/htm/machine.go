@@ -265,6 +265,7 @@ func (m *Machine) failRun(err error) error {
 
 // step advances one core by one operation (or one engine event).
 func (m *Machine) step(c *Core) {
+	//suv:nonexhaustive statusRunning and statusTokenWait fall through to the main dispatch below the switch
 	switch c.status {
 	case statusFinished:
 		return

@@ -175,6 +175,7 @@ func (o *observer) finish(m *Machine, end uint64) {
 	// Per-site commit mix, so the snapshot names the hot sites even
 	// without digging into the histograms.
 	sites := make([]uint32, 0, len(o.sites))
+	//suv:orderinsensitive keys are collected then sorted before any use
 	for s := range o.sites {
 		sites = append(sites, s)
 	}

@@ -146,6 +146,7 @@ func (c *Cache) Config() CacheConfig { return c.cfg }
 // geometry, which stores L1 set-index bits — Figure 3).
 func (c *Cache) SetIndex(line sim.Line) int { return int(line & c.setMask) }
 
+//suv:hotpath
 func (c *Cache) find(line sim.Line) *cacheWay {
 	si := line & c.setMask
 	tags := c.tagSets[si]
@@ -160,6 +161,8 @@ func (c *Cache) find(line sim.Line) *cacheWay {
 
 // Lookup reports whether line is present and in what state. A hit
 // refreshes the line's LRU position.
+//
+//suv:hotpath
 func (c *Cache) Lookup(line sim.Line) (LineState, bool) {
 	c.Stats.Lookups.Inc()
 	w := c.find(line)
@@ -173,6 +176,8 @@ func (c *Cache) Lookup(line sim.Line) (LineState, bool) {
 }
 
 // Peek is Lookup without the LRU side effect.
+//
+//suv:hotpath
 func (c *Cache) Peek(line sim.Line) (LineState, bool) {
 	w := c.find(line)
 	if w == nil {
@@ -206,6 +211,8 @@ type Victim struct {
 // ways are preferred as victims (FasTM tries to pin speculative data in the
 // L1); if only speculative ways remain the LRU speculative way is evicted,
 // which the caller must treat as a transactional overflow.
+//
+//suv:hotpath
 func (c *Cache) Insert(line sim.Line, state LineState, avoidSpec bool) Victim {
 	if state == Invalid {
 		panic("mem: Insert with Invalid state")

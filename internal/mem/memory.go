@@ -12,6 +12,7 @@ package mem
 
 import (
 	"math/bits"
+	"slices"
 
 	"suvtm/internal/sim"
 )
@@ -60,6 +61,8 @@ func NewMemory() *Memory {
 }
 
 // peek returns the page holding word index w, or nil if none exists yet.
+//
+//suv:hotpath
 func (m *Memory) peek(w uint64) *memPage {
 	pi := w >> memPageWordShift
 	if pi < uint64(len(m.pages)) {
@@ -110,6 +113,8 @@ func (p *memPage) markWritten(off uint64, written *int) {
 }
 
 // Read returns the word at addr (aligned down to 8 bytes).
+//
+//suv:hotpath
 func (m *Memory) Read(addr sim.Addr) sim.Word {
 	w := addr >> 3
 	if p := m.peek(w); p != nil {
@@ -119,6 +124,8 @@ func (m *Memory) Read(addr sim.Addr) sim.Word {
 }
 
 // Write stores val at addr (aligned down to 8 bytes).
+//
+//suv:hotpath
 func (m *Memory) Write(addr sim.Addr, val sim.Word) {
 	w := addr >> 3
 	p := m.page(w)
@@ -130,6 +137,8 @@ func (m *Memory) Write(addr sim.Addr, val sim.Word) {
 // ReadLine returns the eight words of line. A cache line never straddles
 // a host page (both are power-of-two sized and line-aligned), so this is
 // a single indexed copy.
+//
+//suv:hotpath
 func (m *Memory) ReadLine(line sim.Line) [sim.WordsPerLine]sim.Word {
 	w := line << (sim.LineShift - 3)
 	if p := m.peek(w); p != nil {
@@ -140,6 +149,8 @@ func (m *Memory) ReadLine(line sim.Line) [sim.WordsPerLine]sim.Word {
 }
 
 // WriteLine stores the eight words of line.
+//
+//suv:hotpath
 func (m *Memory) WriteLine(line sim.Line, vals [sim.WordsPerLine]sim.Word) {
 	w := line << (sim.LineShift - 3)
 	p := m.page(w)
@@ -151,6 +162,8 @@ func (m *Memory) WriteLine(line sim.Line, vals [sim.WordsPerLine]sim.Word) {
 // markLineWritten marks the eight line words at in-page offset off as
 // written. The offset is 8-word aligned, so the line's bits occupy one
 // byte of a single bitmap word.
+//
+//suv:hotpath
 func (m *Memory) markLineWritten(p *memPage, off uint64) {
 	idx, mask := off>>6, uint64(0xFF)<<(off&63)
 	if fresh := mask &^ p.written[idx]; fresh != 0 {
@@ -163,6 +176,8 @@ func (m *Memory) markLineWritten(p *memPage, off uint64) {
 // models the cache fill that deposits the original line's content at the
 // redirected location on the first transactional store (it is the normal
 // write-miss fill, not an extra data movement).
+//
+//suv:hotpath
 func (m *Memory) CopyLine(src, dst sim.Line) {
 	sw := src << (sim.LineShift - 3)
 	sp := m.peek(sw)
@@ -211,9 +226,10 @@ func (m *Memory) Snapshot() map[sim.Addr]sim.Word {
 	return out
 }
 
-// ForEachWritten visits every written word in ascending address order
-// within each page table level (direct pages first, then overflow pages
-// in unspecified order).
+// ForEachWritten visits every written word in ascending address order:
+// direct pages first, then overflow pages in ascending page order, so
+// the visit sequence (and anything derived from it — digests, golden
+// memory-image comparisons) is identical on every run.
 func (m *Memory) ForEachWritten(fn func(addr sim.Addr, val sim.Word)) {
 	emit := func(pi uint64, p *memPage) {
 		base := pi << memPageWordShift
@@ -231,7 +247,15 @@ func (m *Memory) ForEachWritten(fn func(addr sim.Addr, val sim.Word)) {
 			emit(uint64(pi), p)
 		}
 	}
-	for pi, p := range m.far {
-		emit(pi, p)
+	if len(m.far) > 0 {
+		farIdx := make([]uint64, 0, len(m.far))
+		//suv:orderinsensitive indices are collected then sorted before any page is visited
+		for pi := range m.far {
+			farIdx = append(farIdx, pi)
+		}
+		slices.Sort(farIdx)
+		for _, pi := range farIdx {
+			emit(pi, m.far[pi])
+		}
 	}
 }

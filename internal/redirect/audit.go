@@ -61,6 +61,7 @@ func (r *Redirect) Audit() error {
 			if err != nil {
 				return
 			}
+			//suv:nonexhaustive the default turns impossible states into an audit error; panicking would bypass the report path
 			switch te.state {
 			case TransientAdd:
 				owner := fmt.Sprintf("core %d transient add %#x", core, line)

@@ -57,8 +57,11 @@ func (s State) Bits() (global, valid bool) {
 		return false, true
 	case TransientDelete:
 		return true, false
+	case Free:
+		return false, false
+	default:
+		panic("redirect: Bits on impossible state")
 	}
-	return false, false
 }
 
 // StateFromBits decodes a (global, valid) pair.
@@ -103,8 +106,12 @@ func (e *Entry) TargetFor(core int) sim.Line {
 			return e.Orig
 		}
 		return e.Pool
+	case Free:
+		// A free entry maps nothing: accesses go to the original line.
+		return e.Orig
+	default:
+		panic("redirect: TargetFor on impossible state")
 	}
-	return e.Orig
 }
 
 // CommitState returns the entry's post-commit state per Figure 4(e):

@@ -226,6 +226,8 @@ func (r *Redirect) SwappedOut() int { return r.inMemory.Len() }
 // with no timing side effects: the core's own transient entry if any,
 // else the committed mapping. Pass core = -1 for the architectural
 // (post-commit) view.
+//
+//suv:hotpath
 func (r *Redirect) Resolve(core int, line sim.Line) sim.Line {
 	if core >= 0 {
 		if te, ok := r.trans[core].Get(line); ok {
@@ -244,6 +246,8 @@ func (r *Redirect) Resolve(core int, line sim.Line) sim.Line {
 // Lookup performs a timing-accurate redirect-table walk for core's access
 // to line. It should be called only when the summary signature (or the
 // core's write signature) indicated a possible redirection.
+//
+//suv:hotpath
 func (r *Redirect) Lookup(core int, line sim.Line) LookupOutcome {
 	target := r.Resolve(core, line)
 	isTrans := r.trans[core].Has(line)
@@ -416,6 +420,8 @@ func (r *Redirect) CommitOpenFrame(core int) []CommitEvent {
 // applyCommit runs the Figure 4(e) transitions over journal records.
 // The returned slice aliases a buffer owned by the Redirect and is
 // valid until the next commit; callers consume it immediately.
+//
+//suv:hotpath
 func (r *Redirect) applyCommit(core int, journal []journalRec) []CommitEvent {
 	events := r.eventsBuf[:0]
 	for _, rec := range journal {

@@ -94,6 +94,8 @@ func (t *l1Table) reset() {
 }
 
 // contains refreshes LRU and reports presence.
+//
+//suv:hotpath
 func (t *l1Table) contains(line sim.Line) bool {
 	wi, ok := t.index.Get(line)
 	if !ok {
@@ -214,11 +216,13 @@ func (t *l2Table) reset() {
 	t.n = 0
 }
 
+//suv:hotpath
 func (t *l2Table) setOf(line sim.Line) []l2Way {
 	s := int(line) & (t.sets - 1)
 	return t.slots[s*t.ways : (s+1)*t.ways]
 }
 
+//suv:hotpath
 func (t *l2Table) contains(line sim.Line) bool {
 	set := t.setOf(line)
 	for i := range set {

@@ -38,6 +38,8 @@ func NewBloom(numBits uint32, kind HashKind) *Bloom {
 func (b *Bloom) Bits() uint32 { return b.bits }
 
 // Add inserts line into the signature.
+//
+//suv:hotpath
 func (b *Bloom) Add(line sim.Line) {
 	var idx [NumHashes]uint32
 	hashIndices(b.kind, line, b.bits, &idx)
@@ -55,6 +57,8 @@ func (b *Bloom) Saturated() bool { return b.saturated }
 
 // Test reports whether line may be in the signature (false positives are
 // possible, false negatives are not).
+//
+//suv:hotpath
 func (b *Bloom) Test(line sim.Line) bool {
 	if b.saturated {
 		return true
@@ -71,6 +75,8 @@ func (b *Bloom) Test(line sim.Line) bool {
 
 // TestIdx is Test with the bit indices precomputed by Indices (which
 // must have used this signature's kind and size).
+//
+//suv:hotpath
 func (b *Bloom) TestIdx(idx *[NumHashes]uint32) bool {
 	if b.saturated {
 		return true

@@ -33,19 +33,23 @@ const NumHashes = 2
 // signatures (eager conflict detection scans every core) can hash once
 // and probe with Bloom.TestIdx. Signature sizes are enforced powers of
 // two, so the reductions use masks; x&(bits-1) == x%bits bit-for-bit.
+//
+//suv:hotpath
 func Indices(kind HashKind, line sim.Line, bits uint32, idx *[NumHashes]uint32) {
 	switch kind {
 	case HashFig5:
 		mask := uint64(bits - 1)
 		idx[0] = uint32(line & mask)
 		idx[1] = uint32((line ^ (2 * line)) & mask)
-	default:
+	case HashH3:
 		// Two rounds of a strong 64-bit mixer with distinct constants.
 		mask := bits - 1
 		h1 := mix(line * 0x9e3779b97f4a7c15)
 		h2 := mix(line*0xc2b2ae3d27d4eb4f + 0x165667b19e3779f9)
 		idx[0] = uint32(h1) & mask
 		idx[1] = uint32(h2) & mask
+	default:
+		panic("signature: unknown HashKind")
 	}
 }
 

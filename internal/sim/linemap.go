@@ -25,6 +25,8 @@ type LineMap[V any] struct {
 func (m *LineMap[V]) Len() int { return m.n }
 
 // find returns the slot holding key, or ok=false.
+//
+//suv:hotpath
 func (m *LineMap[V]) find(key Line) (uint64, bool) {
 	if m.n == 0 {
 		return 0, false
@@ -40,12 +42,16 @@ func (m *LineMap[V]) find(key Line) (uint64, bool) {
 }
 
 // Has reports whether key is present.
+//
+//suv:hotpath
 func (m *LineMap[V]) Has(key Line) bool {
 	_, ok := m.find(key)
 	return ok
 }
 
 // Get returns the value for key (the zero value if absent).
+//
+//suv:hotpath
 func (m *LineMap[V]) Get(key Line) (V, bool) {
 	if i, ok := m.find(key); ok {
 		return m.vals[i], true
@@ -56,6 +62,8 @@ func (m *LineMap[V]) Get(key Line) (V, bool) {
 
 // Ref returns a pointer to key's value for in-place mutation, or nil if
 // absent. The pointer is invalidated by the next Put or Delete.
+//
+//suv:hotpath
 func (m *LineMap[V]) Ref(key Line) *V {
 	if i, ok := m.find(key); ok {
 		return &m.vals[i]
@@ -64,6 +72,8 @@ func (m *LineMap[V]) Ref(key Line) *V {
 }
 
 // Put inserts or overwrites key's value.
+//
+//suv:hotpath
 func (m *LineMap[V]) Put(key Line, val V) {
 	if i, ok := m.find(key); ok {
 		m.vals[i] = val
@@ -83,6 +93,8 @@ func (m *LineMap[V]) Put(key Line, val V) {
 // Delete removes key, reporting whether it was present. The vacated
 // slot is filled by backward-shifting the probe cluster, so lookups
 // never trip over tombstones.
+//
+//suv:hotpath
 func (m *LineMap[V]) Delete(key Line) bool {
 	i, ok := m.find(key)
 	if !ok {

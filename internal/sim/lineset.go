@@ -41,6 +41,8 @@ func NewLineSet() *LineSet {
 func (s *LineSet) Len() int { return s.n }
 
 // Has reports membership.
+//
+//suv:hotpath
 func (s *LineSet) Has(line Line) bool {
 	if s.spilled {
 		return s.tableHas(line)
@@ -54,6 +56,8 @@ func (s *LineSet) Has(line Line) bool {
 }
 
 // Add inserts line; duplicates are ignored.
+//
+//suv:hotpath
 func (s *LineSet) Add(line Line) {
 	if s.Has(line) {
 		return
@@ -77,6 +81,8 @@ func (s *LineSet) Add(line Line) {
 
 // Clear empties the set in O(1): the inline tier resets its length and
 // the table's live marks are invalidated by bumping the epoch.
+//
+//suv:hotpath
 func (s *LineSet) Clear() {
 	s.nSmall = 0
 	s.spilled = false
@@ -117,6 +123,7 @@ func lineSetHash(line Line) uint64 {
 	return line * 0x9E3779B97F4A7C15
 }
 
+//suv:hotpath
 func (s *LineSet) tableHas(line Line) bool {
 	if len(s.keys) == 0 {
 		return false
@@ -135,6 +142,8 @@ func (s *LineSet) tableHas(line Line) bool {
 // at 3/4 load. Callers maintain s.n, which (post-spill) equals the
 // table's live count — during the migration loop it over-counts by the
 // lines not yet moved, which only makes the growth check conservative.
+//
+//suv:hotpath
 func (s *LineSet) tableAdd(line Line) {
 	live := s.n
 	if len(s.keys) == 0 || live+1 > 3*len(s.keys)/4 {

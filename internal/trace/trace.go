@@ -73,6 +73,7 @@ type Event struct {
 func (e Event) String() string {
 	var sb strings.Builder
 	fmt.Fprintf(&sb, "%10d core%-2d %-15s", e.Cycle, e.Core, e.Kind)
+	//suv:nonexhaustive kinds without an extra payload render only the common prefix above
 	switch e.Kind {
 	case NACK:
 		if e.Other < 0 {

@@ -105,6 +105,7 @@ func Get(name string) (GenFunc, error) {
 // Names returns all registered generator names, sorted.
 func Names() []string {
 	out := make([]string, 0, len(registry))
+	//suv:orderinsensitive names are collected then sorted before any use
 	for n := range registry {
 		out = append(out, n)
 	}

@@ -220,6 +220,7 @@ func (b *Builder) CommitOpen(comp func(cb *Builder)) *Builder {
 		comp(cb)
 	}
 	for _, op := range cb.ops {
+		//suv:nonexhaustive deliberate blacklist: data ops are legal in compensations, only control ops are rejected
 		switch op.Kind {
 		case OpBegin, OpCommit, OpCommitOpen, OpBarrier, OpSuspend, OpResume:
 			panic("workload: compensation blocks may only contain straight-line ops")
