@@ -14,6 +14,12 @@
 //	suvsim -app intruder -scheme SUV-TM -chrome-trace t.json \
 //	       -metrics-csv m.csv -sample-interval 10000 -metrics-json m.json
 //
+// Conflict forensics (abort attribution, signature false-positive
+// accounting, cycle-loss flamegraphs):
+//
+//	suvsim -app intruder -scheme SUV-TM -conflict-report r.json \
+//	       -folded-stacks r.folded
+//
 // Robustness (deterministic fault injection; see README.md):
 //
 //	suvsim -app intruder -scheme SUV-TM -faults nack-storm -fault-seed 7
@@ -45,8 +51,13 @@ func main() {
 
 		metricsJSON = flag.String("metrics-json", "", "write the end-of-run metrics snapshot (counters, gauges, histograms) to this file")
 		metricsCSV  = flag.String("metrics-csv", "", "write the interval-sampled time series to this CSV file")
+		metricsProm = flag.String("metrics-prom", "", "write the metrics snapshot in Prometheus text exposition format to this file")
 		chromeTrace = flag.String("chrome-trace", "", "write a Chrome trace-event JSON (Perfetto / chrome://tracing) to this file")
 		interval    = flag.Uint64("sample-interval", 10000, "time-series sampling interval in simulated cycles")
+
+		conflictReport = flag.String("conflict-report", "", "write the JSON conflict-forensics report (abort attribution, false-positive accounting) to this file")
+		foldedStacks   = flag.String("folded-stacks", "", "write cycle-loss profiles as folded stacks (site;line;cause weight — flamegraph.pl / pprof ready) to this file")
+		forensicsTopK  = flag.Int("forensics-topk", 0, "hot-site/hot-line table depth in the conflict report (0 = default)")
 
 		faultPlan    = flag.String("faults", "", "inject a built-in fault plan (\"list\" to enumerate), arming the escalation ladder")
 		faultFile    = flag.String("faults-file", "", "inject the exact fault plan decoded from this file (overrides -faults)")
@@ -93,10 +104,13 @@ func main() {
 		App: *app, Scheme: suvtm.Scheme(*scheme),
 		Cores: *cores, Scale: *scale, Seed: *seed,
 		TraceEvents: *traceN,
-		Metrics:     *metricsJSON != "",
+		Metrics:     *metricsJSON != "" || *metricsProm != "",
 		ChromeTrace: *chromeTrace != "",
 		FaultPlan:   *faultPlan,
 		FaultSeed:   *faultSeed,
+
+		Forensics:     *conflictReport != "" || *foldedStacks != "",
+		ForensicsTopK: *forensicsTopK,
 	}
 	if *faultFile != "" {
 		f, err := os.Open(*faultFile)
@@ -144,7 +158,7 @@ func main() {
 			fmt.Fprintln(os.Stderr, dl.PostMortem())
 		}
 		if out != nil {
-			writeMetrics(out, *metricsJSON, *metricsCSV, *chromeTrace)
+			writeMetrics(out, *metricsJSON, *metricsCSV, *chromeTrace, *metricsProm, *conflictReport, *foldedStacks)
 		}
 		stopProfiles()
 		os.Exit(1)
@@ -189,11 +203,14 @@ func main() {
 		fmt.Printf("                  %d starvation escalations, %d token grants, %d degraded completions, %d pool-reclaim stalls\n",
 			c.StarveEscalations, c.TokenGrants, c.GracefulDegradation, c.PoolReclaimStalls)
 	}
+	if out.Forensics != nil {
+		fmt.Printf("  forensics:      %s\n", out.Forensics)
+	}
 	if out.Trace != nil {
 		fmt.Printf("\nLast %d lifecycle events (of %d recorded):\n%s",
 			*traceN, out.Trace.Total(), out.Trace.Dump())
 	}
-	writeMetrics(out, *metricsJSON, *metricsCSV, *chromeTrace)
+	writeMetrics(out, *metricsJSON, *metricsCSV, *chromeTrace, *metricsProm, *conflictReport, *foldedStacks)
 	if *cacheDir != "" {
 		fmt.Printf("  %s\n", suvtm.FleetSnapshot())
 	}
@@ -217,7 +234,7 @@ func runChaos() {
 
 // writeMetrics exports the run's observability outputs to the requested
 // files.
-func writeMetrics(out *suvtm.Outcome, jsonPath, csvPath, tracePath string) {
+func writeMetrics(out *suvtm.Outcome, jsonPath, csvPath, tracePath, promPath, reportPath, foldedPath string) {
 	save := func(path, what string, write func(*os.File) error) {
 		f, err := os.Create(path)
 		if err == nil {
@@ -240,6 +257,15 @@ func writeMetrics(out *suvtm.Outcome, jsonPath, csvPath, tracePath string) {
 	}
 	if tracePath != "" && out.Chrome != nil {
 		save(tracePath, "Chrome trace", func(f *os.File) error { return out.Chrome.WriteJSON(f) })
+	}
+	if promPath != "" && out.Metrics != nil {
+		save(promPath, "Prometheus metrics", func(f *os.File) error { return out.Metrics.WriteProm(f) })
+	}
+	if reportPath != "" && out.Forensics != nil {
+		save(reportPath, "conflict report", func(f *os.File) error { return out.Forensics.WriteJSON(f) })
+	}
+	if foldedPath != "" && out.Forensics != nil {
+		save(foldedPath, "folded stacks", func(f *os.File) error { return out.Forensics.WriteFolded(f) })
 	}
 }
 

@@ -7,6 +7,8 @@
 //	sweep -fig7 [-scale 1.0] [-apps bayes,labyrinth,yada]
 //	sweep -fig8size | -fig8lat | -all
 //	sweep -series intruder -csv out   # per-interval time series per scheme
+//	sweep -forensics intruder -folded out   # conflict forensics across schemes
+//	sweep -all -progress              # stream fleet progress to stderr
 package main
 
 import (
@@ -32,8 +34,12 @@ func main() {
 		seed     = flag.Uint64("seed", 1, "simulation seed")
 		scale    = flag.Float64("scale", 1.0, "workload scale factor")
 		apps     = flag.String("apps", "", "comma-separated app subset (default: all eight)")
-		series   = flag.String("series", "", "per-interval time series for one app under the Figure 6 schemes (requires -csv)")
-		interval = flag.Uint64("sample-interval", 10000, "sampling interval for -series, in simulated cycles")
+		series    = flag.String("series", "", "per-interval time series for one app under the Figure 6 schemes (requires -csv)")
+		interval  = flag.Uint64("sample-interval", 10000, "sampling interval for -series, in simulated cycles")
+		forensic  = flag.String("forensics", "", "conflict-forensics comparison for one app across every scheme (true conflicts vs signature false positives, hottest lines/sites)")
+		topK      = flag.Int("forensics-topk", 0, "hot-site/hot-line table depth for -forensics (0 = default)")
+		foldedDir = flag.String("folded", "", "with -forensics, also write <dir>/forensics_<app>_<scheme>.folded cycle-loss profiles")
+		progress  = flag.Bool("progress", false, "stream deterministic fleet-progress snapshots to stderr while batches run")
 		jobs     = flag.Int("jobs", 0, "concurrent simulations (0 = one per host CPU)")
 		cacheDir = flag.String("cache-dir", os.Getenv("SUVTM_RUNCACHE"),
 			"persist the run cache under this directory (default $SUVTM_RUNCACHE; empty = in-memory only)")
@@ -55,6 +61,11 @@ func main() {
 	opts := experiments.Options{Cores: *cores, Seed: *seed, Scale: *scale, Jobs: *jobs}
 	if *apps != "" {
 		opts.Apps = strings.Split(*apps, ",")
+	}
+	if *progress {
+		opts.OnProgress = func(p experiments.FleetProgress) {
+			fmt.Fprintln(os.Stderr, "sweep:", p.String())
+		}
 	}
 	fail := func(err error) {
 		fmt.Fprintln(os.Stderr, "sweep:", err)
@@ -114,6 +125,10 @@ func main() {
 		}
 		runSeries(*series, opts, *interval, *csvDir, fail)
 	}
+	if *forensic != "" {
+		ran = true
+		runForensics(*forensic, opts, *topK, *foldedDir, fail)
+	}
 	if !ran {
 		flag.Usage()
 		os.Exit(2)
@@ -156,6 +171,47 @@ func runSeries(app string, opts experiments.Options, interval uint64, dir string
 			fail(err)
 		}
 		fmt.Printf("wrote %s (%d intervals, %d cycles total)\n", path, len(out.Series.Rows), out.Cycles)
+	}
+}
+
+// runForensics compares one app's conflict forensics across every
+// scheme and optionally writes per-scheme folded cycle-loss profiles
+// (feed them to flamegraph.pl or `pprof -raw`-style tooling).
+func runForensics(app string, opts experiments.Options, topK int, foldedDir string, fail func(error)) {
+	cmp, err := experiments.RunForensics(app, nil, experiments.ForensicsOptions{
+		Cores: opts.Cores, Seed: opts.Seed, Scale: opts.Scale, TopK: topK,
+		Batch: experiments.BatchOptions{Jobs: opts.Jobs, OnProgress: opts.OnProgress},
+	})
+	if err != nil {
+		fail(err)
+	}
+	fmt.Println(cmp.Render())
+	if foldedDir == "" {
+		return
+	}
+	if err := os.MkdirAll(foldedDir, 0o755); err != nil {
+		fail(err)
+	}
+	for _, s := range cmp.Schemes {
+		rep := cmp.Reports[s]
+		if rep == nil {
+			continue
+		}
+		name := fmt.Sprintf("forensics_%s_%s.folded", app,
+			strings.ReplaceAll(string(s), "+", "-"))
+		path := filepath.Join(foldedDir, name)
+		f, err := os.Create(path)
+		if err != nil {
+			fail(err)
+		}
+		err = rep.WriteFolded(f)
+		if cerr := f.Close(); err == nil {
+			err = cerr
+		}
+		if err != nil {
+			fail(err)
+		}
+		fmt.Printf("wrote %s (%d folds)\n", path, len(rep.Folds))
 	}
 }
 

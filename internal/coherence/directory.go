@@ -178,6 +178,24 @@ func (d *Directory) SharerCount(line sim.Line) int {
 	return bits.OnesCount64(d.Sharers(line))
 }
 
+// HolderCount returns the number of cores holding any copy of line —
+// the Shared sharers plus a Modified owner when present. Conflict
+// forensics records it as the line's contention degree at conflict
+// time.
+//
+//suv:hotpath
+func (d *Directory) HolderCount(line sim.Line) int {
+	e := d.peek(line)
+	if e == nil {
+		return 0
+	}
+	n := bits.OnesCount64(e.sharers)
+	if e.owner() >= 0 {
+		n++
+	}
+	return n
+}
+
 // ForEachSharer calls fn for every sharer core id in ascending order.
 // The sharer set is read once up front, so fn may mutate the directory
 // (Drop, SetOwner) without disturbing the iteration.

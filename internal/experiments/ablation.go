@@ -43,7 +43,7 @@ func runAblation(opts Options, name string, scheme Scheme, configs []struct {
 			})
 		}
 	}
-	outs, err := RunManyWith(specs, BatchOptions{Jobs: opts.Jobs})
+	outs, err := RunManyWith(specs, opts.batch())
 	if err != nil {
 		return nil, err
 	}

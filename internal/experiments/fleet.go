@@ -42,6 +42,150 @@ type BatchOptions struct {
 	NoSchedule bool
 	// NoCache skips the run cache entirely.
 	NoCache bool
+	// OnProgress, when non-nil, streams a FleetProgress snapshot after
+	// every ProgressEvery completed runs (and once when the batch
+	// drains). It is the telemetry seam a long campaign's consumer —
+	// a progress bar, the future suvd — wires to. The callback runs on a
+	// worker goroutine under the batch's progress lock: keep it fast and
+	// do not call back into the fleet from inside it.
+	OnProgress func(FleetProgress)
+	// ProgressEvery is the completed-run granularity of OnProgress
+	// (<=0 = every completion). Progress is count-based, never
+	// wall-clock-based, so streaming stays deterministic for a fixed
+	// batch regardless of host timing.
+	ProgressEvery int
+}
+
+// SchemeProgress is one scheme's live totals within a running batch,
+// aggregated over the runs that have completed so far.
+type SchemeProgress struct {
+	Scheme         Scheme
+	Runs           int
+	Failed         int
+	Commits        uint64
+	Aborts         uint64
+	TrueConflicts  uint64 // forensic runs only (0 otherwise)
+	FalsePositives uint64 // forensic runs count all sources; else Counters.FalsePositive
+	WastedCycles   uint64 // cycles thrown away in aborted attempts
+}
+
+// FleetProgress is a streaming snapshot of a batch in flight: overall
+// completion, the campaign-layer counters, and per-scheme conflict
+// totals (sorted by scheme name, deterministically).
+type FleetProgress struct {
+	Done    int // completed runs (including failures)
+	Total   int
+	Failed  int
+	Fleet   FleetStats
+	Schemes []SchemeProgress
+}
+
+// String renders the snapshot as a one-line progress report.
+func (p FleetProgress) String() string {
+	var sb []byte
+	sb = fmt.Appendf(sb, "fleet progress: %d/%d done", p.Done, p.Total)
+	if p.Failed > 0 {
+		sb = fmt.Appendf(sb, " (%d failed)", p.Failed)
+	}
+	for _, s := range p.Schemes {
+		sb = fmt.Appendf(sb, " | %s: %d runs, %d commits, %d aborts", s.Scheme, s.Runs, s.Commits, s.Aborts)
+		if s.FalsePositives > 0 || s.TrueConflicts > 0 {
+			sb = fmt.Appendf(sb, ", %d true-conf, %d false-pos", s.TrueConflicts, s.FalsePositives)
+		}
+	}
+	return string(sb)
+}
+
+// progressTracker accumulates per-scheme totals as runs complete and
+// emits snapshots at the configured granularity.
+type progressTracker struct {
+	mu      sync.Mutex
+	total   int
+	done    int
+	failed  int
+	every   int
+	sinceCb int
+	schemes map[Scheme]*SchemeProgress
+	emit    func(FleetProgress)
+}
+
+func newProgressTracker(total int, o BatchOptions) *progressTracker {
+	if o.OnProgress == nil {
+		return nil
+	}
+	every := o.ProgressEvery
+	if every <= 0 {
+		every = 1
+	}
+	return &progressTracker{
+		total:   total,
+		every:   every,
+		schemes: make(map[Scheme]*SchemeProgress),
+		emit:    o.OnProgress,
+	}
+}
+
+// complete records one finished run and emits a snapshot when due. A
+// nil tracker (no OnProgress) is a no-op.
+func (t *progressTracker) complete(spec Spec, out *Outcome, err error) {
+	if t == nil {
+		return
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	t.done++
+	t.sinceCb++
+	sp, ok := t.schemes[spec.Scheme]
+	if !ok {
+		sp = &SchemeProgress{Scheme: spec.Scheme}
+		t.schemes[spec.Scheme] = sp
+	}
+	sp.Runs++
+	if err != nil {
+		t.failed++
+		sp.Failed++
+	}
+	if out != nil && out.Result != nil {
+		sp.Commits += out.Counters.TxCommitted
+		sp.Aborts += out.Counters.TxAborted
+		sp.WastedCycles += out.Breakdown.Cycles[stats.Wasted]
+		if out.Forensics != nil {
+			sp.TrueConflicts += out.Forensics.Summary.TrueConflicts
+			sp.FalsePositives += out.Forensics.Summary.FalsePositives
+		} else {
+			sp.FalsePositives += out.Counters.FalsePositive
+		}
+	}
+	if t.sinceCb >= t.every || t.done == t.total {
+		t.sinceCb = 0
+		t.emit(t.snapshotLocked())
+	}
+}
+
+// finish emits the final snapshot if completions are still unreported
+// (a batch that stopped dispatching after a failure never reaches
+// done == total).
+func (t *progressTracker) finish() {
+	if t == nil {
+		return
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if t.sinceCb > 0 {
+		t.sinceCb = 0
+		t.emit(t.snapshotLocked())
+	}
+}
+
+// snapshotLocked builds a deterministic snapshot; the caller holds mu.
+func (t *progressTracker) snapshotLocked() FleetProgress {
+	p := FleetProgress{Done: t.done, Total: t.total, Failed: t.failed, Fleet: FleetSnapshot()}
+	//suv:orderinsensitive the map is drained into a slice sorted below
+	for _, sp := range t.schemes {
+		p.Schemes = append(p.Schemes, *sp)
+	}
+	sort.Slice(p.Schemes, func(i, j int) bool { return p.Schemes[i].Scheme < p.Schemes[j].Scheme })
+	return p
 }
 
 // RunManyWith executes the specs concurrently under the given fleet
@@ -84,6 +228,7 @@ func runBatch(specs []Spec, o BatchOptions) ([]*Outcome, []error) {
 	order := dispatchOrder(specs, o)
 	outcomes := make([]*Outcome, len(specs))
 	errs := make([]error, len(specs))
+	progress := newProgressTracker(len(specs), o)
 	var cursor atomic.Int64
 	var failed atomic.Bool
 	var wg sync.WaitGroup
@@ -110,10 +255,12 @@ func runBatch(specs []Spec, o BatchOptions) ([]*Outcome, []error) {
 				} else {
 					observeCost(specs[i], outcomes[i])
 				}
+				progress.complete(specs[i], outcomes[i], errs[i])
 			}
 		}()
 	}
 	wg.Wait()
+	progress.finish()
 	return outcomes, errs
 }
 
@@ -231,10 +378,10 @@ func (s FleetStats) String() string {
 }
 
 // Cacheable reports whether spec is a pure run the cache may serve.
-// Trace, metrics, Chrome-trace and fault-injected runs carry outputs
-// that live outside the cached entry, so they always bypass.
+// Trace, metrics, Chrome-trace, forensics and fault-injected runs carry
+// outputs that live outside the cached entry, so they always bypass.
 func Cacheable(spec Spec) bool {
-	return spec.TraceEvents == 0 && !spec.wantMetrics() &&
+	return spec.TraceEvents == 0 && !spec.wantMetrics() && !spec.Forensics &&
 		spec.FaultPlan == "" && spec.Faults == nil
 }
 

@@ -1,0 +1,109 @@
+package experiments
+
+import (
+	"fmt"
+	"strings"
+
+	"suvtm/internal/forensics"
+	"suvtm/internal/stats"
+)
+
+// ForensicsOptions tunes a RunForensics comparison.
+type ForensicsOptions struct {
+	Cores int     // 0 = paper default (16)
+	Seed  uint64  // 0 = 1
+	Scale float64 // 0 = 1.0
+	TopK  int     // hot-line/hot-site table depth (0 = forensics default)
+	Batch BatchOptions
+}
+
+// ForensicsCompare holds one app's conflict forensics across schemes —
+// the figure the paper never had: where SUV's redirect-back wins (or
+// loses) cycles relative to LogTM-SE's log walk, split into true
+// sharing vs signature aliasing, per scheme.
+type ForensicsCompare struct {
+	App     string
+	Schemes []Scheme
+	Reports map[Scheme]*forensics.Report
+}
+
+// RunForensics runs app under every scheme with the conflict-provenance
+// collector attached and returns the per-scheme reports. Runs are
+// deterministic, so the comparison is replay-stable.
+func RunForensics(app string, schemes []Scheme, opt ForensicsOptions) (*ForensicsCompare, error) {
+	if len(schemes) == 0 {
+		schemes = append(append([]Scheme{}, Fig6Schemes...), Fig9Schemes...)
+	}
+	specs := make([]Spec, len(schemes))
+	for i, s := range schemes {
+		specs[i] = Spec{
+			App: app, Scheme: s,
+			Cores: opt.Cores, Seed: opt.Seed, Scale: opt.Scale,
+			Forensics: true, ForensicsTopK: opt.TopK,
+		}
+	}
+	outs, err := RunManyWith(specs, opt.Batch)
+	if err != nil {
+		return nil, err
+	}
+	cmp := &ForensicsCompare{
+		App:     app,
+		Schemes: append([]Scheme(nil), schemes...),
+		Reports: make(map[Scheme]*forensics.Report, len(schemes)),
+	}
+	for i, out := range outs {
+		cmp.Reports[schemes[i]] = out.Forensics
+	}
+	return cmp, nil
+}
+
+// Render formats the comparison: the per-scheme classification table,
+// then each scheme's hottest line and site.
+func (f *ForensicsCompare) Render() string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "Conflict forensics: %s\n\n", f.App)
+
+	tab := stats.NewTable("scheme", "nacks", "aborts", "true conf", "false pos",
+		"fp rate", "pred alias", "stall cyc", "wasted cyc", "cascades")
+	for _, s := range f.Schemes {
+		r := f.Reports[s]
+		if r == nil {
+			tab.AddRow(string(s), "-", "-", "-", "-", "-", "-", "-", "-", "-")
+			continue
+		}
+		sum := &r.Summary
+		tab.AddRow(string(s),
+			fmt.Sprint(sum.NACKs), fmt.Sprint(sum.Aborts),
+			fmt.Sprint(sum.TrueConflicts), fmt.Sprint(sum.FalsePositives),
+			stats.Pct(sum.FalsePositiveRate), stats.Pct(sum.PredictedAliasRate),
+			fmt.Sprint(sum.StallCycles), fmt.Sprint(sum.WastedCycles),
+			fmt.Sprint(sum.Cascades))
+	}
+	sb.WriteString(tab.String())
+
+	sb.WriteString("\nHottest contention points:\n")
+	tab2 := stats.NewTable("scheme", "hot line", "line cyc", "sharers", "hot site", "site cyc", "friendly fire")
+	for _, s := range f.Schemes {
+		r := f.Reports[s]
+		if r == nil {
+			continue
+		}
+		line, lcyc, sharers := "-", "-", "-"
+		if len(r.Lines) > 0 {
+			l := r.Lines[0]
+			line = fmt.Sprintf("%#x", l.Line)
+			lcyc = fmt.Sprint(l.StallCycles + l.WastedCycles)
+			sharers = fmt.Sprint(l.MaxSharers)
+		}
+		site, scyc := "-", "-"
+		if len(r.Sites) > 0 {
+			st := r.Sites[0]
+			site = fmt.Sprint(st.Site)
+			scyc = fmt.Sprint(st.StallCycles + st.WastedCycles)
+		}
+		tab2.AddRow(string(s), line, lcyc, sharers, site, scyc,
+			fmt.Sprint(r.Summary.FriendlyFire))
+	}
+	sb.WriteString(tab2.String())
+	return sb.String()
+}

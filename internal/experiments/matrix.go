@@ -18,6 +18,10 @@ type Options struct {
 	Apps  []string
 	// Jobs bounds the concurrent simulations (0 = GOMAXPROCS).
 	Jobs int
+	// OnProgress, when non-nil, receives deterministic count-based
+	// fleet-progress snapshots while the experiment's batches run (see
+	// BatchOptions.OnProgress).
+	OnProgress func(FleetProgress)
 }
 
 func (o Options) apps() []string {
@@ -25,6 +29,11 @@ func (o Options) apps() []string {
 		return workload.StampApps
 	}
 	return o.Apps
+}
+
+// batch converts the experiment options into per-batch fleet options.
+func (o Options) batch() BatchOptions {
+	return BatchOptions{Jobs: o.Jobs, OnProgress: o.OnProgress}
 }
 
 // Matrix holds the outcomes of an apps x schemes experiment.
@@ -46,7 +55,7 @@ func RunMatrix(opts Options, schemes []Scheme) (*Matrix, error) {
 			})
 		}
 	}
-	outcomes, err := RunManyWith(specs, BatchOptions{Jobs: opts.Jobs})
+	outcomes, err := RunManyWith(specs, opts.batch())
 	if err != nil {
 		return nil, err
 	}

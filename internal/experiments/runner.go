@@ -10,6 +10,7 @@ import (
 	"fmt"
 
 	"suvtm/internal/faults"
+	"suvtm/internal/forensics"
 	"suvtm/internal/htm"
 	"suvtm/internal/htm/dyntm"
 	"suvtm/internal/htm/fastm"
@@ -95,6 +96,13 @@ type Spec struct {
 	// Faults, when non-nil, injects this exact plan instead of building
 	// one from FaultPlan/FaultSeed (replaying a decoded corpus file).
 	Faults *faults.Plan
+	// Forensics attaches a conflict-provenance collector and builds the
+	// conflict report (Outcome.Forensics). Forensic runs always bypass
+	// the run cache: the report lives outside the cached entry.
+	Forensics bool
+	// ForensicsTopK bounds the report's hot-site and hot-line tables
+	// (0 = the forensics default).
+	ForensicsTopK int
 }
 
 // wantMetrics reports whether any observability output is requested.
@@ -130,9 +138,10 @@ type Outcome struct {
 	Trace      *trace.Recorder // non-nil when Spec.TraceEvents > 0
 
 	// Observability outputs, populated per the Spec's metrics fields.
-	Metrics *metrics.Snapshot    // non-nil when metrics were enabled
-	Series  *metrics.Series      // non-nil when SampleInterval > 0
-	Chrome  *metrics.ChromeTrace // non-nil when ChromeTrace was set
+	Metrics   *metrics.Snapshot    // non-nil when metrics were enabled
+	Series    *metrics.Series      // non-nil when SampleInterval > 0
+	Chrome    *metrics.ChromeTrace // non-nil when ChromeTrace was set
+	Forensics *forensics.Report    // non-nil when Spec.Forensics was set
 }
 
 // Run executes one simulation, cold: fresh memory, directory and
@@ -216,6 +225,11 @@ func runSpec(spec Spec, arena *machineArena) (*Outcome, error) {
 		}
 		machine.EnableMetrics(col)
 	}
+	var fx *forensics.Collector
+	if spec.Forensics {
+		fx = forensics.NewCollector(cores)
+		machine.EnableForensics(fx)
+	}
 	res, err := machine.Run()
 	out := &Outcome{
 		Spec:       spec,
@@ -227,6 +241,13 @@ func runSpec(spec Spec, arena *machineArena) (*Outcome, error) {
 	}
 	if spec.TraceEvents > 0 {
 		out.Trace = rec
+	}
+	if fx != nil {
+		rep := fx.Report(spec.ForensicsTopK)
+		rep.App = spec.App
+		rep.Scheme = string(spec.Scheme)
+		rep.Seed = seed
+		out.Forensics = rep
 	}
 	if col != nil {
 		snap := col.Snapshot()

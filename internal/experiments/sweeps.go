@@ -48,7 +48,7 @@ func runSweep(opts Options, name string, params []int, tweak func(*htm.Config, i
 			})
 		}
 	}
-	outcomes, err := RunManyWith(specs, BatchOptions{Jobs: opts.Jobs})
+	outcomes, err := RunManyWith(specs, opts.batch())
 	if err != nil {
 		return nil, err
 	}

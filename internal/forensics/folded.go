@@ -1,0 +1,107 @@
+package forensics
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+
+	"suvtm/internal/sim"
+)
+
+// Folded-stack export: one line per site→line→cause stack in the
+// Brendan Gregg collapsed format ("frame;frame;frame weight"), directly
+// consumable by flamegraph.pl, speedscope, or pprof's collapsed-profile
+// importer. Weights are simulated cycles lost (stall for NACKs, wasted
+// work for aborts).
+
+// foldFrames renders a fold's three frames.
+func foldFrames(f *Fold) string {
+	site := "site=nontx"
+	if f.Site >= 0 {
+		site = fmt.Sprintf("site=%d", f.Site)
+	}
+	line := "line=?"
+	if f.HasLin {
+		line = fmt.Sprintf("line=0x%x", uint64(f.Line))
+	}
+	return site + ";" + line + ";" + f.Cause
+}
+
+// WriteFolded emits the report's cycle-loss profile as collapsed
+// stacks, hottest first (the report's fold order is already
+// deterministic).
+func (r *Report) WriteFolded(w io.Writer) error {
+	bw := bufio.NewWriter(w)
+	for i := range r.Folds {
+		f := &r.Folds[i]
+		if _, err := fmt.Fprintf(bw, "%s %d\n", foldFrames(f), f.Cycles); err != nil {
+			return err
+		}
+	}
+	return bw.Flush()
+}
+
+// ParseFolded parses collapsed stacks produced by WriteFolded back into
+// folds. It is the encoder's round-trip inverse (the fuzz target's
+// oracle) and tolerates blank lines.
+func ParseFolded(r io.Reader) ([]Fold, error) {
+	var out []Fold
+	sc := bufio.NewScanner(r)
+	lineNo := 0
+	for sc.Scan() {
+		lineNo++
+		text := strings.TrimSpace(sc.Text())
+		if text == "" {
+			continue
+		}
+		sp := strings.LastIndexByte(text, ' ')
+		if sp < 0 {
+			return nil, fmt.Errorf("folded line %d: no weight: %q", lineNo, text)
+		}
+		weight, err := strconv.ParseUint(text[sp+1:], 10, 64)
+		if err != nil {
+			return nil, fmt.Errorf("folded line %d: bad weight: %v", lineNo, err)
+		}
+		frames := strings.Split(text[:sp], ";")
+		if len(frames) != 3 {
+			return nil, fmt.Errorf("folded line %d: want 3 frames, got %d", lineNo, len(frames))
+		}
+		var f Fold
+		f.Cycles = sim.Cycles(weight)
+		switch {
+		case frames[0] == "site=nontx":
+			f.Site = -1
+		case strings.HasPrefix(frames[0], "site="):
+			site, err := strconv.ParseInt(frames[0][len("site="):], 10, 64)
+			if err != nil || site < 0 {
+				return nil, fmt.Errorf("folded line %d: bad site frame %q", lineNo, frames[0])
+			}
+			f.Site = site
+		default:
+			return nil, fmt.Errorf("folded line %d: bad site frame %q", lineNo, frames[0])
+		}
+		switch {
+		case frames[1] == "line=?":
+			f.Line, f.HasLin = NoLine, false
+		case strings.HasPrefix(frames[1], "line=0x"):
+			ln, err := strconv.ParseUint(frames[1][len("line=0x"):], 16, 64)
+			if err != nil {
+				return nil, fmt.Errorf("folded line %d: bad line frame %q", lineNo, frames[1])
+			}
+			f.Line, f.HasLin = sim.Line(ln), true
+		default:
+			return nil, fmt.Errorf("folded line %d: bad line frame %q", lineNo, frames[1])
+		}
+		if frames[2] == "" {
+			return nil, fmt.Errorf("folded line %d: empty cause frame", lineNo)
+		}
+		f.Cause = frames[2]
+		out = append(out, f)
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	return out, nil
+}

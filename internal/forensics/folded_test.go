@@ -1,0 +1,104 @@
+package forensics
+
+import (
+	"bytes"
+	"reflect"
+	"strings"
+	"testing"
+
+	"suvtm/internal/sim"
+)
+
+// TestFoldedRoundTrip checks WriteFolded → ParseFolded is the identity
+// on a representative report.
+func TestFoldedRoundTrip(t *testing.T) {
+	folds := []Fold{
+		{Site: 3, Line: 0x4000, HasLin: true, Cause: "eager-nack", Cycles: 1200},
+		{Site: 0, Line: 0x17, HasLin: true, Cause: "cycle", Cycles: 500},
+		{Site: -1, Line: 0x4000, HasLin: true, Cause: "nontx-store", Cycles: 90},
+		{Site: 7, Line: NoLine, HasLin: false, Cause: "token", Cycles: 5},
+		{Site: 2, Line: 0, HasLin: true, Cause: "commit-kill", Cycles: 0},
+	}
+	var buf bytes.Buffer
+	if err := (&Report{Folds: folds}).WriteFolded(&buf); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ParseFolded(&buf)
+	if err != nil {
+		t.Fatalf("parse back: %v\n%s", err, buf.String())
+	}
+	if !reflect.DeepEqual(got, folds) {
+		t.Errorf("round trip drifted:\n got %+v\nwant %+v", got, folds)
+	}
+}
+
+// TestParseFoldedErrors checks every malformed-line class is rejected
+// with a line number.
+func TestParseFoldedErrors(t *testing.T) {
+	cases := []struct{ name, in string }{
+		{"no weight", "site=1;line=0x10;cycle"},
+		{"bad weight", "site=1;line=0x10;cycle ten"},
+		{"two frames", "site=1;cycle 10"},
+		{"four frames", "site=1;line=0x10;x;cycle 10"},
+		{"bad site", "site=abc;line=0x10;cycle 10"},
+		{"negative site", "site=-4;line=0x10;cycle 10"},
+		{"no site prefix", "core=1;line=0x10;cycle 10"},
+		{"bad line", "site=1;line=0xzz;cycle 10"},
+		{"no line prefix", "site=1;addr=0x10;cycle 10"},
+		{"empty cause", "site=1;line=0x10; 10"},
+	}
+	for _, tc := range cases {
+		if _, err := ParseFolded(strings.NewReader(tc.in)); err == nil {
+			t.Errorf("%s: %q parsed without error", tc.name, tc.in)
+		}
+	}
+	// Blank lines are tolerated.
+	folds, err := ParseFolded(strings.NewReader("\n\nsite=1;line=?;token 3\n\n"))
+	if err != nil || len(folds) != 1 {
+		t.Errorf("blank-line tolerance: folds=%v err=%v", folds, err)
+	}
+}
+
+// FuzzFoldedRoundTrip fuzzes the parser with arbitrary text: anything
+// it accepts must re-encode and re-parse to the same folds (the
+// encoder/parser pair is closed under round-tripping).
+func FuzzFoldedRoundTrip(f *testing.F) {
+	f.Add("site=3;line=0x4000;eager-nack 1200\nsite=nontx;line=?;token 5\n")
+	f.Add("site=0;line=0x0;none 0")
+	f.Add("site=18446744073709551615;line=0xffffffffffffffff;overflow 18446744073709551615")
+	f.Add("site=1;line=?;a b 5")
+	f.Add("")
+	f.Fuzz(func(t *testing.T, in string) {
+		first, err := ParseFolded(strings.NewReader(in))
+		if err != nil {
+			return // rejected input is fine; we only require closure
+		}
+		var buf bytes.Buffer
+		if err := (&Report{Folds: first}).WriteFolded(&buf); err != nil {
+			t.Fatalf("re-encode of accepted input failed: %v", err)
+		}
+		second, err := ParseFolded(bytes.NewReader(buf.Bytes()))
+		if err != nil {
+			t.Fatalf("re-parse of own encoding failed: %v\n%s", err, buf.String())
+		}
+		if len(first) == 0 && len(second) == 0 {
+			return
+		}
+		if !reflect.DeepEqual(first, second) {
+			t.Errorf("round trip drifted:\n in  %q\n enc %q\n got %+v\nwant %+v",
+				in, buf.String(), second, first)
+		}
+	})
+}
+
+// TestFoldFrames pins the frame spelling the flamegraph tooling sees.
+func TestFoldFrames(t *testing.T) {
+	f := Fold{Site: 3, Line: sim.Line(0x4000), HasLin: true, Cause: "eager-nack"}
+	if got, want := foldFrames(&f), "site=3;line=0x4000;eager-nack"; got != want {
+		t.Errorf("frames = %q, want %q", got, want)
+	}
+	f = Fold{Site: -1, HasLin: false, Cause: "nontx-store"}
+	if got, want := foldFrames(&f), "site=nontx;line=?;nontx-store"; got != want {
+		t.Errorf("frames = %q, want %q", got, want)
+	}
+}

@@ -1,6 +1,7 @@
 package htm
 
 import (
+	"suvtm/internal/forensics"
 	"suvtm/internal/mem"
 	"suvtm/internal/signature"
 	"suvtm/internal/sim"
@@ -97,7 +98,11 @@ func (m *Machine) doStore(c *Core, addr sim.Addr, val sim.Word) {
 		for _, h := range m.Cores {
 			if h != c && m.modeOf(h) == ModeLazy && !h.abortPending &&
 				(h.ReadSig.TestIdx(&idx) || h.WriteSig.TestIdx(&idx)) {
-				h.doomBy(c.ID)
+				// The doom is a signature decision at a known line; the
+				// victim's precise sets say whether it was true sharing or
+				// aliasing.
+				precise := h.readSet.Has(line) || h.writeSet.Has(line)
+				h.doomBy(c.ID, forensics.NoSite, line, forensics.CauseNonTxStore, true, precise)
 			}
 		}
 	}
@@ -286,7 +291,10 @@ func (m *Machine) handleNACK(c, holder *Core, line sim.Line, lat sim.Cycles, wri
 	m.tracer.Record(trace.Event{Cycle: m.now, Core: c.ID, Kind: trace.NACK, Line: line, Other: holder.ID})
 	c.Counters.NACKsReceived++
 	holder.Counters.NACKsSent++
-	if !holder.InWriteSet(line) && !(write && holder.InReadSet(line)) {
+	// The signature reported this conflict; the holder's precise sets say
+	// whether it was true sharing or Bloom aliasing.
+	precise := holder.InWriteSet(line) || (write && holder.InReadSet(line))
+	if !precise {
 		c.Counters.FalsePositive++
 	}
 	requesterEager := c.TxActive() && m.modeOf(c) == ModeEager
@@ -296,8 +304,10 @@ func (m *Machine) handleNACK(c, holder *Core, line sim.Line, lat sim.Cycles, wri
 		// Alternative policy: the receiving core aborts its transaction
 		// to guarantee the older requester's execution (counted as a
 		// remote abort when the holder processes it). The serialization-
-		// token holder is irrevocable and never doomed.
-		holder.doomBy(c.ID)
+		// token holder is irrevocable and never doomed. The signature
+		// decision is classified by this NACK event, so the doom carries
+		// sigHit=false to keep it counted once.
+		holder.doomBy(c.ID, c.txSite(), line, forensics.CauseOlderWins, false, precise)
 	} else if requesterEager {
 		if m.older(c, holder) {
 			holder.possibleCyc = true
@@ -307,12 +317,18 @@ func (m *Machine) handleNACK(c, holder *Core, line sim.Line, lat sim.Cycles, wri
 			// which only ever stalls (the cores it waits on are doomed or
 			// parked, so the stall drains; aborting it would forfeit the
 			// very guarantee the token exists to provide).
+			m.fxNACK(c, holder, line, write, lat, forensics.CauseCycle, precise)
+			c.doom = doomInfo{
+				killer: holder.ID, killerSite: holder.txSite(), line: line,
+				cause: forensics.CauseCycle, sigHit: false, precise: precise,
+			}
 			c.Breakdown.Add(stats.Stalled, lat)
 			c.Counters.CycleAborts++
 			m.startAbort(c, lat)
 			return
 		}
 	}
+	m.fxNACK(c, holder, line, write, lat+m.cfg.RetryInterval, forensics.CauseEagerNACK, precise)
 	if c.InTx() {
 		// A stall is another lost round: it may push this transaction
 		// over a starvation threshold.

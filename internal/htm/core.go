@@ -1,6 +1,7 @@
 package htm
 
 import (
+	"suvtm/internal/forensics"
 	"suvtm/internal/mem"
 	"suvtm/internal/signature"
 	"suvtm/internal/sim"
@@ -19,6 +20,35 @@ const (
 	statusTokenWait                 // parked at a begin while another core holds the serialization token
 	statusFinished
 )
+
+// doomInfo is the provenance of a doom decision: who killed this
+// transaction, at which line, through which mechanism, and whether the
+// decision came from a signature hit confirmed (or not) by the precise
+// sets. It is carried from the doom site to the abort that consumes it,
+// which is where the forensics layer and the remote-kill trace read it.
+// Purely observational: no simulation decision may depend on it.
+type doomInfo struct {
+	killer     int
+	killerSite uint32
+	line       sim.Line
+	cause      forensics.Cause
+	// sigHit marks the doom decision as a signature-reported conflict to
+	// classify (true conflict vs false positive). Dooms whose signature
+	// decision was already classified at the triggering NACK leave it
+	// false to keep each decision counted exactly once.
+	sigHit  bool
+	precise bool
+}
+
+// clearDoom resets the provenance to "no doom recorded".
+func (d *doomInfo) clear() {
+	d.killer = forensics.NoCore
+	d.killerSite = forensics.NoSite
+	d.line = forensics.NoLine
+	d.cause = forensics.CauseNone
+	d.sigHit = false
+	d.precise = false
+}
 
 // compRange locates a registered compensating action in the program: n
 // ops starting at pc, run if the enclosing transaction aborts after an
@@ -80,6 +110,7 @@ type Core struct {
 	overflowedL1   bool       // a written line was evicted this attempt (Table V)
 	abortPending   bool       // a committing lazy transaction killed us
 	abortedBy      int        // core whose commit doomed us (abortPending), or -1
+	doom           doomInfo   // provenance of the pending (or imminent) abort
 	// windowStart is the cycle of this attempt's first write acquisition
 	// (0 = none yet); the isolation window closes when commit completes
 	// or the abort roll-back finishes.
@@ -132,17 +163,30 @@ func (c *Core) TxActive() bool { return len(c.Frames) > 0 && !c.suspended }
 // the core itself is recorded as the killer).
 func (c *Core) DoomTx() {
 	if c.InTx() {
-		c.abortPending = true
-		c.abortedBy = c.ID
+		c.doomBy(c.ID, c.txSite(), forensics.NoLine, forensics.CauseOverflow, false, false)
 	}
 }
 
 // doomBy marks the core's transaction for abort on behalf of killer
-// (a committing lazy transaction, a non-transactional store, or the
-// older-wins policy), remembering who for the trace.
-func (c *Core) doomBy(killer int) {
+// (a committing lazy transaction, a non-transactional store, the
+// older-wins policy, a token grant), remembering who for the trace and
+// the full provenance for the forensics layer.
+func (c *Core) doomBy(killer int, killerSite uint32, line sim.Line, cause forensics.Cause, sigHit, precise bool) {
 	c.abortPending = true
 	c.abortedBy = killer
+	c.doom = doomInfo{
+		killer: killer, killerSite: killerSite, line: line,
+		cause: cause, sigHit: sigHit, precise: precise,
+	}
+}
+
+// txSite returns the core's outermost begin site, or NoSite outside a
+// transaction.
+func (c *Core) txSite() uint32 {
+	if len(c.Frames) > 0 {
+		return c.Frames[0].Site
+	}
+	return forensics.NoSite
 }
 
 // Depth returns the transaction nesting depth (the TM nest counter).
@@ -186,6 +230,7 @@ func (c *Core) clearTxState() {
 	c.overflowedL1 = false
 	c.abortPending = false
 	c.abortedBy = -1
+	c.doom.clear()
 	c.possibleCyc = false
 	c.suspended = false
 	c.windowStart = 0

@@ -1,0 +1,112 @@
+package htm
+
+import (
+	"suvtm/internal/forensics"
+	"suvtm/internal/sim"
+)
+
+// This file is the machine's seam into the conflict-forensics layer.
+// The collector is attached before Run and fed from the conflict paths
+// (handleNACK, lazyArbitrate, injectedNACK, startAbort); detached it is
+// a nil pointer and every hook is a single nil check. The hooks are
+// strictly observational — they read simulation state but never change
+// it — so a run is bit-identical with forensics on or off.
+
+// EnableForensics attaches a conflict-provenance collector (nil leaves
+// forensics disabled). Attach before Run.
+func (m *Machine) EnableForensics(fx *forensics.Collector) { m.fx = fx }
+
+// Forensics returns the attached collector (possibly nil).
+func (m *Machine) Forensics() *forensics.Collector { return m.fx }
+
+// fxWants reports whether any observational consumer (forensics or the
+// event tracer) needs conflict provenance this run. Witness extraction
+// for signature-to-signature kills is skipped entirely when nobody will
+// read it.
+//
+//suv:hotpath
+func (m *Machine) fxWants() bool { return m.fx != nil || m.tracer != nil }
+
+// fxNACK feeds one refused request to the collector.
+//
+//suv:hotpath
+func (m *Machine) fxNACK(c, holder *Core, line sim.Line, write bool, stall sim.Cycles, cause forensics.Cause, precise bool) {
+	if m.fx == nil {
+		return
+	}
+	kind := forensics.Read
+	if write {
+		kind = forensics.Write
+	}
+	ev := forensics.NACKEvent{
+		Cycle:     m.now,
+		Requester: c.ID,
+		Holder:    holder.ID,
+		Line:      line,
+		Kind:      kind,
+		Cause:     cause,
+		ReqSite:   c.txSite(),
+		HoldSite:  holder.txSite(),
+		SigHit:    true,
+		Precise:   precise,
+		Stall:     stall,
+		Sharers:   m.Dir.HolderCount(line),
+	}
+	if !precise {
+		ev.AliasRate = maxf(holder.WriteSig.AliasRate(), holder.ReadSig.AliasRate())
+	}
+	m.fx.NACK(ev)
+}
+
+// fxAbort feeds one aborting attempt to the collector, consuming the
+// doom provenance recorded at the kill site.
+//
+//suv:hotpath
+func (m *Machine) fxAbort(c *Core) {
+	if m.fx == nil {
+		return
+	}
+	m.fx.Abort(forensics.AbortEvent{
+		Cycle:        m.now,
+		Victim:       c.ID,
+		Killer:       c.doom.killer,
+		Line:         c.doom.line,
+		Cause:        c.doom.cause,
+		VictimSite:   c.txSite(),
+		KillerSite:   c.doom.killerSite,
+		SigHit:       c.doom.sigHit,
+		Precise:      c.doom.precise,
+		Wasted:       c.attemptCyc,
+		AttemptStart: c.attemptStart,
+	})
+}
+
+// commitWitness extracts a deterministic (line, confirmed) witness for
+// a write-signature-vs-victim intersection: the smallest line the
+// committer's precise write set shares with the victim's precise read
+// or write set, or (NoLine, false) when the sets are disjoint — a pure
+// signature false positive.
+func commitWitness(committer, victim *Core) (sim.Line, bool) {
+	lr, okr := committer.writeSet.MinCommon(victim.readSet)
+	lw, okw := committer.writeSet.MinCommon(victim.writeSet)
+	switch {
+	case okr && okw:
+		if lw < lr {
+			return lw, true
+		}
+		return lr, true
+	case okr:
+		return lr, true
+	case okw:
+		return lw, true
+	}
+	return forensics.NoLine, false
+}
+
+// maxf returns the larger float (deterministic: no NaNs in play).
+func maxf(a, b float64) float64 {
+	if a > b {
+		return a
+	}
+	return b
+}

@@ -5,6 +5,7 @@ import (
 
 	"suvtm/internal/coherence"
 	"suvtm/internal/faults"
+	"suvtm/internal/forensics"
 	"suvtm/internal/interconnect"
 	"suvtm/internal/mem"
 	"suvtm/internal/metrics"
@@ -37,6 +38,7 @@ type Machine struct {
 	tracer  *trace.Recorder
 	metrics *metrics.Collector
 	obs     *observer
+	fx      *forensics.Collector
 
 	heap            sim.ReadyHeap
 	now             sim.Cycles
@@ -138,6 +140,10 @@ func NewWith(cfg Config, vm VersionManager, programs []workload.Program, memory 
 		c := &Core{
 			ID:        i,
 			abortedBy: -1,
+			doom: doomInfo{
+				killer: forensics.NoCore, killerSite: forensics.NoSite,
+				line: forensics.NoLine,
+			},
 			RNG:       rng.Fork(),
 			L1:        l1,
 			TLB:       mem.NewTLB(cfg.TLBEntries),
@@ -281,7 +287,8 @@ func (m *Machine) step(c *Core) {
 		if c.abortPending && c.InTx() {
 			// A committer doomed us while we waited for the token.
 			c.Counters.RemoteAborts++
-			m.tracer.Record(trace.Event{Cycle: m.now, Core: c.ID, Kind: trace.RemoteKill, Other: c.abortedBy})
+			m.tracer.Record(trace.Event{Cycle: m.now, Core: c.ID, Kind: trace.RemoteKill,
+				Line: c.doom.line, Other: c.abortedBy})
 			m.startAbort(c, 0)
 			return
 		}
@@ -290,7 +297,8 @@ func (m *Machine) step(c *Core) {
 	}
 	if c.abortPending && c.InTx() && !c.suspended {
 		c.Counters.RemoteAborts++
-		m.tracer.Record(trace.Event{Cycle: m.now, Core: c.ID, Kind: trace.RemoteKill, Other: c.abortedBy})
+		m.tracer.Record(trace.Event{Cycle: m.now, Core: c.ID, Kind: trace.RemoteKill,
+			Line: c.doom.line, Other: c.abortedBy})
 		m.startAbort(c, 0)
 		return
 	}

@@ -2,6 +2,7 @@ package htm
 
 import (
 	"suvtm/internal/faults"
+	"suvtm/internal/forensics"
 	"suvtm/internal/sim"
 	"suvtm/internal/stats"
 	"suvtm/internal/trace"
@@ -92,6 +93,16 @@ func (m *Machine) injectedNACK(c *Core) bool {
 	m.tracer.Record(trace.Event{Cycle: m.now, Core: c.ID, Kind: trace.NACK,
 		Line: sim.LineOf(0), Other: -1})
 	lat := m.cfg.DirLatency + m.cfg.RetryInterval
+	if m.fx.Enabled() {
+		// No holder and no signature: an injected refusal never enters the
+		// true-vs-false-positive accounting, only the stall profile.
+		m.fx.NACK(forensics.NACKEvent{
+			Cycle: m.now, Requester: c.ID, Holder: forensics.NoCore,
+			Line: forensics.NoLine, Cause: forensics.CauseInjected,
+			ReqSite: c.txSite(), HoldSite: forensics.NoSite,
+			Stall: lat,
+		})
+	}
 	c.Breakdown.Add(stats.Stalled, lat)
 	m.maybeEscalate(c)
 	m.heap.Push(m.now+lat, c.ID)
@@ -155,7 +166,9 @@ func (m *Machine) grantToken(c *Core) {
 		Other: -1, Info: uint64(c.consecAborts)})
 	for _, h := range m.Cores {
 		if h != c && h.InTx() && !h.abortPending {
-			h.doomBy(c.ID)
+			// A token kill is forward-progress policy, not a data
+			// conflict: no line, no signature decision.
+			h.doomBy(c.ID, c.txSite(), forensics.NoLine, forensics.CauseToken, false, false)
 		}
 	}
 }

@@ -1,6 +1,7 @@
 package htm
 
 import (
+	"suvtm/internal/forensics"
 	"suvtm/internal/sim"
 	"suvtm/internal/stats"
 	"suvtm/internal/trace"
@@ -152,7 +153,16 @@ func (m *Machine) killLazyReaders(committer *Core) {
 			continue
 		}
 		if committer.WriteSig.Intersects(h.ReadSig) || committer.WriteSig.Intersects(h.WriteSig) {
-			h.doomBy(committer.ID)
+			// Attribute the kill to a concrete line when the precise sets
+			// share one (the deterministic minimum common line); a doom
+			// with no witness is a pure signature false positive. The
+			// witness is observational only, so it is skipped entirely
+			// when nothing will consume it.
+			line, precise := forensics.NoLine, false
+			if m.fxWants() {
+				line, precise = commitWitness(committer, h)
+			}
+			h.doomBy(committer.ID, committer.txSite(), line, forensics.CauseCommitKill, true, precise)
 		}
 	}
 }
@@ -177,6 +187,28 @@ func (m *Machine) lazyArbitrate(c *Core) bool {
 			c.Breakdown.Add(stats.Committing, m.cfg.RetryInterval)
 			c.Counters.NACKsReceived++
 			h.Counters.NACKsSent++
+			if m.fx.Enabled() {
+				// A commit-time validation stall is a signature decision
+				// like any other NACK: classify it against the precise
+				// sets and attribute the retry interval to the witness
+				// line.
+				line, precise := commitWitness(c, h)
+				ev := forensics.NACKEvent{
+					Cycle: m.now, Requester: c.ID, Holder: h.ID,
+					Line: line, Kind: forensics.Write,
+					Cause: forensics.CauseLazyValidation,
+					ReqSite: c.txSite(), HoldSite: h.txSite(),
+					SigHit: true, Precise: precise,
+					Stall: m.cfg.RetryInterval,
+				}
+				if line != forensics.NoLine {
+					ev.Sharers = m.Dir.HolderCount(line)
+				}
+				if !precise {
+					ev.AliasRate = maxf(h.WriteSig.AliasRate(), h.ReadSig.AliasRate())
+				}
+				m.fx.NACK(ev)
+			}
 			c.status = statusLazyCommitWait
 			m.heap.Push(m.now+m.cfg.RetryInterval, c.ID)
 			return false
@@ -221,6 +253,7 @@ func (m *Machine) startAbort(c *Core, lead sim.Cycles) {
 	if m.obs != nil {
 		m.obs.onAbort(m, c)
 	}
+	m.fxAbort(c) // reads attemptCyc and the doom provenance before both reset
 	c.Counters.TxAborted++
 	if c.overflowedL1 {
 		c.Counters.CacheOverflowTx++

@@ -90,7 +90,13 @@ func (t *ChromeTrace) Emit(e trace.Event) {
 			"line": fmt.Sprintf("%#x", e.Line), "holder": e.Other,
 		})
 	case trace.RemoteKill:
-		t.instant(e, "remote-kill", map[string]any{"by": e.Other})
+		args := map[string]any{"by": e.Other}
+		if e.Line != trace.NoLine && e.Line != 0 {
+			// The killing line, when the doom decision had a precise
+			// witness — the viewer shows which address killed the span.
+			args["line"] = fmt.Sprintf("%#x", e.Line)
+		}
+		t.instant(e, "remote-kill", args)
 	case trace.BarrierArrive:
 		t.instant(e, fmt.Sprintf("barrier %d arrive", e.Info), nil)
 	case trace.BarrierRelease:

@@ -123,6 +123,45 @@ func TestChromeTraceCounterTrack(t *testing.T) {
 	}
 }
 
+// TestChromeTraceRemoteKillLine checks the killing line renders in the
+// instant's args when the doom had a precise witness, and is omitted
+// when it did not.
+func TestChromeTraceRemoteKillLine(t *testing.T) {
+	ct := NewChromeTrace()
+	ct.Emit(trace.Event{Cycle: 5, Core: 0, Kind: trace.RemoteKill, Other: 3, Line: 0x4f})
+	ct.Emit(trace.Event{Cycle: 6, Core: 1, Kind: trace.RemoteKill, Other: 3, Line: trace.NoLine})
+	var sb strings.Builder
+	if err := ct.WriteJSON(&sb); err != nil {
+		t.Fatal(err)
+	}
+	var doc struct {
+		TraceEvents []struct {
+			Name string         `json:"name"`
+			Tid  int            `json:"tid"`
+			Args map[string]any `json:"args"`
+		} `json:"traceEvents"`
+	}
+	if err := json.Unmarshal([]byte(sb.String()), &doc); err != nil {
+		t.Fatal(err)
+	}
+	for _, e := range doc.TraceEvents {
+		if e.Name != "remote-kill" {
+			continue
+		}
+		line, hasLine := e.Args["line"]
+		switch e.Tid {
+		case 0:
+			if !hasLine || line != "0x4f" {
+				t.Errorf("witnessed kill args = %v, want line=0x4f", e.Args)
+			}
+		case 1:
+			if hasLine {
+				t.Errorf("unwitnessed kill args = %v, want no line", e.Args)
+			}
+		}
+	}
+}
+
 func TestNilChromeTraceIsNoOp(t *testing.T) {
 	var ct *ChromeTrace
 	ct.Emit(trace.Event{Kind: trace.Begin})

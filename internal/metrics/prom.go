@@ -1,0 +1,132 @@
+package metrics
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// WriteProm renders the snapshot in the Prometheus text exposition
+// format (version 0.0.4), the scrape-ready sibling of WriteJSON:
+// cumulative probes become counters, level probes gauges, and each
+// histogram a classic Prometheus histogram with cumulative `le` buckets
+// plus `_sum` and `_count`. Snapshot metadata (app, scheme, cores,
+// seed) is attached to every sample as labels, so a future suvd can
+// serve many concurrent runs from one endpoint. Output is sorted by
+// metric name — deterministic for a deterministic run.
+func (s *Snapshot) WriteProm(w io.Writer) error {
+	if s == nil {
+		return fmt.Errorf("metrics: nil snapshot")
+	}
+	bw := bufio.NewWriter(w)
+	labels := promLabels(s.Meta)
+
+	names := make([]string, 0, len(s.Counters))
+	//suv:orderinsensitive keys are collected then sorted before any use
+	for name := range s.Counters {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		pn := promName(name)
+		fmt.Fprintf(bw, "# TYPE %s counter\n", pn)
+		fmt.Fprintf(bw, "%s%s %d\n", pn, labels, s.Counters[name])
+	}
+
+	names = names[:0]
+	//suv:orderinsensitive keys are collected then sorted before any use
+	for name := range s.Gauges {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		pn := promName(name)
+		fmt.Fprintf(bw, "# TYPE %s gauge\n", pn)
+		fmt.Fprintf(bw, "%s%s %s\n", pn, labels, promFloat(s.Gauges[name]))
+	}
+
+	for i := range s.Histograms {
+		writePromHistogram(bw, &s.Histograms[i], s.Meta)
+	}
+	return bw.Flush()
+}
+
+// writePromHistogram renders one histogram with cumulative le buckets.
+func writePromHistogram(bw *bufio.Writer, h *HistogramSnapshot, meta map[string]string) {
+	pn := promName(h.Name)
+	fmt.Fprintf(bw, "# TYPE %s histogram\n", pn)
+	if h.Unit != "" {
+		fmt.Fprintf(bw, "# HELP %s value unit: %s\n", pn, h.Unit)
+	}
+	var cum uint64
+	for _, b := range h.Buckets {
+		cum += b.Count
+		fmt.Fprintf(bw, "%s_bucket%s %d\n",
+			pn, promLabelsWith(meta, "le", strconv.FormatUint(b.High, 10)), cum)
+	}
+	// The bucket list covers only observed ranges; +Inf carries the full
+	// count per the exposition format's contract.
+	fmt.Fprintf(bw, "%s_bucket%s %d\n", pn, promLabelsWith(meta, "le", "+Inf"), h.Count)
+	fmt.Fprintf(bw, "%s_sum%s %d\n", pn, promLabels(meta), h.Sum)
+	fmt.Fprintf(bw, "%s_count%s %d\n", pn, promLabels(meta), h.Count)
+}
+
+// promName converts an internal probe name ("tx.duration.site3") into a
+// valid Prometheus metric name ("suv_tx_duration_site3").
+func promName(name string) string {
+	var sb strings.Builder
+	sb.WriteString("suv_")
+	for i := 0; i < len(name); i++ {
+		c := name[i]
+		switch {
+		case c >= 'a' && c <= 'z', c >= 'A' && c <= 'Z', c >= '0' && c <= '9':
+			sb.WriteByte(c)
+		default:
+			sb.WriteByte('_')
+		}
+	}
+	return sb.String()
+}
+
+// promLabels renders the metadata as a sorted label set, or "" when
+// there is none.
+func promLabels(meta map[string]string) string {
+	return promLabelsWith(meta, "", "")
+}
+
+// promLabelsWith renders the metadata labels plus one extra pair
+// (skipped when extraKey is empty).
+func promLabelsWith(meta map[string]string, extraKey, extraVal string) string {
+	keys := make([]string, 0, len(meta))
+	//suv:orderinsensitive keys are collected then sorted before any use
+	for k := range meta {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	var sb strings.Builder
+	for _, k := range keys {
+		if sb.Len() > 0 {
+			sb.WriteByte(',')
+		}
+		fmt.Fprintf(&sb, "%s=%q", promName(k)[len("suv_"):], meta[k])
+	}
+	if extraKey != "" {
+		if sb.Len() > 0 {
+			sb.WriteByte(',')
+		}
+		fmt.Fprintf(&sb, "%s=%q", extraKey, extraVal)
+	}
+	if sb.Len() == 0 {
+		return ""
+	}
+	return "{" + sb.String() + "}"
+}
+
+// promFloat formats a float sample value (integers render without a
+// decimal point, matching client_golang's behavior).
+func promFloat(v float64) string {
+	return strconv.FormatFloat(v, 'g', -1, 64)
+}

@@ -1,0 +1,78 @@
+package metrics
+
+import (
+	"strings"
+	"testing"
+)
+
+// TestWriteProm pins the Prometheus text exposition output: sorted
+// metric order, metadata labels on every sample, and cumulative le
+// buckets summing to _count.
+func TestWriteProm(t *testing.T) {
+	s := &Snapshot{
+		Meta:     map[string]string{"app": "intruder", "scheme": "SUV-TM"},
+		Counters: map[string]uint64{"tx.commits": 42, "dir.gets": 7},
+		Gauges:   map[string]float64{"redirect.entries": 3.5},
+		Histograms: []HistogramSnapshot{{
+			Name: "tx.duration", Unit: "cycles", Count: 6, Sum: 300,
+			Buckets: []BucketCount{
+				{Low: 0, High: 16, Count: 2},
+				{Low: 16, High: 32, Count: 3},
+				{Low: 32, High: 64, Count: 1},
+			},
+		}},
+	}
+	var sb strings.Builder
+	if err := s.WriteProm(&sb); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+
+	for _, want := range []string{
+		"# TYPE suv_dir_gets counter",
+		`suv_dir_gets{app="intruder",scheme="SUV-TM"} 7`,
+		"# TYPE suv_tx_commits counter",
+		`suv_tx_commits{app="intruder",scheme="SUV-TM"} 42`,
+		"# TYPE suv_redirect_entries gauge",
+		`suv_redirect_entries{app="intruder",scheme="SUV-TM"} 3.5`,
+		"# TYPE suv_tx_duration histogram",
+		`suv_tx_duration_bucket{app="intruder",scheme="SUV-TM",le="16"} 2`,
+		`suv_tx_duration_bucket{app="intruder",scheme="SUV-TM",le="32"} 5`,
+		`suv_tx_duration_bucket{app="intruder",scheme="SUV-TM",le="64"} 6`,
+		`suv_tx_duration_bucket{app="intruder",scheme="SUV-TM",le="+Inf"} 6`,
+		`suv_tx_duration_sum{app="intruder",scheme="SUV-TM"} 300`,
+		`suv_tx_duration_count{app="intruder",scheme="SUV-TM"} 6`,
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("missing %q in:\n%s", want, out)
+		}
+	}
+	// Counters are emitted in sorted name order.
+	if strings.Index(out, "suv_dir_gets") > strings.Index(out, "suv_tx_commits") {
+		t.Error("counters not sorted by name")
+	}
+	// A second render must be byte-identical (deterministic map drains).
+	var sb2 strings.Builder
+	if err := s.WriteProm(&sb2); err != nil {
+		t.Fatal(err)
+	}
+	if sb2.String() != out {
+		t.Error("WriteProm is nondeterministic across calls")
+	}
+}
+
+// TestWritePromNoMeta checks the no-labels and nil-snapshot paths.
+func TestWritePromNoMeta(t *testing.T) {
+	s := &Snapshot{Counters: map[string]uint64{"x": 1}}
+	var sb strings.Builder
+	if err := s.WriteProm(&sb); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(sb.String(), "suv_x 1\n") {
+		t.Errorf("bare sample wrong: %q", sb.String())
+	}
+	var nilSnap *Snapshot
+	if err := nilSnap.WriteProm(&sb); err == nil {
+		t.Error("nil snapshot write succeeded")
+	}
+}

@@ -163,6 +163,30 @@ func (b *Bloom) PopCount() int {
 	return n
 }
 
+// FillRatio returns the fraction of set bits (1 under the saturation
+// overlay, which answers as all-ones).
+func (b *Bloom) FillRatio() float64 {
+	if b.saturated {
+		return 1
+	}
+	return float64(b.PopCount()) / float64(b.bits)
+}
+
+// AliasRate returns the signature's predicted false-positive
+// probability at its current fill: the chance that all NumHashes probe
+// bits of an address never added are set, (fill)^NumHashes under the
+// independent-bit approximation. Conflict forensics samples it at each
+// observed false positive, putting measured and predicted aliasing side
+// by side.
+func (b *Bloom) AliasRate() float64 {
+	r := b.FillRatio()
+	p := 1.0
+	for i := 0; i < NumHashes; i++ {
+		p *= r
+	}
+	return p
+}
+
 // Empty reports whether no bit is set.
 func (b *Bloom) Empty() bool {
 	for _, w := range b.word {

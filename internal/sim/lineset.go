@@ -110,6 +110,30 @@ func (s *LineSet) ForEach(fn func(Line)) {
 	}
 }
 
+// MinCommon returns the smallest line present in both sets, or ok=false
+// when they are disjoint. Taking the minimum makes the witness
+// deterministic regardless of either set's iteration order, so conflict
+// forensics can attribute a signature-level intersection to a concrete
+// line without perturbing replay stability.
+func (s *LineSet) MinCommon(o *LineSet) (Line, bool) {
+	if o == nil || s == nil {
+		return 0, false
+	}
+	// Scan the smaller set, probe the larger.
+	a, b := s, o
+	if b.n < a.n {
+		a, b = b, a
+	}
+	var best Line
+	found := false
+	a.ForEach(func(l Line) {
+		if b.Has(l) && (!found || l < best) {
+			best, found = l, true
+		}
+	})
+	return best, found
+}
+
 // Clone returns an independent copy (nested-transaction snapshots).
 func (s *LineSet) Clone() *LineSet {
 	out := NewLineSet()

@@ -55,12 +55,17 @@ func (k Kind) String() string {
 	return fmt.Sprintf("Kind(%d)", uint8(k))
 }
 
+// NoLine marks an event whose conflicting line is unknown (a remote
+// kill decided signature-to-signature with no precise witness).
+const NoLine = ^sim.Line(0)
+
 // Event is one recorded occurrence.
 type Event struct {
 	Cycle sim.Cycles
 	Core  int
 	Kind  Kind
-	// Line is the conflicting line (NACK), or zero.
+	// Line is the conflicting line (NACK, remote-kill), NoLine when the
+	// kill had no line witness, or zero for kinds without one.
 	Line sim.Line
 	// Other is the peer core (NACK holder, remote-kill committer), or -1.
 	Other int
@@ -96,6 +101,9 @@ func (e Event) String() string {
 			sb.WriteString(" by=?")
 		} else {
 			fmt.Fprintf(&sb, " by=core%d", e.Other)
+		}
+		if e.Line != NoLine && e.Line != 0 {
+			fmt.Fprintf(&sb, " line=%#x", e.Line)
 		}
 	case BarrierArrive, BarrierRelease:
 		fmt.Fprintf(&sb, " id=%d", e.Info)

@@ -134,6 +134,16 @@ func TestEventStrings(t *testing.T) {
 	if s := unknown.String(); !strings.Contains(s, "by=?") || strings.Contains(s, "core-1") {
 		t.Errorf("unknown killer = %q, want by=?", s)
 	}
+	// A remote kill with a precise doom witness renders the killing line;
+	// one without (NoLine or zero) stays silent.
+	witnessed := Event{Cycle: 10, Core: 2, Kind: RemoteKill, Other: 4, Line: 0x4f}
+	if s := witnessed.String(); !strings.Contains(s, "line=0x4f") {
+		t.Errorf("witnessed kill = %q, want line=0x4f", s)
+	}
+	unwitnessed := Event{Cycle: 11, Core: 2, Kind: RemoteKill, Other: 4, Line: NoLine}
+	if s := unwitnessed.String(); strings.Contains(s, "line=") {
+		t.Errorf("unwitnessed kill = %q, want no line", s)
+	}
 	if Kind(200).String() == "" {
 		t.Error("unknown kind has empty string")
 	}

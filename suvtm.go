@@ -26,6 +26,7 @@ import (
 	"suvtm/internal/cactimodel"
 	"suvtm/internal/experiments"
 	"suvtm/internal/faults"
+	"suvtm/internal/forensics"
 	"suvtm/internal/htm"
 	"suvtm/internal/mem"
 	"suvtm/internal/metrics"
@@ -78,10 +79,15 @@ func RunMany(specs []Spec) ([]*Outcome, error) { return experiments.RunMany(spec
 // longest-expected-first so stragglers start early.
 type (
 	// BatchOptions tune one batch (worker count, cache/arena/scheduling
-	// opt-outs, keep-going error handling).
+	// opt-outs, keep-going error handling, progress streaming).
 	BatchOptions = experiments.BatchOptions
 	// FleetStats are the process-wide cache/arena/scheduler counters.
 	FleetStats = experiments.FleetStats
+	// FleetProgress is one deterministic, count-based progress snapshot
+	// streamed to BatchOptions.OnProgress while a batch runs.
+	FleetProgress = experiments.FleetProgress
+	// SchemeProgress is one scheme's running totals within a snapshot.
+	SchemeProgress = experiments.SchemeProgress
 )
 
 // RunManyWith is RunMany with explicit batch options.
@@ -243,6 +249,37 @@ func NewChromeTrace() *ChromeTrace { return metrics.NewChromeTrace() }
 // NewTraceRecorder returns a lifecycle-event recorder keeping the last
 // capacity events.
 func NewTraceRecorder(capacity int) *TraceRecorder { return trace.NewRecorder(capacity) }
+
+// Conflict forensics: the provenance layer classifies every NACK and
+// remote kill as true sharing vs signature false positive (the holder's
+// precise read/write sets are the oracle), builds the abort-causality
+// graph (killer→victim edges, cascades, friendly fire) and renders
+// cycle-loss profiles as folded stacks. Enable per run via
+// Spec.Forensics, or attach a collector directly with
+// Machine.EnableForensics; compare schemes with RunForensics.
+type (
+	// ForensicsCollector gathers conflict provenance during a run.
+	ForensicsCollector = forensics.Collector
+	// ForensicsReport is the end-of-run conflict report (JSON- and
+	// folded-stack-exportable).
+	ForensicsReport = forensics.Report
+	// ForensicsOptions tunes a RunForensics comparison.
+	ForensicsOptions = experiments.ForensicsOptions
+	// ForensicsCompare holds one app's reports across schemes.
+	ForensicsCompare = experiments.ForensicsCompare
+)
+
+// NewForensicsCollector returns an empty conflict-provenance collector
+// for a machine with the given core count.
+func NewForensicsCollector(cores int) *ForensicsCollector {
+	return forensics.NewCollector(cores)
+}
+
+// RunForensics runs one app under each scheme (default: all five) with
+// conflict forensics attached and returns the per-scheme reports.
+func RunForensics(app string, schemes []Scheme, opt ForensicsOptions) (*ForensicsCompare, error) {
+	return experiments.RunForensics(app, schemes, opt)
+}
 
 // Robustness: the deterministic chaos layer injects seeded, replayable
 // fault plans (NACK storms, mesh delay/duplication, signature
