@@ -1,0 +1,135 @@
+// Command suvd runs the SUV-TM simulation service: an HTTP/JSON daemon
+// that accepts batches of run specs, executes them through the fleet
+// engine over the content-addressed run cache, and streams per-scheme
+// progress rollups as NDJSON.
+//
+// Serve (default mode):
+//
+//	suvd -addr :7077 -journal /var/lib/suvd/journal.wal -cache-dir /var/cache/suvtm
+//
+// Endpoints: POST /v1/jobs (submit), GET /v1/jobs[/{id}[/stream]],
+// GET /v1/deadletters, /healthz, /readyz, /metrics (Prometheus text).
+// SIGTERM/SIGINT begins a graceful drain: admission turns to 503,
+// in-flight jobs finish (bounded by -drain-timeout), queued jobs stay
+// journaled for the next start. A second signal exits immediately.
+//
+// Loadtest mode drives an RPS ramp against a running daemon and gates
+// the result on latency SLOs:
+//
+//	suvd -loadtest -target http://127.0.0.1:7077 -ramp 5,10,20 -stage 2s -slo-p99 250ms
+package main
+
+import (
+	"flag"
+	"fmt"
+	"net/http"
+	"os"
+	"os/signal"
+	"strconv"
+	"strings"
+	"syscall"
+	"time"
+
+	"suvtm/internal/experiments"
+	"suvtm/internal/suvd"
+)
+
+func main() {
+	var (
+		addr         = flag.String("addr", ":7077", "listen address")
+		journal      = flag.String("journal", "suvd.wal", "job journal path (empty = ephemeral, no crash safety)")
+		cacheDir     = flag.String("cache-dir", os.Getenv("SUVTM_RUNCACHE"), "on-disk run cache directory (empty = memory tier only)")
+		workers      = flag.Int("workers", 0, "concurrent job executors (0 = GOMAXPROCS/2)")
+		queueCap     = flag.Int("queue", 64, "bounded job-queue capacity")
+		perClient    = flag.Int("per-client", 8, "per-client queued+running cap")
+		attempts     = flag.Int("attempts", 3, "per-job attempt budget before dead-letter")
+		jobTimeout   = flag.Duration("job-timeout", 0, "per-job deadline (0 = none)")
+		drainTimeout = flag.Duration("drain-timeout", 30*time.Second, "max wait for in-flight jobs on shutdown")
+
+		loadtest = flag.Bool("loadtest", false, "drive a load ramp against -target instead of serving")
+		target   = flag.String("target", "", "loadtest: base URL of the daemon under test")
+		ramp     = flag.String("ramp", "5,10,20", "loadtest: comma-separated RPS stages")
+		stageDur = flag.Duration("stage", 2*time.Second, "loadtest: duration of each stage")
+		sloP99   = flag.Duration("slo-p99", 500*time.Millisecond, "loadtest: per-stage p99 latency gate")
+		sloErr   = flag.Float64("slo-errors", 0, "loadtest: max error rate (429/503 never count)")
+	)
+	flag.Parse()
+
+	if *loadtest {
+		os.Exit(runLoadtest(*target, *ramp, *stageDur, *sloP99, *sloErr))
+	}
+
+	if *cacheDir != "" {
+		if err := experiments.SetRunCacheDir(*cacheDir); err != nil {
+			fmt.Fprintln(os.Stderr, "suvd:", err)
+			os.Exit(1)
+		}
+	}
+	srv, err := suvd.New(suvd.Config{
+		Workers:       *workers,
+		QueueCapacity: *queueCap,
+		PerClientCap:  *perClient,
+		MaxAttempts:   *attempts,
+		JobTimeout:    *jobTimeout,
+		DrainTimeout:  *drainTimeout,
+		Journal:       *journal,
+	})
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "suvd:", err)
+		os.Exit(1)
+	}
+	hs := &http.Server{Addr: *addr, Handler: srv.Handler()}
+
+	sigs := make(chan os.Signal, 2)
+	signal.Notify(sigs, syscall.SIGTERM, syscall.SIGINT)
+	go func() {
+		<-sigs
+		fmt.Fprintln(os.Stderr, "suvd: draining (signal again to exit immediately)")
+		go func() {
+			<-sigs
+			os.Exit(1)
+		}()
+		srv.BeginDrain()
+		if err := srv.Close(); err != nil {
+			fmt.Fprintln(os.Stderr, "suvd:", err)
+		}
+		hs.Close()
+	}()
+
+	fmt.Fprintf(os.Stderr, "suvd: serving on %s (journal %s, %d workers, queue %d)\n",
+		*addr, *journal, srv.Snapshot().Workers, *queueCap)
+	if err := hs.ListenAndServe(); err != nil && err != http.ErrServerClosed {
+		fmt.Fprintln(os.Stderr, "suvd:", err)
+		os.Exit(1)
+	}
+}
+
+func runLoadtest(target, ramp string, stage time.Duration, p99 time.Duration, errRate float64) int {
+	if target == "" {
+		fmt.Fprintln(os.Stderr, "suvd: -loadtest requires -target")
+		return 2
+	}
+	var stages []suvd.Stage
+	for _, part := range strings.Split(ramp, ",") {
+		rps, err := strconv.Atoi(strings.TrimSpace(part))
+		if err != nil || rps <= 0 {
+			fmt.Fprintf(os.Stderr, "suvd: bad -ramp entry %q\n", part)
+			return 2
+		}
+		stages = append(stages, suvd.Stage{RPS: rps, Duration: stage})
+	}
+	res, err := suvd.RunLoad(suvd.LoadConfig{
+		BaseURL: target,
+		Stages:  stages,
+		SLO:     suvd.SLO{MaxP99: p99, MaxErrorRate: errRate},
+	})
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "suvd:", err)
+		return 2
+	}
+	fmt.Print(res.Render())
+	if !res.Passed() {
+		return 1
+	}
+	return 0
+}

@@ -71,12 +71,15 @@ var detCorePkgs = []string{
 
 // hostStateExemptPkgs lists the packages allowed to touch host state
 // (wall-clock time, environment, global rand): the host profiler, the
-// run cache's disk tier, and the suvlint tooling itself. Everything
-// else under suvtm/internal is part of the simulated machine and must
-// derive all state from (config, seed, cycle count).
+// run cache's disk tier, the suvd daemon (HTTP timeouts, retry backoff,
+// and request latency are host-side concerns by construction), and the
+// suvlint tooling itself. Everything else under suvtm/internal is part
+// of the simulated machine and must derive all state from
+// (config, seed, cycle count).
 var hostStateExemptPkgs = []string{
 	"suvtm/internal/hostprof",
 	"suvtm/internal/runcache",
+	"suvtm/internal/suvd",
 	"suvtm/internal/analysis",
 }
 

@@ -29,6 +29,29 @@ func TestWallClockExempt(t *testing.T) {
 	analyzertest.Run(t, "testdata/wallclock/exempt", "suvtm/internal/hostprof", analysis.WallClockAnalyzer)
 }
 
+// TestWallClockSuvdExempt pins the daemon's exemption: suvd is host-side
+// infrastructure (HTTP timeouts, retry backoff, latency histograms), so
+// the same host-state sources that fire inside the machine are clean
+// when the package is type-checked as suvtm/internal/suvd.
+func TestWallClockSuvdExempt(t *testing.T) {
+	diags := analyzertest.Diagnostics(t, "testdata/wallclock/machine", "suvtm/internal/suvd", analysis.WallClockAnalyzer)
+	if len(diags) != 0 {
+		t.Fatalf("wallclock fired in exempt suvtm/internal/suvd: %v", diags)
+	}
+}
+
+// TestWallClockSuvdExemptionDoesNotLeak proves the simulated core stays
+// patrolled around the suvd carve-out: the exemption is an exact path
+// prefix, so sibling simulator packages still get findings.
+func TestWallClockSuvdExemptionDoesNotLeak(t *testing.T) {
+	for _, pkg := range []string{"suvtm/internal/sim", "suvtm/internal/experiments", "suvtm/internal/suvdx"} {
+		diags := analyzertest.Diagnostics(t, "testdata/wallclock/machine", pkg, analysis.WallClockAnalyzer)
+		if len(diags) == 0 {
+			t.Errorf("wallclock did not fire in %s — the suvd exemption leaked", pkg)
+		}
+	}
+}
+
 func TestHotAlloc(t *testing.T) {
 	analyzertest.Run(t, "testdata/hotalloc/hot", "suvtm/internal/mem", analysis.HotAllocAnalyzer)
 }

@@ -14,15 +14,15 @@ import (
 // and configuration only through explicit Config/Spec fields. Reading
 // the host clock, the global math/rand source, or the process
 // environment from any internal package other than the exempt ones
-// (hostprof, runcache's disk tier, the lint tooling) makes replay and
-// the content-addressed run cache silently wrong.
+// (hostprof, runcache's disk tier, the suvd daemon, the lint tooling)
+// makes replay and the content-addressed run cache silently wrong.
 var WallClockAnalyzer = &xanalysis.Analyzer{
 	Name: "wallclock",
 	Doc: "ban wall-clock time, global rand, and environment in the simulated machine\n\n" +
 		"time.Now/Since/Until, the global math/rand(/v2) source, and\n" +
 		"os.Getenv/LookupEnv/Environ are only permitted in internal/hostprof,\n" +
-		"internal/runcache, and cmd/; simulator packages must derive all state\n" +
-		"from (config, seed, cycle count).",
+		"internal/runcache, internal/suvd, and cmd/; simulator packages must\n" +
+		"derive all state from (config, seed, cycle count).",
 	Requires: []*xanalysis.Analyzer{inspect.Analyzer},
 	Run:      runWallClock,
 }
@@ -79,7 +79,7 @@ func runWallClock(pass *xanalysis.Pass) (any, error) {
 			} else if !banned[name] {
 				return
 			}
-			pass.Reportf(n.Pos(), "host state in simulated machine: %s.%s is banned in %s (only internal/hostprof, internal/runcache, and cmd/ may touch host state); derive time from simulated cycles and randomness from sim.RNG", path, name, pass.Pkg.Path())
+			pass.Reportf(n.Pos(), "host state in simulated machine: %s.%s is banned in %s (only internal/hostprof, internal/runcache, internal/suvd, and cmd/ may touch host state); derive time from simulated cycles and randomness from sim.RNG", path, name, pass.Pkg.Path())
 		}
 	})
 	return nil, nil

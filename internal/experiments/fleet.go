@@ -10,6 +10,7 @@ package experiments
 // fingerprint that resolves to the exact same machine.
 
 import (
+	"context"
 	"fmt"
 	"math"
 	"runtime"
@@ -29,6 +30,13 @@ import (
 // default fleet behavior: GOMAXPROCS workers, arenas on, cache on,
 // straggler-aware dispatch, stop dispatching after the first failure.
 type BatchOptions struct {
+	// Context, when non-nil, cancels dispatch: once it is done, workers
+	// finish their in-flight run and stop pulling queued specs — even
+	// under KeepGoing. Slots that were never dispatched stay nil, and
+	// RunManyWith surfaces the context's error when that happens. This
+	// is the seam an aborted HTTP request or a draining daemon uses to
+	// stop a batch mid-flight instead of simulating to the end.
+	Context context.Context
 	// Jobs bounds the number of concurrent workers (0 = GOMAXPROCS).
 	Jobs int
 	// KeepGoing runs every spec even after one fails (chaos sweeps want
@@ -192,11 +200,20 @@ func (t *progressTracker) snapshotLocked() FleetProgress {
 // options, returning outcomes in spec order regardless of dispatch
 // order. On failure it returns the first error in spec order among the
 // runs that executed; see RunMany for the partial-outcome contract.
+// When o.Context is canceled mid-batch, dispatch stops and the
+// context's error is returned if any spec was never dispatched.
 func RunManyWith(specs []Spec, o BatchOptions) ([]*Outcome, error) {
 	outcomes, errs := runBatch(specs, o)
 	for _, err := range errs {
 		if err != nil {
 			return outcomes, err
+		}
+	}
+	if ctx := o.Context; ctx != nil && ctx.Err() != nil {
+		for i := range outcomes {
+			if outcomes[i] == nil && errs[i] == nil {
+				return outcomes, ctx.Err()
+			}
 		}
 	}
 	return outcomes, nil
@@ -225,6 +242,10 @@ func runBatch(specs []Spec, o BatchOptions) ([]*Outcome, []error) {
 	if workers > len(specs) {
 		workers = len(specs)
 	}
+	ctx := o.Context
+	if ctx == nil {
+		ctx = context.Background()
+	}
 	order := dispatchOrder(specs, o)
 	outcomes := make([]*Outcome, len(specs))
 	errs := make([]error, len(specs))
@@ -241,6 +262,9 @@ func runBatch(specs []Spec, o BatchOptions) ([]*Outcome, []error) {
 				arena = new(machineArena)
 			}
 			for {
+				if ctx.Err() != nil {
+					return
+				}
 				if !o.KeepGoing && failed.Load() {
 					return
 				}
@@ -383,6 +407,22 @@ func (s FleetStats) String() string {
 func Cacheable(spec Spec) bool {
 	return spec.TraceEvents == 0 && !spec.wantMetrics() && !spec.Forensics &&
 		spec.FaultPlan == "" && spec.Faults == nil
+}
+
+// Cached reports whether spec would be served from the run cache right
+// now: pure (Cacheable) and fingerprint-resident in the memory or disk
+// tier. The probe never simulates and never skews the hit/miss
+// counters; suvd's load-shedding ladder uses it to admit only
+// cache-servable work when degraded.
+func Cached(spec Spec) bool {
+	if !Cacheable(spec) {
+		return false
+	}
+	key, err := fingerprintOf(spec)
+	if err != nil {
+		return false
+	}
+	return fleetCache.Load().Peek(key)
 }
 
 // fingerprintOf resolves spec exactly as runSpec does — defaults

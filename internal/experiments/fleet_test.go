@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"os"
 	"reflect"
 	"testing"
@@ -294,5 +295,58 @@ func TestDispatchOrder(t *testing.T) {
 	}
 	if got := dispatchOrder(same, BatchOptions{}); !reflect.DeepEqual(got, []int{0, 1}) {
 		t.Errorf("equal-cost order = %v, want [0 1]", got)
+	}
+}
+
+// TestRunManyContextCancel pins the BatchOptions.Context contract: once
+// the context is done, no further specs are dispatched (even with
+// KeepGoing) and RunManyWith surfaces the context error for the
+// never-dispatched slots.
+func TestRunManyContextCancel(t *testing.T) {
+	resetFleetForTest(t)
+	specs := []Spec{fleetSpec, fleetSpec, fleetSpec, fleetSpec, fleetSpec}
+	ctx, cancel := context.WithCancel(context.Background())
+	// One worker + submission order + per-completion progress makes the
+	// schedule deterministic: the callback cancels after run 0, so runs
+	// 1..4 must never dispatch. NoCache keeps every dispatch a real run.
+	outs, err := RunManyWith(specs, BatchOptions{
+		Jobs: 1, NoSchedule: true, NoCache: true, KeepGoing: true,
+		Context:    ctx,
+		OnProgress: func(FleetProgress) { cancel() },
+	})
+	if err != context.Canceled {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+	if outs[0] == nil || outs[0].Result == nil {
+		t.Error("the in-flight run at cancel time was dropped")
+	}
+	for i := 1; i < len(specs); i++ {
+		if outs[i] != nil {
+			t.Errorf("spec %d was dispatched after cancellation", i)
+		}
+	}
+
+	// A pre-canceled context dispatches nothing at all.
+	outs, err = RunManyWith(specs, BatchOptions{Jobs: 1, Context: ctx})
+	if err != context.Canceled {
+		t.Fatalf("pre-canceled err = %v, want context.Canceled", err)
+	}
+	for i, o := range outs {
+		if o != nil {
+			t.Errorf("spec %d ran under a pre-canceled context", i)
+		}
+	}
+
+	// A batch that completes before cancellation reports no error.
+	ctx2, cancel2 := context.WithCancel(context.Background())
+	outs, err = RunManyWith(specs[:2], BatchOptions{Jobs: 1, Context: ctx2})
+	cancel2()
+	if err != nil {
+		t.Fatalf("completed batch err = %v", err)
+	}
+	for i, o := range outs {
+		if o == nil || o.Result == nil {
+			t.Errorf("spec %d missing outcome", i)
+		}
 	}
 }

@@ -22,6 +22,7 @@ import (
 	"os"
 	"path/filepath"
 	"sync"
+	"sync/atomic"
 
 	"suvtm/internal/sim"
 	"suvtm/internal/stats"
@@ -162,6 +163,30 @@ func (c *Cache) Get(k Key) (*Entry, bool) {
 	return nil, false
 }
 
+// Peek reports whether k is resident in either tier without counting a
+// hit or a miss (admission probes must not skew the cache statistics).
+// A disk-resident entry is promoted into the memory tier exactly like
+// Get; a corrupt disk entry is still evicted and counted.
+func (c *Cache) Peek(k Key) bool {
+	c.mu.Lock()
+	_, ok := c.mem[k]
+	dir := c.dir
+	c.mu.Unlock()
+	if ok {
+		return true
+	}
+	if dir == "" {
+		return false
+	}
+	e, ok := c.loadDisk(k, dir)
+	if ok {
+		c.mu.Lock()
+		c.mem[k] = e
+		c.mu.Unlock()
+	}
+	return ok
+}
+
 // Put stores e under k in the memory tier and, when attached, the disk
 // tier (atomically: temp file + rename, so a concurrent reader never
 // sees a truncated entry). A disk-write failure degrades the cache, not
@@ -245,14 +270,39 @@ func (c *Cache) markCorrupt(path string) {
 	c.mu.Unlock()
 }
 
-// storeDisk writes k's entry atomically: marshal, write a temp file in
-// the same directory, fsync-free rename into place.
+// tmpSeq disambiguates temp files created by this process; combined
+// with the pid in the name it makes every temp path unique across all
+// concurrent writers sharing one cache directory.
+var tmpSeq atomic.Uint64
+
+// createTemp opens a collision-free temp file in dir. The name embeds
+// the pid and a process-local sequence number and the file is opened
+// with O_EXCL, so two processes (or two caches in one process) pointed
+// at the same directory can never interleave writes into one temp file
+// — each rename then publishes a complete entry or nothing.
+func createTemp(dir, stem string) (*os.File, error) {
+	for {
+		name := filepath.Join(dir, fmt.Sprintf(".tmp-%d-%d-%s", os.Getpid(), tmpSeq.Add(1), stem))
+		f, err := os.OpenFile(name, os.O_WRONLY|os.O_CREATE|os.O_EXCL, 0o644)
+		if err == nil {
+			return f, nil
+		}
+		if !os.IsExist(err) {
+			return nil, err
+		}
+		// A leftover from a previous crashed process with a recycled
+		// pid; the sequence number advances, so the loop terminates.
+	}
+}
+
+// storeDisk writes k's entry atomically: marshal, write an exclusive
+// per-process temp file in the same directory, rename into place.
 func (c *Cache) storeDisk(k Key, e *Entry, dir string) error {
 	data, err := json.Marshal(diskEntry{Version: Version, Key: k.String(), Entry: e})
 	if err != nil {
 		return fmt.Errorf("runcache: %w", err)
 	}
-	tmp, err := os.CreateTemp(dir, ".tmp-*")
+	tmp, err := createTemp(dir, k.String()[:16])
 	if err != nil {
 		return fmt.Errorf("runcache: %w", err)
 	}

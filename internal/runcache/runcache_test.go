@@ -250,3 +250,92 @@ func TestEntryEqual(t *testing.T) {
 		t.Fatal("nil comparison")
 	}
 }
+
+// TestConcurrentWritersSharedDir models two cache tenants (two
+// processes in real life, two Cache instances here) pounding one disk
+// directory: overlapping writers on the same and different keys, a
+// reader racing them, and a pre-planted corrupt entry that must be
+// evicted — never served — while the writers run. Exercises the
+// O_EXCL per-writer temp names: without them, interleaved writes into
+// a shared temp file would publish torn entries.
+func TestConcurrentWritersSharedDir(t *testing.T) {
+	dir := t.TempDir()
+	a, b := New(), New()
+	if err := a.SetDir(dir); err != nil {
+		t.Fatal(err)
+	}
+	if err := b.SetDir(dir); err != nil {
+		t.Fatal(err)
+	}
+
+	// Plant a corrupt entry under a key both tenants will read.
+	corrupt := testKey(200)
+	if err := os.WriteFile(a.EntryPath(corrupt), []byte("{torn"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	const keys = 8
+	const rounds = 25
+	var wg sync.WaitGroup
+	for _, c := range []*Cache{a, b} {
+		wg.Add(1)
+		go func(c *Cache) {
+			defer wg.Done()
+			for r := 0; r < rounds; r++ {
+				for i := 0; i < keys; i++ {
+					k := testKey(byte(i))
+					if err := c.Put(k, testEntry(uint64(1000+i))); err != nil {
+						t.Errorf("Put: %v", err)
+						return
+					}
+				}
+				if _, ok := c.Get(corrupt); ok {
+					t.Error("corrupt entry was served")
+					return
+				}
+			}
+		}(c)
+	}
+	wg.Add(1)
+	go func() { // a cold reader racing the writers sees whole entries only
+		defer wg.Done()
+		r := New()
+		if err := r.SetDir(dir); err != nil {
+			t.Error(err)
+			return
+		}
+		for n := 0; n < keys*rounds; n++ {
+			k := testKey(byte(n % keys))
+			if e, ok := r.Get(k); ok && e.Cycles != uint64(1000+n%keys) {
+				t.Errorf("torn entry for key %d: cycles=%d", n%keys, e.Cycles)
+				return
+			}
+		}
+	}()
+	wg.Wait()
+
+	if got := a.Stats().Corrupt + b.Stats().Corrupt; got == 0 {
+		t.Error("corrupt entry was never detected")
+	}
+	// The eviction leaves the slot rewritable: a fresh Put round-trips.
+	if err := a.Put(corrupt, testEntry(7)); err != nil {
+		t.Fatal(err)
+	}
+	fresh := New()
+	if err := fresh.SetDir(dir); err != nil {
+		t.Fatal(err)
+	}
+	if e, ok := fresh.Get(corrupt); !ok || e.Cycles != 7 {
+		t.Fatalf("rewritten entry not served: ok=%v", ok)
+	}
+	// No temp litter: every .tmp-* either renamed into place or removed.
+	ents, err := os.ReadDir(a.Dir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, de := range ents {
+		if strings.HasPrefix(de.Name(), ".tmp-") {
+			t.Errorf("leftover temp file %s", de.Name())
+		}
+	}
+}

@@ -1,0 +1,91 @@
+package suvd
+
+import (
+	"net/http"
+	"sync/atomic"
+	"time"
+)
+
+// Faults is the daemon's deterministic chaos harness: count-based fault
+// injection for the HTTP path, the workers, and the journal. Everything
+// is every-Nth, never probabilistic or wall-clock-gated, so a chaos
+// scenario is a pure function of the request/attempt sequence and
+// replays identically — the same discipline internal/faults applies to
+// the simulated machine, applied to the daemon itself.
+type Faults struct {
+	// SlowEvery delays every Nth HTTP request by SlowBy before handling
+	// (0 = off). Models a slow dependency or GC pause in front of the
+	// admission path; the loadtest's latency gates see it.
+	SlowEvery int
+	SlowBy    time.Duration
+	// FailEvery rejects every Nth HTTP request with a 500 before it
+	// reaches the daemon (0 = off). Models an flaky ingress.
+	FailEvery int
+	// PanicEvery panics inside every Nth job attempt (0 = off) — the
+	// "dropped worker". recover() in runOnce must convert it into a
+	// retryable WorkerPanicError, so the job survives via the retry
+	// ladder.
+	PanicEvery int
+	// ErrorEvery fails every Nth job attempt with ErrInjected, the
+	// retryable transient (0 = off).
+	ErrorEvery int
+	// JournalCrashAt kills the journal mid-append on the Nth record of
+	// the process (0 = off): half the line lands on disk and every
+	// later append fails, as if the daemon had been kill -9'd during
+	// the write. Replay must drop the torn tail and resume.
+	JournalCrashAt int
+
+	// Sleep is the delay hook (nil = the server's Sleep).
+	Sleep func(time.Duration)
+
+	requests atomic.Uint64
+	attempts atomic.Uint64
+	injected atomic.Uint64
+}
+
+// Injected returns how many faults have fired (all kinds).
+func (f *Faults) Injected() uint64 {
+	if f == nil {
+		return 0
+	}
+	return f.injected.Load()
+}
+
+// Middleware wraps next with the HTTP-path faults.
+func (f *Faults) Middleware(next http.Handler) http.Handler {
+	if f == nil {
+		return next
+	}
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		n := f.requests.Add(1)
+		if f.SlowEvery > 0 && n%uint64(f.SlowEvery) == 0 {
+			f.injected.Add(1)
+			f.Sleep(f.SlowBy)
+		}
+		if f.FailEvery > 0 && n%uint64(f.FailEvery) == 0 {
+			f.injected.Add(1)
+			writeJSON(w, http.StatusInternalServerError, errorBody{Error: "injected ingress fault"})
+			return
+		}
+		next.ServeHTTP(w, r)
+	})
+}
+
+// beforeRun fires the worker faults at the top of a job attempt. A
+// PanicEvery hit panics (the attempt's recover() converts it); an
+// ErrorEvery hit returns the retryable transient.
+func (f *Faults) beforeRun() error {
+	if f == nil {
+		return nil
+	}
+	n := f.attempts.Add(1)
+	if f.PanicEvery > 0 && n%uint64(f.PanicEvery) == 0 {
+		f.injected.Add(1)
+		panic("suvd: injected worker panic (dropped worker)")
+	}
+	if f.ErrorEvery > 0 && n%uint64(f.ErrorEvery) == 0 {
+		f.injected.Add(1)
+		return ErrInjected
+	}
+	return nil
+}

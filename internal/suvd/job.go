@@ -1,0 +1,221 @@
+package suvd
+
+import (
+	"fmt"
+	"sync"
+
+	"suvtm/internal/experiments"
+	"suvtm/internal/workload"
+)
+
+// RunRequest is one simulation in a job, the wire mirror of the pure
+// subset of experiments.Spec. Only pure fields are accepted: purity is
+// what makes journal replay idempotent (a re-executed completed run is
+// a cache lookup) and what the cache-only degraded mode can serve.
+type RunRequest struct {
+	App    string  `json:"app"`
+	Scheme string  `json:"scheme"`
+	Cores  int     `json:"cores,omitempty"`
+	Seed   uint64  `json:"seed,omitempty"`
+	Scale  float64 `json:"scale,omitempty"`
+}
+
+// Spec converts the wire run to an experiments.Spec.
+func (r RunRequest) Spec() experiments.Spec {
+	return experiments.Spec{
+		App:    r.App,
+		Scheme: experiments.Scheme(r.Scheme),
+		Cores:  r.Cores,
+		Seed:   r.Seed,
+		Scale:  r.Scale,
+	}
+}
+
+// validate rejects a run that could never execute, so admission fails
+// fast with 400 instead of journaling a job doomed to dead-letter.
+func (r RunRequest) validate() error {
+	if _, err := workload.Get(r.App); err != nil {
+		return fmt.Errorf("unknown app %q", r.App)
+	}
+	if _, err := experiments.NewVM(experiments.Scheme(r.Scheme)); err != nil {
+		return fmt.Errorf("unknown scheme %q", r.Scheme)
+	}
+	if r.Cores < 0 || r.Seed > 1<<62 || r.Scale < 0 {
+		return fmt.Errorf("negative cores/scale or out-of-range seed")
+	}
+	return nil
+}
+
+// JobRequest is the submission body of POST /v1/jobs.
+type JobRequest struct {
+	// Client identifies the tenant for per-client concurrency caps
+	// ("" = the remote address).
+	Client string       `json:"client,omitempty"`
+	Runs   []RunRequest `json:"runs"`
+}
+
+// JobState is a job's lifecycle position.
+type JobState uint8
+
+const (
+	// JobQueued: accepted, journaled, waiting for a worker.
+	JobQueued JobState = iota
+	// JobRunning: a worker is executing (or retrying) the batch.
+	JobRunning
+	// JobCompleted: every run finished and the outcome summary is
+	// available.
+	JobCompleted
+	// JobFailed: a non-retryable error (bad simulation, deadline).
+	JobFailed
+	// JobDeadLetter: retries exhausted on a retryable error; the job is
+	// parked on the dead-letter list for inspection.
+	JobDeadLetter
+)
+
+// String renders the state for the API.
+func (s JobState) String() string {
+	switch s {
+	case JobQueued:
+		return "queued"
+	case JobRunning:
+		return "running"
+	case JobCompleted:
+		return "completed"
+	case JobFailed:
+		return "failed"
+	case JobDeadLetter:
+		return "deadletter"
+	default:
+		panic(fmt.Sprintf("suvd: unknown job state %d", uint8(s)))
+	}
+}
+
+// terminal reports whether the state is final.
+func (s JobState) terminal() bool {
+	switch s {
+	case JobQueued, JobRunning:
+		return false
+	case JobCompleted, JobFailed, JobDeadLetter:
+		return true
+	default:
+		panic(fmt.Sprintf("suvd: unknown job state %d", uint8(s)))
+	}
+}
+
+// RunSummary is the per-run slice of a completed job's outcome.
+type RunSummary struct {
+	App      string `json:"app"`
+	Scheme   string `json:"scheme"`
+	Cycles   uint64 `json:"cycles"`
+	Commits  uint64 `json:"commits"`
+	Aborts   uint64 `json:"aborts"`
+	CacheHit bool   `json:"cache_hit"`
+}
+
+// JobStatus is the API view of a job (GET /v1/jobs/{id} and the
+// elements of GET /v1/jobs).
+type JobStatus struct {
+	ID       string                     `json:"id"`
+	Client   string                     `json:"client"`
+	State    string                     `json:"state"`
+	Runs     int                        `json:"runs"`
+	Attempts int                        `json:"attempts"`
+	Error    string                     `json:"error,omitempty"`
+	Results  []RunSummary               `json:"results,omitempty"`
+	Progress *experiments.FleetProgress `json:"progress,omitempty"`
+}
+
+// job is the server-side job record.
+type job struct {
+	id     string
+	client string
+	runs   []RunRequest
+
+	mu       sync.Mutex
+	state    JobState
+	attempts int
+	errText  string
+	results  []RunSummary
+	progress *experiments.FleetProgress
+	watchers []chan streamMsg
+	done     chan struct{} // closed on terminal state
+}
+
+// streamMsg is one NDJSON line of a job stream: either a progress
+// rollup or the terminal status.
+type streamMsg struct {
+	JobID    string                     `json:"job_id"`
+	State    string                     `json:"state"`
+	Progress *experiments.FleetProgress `json:"progress,omitempty"`
+	Error    string                     `json:"error,omitempty"`
+	Final    bool                       `json:"final,omitempty"`
+}
+
+func newJob(id, client string, runs []RunRequest) *job {
+	return &job{id: id, client: client, runs: runs, done: make(chan struct{})}
+}
+
+func (j *job) specs() []experiments.Spec {
+	specs := make([]experiments.Spec, len(j.runs))
+	for i, r := range j.runs {
+		specs[i] = r.Spec()
+	}
+	return specs
+}
+
+// status snapshots the job for the API.
+func (j *job) statusLocked() JobStatus {
+	st := JobStatus{
+		ID: j.id, Client: j.client, State: j.state.String(),
+		Runs: len(j.runs), Attempts: j.attempts, Error: j.errText,
+	}
+	st.Results = append(st.Results, j.results...)
+	if j.progress != nil {
+		p := *j.progress
+		st.Progress = &p
+	}
+	return st
+}
+
+func (j *job) status() JobStatus {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return j.statusLocked()
+}
+
+// publish fans a progress rollup out to stream watchers. Slow watchers
+// lose intermediate rollups (the channel is buffered and sends are
+// non-blocking) but never the terminal message, which is delivered via
+// the done channel and a final status read.
+func (j *job) publish(p experiments.FleetProgress) {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	j.progress = &p
+	msg := streamMsg{JobID: j.id, State: j.state.String(), Progress: &p}
+	for _, w := range j.watchers {
+		select {
+		case w <- msg:
+		default:
+		}
+	}
+}
+
+// watch registers a stream watcher; the returned cancel must be called
+// when the stream ends.
+func (j *job) watch() (<-chan streamMsg, func()) {
+	ch := make(chan streamMsg, 16)
+	j.mu.Lock()
+	j.watchers = append(j.watchers, ch)
+	j.mu.Unlock()
+	cancel := func() {
+		j.mu.Lock()
+		for i, w := range j.watchers {
+			if w == ch {
+				j.watchers = append(j.watchers[:i], j.watchers[i+1:]...)
+				break
+			}
+		}
+		j.mu.Unlock()
+	}
+	return ch, cancel
+}

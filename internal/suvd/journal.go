@@ -1,0 +1,297 @@
+package suvd
+
+import (
+	"bytes"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"hash/crc32"
+	"os"
+	"path/filepath"
+	"sync"
+)
+
+// The journal is suvd's write-ahead log: every accepted job is recorded
+// (and fsync'd) before the client sees 202, and every terminal state is
+// recorded when the job finishes. On restart, accepted records without
+// a matching done record are exactly the jobs a crash interrupted, and
+// they are re-enqueued. Replay is idempotent because the run cache
+// makes re-execution of already-completed work a lookup.
+//
+// Each record is one line: "crc32c-hex8 json\n", the checksum taken
+// over the JSON bytes. A crash mid-append leaves a torn final line;
+// replay detects it (short line, bad CRC, or bad JSON), truncates the
+// file back to the last whole record, and carries on. Torn tails are
+// the only corruption a crash can produce — anything invalid before the
+// last record is disk rot, which replay also truncates at (recording
+// how many bytes were dropped, surfaced via /healthz).
+
+// Record kinds.
+const (
+	recAccepted = "accepted"
+	recDone     = "done"
+)
+
+// Terminal job statuses as journaled in a done record.
+const (
+	statusCompleted  = "completed"
+	statusFailed     = "failed"
+	statusDeadLetter = "deadletter"
+)
+
+// Record is one journal entry.
+type Record struct {
+	Seq    uint64       `json:"seq"`
+	Kind   string       `json:"kind"` // recAccepted | recDone
+	ID     string       `json:"id"`
+	Client string       `json:"client,omitempty"`
+	Runs   []RunRequest `json:"runs,omitempty"`   // accepted only
+	Status string       `json:"status,omitempty"` // done only
+	Error  string       `json:"error,omitempty"`  // done only
+}
+
+// JournalStats summarizes a journal's replay and activity.
+type JournalStats struct {
+	Path         string `json:"path"`
+	Appended     uint64 `json:"appended"`      // records written this process
+	Replayed     uint64 `json:"replayed"`      // whole records read at open
+	Incomplete   int    `json:"incomplete"`    // accepted-without-done at open
+	DroppedBytes int64  `json:"dropped_bytes"` // torn/corrupt tail truncated at open
+}
+
+// errJournalCrash is the injected mid-append crash (chaos harness): the
+// append wrote a deliberate partial record and the journal is dead, as
+// if the process had been killed during the write.
+var errJournalCrash = errors.New("suvd: injected journal crash mid-append")
+
+// Journal is the append-only WAL. Safe for concurrent use.
+type Journal struct {
+	mu      sync.Mutex
+	f       *os.File
+	stats   JournalStats
+	nextSeq uint64
+	// crashAt, when > 0, makes the crashAt-th Append of this process
+	// write only half its line and fail with errJournalCrash.
+	crashAt uint64
+	crashed bool
+}
+
+// OpenJournal opens (creating if needed) the WAL at path, replays it,
+// and returns the journal positioned for appending plus the incomplete
+// jobs — accepted records with no done record, in acceptance order.
+func OpenJournal(path string) (*Journal, []*Record, error) {
+	f, err := os.OpenFile(path, os.O_RDWR|os.O_CREATE, 0o644)
+	if err != nil {
+		return nil, nil, fmt.Errorf("suvd: journal: %w", err)
+	}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		f.Close()
+		return nil, nil, fmt.Errorf("suvd: journal: %w", err)
+	}
+	j := &Journal{f: f, nextSeq: 1}
+	j.stats.Path = path
+
+	valid := int64(0) // bytes covered by whole, checksummed records
+	pending := make(map[string]*Record)
+	order := []string{}
+	for len(data) > int(valid) {
+		rest := data[valid:]
+		nl := bytes.IndexByte(rest, '\n')
+		if nl < 0 {
+			break // torn tail: no newline
+		}
+		rec, ok := parseRecord(rest[:nl])
+		if !ok {
+			break // torn or rotten line; truncate here
+		}
+		valid += int64(nl) + 1
+		j.stats.Replayed++
+		if rec.Seq >= j.nextSeq {
+			j.nextSeq = rec.Seq + 1
+		}
+		switch rec.Kind {
+		case recAccepted:
+			if _, dup := pending[rec.ID]; !dup {
+				pending[rec.ID] = rec
+				order = append(order, rec.ID)
+			}
+		case recDone:
+			delete(pending, rec.ID)
+		default:
+			// Unknown kind from a future schema: ignore the record but
+			// keep its bytes — it was whole and checksummed.
+		}
+	}
+	if dropped := int64(len(data)) - valid; dropped > 0 {
+		j.stats.DroppedBytes = dropped
+		if err := f.Truncate(valid); err != nil {
+			f.Close()
+			return nil, nil, fmt.Errorf("suvd: journal: truncating torn tail: %w", err)
+		}
+	}
+	if _, err := f.Seek(0, 2); err != nil {
+		f.Close()
+		return nil, nil, fmt.Errorf("suvd: journal: %w", err)
+	}
+	incomplete := make([]*Record, 0, len(pending))
+	for _, id := range order {
+		if rec, ok := pending[id]; ok {
+			incomplete = append(incomplete, rec)
+		}
+	}
+	j.stats.Incomplete = len(incomplete)
+	return j, incomplete, nil
+}
+
+// parseRecord validates one framed line (without its newline).
+func parseRecord(line []byte) (*Record, bool) {
+	// "xxxxxxxx <json>" — 8 hex digits, a space, at least "{}".
+	if len(line) < 11 || line[8] != ' ' {
+		return nil, false
+	}
+	var want uint32
+	if _, err := fmt.Sscanf(string(line[:8]), "%08x", &want); err != nil {
+		return nil, false
+	}
+	payload := line[9:]
+	if crc32.ChecksumIEEE(payload) != want {
+		return nil, false
+	}
+	rec := new(Record)
+	if err := json.Unmarshal(payload, rec); err != nil {
+		return nil, false
+	}
+	return rec, true
+}
+
+// frame renders a record as its on-disk line.
+func frame(rec *Record) ([]byte, error) {
+	payload, err := json.Marshal(rec)
+	if err != nil {
+		return nil, err
+	}
+	line := make([]byte, 0, len(payload)+10)
+	line = fmt.Appendf(line, "%08x ", crc32.ChecksumIEEE(payload))
+	line = append(line, payload...)
+	line = append(line, '\n')
+	return line, nil
+}
+
+// Append assigns the record its sequence number, writes the framed
+// line, and fsyncs before returning — once Append returns nil, the
+// record survives kill -9. A nil journal (ephemeral daemon) accepts
+// everything and remembers nothing.
+func (j *Journal) Append(rec *Record) error {
+	if j == nil {
+		return nil
+	}
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if j.crashed {
+		return errJournalCrash
+	}
+	rec.Seq = j.nextSeq
+	line, err := frame(rec)
+	if err != nil {
+		return fmt.Errorf("suvd: journal: %w", err)
+	}
+	if j.crashAt > 0 && j.stats.Appended+1 == j.crashAt {
+		// Injected kill mid-append: half a line lands on disk, then the
+		// journal is dead. Replay must drop exactly this torn tail.
+		j.crashed = true
+		j.f.Write(line[:len(line)/2])
+		j.f.Sync()
+		return errJournalCrash
+	}
+	if _, err := j.f.Write(line); err != nil {
+		return fmt.Errorf("suvd: journal: %w", err)
+	}
+	if err := j.f.Sync(); err != nil {
+		return fmt.Errorf("suvd: journal: %w", err)
+	}
+	j.nextSeq++
+	j.stats.Appended++
+	return nil
+}
+
+// Compact rewrites the journal to exactly the given records (the
+// incomplete jobs at startup), atomically: temp file in the same
+// directory, fsync, rename over the original, directory fsync. Bounds
+// journal growth across restarts without ever losing an accepted job.
+func (j *Journal) Compact(keep []*Record) error {
+	if j == nil {
+		return nil
+	}
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if j.crashed {
+		return errJournalCrash
+	}
+	dir := filepath.Dir(j.stats.Path)
+	tmp, err := os.CreateTemp(dir, ".journal-*")
+	if err != nil {
+		return fmt.Errorf("suvd: journal: %w", err)
+	}
+	seq := uint64(1)
+	for _, rec := range keep {
+		r := *rec
+		r.Seq = seq
+		seq++
+		line, err := frame(&r)
+		if err == nil {
+			_, err = tmp.Write(line)
+		}
+		if err != nil {
+			tmp.Close()
+			os.Remove(tmp.Name())
+			return fmt.Errorf("suvd: journal: %w", err)
+		}
+	}
+	if err := tmp.Sync(); err != nil {
+		tmp.Close()
+		os.Remove(tmp.Name())
+		return fmt.Errorf("suvd: journal: %w", err)
+	}
+	if err := tmp.Close(); err != nil {
+		os.Remove(tmp.Name())
+		return fmt.Errorf("suvd: journal: %w", err)
+	}
+	if err := os.Rename(tmp.Name(), j.stats.Path); err != nil {
+		os.Remove(tmp.Name())
+		return fmt.Errorf("suvd: journal: %w", err)
+	}
+	if d, err := os.Open(dir); err == nil {
+		d.Sync()
+		d.Close()
+	}
+	old := j.f
+	f, err := os.OpenFile(j.stats.Path, os.O_RDWR|os.O_APPEND, 0o644)
+	if err != nil {
+		return fmt.Errorf("suvd: journal: reopening after compact: %w", err)
+	}
+	j.f = f
+	old.Close()
+	j.nextSeq = seq
+	return nil
+}
+
+// Stats returns a snapshot of the journal counters.
+func (j *Journal) Stats() JournalStats {
+	if j == nil {
+		return JournalStats{}
+	}
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return j.stats
+}
+
+// Close closes the underlying file.
+func (j *Journal) Close() error {
+	if j == nil {
+		return nil
+	}
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return j.f.Close()
+}

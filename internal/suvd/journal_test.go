@@ -1,0 +1,313 @@
+package suvd
+
+import (
+	"bytes"
+	"errors"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+func journalPath(t *testing.T) string {
+	t.Helper()
+	return filepath.Join(t.TempDir(), "journal.wal")
+}
+
+func acceptedRec(id string) *Record {
+	return &Record{Kind: recAccepted, ID: id, Client: "c",
+		Runs: []RunRequest{{App: "intruder", Scheme: "SUV-TM", Cores: 4, Scale: 0.05}}}
+}
+
+func TestJournalRoundTrip(t *testing.T) {
+	path := journalPath(t)
+	j, incomplete, err := OpenJournal(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(incomplete) != 0 {
+		t.Fatalf("fresh journal has %d incomplete jobs", len(incomplete))
+	}
+	for _, id := range []string{"j-1", "j-2", "j-3"} {
+		if err := j.Append(acceptedRec(id)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := j.Append(&Record{Kind: recDone, ID: "j-2", Status: statusCompleted}); err != nil {
+		t.Fatal(err)
+	}
+	j.Close()
+
+	_, incomplete, err = OpenJournal(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(incomplete) != 2 || incomplete[0].ID != "j-1" || incomplete[1].ID != "j-3" {
+		t.Fatalf("incomplete = %+v, want j-1, j-3 in order", incomplete)
+	}
+	if incomplete[0].Runs[0].App != "intruder" {
+		t.Errorf("replayed run lost its spec: %+v", incomplete[0].Runs)
+	}
+}
+
+// pendingAfter computes the expected incomplete set for a prefix of the
+// record sequence — the oracle for the truncation table and fuzz tests.
+func pendingAfter(recs []*Record) []string {
+	state := map[string]bool{}
+	order := []string{}
+	for _, r := range recs {
+		switch r.Kind {
+		case recAccepted:
+			if _, ok := state[r.ID]; !ok {
+				state[r.ID] = true
+				order = append(order, r.ID)
+			}
+		case recDone:
+			state[r.ID] = false
+		}
+	}
+	var want []string
+	for _, id := range order {
+		if state[id] {
+			want = append(want, id)
+		}
+	}
+	return want
+}
+
+// TestJournalTruncationEveryBoundary is the crash-recovery table test:
+// a journal truncated at every record boundary (a kill -9 exactly
+// between appends) must replay exactly the incomplete jobs implied by
+// the surviving prefix.
+func TestJournalTruncationEveryBoundary(t *testing.T) {
+	path := journalPath(t)
+	j, _, err := OpenJournal(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	seq := []*Record{
+		acceptedRec("j-1"),
+		acceptedRec("j-2"),
+		{Kind: recDone, ID: "j-1", Status: statusCompleted},
+		acceptedRec("j-3"),
+		{Kind: recDone, ID: "j-3", Status: statusDeadLetter, Error: "boom"},
+		acceptedRec("j-4"),
+		{Kind: recDone, ID: "j-2", Status: statusFailed, Error: "x"},
+	}
+	boundaries := []int64{0}
+	for _, rec := range seq {
+		if err := j.Append(rec); err != nil {
+			t.Fatal(err)
+		}
+		fi, err := os.Stat(path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		boundaries = append(boundaries, fi.Size())
+	}
+	j.Close()
+	full, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	for i, off := range boundaries {
+		tpath := filepath.Join(t.TempDir(), "trunc.wal")
+		if err := os.WriteFile(tpath, full[:off], 0o644); err != nil {
+			t.Fatal(err)
+		}
+		tj, incomplete, err := OpenJournal(tpath)
+		if err != nil {
+			t.Fatalf("boundary %d: %v", i, err)
+		}
+		want := pendingAfter(seq[:i])
+		var got []string
+		for _, rec := range incomplete {
+			got = append(got, rec.ID)
+		}
+		if len(got) != len(want) {
+			t.Fatalf("boundary %d: incomplete = %v, want %v", i, got, want)
+		}
+		for k := range want {
+			if got[k] != want[k] {
+				t.Fatalf("boundary %d: incomplete = %v, want %v", i, got, want)
+			}
+		}
+		// The reopened journal accepts appends and they replay too.
+		if err := tj.Append(acceptedRec("j-99")); err != nil {
+			t.Fatalf("boundary %d: append after replay: %v", i, err)
+		}
+		tj.Close()
+		_, again, err := OpenJournal(tpath)
+		if err != nil {
+			t.Fatalf("boundary %d: reopen: %v", i, err)
+		}
+		if len(again) != len(want)+1 || again[len(again)-1].ID != "j-99" {
+			t.Fatalf("boundary %d: post-append replay lost records", i)
+		}
+	}
+}
+
+// TestJournalTornTail pins mid-record truncation (kill -9 mid-write):
+// the torn bytes are dropped and counted, whole records survive.
+func TestJournalTornTail(t *testing.T) {
+	path := journalPath(t)
+	j, _, err := OpenJournal(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	j.Append(acceptedRec("j-1"))
+	j.Append(acceptedRec("j-2"))
+	j.Close()
+	data, _ := os.ReadFile(path)
+	firstEnd := bytes.IndexByte(data, '\n') + 1
+	for _, cut := range []int{firstEnd + 1, firstEnd + 5, len(data) - 1} {
+		tpath := filepath.Join(t.TempDir(), "torn.wal")
+		os.WriteFile(tpath, data[:cut], 0o644)
+		tj, incomplete, err := OpenJournal(tpath)
+		if err != nil {
+			t.Fatalf("cut %d: %v", cut, err)
+		}
+		if len(incomplete) != 1 || incomplete[0].ID != "j-1" {
+			t.Fatalf("cut %d: incomplete = %+v, want [j-1]", cut, incomplete)
+		}
+		if tj.Stats().DroppedBytes != int64(cut-firstEnd) {
+			t.Errorf("cut %d: dropped %d bytes, want %d", cut, tj.Stats().DroppedBytes, cut-firstEnd)
+		}
+		tj.Close()
+	}
+}
+
+// TestJournalCrashMidAppend drives the chaos harness's injected
+// journal kill: half a line lands on disk, later appends fail, and
+// replay resumes with the torn tail dropped.
+func TestJournalCrashMidAppend(t *testing.T) {
+	path := journalPath(t)
+	j, _, err := OpenJournal(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	j.crashAt = 3
+	if err := j.Append(acceptedRec("j-1")); err != nil {
+		t.Fatal(err)
+	}
+	if err := j.Append(acceptedRec("j-2")); err != nil {
+		t.Fatal(err)
+	}
+	if err := j.Append(acceptedRec("j-3")); err == nil || !errors.Is(err, errJournalCrash) {
+		t.Fatalf("third append err = %v, want injected crash", err)
+	}
+	if err := j.Append(acceptedRec("j-4")); !errors.Is(err, errJournalCrash) {
+		t.Fatalf("post-crash append err = %v, want crash", err)
+	}
+	j.Close()
+
+	nj, incomplete, err := OpenJournal(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(incomplete) != 2 || incomplete[0].ID != "j-1" || incomplete[1].ID != "j-2" {
+		t.Fatalf("incomplete after crash = %+v, want [j-1 j-2]", incomplete)
+	}
+	if nj.Stats().DroppedBytes == 0 {
+		t.Error("torn half-record was not counted as dropped")
+	}
+	nj.Close()
+}
+
+func TestJournalCompact(t *testing.T) {
+	path := journalPath(t)
+	j, _, err := OpenJournal(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 50; i++ {
+		id := "j-" + string(rune('A'+i%26))
+		j.Append(acceptedRec(id))
+		j.Append(&Record{Kind: recDone, ID: id, Status: statusCompleted})
+	}
+	j.Append(acceptedRec("j-keep"))
+	j.Close()
+	big, _ := os.Stat(path)
+
+	j2, incomplete, err := OpenJournal(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := j2.Compact(incomplete); err != nil {
+		t.Fatal(err)
+	}
+	small, _ := os.Stat(path)
+	if small.Size() >= big.Size() {
+		t.Errorf("compact did not shrink: %d -> %d bytes", big.Size(), small.Size())
+	}
+	// Appends continue after compaction and replay still works.
+	if err := j2.Append(&Record{Kind: recDone, ID: "j-keep", Status: statusCompleted}); err != nil {
+		t.Fatal(err)
+	}
+	j2.Close()
+	_, incomplete, err = OpenJournal(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(incomplete) != 0 {
+		t.Fatalf("incomplete after compact+done = %+v, want none", incomplete)
+	}
+}
+
+// FuzzJournalTruncate: an arbitrarily truncated journal (any byte
+// offset, not just record boundaries) must open without error and
+// replay exactly the incomplete jobs of its longest whole-record
+// prefix.
+func FuzzJournalTruncate(f *testing.F) {
+	path := filepath.Join(f.TempDir(), "seed.wal")
+	j, _, err := OpenJournal(path)
+	if err != nil {
+		f.Fatal(err)
+	}
+	seq := []*Record{
+		acceptedRec("j-1"),
+		{Kind: recDone, ID: "j-1", Status: statusCompleted},
+		acceptedRec("j-2"),
+		acceptedRec("j-3"),
+		{Kind: recDone, ID: "j-3", Status: statusFailed, Error: "e"},
+	}
+	var ends []int64
+	for _, rec := range seq {
+		j.Append(rec)
+		fi, _ := os.Stat(path)
+		ends = append(ends, fi.Size())
+	}
+	j.Close()
+	full, _ := os.ReadFile(path)
+	f.Add(0)
+	f.Add(len(full))
+	f.Add(len(full) / 2)
+	f.Fuzz(func(t *testing.T, cut int) {
+		if cut < 0 || cut > len(full) {
+			t.Skip()
+		}
+		tpath := filepath.Join(t.TempDir(), "fuzz.wal")
+		if err := os.WriteFile(tpath, full[:cut], 0o644); err != nil {
+			t.Fatal(err)
+		}
+		tj, incomplete, err := OpenJournal(tpath)
+		if err != nil {
+			t.Fatalf("cut %d: %v", cut, err)
+		}
+		defer tj.Close()
+		// Longest whole-record prefix covered by cut.
+		n := 0
+		for n < len(ends) && ends[n] <= int64(cut) {
+			n++
+		}
+		want := pendingAfter(seq[:n])
+		if len(incomplete) != len(want) {
+			t.Fatalf("cut %d: %d incomplete, want %d", cut, len(incomplete), len(want))
+		}
+		for i := range want {
+			if incomplete[i].ID != want[i] {
+				t.Fatalf("cut %d: incomplete[%d] = %s, want %s", cut, i, incomplete[i].ID, want[i])
+			}
+		}
+	})
+}

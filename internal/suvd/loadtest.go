@@ -1,0 +1,187 @@
+package suvd
+
+import (
+	"bytes"
+	"fmt"
+	"net/http"
+	"sync"
+	"time"
+
+	"suvtm/internal/metrics"
+)
+
+// The loadtest driver ramps request rate against a running daemon in
+// stages and gates the result on latency SLOs — the cliff-analysis
+// companion to the admission-control design: as offered load crosses
+// admission capacity the daemon must degrade into fast 429/503s with
+// bounded latency, not into an unbounded queue with a latency cliff.
+
+// Stage is one rung of the RPS ramp.
+type Stage struct {
+	RPS      int
+	Duration time.Duration
+}
+
+// SLO are the gates applied per stage. 429 (backpressure) and 503
+// (shedding) are healthy overload responses and never count as errors;
+// the latency gate covers every response, because a rejection that
+// takes seconds is as much an outage as a slow accept.
+type SLO struct {
+	// MaxP99 bounds the per-stage p99 response latency (0 = ungated).
+	MaxP99 time.Duration
+	// MaxErrorRate bounds transport failures and 5xx-other-than-503 as
+	// a fraction of sent requests (0 = no errors tolerated).
+	MaxErrorRate float64
+}
+
+// LoadConfig parameterizes a run of the driver.
+type LoadConfig struct {
+	// BaseURL is the daemon root, e.g. "http://127.0.0.1:7077".
+	BaseURL string
+	// Client is the HTTP client (nil = a 10s-timeout client).
+	Client *http.Client
+	// Stages is the RPS ramp, driven in order.
+	Stages []Stage
+	// Body produces the i-th submission payload (nil = a minimal
+	// single-run job; real drivers vary apps and seeds here).
+	Body func(i int) []byte
+	// SLO gates the result.
+	SLO SLO
+}
+
+// StageResult is the measured outcome of one ramp stage.
+type StageResult struct {
+	RPS           int           `json:"rps"`
+	Sent          int           `json:"sent"`
+	Accepted      int           `json:"accepted"`      // 202
+	Backpressured int           `json:"backpressured"` // 429
+	Shed          int           `json:"shed"`          // 503
+	Errors        int           `json:"errors"`        // transport + other 5xx/4xx
+	P50           time.Duration `json:"p50"`
+	P95           time.Duration `json:"p95"`
+	P99           time.Duration `json:"p99"`
+	Max           time.Duration `json:"max"`
+}
+
+// LoadResult is the full ramp outcome.
+type LoadResult struct {
+	Stages     []StageResult `json:"stages"`
+	Accepted   int           `json:"accepted"`
+	Violations []string      `json:"violations,omitempty"`
+}
+
+// Passed reports whether every stage met the SLO.
+func (r *LoadResult) Passed() bool { return len(r.Violations) == 0 }
+
+// Render returns the per-stage table the cmd/suvd -loadtest mode
+// prints.
+func (r *LoadResult) Render() string {
+	var b bytes.Buffer
+	fmt.Fprintf(&b, "%6s %6s %6s %6s %6s %6s %10s %10s %10s\n",
+		"rps", "sent", "202", "429", "503", "err", "p50", "p99", "max")
+	for _, st := range r.Stages {
+		fmt.Fprintf(&b, "%6d %6d %6d %6d %6d %6d %10v %10v %10v\n",
+			st.RPS, st.Sent, st.Accepted, st.Backpressured, st.Shed, st.Errors,
+			st.P50.Round(time.Microsecond), st.P99.Round(time.Microsecond), st.Max.Round(time.Microsecond))
+	}
+	if r.Passed() {
+		fmt.Fprintf(&b, "SLO: PASS (%d accepted)\n", r.Accepted)
+	} else {
+		fmt.Fprintf(&b, "SLO: FAIL\n")
+		for _, v := range r.Violations {
+			fmt.Fprintf(&b, "  - %s\n", v)
+		}
+	}
+	return b.String()
+}
+
+// RunLoad drives the ramp and applies the SLO gates. It returns an
+// error only for configuration problems; SLO failures land in
+// LoadResult.Violations so the caller can render the table before
+// deciding to fail.
+func RunLoad(cfg LoadConfig) (*LoadResult, error) {
+	if cfg.BaseURL == "" {
+		return nil, fmt.Errorf("suvd: loadtest: BaseURL required")
+	}
+	if len(cfg.Stages) == 0 {
+		return nil, fmt.Errorf("suvd: loadtest: no stages")
+	}
+	client := cfg.Client
+	if client == nil {
+		client = &http.Client{Timeout: 10 * time.Second}
+	}
+	body := cfg.Body
+	if body == nil {
+		body = func(i int) []byte {
+			return fmt.Appendf(nil, `{"client":"loadtest","runs":[{"app":"intruder","scheme":"SUV-TM","cores":4,"seed":%d,"scale":0.05}]}`, 1+i%8)
+		}
+	}
+	res := &LoadResult{}
+	seq := 0
+	for _, stage := range cfg.Stages {
+		if stage.RPS <= 0 || stage.Duration <= 0 {
+			return nil, fmt.Errorf("suvd: loadtest: stage needs positive RPS and duration")
+		}
+		sr := StageResult{RPS: stage.RPS}
+		hist := metrics.NewHistogram("lat", "us")
+		var mu sync.Mutex
+		var wg sync.WaitGroup
+		interval := time.Second / time.Duration(stage.RPS)
+		deadline := time.Now().Add(stage.Duration)
+		for next := time.Now(); next.Before(deadline); next = next.Add(interval) {
+			if d := time.Until(next); d > 0 {
+				time.Sleep(d)
+			}
+			i := seq
+			seq++
+			sr.Sent++
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				start := time.Now()
+				resp, err := client.Post(cfg.BaseURL+"/v1/jobs", "application/json", bytes.NewReader(body(i)))
+				lat := time.Since(start)
+				mu.Lock()
+				defer mu.Unlock()
+				hist.Observe(uint64(lat.Microseconds()))
+				if lat > sr.Max {
+					sr.Max = lat
+				}
+				if err != nil {
+					sr.Errors++
+					return
+				}
+				resp.Body.Close()
+				switch resp.StatusCode {
+				case http.StatusAccepted:
+					sr.Accepted++
+				case http.StatusTooManyRequests:
+					sr.Backpressured++
+				case http.StatusServiceUnavailable:
+					sr.Shed++
+				default:
+					sr.Errors++
+				}
+			}()
+		}
+		wg.Wait()
+		sr.P50 = time.Duration(hist.Quantile(0.50)) * time.Microsecond
+		sr.P95 = time.Duration(hist.Quantile(0.95)) * time.Microsecond
+		sr.P99 = time.Duration(hist.Quantile(0.99)) * time.Microsecond
+		res.Stages = append(res.Stages, sr)
+		res.Accepted += sr.Accepted
+
+		if cfg.SLO.MaxP99 > 0 && sr.P99 > cfg.SLO.MaxP99 {
+			res.Violations = append(res.Violations,
+				fmt.Sprintf("stage %d rps: p99 %v > SLO %v", sr.RPS, sr.P99, cfg.SLO.MaxP99))
+		}
+		if sr.Sent > 0 {
+			rate := float64(sr.Errors) / float64(sr.Sent)
+			if rate > cfg.SLO.MaxErrorRate {
+				res.Violations = append(res.Violations,
+					fmt.Sprintf("stage %d rps: error rate %.3f > SLO %.3f", sr.RPS, rate, cfg.SLO.MaxErrorRate))
+			}
+		}
+	}
+	return res, nil
+}

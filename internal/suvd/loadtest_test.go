@@ -1,0 +1,110 @@
+package suvd
+
+import (
+	"context"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+
+	"suvtm/internal/experiments"
+)
+
+// TestRunLoadSmoke drives the loadtest ramp at roughly 2x admission
+// capacity against a live daemon: the overload must come back as fast
+// 429/503s (never errors), latency must stay bounded, and every
+// accepted job must complete — the zero-dropped-work invariant.
+func TestRunLoadSmoke(t *testing.T) {
+	slow := func(ctx context.Context, specs []experiments.Spec, opts experiments.BatchOptions) ([]*experiments.Outcome, error) {
+		select {
+		case <-time.After(20 * time.Millisecond):
+		case <-ctx.Done():
+			return nil, ctx.Err()
+		}
+		return make([]*experiments.Outcome, len(specs)), nil
+	}
+	s := newTestServer(t, Config{
+		Workers: 2, QueueCapacity: 4, PerClientCap: 1 << 20,
+		Runner: slow,
+	})
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+
+	stages := []Stage{
+		{RPS: 100, Duration: 150 * time.Millisecond},
+		{RPS: 400, Duration: 150 * time.Millisecond},
+	}
+	res, err := RunLoad(LoadConfig{
+		BaseURL: ts.URL,
+		Stages:  stages,
+		SLO:     SLO{MaxP99: 5 * time.Second, MaxErrorRate: 0},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Passed() {
+		t.Fatalf("SLO violations under healthy overload: %v", res.Violations)
+	}
+	total := 0
+	for _, st := range res.Stages {
+		if st.Sent != st.Accepted+st.Backpressured+st.Shed+st.Errors {
+			t.Errorf("stage %d rps: %d sent != %d accepted + %d backpressured + %d shed + %d errors",
+				st.RPS, st.Sent, st.Accepted, st.Backpressured, st.Shed, st.Errors)
+		}
+		if st.Errors != 0 {
+			t.Errorf("stage %d rps: %d hard errors — overload must be 429/503, never 5xx", st.RPS, st.Errors)
+		}
+		if st.Sent == 0 {
+			t.Errorf("stage %d rps sent nothing", st.RPS)
+		}
+		total += st.Sent
+	}
+	if res.Accepted == 0 || res.Accepted == total {
+		t.Errorf("accepted %d of %d — expected partial admission under 2x overload", res.Accepted, total)
+	}
+
+	waitIdle(t, s)
+	snap := s.Snapshot()
+	if snap.Completed != uint64(res.Accepted) {
+		t.Errorf("accepted %d but completed %d — accepted jobs were dropped under load",
+			res.Accepted, snap.Completed)
+	}
+
+	out := res.Render()
+	if !strings.Contains(out, "SLO: PASS") || !strings.Contains(out, "429") {
+		t.Errorf("render missing expected fields:\n%s", out)
+	}
+}
+
+// TestRunLoadSLOGate pins that a violated latency gate fails the run.
+func TestRunLoadSLOGate(t *testing.T) {
+	s := newTestServer(t, Config{Workers: 1, Runner: instantRunner})
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+	res, err := RunLoad(LoadConfig{
+		BaseURL: ts.URL,
+		Stages:  []Stage{{RPS: 50, Duration: 100 * time.Millisecond}},
+		SLO:     SLO{MaxP99: time.Nanosecond}, // unmeetable
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Passed() || len(res.Violations) == 0 {
+		t.Fatalf("nanosecond p99 SLO passed: %+v", res)
+	}
+	if !strings.Contains(res.Render(), "SLO: FAIL") {
+		t.Errorf("render does not surface the failure:\n%s", res.Render())
+	}
+}
+
+func TestRunLoadConfigErrors(t *testing.T) {
+	if _, err := RunLoad(LoadConfig{}); err == nil {
+		t.Error("empty config accepted")
+	}
+	if _, err := RunLoad(LoadConfig{BaseURL: "http://x"}); err == nil {
+		t.Error("no stages accepted")
+	}
+	if _, err := RunLoad(LoadConfig{BaseURL: "http://x", Stages: []Stage{{RPS: 0, Duration: time.Second}}}); err == nil {
+		t.Error("zero-RPS stage accepted")
+	}
+}
