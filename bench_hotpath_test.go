@@ -29,23 +29,86 @@ import (
 // directory, redirect), not in setup.
 var steadyStateSpec = suvtm.Spec{App: "vacation", Scheme: suvtm.SUVTM, Scale: 0.4}
 
-// BenchmarkMachineSteadyState runs one whole simulation per iteration
-// and reports host throughput as simulated Mcycles per wall-second —
-// the "how fast is this simulator" number the perf trajectory tracks.
-func BenchmarkMachineSteadyState(b *testing.B) {
-	b.ReportAllocs()
-	var simCycles float64
-	for i := 0; i < b.N; i++ {
-		out, err := suvtm.Run(steadyStateSpec)
-		if err != nil {
-			b.Fatal(err)
+// parallelSteadySpec is the window engine's steady-state workload: the
+// sessionstore app's request loops are exactly the long core-local
+// instruction chains the engine extracts. The parallel benchmark runs
+// it at Shards=4; its baseline twin runs the same spec on the
+// sequential engine, and their Mcycles/s ratio is the speedup recorded
+// in BENCH_hotpath.json.
+var parallelSteadySpec = suvtm.Spec{App: "sessionstore", Scheme: suvtm.SUVTM, Cores: 8, Scale: 1.0}
+
+// benchMachine returns a benchmark running one whole simulation of spec
+// per iteration, reporting host throughput as simulated Mcycles per
+// wall-second — the "how fast is this simulator" number the perf
+// trajectory tracks.
+func benchMachine(spec suvtm.Spec) func(b *testing.B) {
+	return func(b *testing.B) {
+		b.ReportAllocs()
+		var simCycles float64
+		for i := 0; i < b.N; i++ {
+			out, err := suvtm.Run(spec)
+			if err != nil {
+				b.Fatal(err)
+			}
+			simCycles += float64(out.Cycles)
 		}
-		simCycles += float64(out.Cycles)
+		secs := b.Elapsed().Seconds()
+		if secs > 0 {
+			b.ReportMetric(simCycles/1e6/secs, "Mcycles/s")
+		}
 	}
-	secs := b.Elapsed().Seconds()
-	if secs > 0 {
-		b.ReportMetric(simCycles/1e6/secs, "Mcycles/s")
+}
+
+// benchMachineSteady is benchMachine on the fleet's warm path: each
+// iteration runs a seed-varied batch of the spec through RunManyWith
+// (one worker, cache bypassed), so the per-worker machine arena
+// amortizes cache/directory construction exactly as a real sweep does
+// and the number measures engine throughput, not setup.
+func benchMachineSteady(spec suvtm.Spec) func(b *testing.B) {
+	const batch = 8
+	specs := make([]suvtm.Spec, batch)
+	for i := range specs {
+		s := spec
+		s.Seed = uint64(i + 1)
+		specs[i] = s
 	}
+	return func(b *testing.B) {
+		b.ReportAllocs()
+		var simCycles float64
+		for i := 0; i < b.N; i++ {
+			outs, err := suvtm.RunManyWith(specs, suvtm.BatchOptions{Jobs: 1, NoCache: true})
+			if err != nil {
+				b.Fatal(err)
+			}
+			for _, out := range outs {
+				simCycles += float64(out.Cycles)
+			}
+		}
+		secs := b.Elapsed().Seconds()
+		if secs > 0 {
+			b.ReportMetric(simCycles/1e6/secs, "Mcycles/s")
+		}
+	}
+}
+
+// BenchmarkMachineSteadyState is the classic sequential-engine number.
+func BenchmarkMachineSteadyState(b *testing.B) { benchMachine(steadyStateSpec)(b) }
+
+// BenchmarkMachineSteadyStateSequential runs the window engine's
+// steady-state spec on the sequential engine through the same warm
+// harness — the denominator of the speedup ratio in BENCH_hotpath.json.
+func BenchmarkMachineSteadyStateSequential(b *testing.B) {
+	benchMachineSteady(parallelSteadySpec)(b)
+}
+
+// BenchmarkMachineSteadyStateParallel is the same measurement with the
+// deterministic parallel window engine engaged (Shards=4; the fleet
+// clamps the effective shard count to the host, and results stay
+// bit-identical to the sequential engine either way).
+func BenchmarkMachineSteadyStateParallel(b *testing.B) {
+	spec := parallelSteadySpec
+	spec.Shards = 4
+	benchMachineSteady(spec)(b)
 }
 
 // benchMemoryLine, benchDirectoryRoundtrip and benchLineSet mirror the
@@ -121,6 +184,11 @@ type benchRecord struct {
 	AllocsOp  float64 `json:"allocs_per_op"`
 	BytesOp   float64 `json:"bytes_per_op"`
 	McyclesPS float64 `json:"mcycles_per_sec,omitempty"`
+	// Shards is the window-engine shard count the benchmark requested
+	// (0 = sequential engine); Speedup is its Mcycles/s over the
+	// sequential run of the same spec.
+	Shards  int     `json:"shards,omitempty"`
+	Speedup float64 `json:"speedup,omitempty"`
 }
 
 // benchDump is the schema of BENCH_hotpath.json.
@@ -142,7 +210,7 @@ func TestWriteBench(t *testing.T) {
 		Written:   time.Now().UTC().Format(time.RFC3339),
 		GoVersion: runtime.Version(),
 	}
-	record := func(name string, fn func(b *testing.B)) {
+	record := func(name string, fn func(b *testing.B)) benchRecord {
 		runtime.GC() // keep earlier benchmarks' garbage out of this one's timing
 		res := testing.Benchmark(fn)
 		rec := benchRecord{
@@ -157,11 +225,23 @@ func TestWriteBench(t *testing.T) {
 		dump.Results = append(dump.Results, rec)
 		t.Logf("%s: %.0f ns/op, %.0f allocs/op, %.0f B/op, %.1f Mcycles/s",
 			name, rec.NsPerOp, rec.AllocsOp, rec.BytesOp, rec.McyclesPS)
+		return rec
 	}
 	record("BenchmarkMemoryLine", benchMemoryLine)
 	record("BenchmarkDirectoryRoundtrip", benchDirectoryRoundtrip)
 	record("BenchmarkLineSet", benchLineSet)
 	record("BenchmarkMachineSteadyState", BenchmarkMachineSteadyState)
+	// The parallel pair: same spec on the sequential engine and on the
+	// window engine, so the baseline pins the speedup ratio, not just
+	// two unrelated throughput numbers.
+	seq := record("BenchmarkMachineSteadyStateSequential", BenchmarkMachineSteadyStateSequential)
+	record("BenchmarkMachineSteadyStateParallel", BenchmarkMachineSteadyStateParallel)
+	par := &dump.Results[len(dump.Results)-1]
+	par.Shards = 4
+	if seq.McyclesPS > 0 {
+		par.Speedup = par.McyclesPS / seq.McyclesPS
+		t.Logf("parallel speedup: %.2fx", par.Speedup)
+	}
 	f, err := os.Create(path)
 	if err != nil {
 		t.Fatal(err)

@@ -45,6 +45,7 @@ func main() {
 		cores  = flag.Int("cores", 16, "simulated cores")
 		scale  = flag.Float64("scale", 1.0, "workload scale factor")
 		seed   = flag.Uint64("seed", 1, "simulation seed")
+		shards = flag.Int("shards", 0, "parallel window-engine shards (0 = sequential engine; results are bit-identical for every value)")
 		config = flag.Bool("config", false, "print the simulated CMP configuration and exit")
 		list   = flag.Bool("list", false, "list available applications and exit")
 		traceN = flag.Int("trace", 0, "dump the last N transaction lifecycle events")
@@ -103,6 +104,7 @@ func main() {
 	spec := suvtm.Spec{
 		App: *app, Scheme: suvtm.Scheme(*scheme),
 		Cores: *cores, Scale: *scale, Seed: *seed,
+		Shards:      *shards,
 		TraceEvents: *traceN,
 		Metrics:     *metricsJSON != "" || *metricsProm != "",
 		ChromeTrace: *chromeTrace != "",

@@ -1,0 +1,41 @@
+package suvtm_test
+
+import (
+	"reflect"
+	"testing"
+
+	"suvtm"
+)
+
+// TestParallelFacadeBitIdentical pins the facade-level contract of the
+// deterministic window engine: Spec.Shards is a host-throughput knob
+// only. Every shard count must yield the same result surface as the
+// sequential engine — cycles, breakdowns, counters, SUV pool footprint
+// — and the workload's serializability check must keep holding.
+func TestParallelFacadeBitIdentical(t *testing.T) {
+	spec := suvtm.Spec{App: "sessionstore", Scheme: suvtm.SUVTM, Cores: 4, Scale: 0.2}
+	want, err := suvtm.Run(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if want.CheckErr != nil {
+		t.Fatal(want.CheckErr)
+	}
+	for _, k := range []int{1, 4} {
+		s := spec
+		s.Shards = k
+		got, err := suvtm.Run(s)
+		if err != nil {
+			t.Fatalf("shards=%d: %v", k, err)
+		}
+		if got.CheckErr != nil {
+			t.Fatalf("shards=%d: %v", k, got.CheckErr)
+		}
+		if got.Cycles != want.Cycles || got.Breakdown != want.Breakdown ||
+			got.Counters != want.Counters || !reflect.DeepEqual(got.PerCore, want.PerCore) ||
+			got.PoolPages != want.PoolPages || got.RedirectEn != want.RedirectEn {
+			t.Errorf("shards=%d diverged from sequential (%d vs %d cycles)",
+				k, got.Cycles, want.Cycles)
+		}
+	}
+}

@@ -63,6 +63,7 @@ var detCorePkgs = []string{
 	"suvtm/internal/redirect",
 	"suvtm/internal/signature",
 	"suvtm/internal/htm",
+	"suvtm/internal/parrun",
 	"suvtm/internal/forensics",
 	"suvtm/internal/workload",
 	"suvtm/internal/runcache",

@@ -21,6 +21,15 @@ func TestDetMapOutsideCore(t *testing.T) {
 	analyzertest.Run(t, "testdata/detmap/outside", "suvtm/internal/metrics", analysis.DetMapAnalyzer)
 }
 
+// TestDetMapParrun pins the parallel runner's membership in the
+// deterministic core: a worker-results merge folded in map-iteration
+// order is a goroutine-order dependence (it breaks the window engine's
+// bit-identity guarantee), and the fixture shows both the firing shape
+// and the canonical-order fixes that pass.
+func TestDetMapParrun(t *testing.T) {
+	analyzertest.Run(t, "testdata/detmap/parrun", "suvtm/internal/parrun", analysis.DetMapAnalyzer)
+}
+
 func TestWallClockMachine(t *testing.T) {
 	analyzertest.Run(t, "testdata/wallclock/machine", "suvtm/internal/htm", analysis.WallClockAnalyzer)
 }

@@ -1,0 +1,55 @@
+// Package parrun exercises detmap over the parallel-runner idioms (the
+// harness type-checks it as suvtm/internal/parrun): worker results must
+// merge in a canonical order, and the natural-but-wrong shape — folding
+// a results map in range order — is exactly a goroutine-order dependence
+// detmap exists to catch.
+package parrun
+
+import (
+	"maps"
+	"slices"
+)
+
+// mergeByMapOrder is the bug: each worker deposits its result under its
+// shard key and the merge folds them in map-iteration order. The fold
+// below is order-sensitive (min ties broken by whoever came first), so
+// two runs of the same simulation can disagree.
+func mergeByMapOrder(results map[int]uint64) (first uint64) {
+	for _, r := range results { // want `range over map in deterministic core`
+		if first == 0 || r < first {
+			first = r
+		}
+	}
+	return first
+}
+
+// mergeUnsortedKeys is the same bug via the iterator helpers.
+func mergeUnsortedKeys(results map[int]uint64) []uint64 {
+	out := make([]uint64, 0, len(results))
+	for _, k := range slices.Collect(maps.Keys(results)) { // want `maps.Keys in deterministic core`
+		out = append(out, results[k])
+	}
+	return out
+}
+
+// mergeByShardIndex is the fix the window engine uses: results land in
+// a slice indexed by shard, and the merge walks indices ascending — the
+// canonical order exists by construction, no sort needed.
+func mergeByShardIndex(results []uint64) (first uint64) {
+	for _, r := range results { // slices are ordered: no finding
+		if first == 0 || r < first {
+			first = r
+		}
+	}
+	return first
+}
+
+// mergeSortedKeys is the acceptable map-shaped fix: sort the keys
+// before folding.
+func mergeSortedKeys(results map[int]uint64) []uint64 {
+	out := make([]uint64, 0, len(results))
+	for _, k := range slices.Sorted(maps.Keys(results)) { // immediately sorted: no finding
+		out = append(out, results[k])
+	}
+	return out
+}

@@ -248,23 +248,25 @@ func (d *Directory) AddSharer(line sim.Line, core int) {
 }
 
 // SetOwner records a GETM fill: core now holds line Modified and every
-// other copy is invalidated. It returns the cores whose copies were
-// invalidated (the previous owner and/or sharers, excluding core itself).
-func (d *Directory) SetOwner(line sim.Line, core int) []int {
+// other copy is invalidated. It returns how many remote copies were
+// invalidated (the previous owner and/or sharers, excluding core
+// itself) without materializing the list — the request path only needs
+// the count for accounting, and building a slice here was the last
+// allocating call on the directory hot path.
+//
+//suv:hotpath
+func (d *Directory) SetOwner(line sim.Line, core int) int {
 	e := d.at(line)
 	if !e.live() {
 		d.tracked++
 	}
-	var invalidated []int
+	invalidated := 0
 	if e.ownerP1 != 0 && e.owner() != core {
-		invalidated = append(invalidated, e.owner())
+		invalidated++
 	}
-	others := e.sharers &^ (1 << uint(core))
-	for s := others; s != 0; s &= s - 1 {
-		invalidated = append(invalidated, bits.TrailingZeros64(s))
-	}
+	invalidated += bits.OnesCount64(e.sharers &^ (1 << uint(core)))
 	d.Stats.GETM.Inc()
-	d.Stats.Invalidations.Add(uint64(len(invalidated)))
+	d.Stats.Invalidations.Add(uint64(invalidated))
 	e.ownerP1 = int8(core) + 1
 	e.sharers = 0
 	return invalidated

@@ -18,8 +18,8 @@ func TestDirectoryBasicTransitions(t *testing.T) {
 		t.Fatalf("sharers = %v", got)
 	}
 	inv := d.SetOwner(10, 1)
-	if len(inv) != 2 {
-		t.Fatalf("invalidated = %v, want cores 0 and 2", inv)
+	if inv != 2 {
+		t.Fatalf("invalidated = %d, want 2 (cores 0 and 2)", inv)
 	}
 	if d.Owner(10) != 1 || d.Sharers(10) != 0 {
 		t.Fatal("ownership transition wrong")
@@ -48,8 +48,8 @@ func TestDirectorySetOwnerSelf(t *testing.T) {
 	d := NewDirectory(4)
 	d.SetOwner(5, 2)
 	inv := d.SetOwner(5, 2)
-	if len(inv) != 0 {
-		t.Fatalf("self re-own invalidated %v", inv)
+	if inv != 0 {
+		t.Fatalf("self re-own invalidated %d copies", inv)
 	}
 }
 
@@ -194,6 +194,14 @@ func TestDirectoryHotPathAllocs(t *testing.T) {
 		_ = d.Owner(100)
 		_ = d.Sharers(100)
 		d.Drop(100, 3)
+		// GETM over live sharers — the invalidation count used to be
+		// materialized as a slice, the last allocating directory call.
+		d.AddSharer(100, 4)
+		d.AddSharer(100, 5)
+		if inv := d.SetOwner(100, 6); inv != 2 {
+			panic("invalidation count wrong")
+		}
+		d.Drop(100, 6)
 	}); allocs != 0 {
 		t.Fatalf("directory hot path allocates %.1f objects/op, want 0", allocs)
 	}

@@ -22,6 +22,7 @@ import (
 	"suvtm/internal/htm"
 	"suvtm/internal/mem"
 	"suvtm/internal/runcache"
+	"suvtm/internal/sim"
 	"suvtm/internal/stats"
 	"suvtm/internal/workload"
 )
@@ -224,7 +225,24 @@ func RunManyWith(specs []Spec, o BatchOptions) ([]*Outcome, error) {
 // specs with observability or fault-injection outputs fall through to a
 // cold Run.
 func RunCached(spec Spec) (*Outcome, error) {
-	return runCachedSpec(spec, nil, BatchOptions{})
+	return runCachedSpec(spec, nil, BatchOptions{}, soloShardCap())
+}
+
+// soloShardCap is the shard bound for a run with no concurrent batch
+// siblings: the whole host.
+func soloShardCap() int { return runtime.GOMAXPROCS(0) }
+
+// clampShards bounds a run's effective shard count to cap, counting
+// every clamp that actually bit (FleetStats.ShardClamps). Shards never
+// affect simulation results, so clamping is invisible beyond host
+// throughput; the floor is 1 because Shards>=1 selects the window
+// engine and only 0 selects the classic sequential loop.
+func clampShards(shards, cap int) int {
+	if shards > cap && cap >= 1 {
+		fleetShardClamps.Add(1)
+		return cap
+	}
+	return shards
 }
 
 // runBatch is the fleet engine: one goroutine per worker, each holding
@@ -241,6 +259,14 @@ func runBatch(specs []Spec, o BatchOptions) ([]*Outcome, []error) {
 	}
 	if workers > len(specs) {
 		workers = len(specs)
+	}
+	// With J batch workers each possibly running a K-shard machine, the
+	// host would service J*K runnable goroutines; cap each run's shards
+	// so J*K never exceeds GOMAXPROCS (shards are a pure host-throughput
+	// knob, so the clamp cannot change any outcome).
+	shardCap := runtime.GOMAXPROCS(0) / workers
+	if shardCap < 1 {
+		shardCap = 1
 	}
 	ctx := o.Context
 	if ctx == nil {
@@ -259,7 +285,8 @@ func runBatch(specs []Spec, o BatchOptions) ([]*Outcome, []error) {
 			defer wg.Done()
 			var arena *machineArena
 			if !o.NoArena {
-				arena = new(machineArena)
+				arena = arenaPool.Get().(*machineArena)
+				defer arenaPool.Put(arena)
 			}
 			for {
 				if ctx.Err() != nil {
@@ -273,7 +300,7 @@ func runBatch(specs []Spec, o BatchOptions) ([]*Outcome, []error) {
 					return
 				}
 				i := order[n]
-				outcomes[i], errs[i] = runCachedSpec(specs[i], arena, o)
+				outcomes[i], errs[i] = runCachedSpec(specs[i], arena, o, shardCap)
 				if errs[i] != nil {
 					failed.Store(true)
 				} else {
@@ -288,6 +315,14 @@ func runBatch(specs []Spec, o BatchOptions) ([]*Outcome, []error) {
 	return outcomes, errs
 }
 
+// arenaPool recycles worker arenas across runBatch calls, so a session
+// that issues many small batches (the CLI sweep loop, benchmarks that
+// batch per iteration) keeps its warm memory pages, prebuilt machine
+// components and workload memo instead of rebuilding them per call.
+// sync.Pool's GC integration is the eviction policy: idle warm state
+// survives between nearby batches and is reclaimed under pressure.
+var arenaPool = sync.Pool{New: func() any { return new(machineArena) }}
+
 // machineArena is one worker's reusable machine state. The memory and
 // allocator are reset between runs; the directory and redirect state
 // are handed back to htm.NewWith, which resets them itself (they are
@@ -296,6 +331,81 @@ type machineArena struct {
 	memory *mem.Memory
 	alloc  *mem.Allocator
 	pre    htm.Prebuilt
+
+	// workloads memoizes generated workload images so a sweep that
+	// revisits the same (app, cores, seed, scale) — the classic
+	// scheme-comparison shape — regenerates nothing: the App is reused
+	// and the memory image is replayed from the write journal.
+	workloads map[workloadKey]*workloadMemo
+	wlCost    int // total program ops pinned by the memo
+}
+
+// workloadKey identifies one generated workload image. Generation is a
+// pure function of these four values: the scheme is deliberately absent
+// (workloads are built before the version manager exists), and faults,
+// tweaks and observability options all act downstream of generation.
+type workloadKey struct {
+	app   string
+	cores int
+	seed  uint64
+	scale float64
+}
+
+// workloadMemo is one cached generation: the immutable App (programs
+// are read-only during simulation; Check closures read memory only
+// after the run), the memory write journal, and the allocator span the
+// generator consumed.
+type workloadMemo struct {
+	app   *workload.App
+	log   *mem.WriteLog
+	start sim.Addr // allocator cursor when generation began
+	bytes uint64   // allocator bytes generation consumed
+	cost  int      // total program ops (memo budget unit)
+}
+
+// workloadMemoBudget caps the program ops one worker's memo may pin,
+// bounding its host-heap footprint (programs dominate the retained
+// bytes). Overflow flushes the whole memo: the budget exists to bound
+// memory, not to maximize hit rate, and whole-map flushes keep the
+// policy deterministic.
+const workloadMemoBudget = 3 << 20
+
+// generate returns the App for key, either replaying a memoized image
+// into the freshly reset memory/allocator or running gen (journaled)
+// and memoizing the result.
+func (a *machineArena) generate(key workloadKey, memory *mem.Memory, alloc *mem.Allocator, gen func() *workload.App) *workload.App {
+	if rec, ok := a.workloads[key]; ok && alloc.Next() == rec.start {
+		rec.log.Replay(memory)
+		alloc.Alloc(rec.bytes, 1)
+		fleetWorkloadReplays.Add(1)
+		return rec.app
+	}
+	start := alloc.Next()
+	memory.StartJournal()
+	app := gen()
+	log := memory.StopJournal()
+	cost := 0
+	for i := range app.Programs {
+		cost += len(app.Programs[i].Ops)
+	}
+	if a.wlCost+cost > workloadMemoBudget {
+		clear(a.workloads)
+		a.wlCost = 0
+	}
+	if cost <= workloadMemoBudget {
+		if a.workloads == nil {
+			a.workloads = make(map[workloadKey]*workloadMemo)
+		}
+		a.workloads[key] = &workloadMemo{
+			app:   app,
+			log:   log,
+			start: start,
+			bytes: uint64(alloc.Next() - start),
+			cost:  cost,
+		}
+		a.wlCost += cost
+	}
+	return app
 }
 
 // take returns the arena's memory, allocator and prebuilt components
@@ -332,6 +442,9 @@ var (
 	fleetHitSeq      atomic.Uint64
 	fleetVerified    atomic.Uint64
 	fleetArenaReuses atomic.Uint64
+	fleetShardClamps atomic.Uint64
+
+	fleetWorkloadReplays atomic.Uint64
 )
 
 func init() { fleetCache.Store(runcache.New()) }
@@ -373,6 +486,8 @@ func ResetRunCache() error {
 	fleetHitSeq.Store(0)
 	fleetVerified.Store(0)
 	fleetArenaReuses.Store(0)
+	fleetShardClamps.Store(0)
+	fleetWorkloadReplays.Store(0)
 	return nil
 }
 
@@ -383,6 +498,9 @@ type FleetStats struct {
 	runcache.Stats
 	Verified    uint64 // cache hits cross-checked against a live re-run
 	ArenaReuses uint64 // machine constructions served from a warm arena
+	ShardClamps uint64 // runs whose Spec.Shards was reduced to fit GOMAXPROCS
+
+	WorkloadReplays uint64 // workload generations served by journal replay
 }
 
 // FleetSnapshot returns the current fleet counters.
@@ -391,14 +509,17 @@ func FleetSnapshot() FleetStats {
 		Stats:       fleetCache.Load().Stats(),
 		Verified:    fleetVerified.Load(),
 		ArenaReuses: fleetArenaReuses.Load(),
+		ShardClamps: fleetShardClamps.Load(),
+
+		WorkloadReplays: fleetWorkloadReplays.Load(),
 	}
 }
 
 // String renders the counters as the one-line summary the sweep
 // commands print.
 func (s FleetStats) String() string {
-	return fmt.Sprintf("fleet: %d cache hits (%d from disk), %d misses, %d bypasses, %d verified, %d corrupt entries, %d arena reuses",
-		s.Hits, s.DiskHits, s.Misses, s.Bypasses, s.Verified, s.Corrupt, s.ArenaReuses)
+	return fmt.Sprintf("fleet: %d cache hits (%d from disk), %d misses, %d bypasses, %d verified, %d corrupt entries, %d arena reuses, %d workload replays, %d shard clamps",
+		s.Hits, s.DiskHits, s.Misses, s.Bypasses, s.Verified, s.Corrupt, s.ArenaReuses, s.WorkloadReplays, s.ShardClamps)
 }
 
 // Cacheable reports whether spec is a pure run the cache may serve.
@@ -452,6 +573,9 @@ func fingerprintOf(spec Spec) (runcache.Key, error) {
 	if spec.Tweak != nil {
 		spec.Tweak(&cfg)
 	}
+	// Shards is a host-throughput knob with bit-identical results, so a
+	// sharded and a sequential run share one cache entry.
+	cfg.Shards = 0
 	var planText string
 	if plan != nil {
 		var err error
@@ -466,25 +590,25 @@ func fingerprintOf(spec Spec) (runcache.Key, error) {
 // runCachedSpec is runSpec behind the cache: bypass impure specs, serve
 // hits (spot-checking when armed), store successful invariant-clean
 // outcomes on misses.
-func runCachedSpec(spec Spec, arena *machineArena, o BatchOptions) (*Outcome, error) {
+func runCachedSpec(spec Spec, arena *machineArena, o BatchOptions, shardCap int) (*Outcome, error) {
 	if o.NoCache {
-		return runSpec(spec, arena)
+		return runSpec(spec, arena, shardCap)
 	}
 	c := fleetCache.Load()
 	if !Cacheable(spec) {
 		c.Bypass()
-		return runSpec(spec, arena)
+		return runSpec(spec, arena, shardCap)
 	}
 	key, err := fingerprintOf(spec)
 	if err != nil {
 		// Fingerprinting failed (unresolvable spec); let the live path
 		// produce the authoritative error.
-		return runSpec(spec, arena)
+		return runSpec(spec, arena, shardCap)
 	}
 	if e, ok := c.Get(key); ok {
 		if every := fleetVerifyEvery.Load(); every > 0 {
 			if n := fleetHitSeq.Add(1); (n-1)%uint64(every) == 0 {
-				fresh, ferr := runSpec(spec, arena)
+				fresh, ferr := runSpec(spec, arena, shardCap)
 				if ferr != nil {
 					return fresh, fmt.Errorf("runcache verify: live re-run failed: %w", ferr)
 				}
@@ -496,7 +620,7 @@ func runCachedSpec(spec Spec, arena *machineArena, o BatchOptions) (*Outcome, er
 		}
 		return outcomeFromEntry(spec, e), nil
 	}
-	out, err := runSpec(spec, arena)
+	out, err := runSpec(spec, arena, shardCap)
 	if err == nil && out.CheckErr == nil {
 		// A disk-write failure degrades the cache, not the run: the
 		// entry still serves from memory, so the error is dropped.

@@ -1,0 +1,171 @@
+package experiments
+
+import (
+	"os"
+	"path/filepath"
+	"reflect"
+	"runtime"
+	"testing"
+
+	"suvtm/internal/faults"
+	"suvtm/internal/parrun"
+)
+
+// TestParallelSpecBitIdentical drives the window engine through the
+// experiments facade: for each spec, runs at Shards 1, 2, 4 and
+// NumCPU must match the sequential run on every surface an Outcome
+// exposes, and the serializability check must hold throughout.
+func TestParallelSpecBitIdentical(t *testing.T) {
+	prev := parrun.SetForcedWorkersForTest(4)
+	defer parrun.SetForcedWorkersForTest(prev)
+	specs := []Spec{
+		{App: "sessionstore", Scheme: SUVTM, Cores: 4, Scale: 0.2},
+		{App: "sessionstore", Scheme: LogTMSE, Cores: 4, Scale: 0.2},
+		{App: "vacation", Scheme: SUVTM, Cores: 8, Scale: 0.05},
+		{App: "ssca2", Scheme: FasTM, Cores: 4, Scale: 0.05},
+	}
+	for _, spec := range specs {
+		want, err := Run(spec)
+		if err != nil {
+			t.Fatalf("%s/%s sequential: %v", spec.App, spec.Scheme, err)
+		}
+		if want.CheckErr != nil {
+			t.Fatalf("%s/%s sequential: %v", spec.App, spec.Scheme, want.CheckErr)
+		}
+		for _, k := range []int{1, 2, 4, runtime.NumCPU()} {
+			s := spec
+			s.Shards = k
+			got, err := Run(s)
+			if err != nil {
+				t.Fatalf("%s/%s shards=%d: %v", spec.App, spec.Scheme, k, err)
+			}
+			if got.CheckErr != nil {
+				t.Fatalf("%s/%s shards=%d: %v", spec.App, spec.Scheme, k, got.CheckErr)
+			}
+			if !sameOutcome(want, got) {
+				t.Errorf("%s/%s shards=%d diverged from sequential (%d vs %d cycles)",
+					spec.App, spec.Scheme, k, got.Cycles, want.Cycles)
+			}
+		}
+	}
+}
+
+// TestParallelChaosAndForensicsUnchanged pins the fallback contract:
+// fault-injected (corpus-replayed) and forensic runs are ineligible for
+// the window engine, so setting Shards on them must change nothing —
+// including the forensics report, byte for byte.
+func TestParallelChaosAndForensicsUnchanged(t *testing.T) {
+	raw, err := os.ReadFile(filepath.Join("testdata", "plans", "nack-storm.seed1.plan"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	plan, err := faults.DecodeString(string(raw))
+	if err != nil {
+		t.Fatal(err)
+	}
+	chaos := Spec{App: "intruder", Scheme: SUVTM, Cores: 8, Seed: 1, Scale: 0.08, Faults: plan}
+	a, err := Run(chaos)
+	if err != nil {
+		t.Fatal(err)
+	}
+	chaos.Shards = 4
+	b, err := Run(chaos)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !sameOutcome(a, b) {
+		t.Errorf("chaos replay changed under Shards=4: %d vs %d cycles", a.Cycles, b.Cycles)
+	}
+
+	fx := Spec{App: "bank", Scheme: SUVTM, Cores: 4, Scale: 0.2, Forensics: true}
+	fa, err := Run(fx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fx.Shards = 4
+	fb, err := Run(fx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !sameOutcome(fa, fb) {
+		t.Errorf("forensic run changed under Shards=4: %d vs %d cycles", fa.Cycles, fb.Cycles)
+	}
+	if !reflect.DeepEqual(fa.Forensics, fb.Forensics) {
+		t.Error("forensics report diverged under Shards=4")
+	}
+}
+
+// TestParallelCacheKeyShardIndependent checks that Shards is excluded
+// from the run-cache fingerprint: a sequential miss primes the entry a
+// sharded run is then served from.
+func TestParallelCacheKeyShardIndependent(t *testing.T) {
+	if err := ResetRunCache(); err != nil {
+		t.Fatal(err)
+	}
+	seq := Spec{App: "kmeans", Scheme: SUVTM, Cores: 4, Scale: 0.05}
+	par := seq
+	par.Shards = 4
+	kSeq, err := fingerprintOf(seq)
+	if err != nil {
+		t.Fatal(err)
+	}
+	kPar, err := fingerprintOf(par)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if kSeq != kPar {
+		t.Fatal("fingerprint depends on Spec.Shards")
+	}
+	a, err := RunCached(seq)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := RunCached(par)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := FleetSnapshot(); got.Hits == 0 {
+		t.Fatalf("sharded run missed the cache entry its sequential twin stored: %+v", got)
+	}
+	if !sameRun(a, b) {
+		t.Errorf("cache round-trip diverged: %d vs %d cycles", a.Cycles, b.Cycles)
+	}
+}
+
+// TestParallelOversubscriptionClamp pins the fleet's J*K bound: with as
+// many batch workers as the host has processors, every multi-shard spec
+// must be clamped (and counted), and outcomes must still match the
+// sequential engine exactly.
+func TestParallelOversubscriptionClamp(t *testing.T) {
+	if err := ResetRunCache(); err != nil {
+		t.Fatal(err)
+	}
+	jobs := runtime.GOMAXPROCS(0)
+	specs := make([]Spec, jobs+1)
+	for i := range specs {
+		specs[i] = Spec{App: "counter", Scheme: SUVTM, Cores: 2, Seed: uint64(i + 1), Scale: 0.05, Shards: 64}
+	}
+	outs, err := RunManyWith(specs, BatchOptions{Jobs: jobs, NoCache: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	snap := FleetSnapshot()
+	if snap.ShardClamps == 0 {
+		t.Fatalf("no shard clamps recorded for %d-shard specs under %d jobs", 64, jobs)
+	}
+	for i, out := range outs {
+		want, err := Run(Spec{App: "counter", Scheme: SUVTM, Cores: 2, Seed: uint64(i + 1), Scale: 0.05})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !sameRun(want, out) {
+			t.Errorf("spec %d: clamped sharded run diverged from sequential", i)
+		}
+	}
+	if err := ResetRunCache(); err != nil {
+		t.Fatal(err)
+	}
+	if got := FleetSnapshot().ShardClamps; got != 0 {
+		t.Fatalf("ResetRunCache left ShardClamps = %d", got)
+	}
+}

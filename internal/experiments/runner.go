@@ -100,6 +100,13 @@ type Spec struct {
 	// conflict report (Outcome.Forensics). Forensic runs always bypass
 	// the run cache: the report lives outside the cached entry.
 	Forensics bool
+	// Shards engages the machine's deterministic parallel window engine
+	// (htm.Config.Shards): results are bit-identical for every value, so
+	// this is purely a host-throughput knob and is excluded from the run
+	// cache fingerprint. The fleet clamps it so batch workers times
+	// per-run shard workers never oversubscribe GOMAXPROCS (the clamp is
+	// counted in FleetStats.ShardClamps).
+	Shards int
 	// ForensicsTopK bounds the report's hot-site and hot-line tables
 	// (0 = the forensics default).
 	ForensicsTopK int
@@ -147,11 +154,13 @@ type Outcome struct {
 // Run executes one simulation, cold: fresh memory, directory and
 // redirect state, no cache involvement. The fleet layer (RunMany,
 // RunManyWith, RunCached) builds on runSpec to add arenas and caching.
-func Run(spec Spec) (*Outcome, error) { return runSpec(spec, nil) }
+func Run(spec Spec) (*Outcome, error) { return runSpec(spec, nil, soloShardCap()) }
 
 // runSpec executes one simulation, drawing the big allocations from
-// arena when non-nil (the per-worker reuse path of runBatch).
-func runSpec(spec Spec, arena *machineArena) (*Outcome, error) {
+// arena when non-nil (the per-worker reuse path of runBatch). shardCap
+// bounds the run's effective Shards so concurrent batch workers never
+// oversubscribe the host (see clampShards).
+func runSpec(spec Spec, arena *machineArena, shardCap int) (*Outcome, error) {
 	cores, seed, scale := spec.resolved()
 	gen, err := workload.Get(spec.App)
 	if err != nil {
@@ -171,7 +180,14 @@ func runSpec(spec Spec, arena *machineArena) (*Outcome, error) {
 		memory = mem.NewMemory()
 		alloc = mem.NewAllocator(heapBase, heapSize)
 	}
-	app := gen(workload.GenConfig{Cores: cores, Seed: seed, Scale: scale}, alloc, memory)
+	genCfg := workload.GenConfig{Cores: cores, Seed: seed, Scale: scale}
+	var app *workload.App
+	if arena != nil {
+		app = arena.generate(workloadKey{spec.App, cores, seed, scale}, memory, alloc,
+			func() *workload.App { return gen(genCfg, alloc, memory) })
+	} else {
+		app = gen(genCfg, alloc, memory)
+	}
 
 	plan := spec.Faults
 	if plan == nil && spec.FaultPlan != "" {
@@ -193,9 +209,11 @@ func runSpec(spec Spec, arena *machineArena) (*Outcome, error) {
 		// to survive.
 		cfg = cfg.WithProgressLadder()
 	}
+	cfg.Shards = spec.Shards
 	if spec.Tweak != nil {
 		spec.Tweak(&cfg)
 	}
+	cfg.Shards = clampShards(cfg.Shards, shardCap)
 	machine := htm.NewWith(cfg, vm, app.Programs, memory, alloc, pre)
 	if arena != nil {
 		arena.keep(machine)

@@ -117,6 +117,17 @@ type Config struct {
 	// remains as the last-resort backstop, now returning a typed
 	// *WatchdogError with per-core diagnostics.
 	MaxCycles sim.Cycles
+
+	// Shards engages the deterministic parallel window engine for this
+	// run (parallel.go): cores and their tile-local state are grouped
+	// into Shards contiguous mesh blocks that execute provably-local
+	// instruction chains concurrently inside conservative time windows
+	// bounded by the mesh lookahead. 0 (the default) runs the classic
+	// sequential event loop. Results are bit-identical for every value —
+	// Shards is a host-throughput knob, never a model parameter — and
+	// runs the engine cannot parallelize (fault injection, tracing,
+	// schemes without a LocalPeeker) fall back to the sequential loop.
+	Shards int
 }
 
 // DefaultConfig returns the paper's Table III configuration for the given

@@ -180,6 +180,41 @@ func (v *VM) OnSpecEviction(m *htm.Machine, c *htm.Core, line sim.Line) {
 	v.st[c.ID].degenerate = true
 }
 
+// PeekLoad implements htm.LocalPeeker: FasTM loads are always in-place,
+// zero-extra-latency word reads (Translate is the identity).
+func (v *VM) PeekLoad(m *htm.Machine, c *htm.Core, line sim.Line) htm.AccessPeek {
+	return htm.AccessPeek{Target: line, Lat: 0, OK: true}
+}
+
+// PeekStore implements htm.LocalPeeker: a store is core-local unless it
+// is the first transactional touch of the line, which snapshots the
+// pre-transaction version (and, degenerate or not, pays a write-back or
+// logging latency). Already shadowed lines — and all non-transactional
+// stores — write in place. A certified store never mutates the shadow
+// map, so the classification is stable across the window.
+func (v *VM) PeekStore(m *htm.Machine, c *htm.Core, line sim.Line) htm.AccessPeek {
+	if c.TxActive() {
+		if _, seen := v.st[c.ID].shadow[line]; !seen {
+			return htm.AccessPeek{}
+		}
+	}
+	return htm.AccessPeek{Target: line, Lat: 0, OK: true}
+}
+
+// LoadLocal implements htm.LocalPeeker: Translate is the identity and a
+// load is a plain in-place word read.
+func (v *VM) LoadLocal(m *htm.Machine, c *htm.Core, addr sim.Addr) (sim.Word, sim.Cycles) {
+	return m.Memory.Read(addr), 0
+}
+
+// StoreLocal implements htm.LocalPeeker: a certified store is either
+// non-transactional or to an already-shadowed line, so the first-touch
+// branch of Store is dead and only the in-place write remains.
+func (v *VM) StoreLocal(m *htm.Machine, c *htm.Core, addr sim.Addr, val sim.Word) sim.Cycles {
+	m.Memory.Write(addr, val)
+	return 0
+}
+
 func (v *VM) reset(id int) {
 	s := &v.st[id]
 	clear(s.shadow)

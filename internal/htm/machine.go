@@ -56,6 +56,10 @@ type Machine struct {
 	tokenCore    int
 	tokenWaiting []int
 	nextCheckAt  sim.Cycles
+
+	// par is the deterministic parallel window engine (parallel.go),
+	// non-nil only while a Shards>=1 run is using it.
+	par *parEngine
 }
 
 type barrierState struct {
@@ -208,6 +212,9 @@ func (m *Machine) Now() sim.Cycles { return m.now }
 // result. It fails if the watchdog fires or the cores deadlock on a
 // mismatched barrier.
 func (m *Machine) Run() (*Result, error) {
+	if m.parallelEligible() {
+		return m.runParallel()
+	}
 	for i, c := range m.Cores {
 		if c.atEnd() {
 			c.status = statusFinished
@@ -235,6 +242,12 @@ func (m *Machine) Run() (*Result, error) {
 	if m.finished != len(m.Cores) {
 		return nil, m.failRun(&DeadlockError{Finished: m.finished, Total: len(m.Cores), At: m.now, Cores: m.snapshotCores()})
 	}
+	return m.buildResult(), nil
+}
+
+// buildResult aggregates the per-core breakdowns into the run result
+// once every core has finished; both engines end through it.
+func (m *Machine) buildResult() *Result {
 	res := &Result{PerCore: make([]stats.Breakdown, len(m.Cores))}
 	var end sim.Cycles
 	for _, c := range m.Cores {
@@ -254,7 +267,7 @@ func (m *Machine) Run() (*Result, error) {
 	if m.obs != nil {
 		m.obs.finish(m, end)
 	}
-	return res, nil
+	return res
 }
 
 // failRun finalizes a failed run before the error propagates: the

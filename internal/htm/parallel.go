@@ -1,0 +1,625 @@
+package htm
+
+import (
+	"fmt"
+
+	"suvtm/internal/mem"
+	"suvtm/internal/parrun"
+	"suvtm/internal/sim"
+	"suvtm/internal/stats"
+	"suvtm/internal/workload"
+)
+
+// This file implements the deterministic parallel engine for a single
+// run (Config.Shards >= 1): conservative time-window sharding with
+// mesh-latency lookahead.
+//
+// The sequential engine is one global event loop: pop the earliest
+// (cycle, core) event, step that core by one operation, push its
+// continuation. The parallel engine keeps that loop — every operation
+// that can touch shared state (cache fills, directory traffic, NACKs,
+// begins/commits/aborts, barriers, the token ladder) still executes
+// through it, one event at a time, in exactly the sequential order. What
+// it adds is the *window*: a scan phase proves, before anything runs,
+// that every core's next H-minAt cycles consist purely of core-local
+// operations (register ops, computes, L1-hit loads, L1-Modified-hit
+// stores the scheme's LocalPeeker certifies); those instruction chains
+// then execute concurrently, one shard of cores per worker, each with a
+// private clock, and merge back in canonical core-ID order.
+//
+// Soundness rests on three facts:
+//
+//  1. Core-locality: a certified operation reads and writes only state
+//     owned by its core (registers, L1 LRU/dirty bits, signatures,
+//     counters) plus flat-memory words on lines the core holds Modified
+//     — which MESI makes exclusive — or reads of lines it holds at all.
+//     Operations of different cores therefore commute within a window,
+//     so any interleaving — including concurrent execution — produces
+//     the state the sequential order would.
+//  2. Horizon safety: H never exceeds the cycle of the earliest
+//     possibly-unsafe event of ANY core (each chain's scan stops at the
+//     first op it cannot certify; cores that are aborting, parked, or
+//     mid-compensation bound H at their next event), and chains execute
+//     strictly below H. No shared-state event can interleave a window.
+//  3. Classification stability: certified ops never mutate any
+//     classification input (summary signature, first-touch maps, L1
+//     contents — LRU touches reorder ways but evict nothing), so the
+//     scan's verdict still holds when the chain executes, and the
+//     chain's own exec-time re-classification agrees with the scan.
+//
+// The mesh's physical lookahead (interconnect.Mesh.Lookahead, >= one
+// hop: no cross-tile effect propagates faster) is the window floor: a
+// horizon nearer than that can never beat the sequential loop, so such
+// attempts are rejected before any chain runs, and rejection cost is
+// kept down by an exponential event-count backoff.
+//
+// Shards partition cores by contiguous mesh blocks (Mesh.ShardOf); the
+// shard count is a pure function of Config, while the number of host
+// workers servicing them adapts to GOMAXPROCS (parrun.Workers) without
+// observable effect — worker goroutines only ever touch state owned by
+// the shards they process, and results merge in core-ID order.
+
+const (
+	// parWindowSpan caps how far past the earliest pending event one
+	// window may reach, bounding scan work per attempt. The engine
+	// rarely scans this far: the adaptive span (parEngine.span) tracks
+	// how large windows actually come out, so certification work stays
+	// proportional to executed work instead of to this ceiling.
+	parWindowSpan sim.Cycles = 8192
+	// parScanOpsCap bounds ops scanned per chain per attempt.
+	parScanOpsCap = 8192
+	// parMinWindowOps rejects windows whose scanned chains carry fewer
+	// total ops than this: below it, the fixed cost of forming a window
+	// (queue fold, scan, fork/join, merge) exceeds what the sequential
+	// loop would spend just executing the ops.
+	parMinWindowOps = 48
+	// parMinBackoff/parMaxBackoff bound the exponential event-count
+	// backoff between failed window attempts.
+	parMinBackoff = 8
+	parMaxBackoff = 4096
+	// parVerifyChains re-certifies every chained op at execution time and
+	// cross-checks its latency against the scan's prediction. The checks
+	// are redundant while classification stability (soundness fact 3)
+	// holds — and they roughly double the per-op cost of a chain — so
+	// they are compiled out; flip the constant when touching peekOp, a
+	// LocalPeeker, or any sequential fast path they mirror.
+	parVerifyChains = false
+)
+
+// parEngine is the per-run state of the parallel engine.
+type parEngine struct {
+	sh      sim.ShardedHeap
+	peeker  LocalPeeker
+	shards  int     // logical shard count (clamped Config.Shards)
+	workers int     // host workers servicing the shards
+	coresBy [][]int // shard -> core IDs, ascending
+	parts   []parPart
+	order   []int      // scratch: candidate cores by ascending event time
+	span    sim.Cycles // adaptive scan horizon (see tryWindow)
+
+	windows  uint64 // windows executed
+	chainOps uint64 // ops executed inside windows
+	seqSteps uint64 // events executed by the sequential pocket loop
+	attempts uint64 // window attempts (incl. rejected)
+	scanOps  uint64 // ops certified by scans (incl. rejected attempts)
+}
+
+// parPart is one core's scratch state for the current window attempt.
+type parPart struct {
+	at    sim.Cycles // earliest pending event
+	count int        // pending events in the queue
+	take  bool       // participates in the window
+	fin   bool       // chain ran to program end
+	endT  sim.Cycles // chain clock after the window
+	ops   int        // ops the chain executed
+}
+
+// ParallelStats reports what the parallel engine did during a run; all
+// zeros when the run used the sequential engine.
+type ParallelStats struct {
+	Shards   int
+	Workers  int
+	Windows  uint64
+	ChainOps uint64
+	SeqSteps uint64
+	Attempts uint64
+	ScanOps  uint64 // certification work, including overscan past the final horizon
+}
+
+// ParallelStats returns the engine's counters for the last/current Run.
+func (m *Machine) ParallelStats() ParallelStats {
+	if m.par == nil {
+		return ParallelStats{}
+	}
+	return ParallelStats{
+		Shards: m.par.shards, Workers: m.par.workers,
+		Windows: m.par.windows, ChainOps: m.par.chainOps,
+		SeqSteps: m.par.seqSteps, Attempts: m.par.attempts,
+		ScanOps: m.par.scanOps,
+	}
+}
+
+// parallelEligible reports whether this run may use the window engine:
+// Shards requested, a scheme that can certify core-local accesses, and
+// none of the observers whose callbacks are keyed to the global event
+// loop (fault plans, tracing, metrics, forensics, periodic invariant
+// checks, the always-check debug aid). Ineligible runs take the
+// sequential loop and are bit-identical by construction.
+func (m *Machine) parallelEligible() bool {
+	if m.cfg.Shards < 1 {
+		return false
+	}
+	if m.faults != nil || m.tracer != nil || m.metrics != nil || m.obs != nil || m.fx.Enabled() {
+		return false
+	}
+	if m.cfg.CheckInterval != 0 || debugAlwaysCheck {
+		return false
+	}
+	_, ok := m.VM.(LocalPeeker)
+	return ok
+}
+
+// runParallel is Run's parallel twin: the same event loop, with window
+// execution spliced between sequential pockets.
+func (m *Machine) runParallel() (*Result, error) {
+	p := &parEngine{peeker: m.VM.(LocalPeeker)}
+	m.par = p
+	k := m.cfg.Shards
+	if k > len(m.Cores) {
+		k = len(m.Cores)
+	}
+	p.shards = k
+	p.workers = parrun.Workers(k)
+	p.sh.Reset(len(m.Cores), k, func(id int) int { return m.Mesh.ShardOf(id, k) })
+	p.coresBy = make([][]int, p.sh.Shards())
+	for id := range m.Cores {
+		s := p.sh.ShardFor(id)
+		p.coresBy[s] = append(p.coresBy[s], id)
+	}
+	p.parts = make([]parPart, len(m.Cores))
+	p.order = make([]int, 0, len(m.Cores))
+	p.span = 4 * m.Mesh.Lookahead()
+
+	for i, c := range m.Cores {
+		if c.atEnd() {
+			c.status = statusFinished
+			m.finished++
+			continue
+		}
+		p.sh.Push(0, i)
+	}
+	backoff := parMinBackoff
+	seqBudget := 0
+	for {
+		// Everything the sequential steps staged on m.heap moves to the
+		// sharded queue (the 13 push sites all route through m.heap, so
+		// nothing else needs to know which engine is running).
+		for m.heap.Len() > 0 {
+			at, id := m.heap.Pop()
+			p.sh.Push(at, id)
+		}
+		if p.sh.Len() == 0 {
+			break
+		}
+		// The serialization-token ladder wants the strictly sequential
+		// order its irrevocability argument was written against, so
+		// windows pause while a token is outstanding.
+		if seqBudget <= 0 && m.tokenCore < 0 {
+			if m.tryWindow() {
+				backoff = parMinBackoff
+				continue
+			}
+			seqBudget = backoff
+			backoff *= 2
+			if backoff > parMaxBackoff {
+				backoff = parMaxBackoff
+			}
+		}
+		at, id := p.sh.Pop()
+		if m.cfg.MaxCycles > 0 && at > m.cfg.MaxCycles {
+			m.now = at
+			return nil, m.failRun(&WatchdogError{MaxCycles: m.cfg.MaxCycles, At: at, Cores: m.snapshotCores()})
+		}
+		m.now = at
+		m.step(m.Cores[id])
+		p.seqSteps++
+		seqBudget--
+	}
+	if m.finished != len(m.Cores) {
+		return nil, m.failRun(&DeadlockError{Finished: m.finished, Total: len(m.Cores), At: m.now, Cores: m.snapshotCores()})
+	}
+	return m.buildResult(), nil
+}
+
+// tryWindow attempts one conservative time window: compute the horizon
+// H, and if it clears the mesh lookahead and carries enough work,
+// execute every certified chain below H concurrently. Returns false —
+// having changed nothing — when the window is rejected.
+func (m *Machine) tryWindow() bool {
+	p := m.par
+	p.attempts++
+	minAt, _, ok := p.sh.Peek()
+	if !ok {
+		return false
+	}
+	// The scan horizon adapts to how large windows actually come out
+	// (span is updated after every success), with 2x headroom so a
+	// growing window isn't capped twice in a row. Without this, every
+	// attempt would certify chains out to parWindowSpan and then throw
+	// almost all of that work away when another core's first unsafe op
+	// pins the horizon a few hundred cycles out.
+	la := m.Mesh.Lookahead()
+	span := 2 * p.span
+	if span > parWindowSpan {
+		span = parWindowSpan
+	}
+	if span < la {
+		span = la
+	}
+	capped := true
+	bound := minAt + span
+	if m.cfg.MaxCycles > 0 && bound > m.cfg.MaxCycles+1 {
+		// Chains start ops at t < bound <= MaxCycles+1, so no chain ever
+		// executes an op the sequential watchdog would have refused.
+		bound = m.cfg.MaxCycles + 1
+		capped = false
+	}
+	if bound < minAt+la {
+		return false
+	}
+
+	// Pass 1: fold the queue into per-core (earliest, count) and mark
+	// the cores whose chains may be scanned. Cores in any engine-driven
+	// state (aborting, doom pending, compensation replay, a duplicated
+	// queue entry) bound the horizon at their next event instead.
+	parts := p.parts
+	for i := range parts {
+		parts[i] = parPart{}
+	}
+	p.sh.ForEach(func(at sim.Cycles, id int) {
+		e := &parts[id]
+		if e.count == 0 || at < e.at {
+			e.at = at
+		}
+		e.count++
+	})
+	for id, c := range m.Cores {
+		e := &parts[id]
+		if e.count == 0 {
+			continue
+		}
+		if e.count != 1 || c.status != statusRunning || c.abortPending || c.compRemaining > 0 {
+			if e.at < bound {
+				bound = e.at
+			}
+			continue
+		}
+		e.take = true
+	}
+	if bound < minAt+la {
+		return false
+	}
+
+	// Pass 2: scan each candidate chain up to the current bound,
+	// shrinking the bound to the earliest uncertified op found anywhere.
+	// Candidates go in ascending event-time order (ties by core ID —
+	// deterministic), so the chain most likely to pin the bound is
+	// scanned first: when the earliest pending op is itself uncertified
+	// — the common state right after a window — the attempt dies after
+	// one peek instead of after fully scanning every other chain.
+	order := p.order[:0]
+	for id := range m.Cores {
+		if parts[id].take {
+			order = append(order, id)
+		}
+	}
+	for i := 1; i < len(order); i++ { // insertion sort: tiny, allocation-free
+		for j := i; j > 0 && parts[order[j]].at < parts[order[j-1]].at; j-- {
+			order[j], order[j-1] = order[j-1], order[j]
+		}
+	}
+	totalOps := 0
+	for _, id := range order {
+		e := &parts[id]
+		park, ops := m.scanChain(m.Cores[id], e.at, bound)
+		totalOps += ops
+		if park < bound {
+			bound = park
+			if bound < minAt+la {
+				return false
+			}
+		}
+	}
+	if totalOps < parMinWindowOps {
+		return false
+	}
+	h := bound
+	if capped && h == minAt+span {
+		p.span = span // chains outran the horizon: double the next scan
+	} else {
+		p.span = (p.span + (h - minAt) + 1) / 2 // track the real window size
+	}
+
+	// Commit to the window: pull participating chains out of the queue.
+	// (The earliest core always participates: were it ineligible, pass 1
+	// would have pinned bound to minAt and the lookahead gate fired.)
+	n := 0
+	for id := range m.Cores {
+		e := &parts[id]
+		e.take = e.take && e.at < h
+		if e.take {
+			p.sh.Remove(e.at, id)
+			n++
+		}
+	}
+	if n == 0 {
+		return false
+	}
+
+	// Execute: one worker per shard; each worker advances only cores of
+	// its shard and pushes continuations onto its shard's private heap,
+	// so no two goroutines ever share mutable state.
+	parrun.Run(p.workers, len(p.coresBy), func(s int) {
+		sh := p.sh.Shard(s)
+		for _, id := range p.coresBy[s] {
+			e := &parts[id]
+			if !e.take {
+				continue
+			}
+			end, fin, ops := m.execChain(m.Cores[id], e.at, h)
+			e.endT, e.fin, e.ops = end, fin, ops
+			if !fin {
+				sh.Push(end, id)
+			}
+		}
+	})
+
+	// Merge in canonical core-ID order. (Today's merge is commutative —
+	// a finish count and op totals — but the order is load-bearing
+	// documentation: any future cross-core effect folds in here.)
+	for id := range parts {
+		e := &parts[id]
+		if !e.take {
+			continue
+		}
+		if e.fin {
+			m.finished++
+		}
+		p.chainOps += uint64(e.ops)
+	}
+	p.windows++
+	return true
+}
+
+// scanChain walks c's program from its pending event at cycle `at`,
+// certifying ops until the first one it cannot, the bound, or the op
+// cap. It returns the cycle the chain is certified through (no unsafe
+// op of c's starts below it) and how many ops it saw.
+func (m *Machine) scanChain(c *Core, at, bound sim.Cycles) (park sim.Cycles, ops int) {
+	t := at
+	pc := c.PC
+	prog := c.Prog.Ops
+	n := len(prog)
+	for t < bound {
+		if pc >= n {
+			// The chain finishes inside the window: no constraint beyond.
+			m.par.scanOps += uint64(ops)
+			return bound, ops
+		}
+		// Pure-register ops — the bulk of an instruction-grain trace —
+		// classify inline; the arms must return exactly what peekOp's
+		// matching cases return (execChain's parVerifyChains mode checks
+		// that agreement op by op). Only memory and engine ops pay the
+		// peekOp call.
+		var lat sim.Cycles
+		if k := prog[pc].Kind; k-workload.OpLoadImm <= workload.OpAddReg-workload.OpLoadImm {
+			lat = 1
+		} else if k == workload.OpCompute {
+			lat = sim.Cycles(prog[pc].N)
+			if lat == 0 {
+				lat = 1
+			}
+		} else {
+			var safe bool
+			lat, safe = m.peekOp(c, pc)
+			if !safe {
+				m.par.scanOps += uint64(ops)
+				return t, ops
+			}
+			if lat == 0 {
+				lat = 1
+			}
+		}
+		t += lat
+		pc++
+		ops++
+		if ops >= parScanOpsCap {
+			m.par.scanOps += uint64(ops)
+			return t, ops
+		}
+	}
+	m.par.scanOps += uint64(ops)
+	return t, ops
+}
+
+// peekOp classifies the op at pc without side effects: can it run as
+// part of a core-local chain, and at exactly what latency? Both the
+// scan and the exec phases use this single classifier, so they cannot
+// disagree. The conditions mirror the sequential fast paths verbatim:
+// an L1-hit load, an L1-Modified-hit store to an already-materialized
+// word, with the scheme certifying its own part via LocalPeeker.
+func (m *Machine) peekOp(c *Core, pc int) (lat sim.Cycles, safe bool) {
+	op := c.Prog.Ops[pc]
+	//suv:nonexhaustive every op kind not listed is handled by the sequential loop via the default arm
+	switch op.Kind {
+	case workload.OpCompute:
+		return sim.Cycles(op.N), true
+	case workload.OpLoadImm, workload.OpAddImm, workload.OpAddReg:
+		return 1, true
+	case workload.OpLoad:
+		pk := m.par.peeker.PeekLoad(m, c, sim.LineOf(op.Addr))
+		if !pk.OK {
+			return 0, false
+		}
+		if _, hit := c.L1.Peek(pk.Target); !hit {
+			return 0, false
+		}
+		return pk.Lat + m.cfg.L1Latency, true
+	case workload.OpStore, workload.OpStoreImm:
+		line := sim.LineOf(op.Addr)
+		if c.TxActive() && m.modeOf(c) == ModeLazy {
+			return 0, false
+		}
+		pk := m.par.peeker.PeekStore(m, c, line)
+		if !pk.OK {
+			return 0, false
+		}
+		if state, hit := c.L1.Peek(pk.Target); !hit || state != mem.Modified {
+			return 0, false
+		}
+		if !m.Memory.Written(translatedAddr(pk.Target, op.Addr)) {
+			// A first-ever store materializes its backing page and
+			// footprint bit — shared structures — so it runs sequentially.
+			return 0, false
+		}
+		return pk.Lat + m.cfg.L1Latency, true
+	default:
+		// Begin/Commit/CommitOpen/Barrier/Suspend/Resume and anything
+		// new: engine events, never part of a chain.
+		return 0, false
+	}
+}
+
+// execChain runs c's certified instruction chain with a private clock
+// from t strictly below the horizon h, replicating the sequential
+// step/finishOp paths for exactly the op shapes peekOp certifies. It
+// returns the chain's clock, whether the program finished, and the op
+// count.
+func (m *Machine) execChain(c *Core, t, h sim.Cycles) (sim.Cycles, bool, int) {
+	ops := 0
+	for t < h {
+		var want sim.Cycles
+		if parVerifyChains {
+			var safe bool
+			want, safe = m.peekOp(c, c.PC)
+			if !safe {
+				// Unreachable while classification stability holds (the
+				// scan certified this chain through h).
+				panic(fmt.Sprintf("htm: core %d pc %d: chained op decertified between scan and exec", c.ID, c.PC))
+			}
+		}
+		op := c.op()
+		var lat sim.Cycles
+		//suv:nonexhaustive peekOp certified this op as one of the chain-executable kinds; the default arm guards the contract
+		switch op.Kind {
+		case workload.OpCompute:
+			lat = sim.Cycles(op.N)
+		case workload.OpLoadImm:
+			c.Regs[op.Reg] = op.Val
+			lat = 1
+		case workload.OpAddImm:
+			c.Regs[op.Reg] += op.Val
+			lat = 1
+		case workload.OpAddReg:
+			c.Regs[op.Reg] += c.Regs[op.Reg2]
+			lat = 1
+		case workload.OpLoad:
+			lat = m.execLoad(c, op)
+		case workload.OpStore:
+			lat = m.execStore(c, op.Addr, c.Regs[op.Reg], t)
+		case workload.OpStoreImm:
+			lat = m.execStore(c, op.Addr, op.Val, t)
+		default:
+			panic(fmt.Sprintf("htm: parallel chain reached non-local op %v", op))
+		}
+		if lat == 0 {
+			lat = 1
+		}
+		if parVerifyChains && lat != want && want != 0 {
+			panic(fmt.Sprintf("htm: core %d op %v: chain latency %d != certified %d", c.ID, op, lat, want))
+		}
+		// finishOp, minus the compensation ladder peekOp's eligibility
+		// gate excluded (compRemaining == 0 for every chain).
+		if c.TxActive() {
+			c.attemptCyc += lat
+		} else {
+			c.Breakdown.Add(stats.NoTrans, lat)
+		}
+		c.PC++
+		ops++
+		if c.atEnd() {
+			c.status = statusFinished
+			c.finishedAt = t + lat
+			return t + lat, true, ops
+		}
+		t += lat
+	}
+	return t, false, ops
+}
+
+// execLoad is doLoad's L1-hit fast path for certified loads: LRU touch,
+// then the scheme's LoadLocal — the exact observable effects of
+// Translate+Load on an access PeekLoad certified, without re-walking the
+// filters the scan already cleared. Under parVerifyChains the full
+// scheme path runs instead, so a new LocalPeeker implementation can be
+// validated against it.
+func (m *Machine) execLoad(c *Core, op workloadOp) sim.Cycles {
+	line := sim.LineOf(op.Addr)
+	var val sim.Word
+	var lat sim.Cycles
+	if parVerifyChains {
+		target, tlat := m.VM.Translate(m, c, line, false)
+		if target != line {
+			panic(fmt.Sprintf("htm: core %d: certified load of line %d translated to %d", c.ID, line, target))
+		}
+		c.L1.Lookup(target)
+		var vlat sim.Cycles
+		val, vlat = m.VM.Load(m, c, op.Addr, translatedAddr(target, op.Addr))
+		lat = tlat + vlat
+	} else {
+		c.L1.Lookup(line)
+		val, lat = m.par.peeker.LoadLocal(m, c, op.Addr)
+	}
+	c.Counters.L1Hits++
+	c.Regs[op.Reg] = val
+	if c.TxActive() {
+		c.trackRead(line)
+	}
+	return lat + m.cfg.L1Latency
+}
+
+// execStore is doStore's exclusive-L1-hit fast path for certified
+// stores, with the scheme work routed through StoreLocal (or the full
+// path under parVerifyChains, as for execLoad). The lazy-victim
+// broadcast of the sequential path is skipped: LocalPeeker implementers
+// certify Mode never returns ModeLazy, so the broadcast can have no
+// victims.
+func (m *Machine) execStore(c *Core, addr sim.Addr, val sim.Word, t sim.Cycles) sim.Cycles {
+	line := sim.LineOf(addr)
+	var lat sim.Cycles
+	if parVerifyChains {
+		target, tlat := m.VM.Translate(m, c, line, true)
+		if target != line {
+			panic(fmt.Sprintf("htm: core %d: certified store of line %d translated to %d", c.ID, line, target))
+		}
+		c.L1.Lookup(target)
+		finalLine, slat := m.VM.Store(m, c, addr, val)
+		if finalLine != target {
+			panic(fmt.Sprintf("htm: core %d: certified store moved line %d -> %d", c.ID, target, finalLine))
+		}
+		lat = tlat + slat
+	} else {
+		c.L1.Lookup(line)
+		lat = m.par.peeker.StoreLocal(m, c, addr, val)
+	}
+	c.Counters.L1Hits++
+	if c.TxActive() {
+		if c.windowStart == 0 {
+			c.windowStart = t + 1
+		}
+		c.trackWrite(line)
+		c.writtenTargets.Add(line)
+	}
+	c.L1.MarkDirty(line)
+	return lat + m.cfg.L1Latency
+}

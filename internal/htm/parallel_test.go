@@ -1,0 +1,152 @@
+package htm_test
+
+import (
+	"reflect"
+	"runtime"
+	"testing"
+
+	"suvtm/internal/htm"
+	"suvtm/internal/htm/fastm"
+	"suvtm/internal/htm/logtmse"
+	"suvtm/internal/htm/suvtm"
+	"suvtm/internal/mem"
+	"suvtm/internal/parrun"
+	"suvtm/internal/workload"
+)
+
+// parRun generates app and runs it with the given shard count,
+// returning the machine, result, and final memory image.
+func parRun(t *testing.T, app string, vm htm.VersionManager, cores int, scale float64, shards int) (*htm.Machine, *htm.Result, *mem.Memory) {
+	t.Helper()
+	memory := mem.NewMemory()
+	alloc := mem.NewAllocator(arenaHeapBase, arenaHeapSize)
+	gen, err := workload.Get(app)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a := gen(workload.GenConfig{Cores: cores, Seed: 1, Scale: scale}, alloc, memory)
+	cfg := htm.DefaultConfig(cores)
+	cfg.Shards = shards
+	m := htm.New(cfg, vm, a.Programs, memory, alloc)
+	res, err := m.Run()
+	if err != nil {
+		t.Fatalf("%s shards=%d: %v", app, shards, err)
+	}
+	if err := a.Check(m.ArchMem()); err != nil {
+		t.Fatalf("%s shards=%d: %v", app, shards, err)
+	}
+	return m, res, memory
+}
+
+// TestParallelBitIdentical is the acceptance gate for the parallel
+// window engine: for every scheme with a LocalPeeker and a spread of
+// workloads, a run at each shard count must be bit-identical to the
+// sequential engine — same Result (cycles, aggregate and per-core
+// breakdowns, counters) and same final memory image, word for word.
+func TestParallelBitIdentical(t *testing.T) {
+	shardCounts := []int{1, 2, 4, runtime.NumCPU()}
+	// Force multiple workers even on small hosts so -race runs exercise
+	// real cross-goroutine windows.
+	prev := parrun.SetForcedWorkersForTest(4)
+	defer parrun.SetForcedWorkersForTest(prev)
+
+	cases := []struct {
+		app    string
+		scheme string
+		mk     func() htm.VersionManager
+		cores  int
+		scale  float64
+	}{
+		{"sessionstore", "SUV-TM", func() htm.VersionManager { return suvtm.New() }, 4, 0.2},
+		{"sessionstore", "LogTM-SE", func() htm.VersionManager { return logtmse.New() }, 4, 0.2},
+		{"sessionstore", "FasTM", func() htm.VersionManager { return fastm.New() }, 4, 0.2},
+		{"vacation", "SUV-TM", func() htm.VersionManager { return suvtm.New() }, 4, 0.1},
+		{"intruder", "LogTM-SE", func() htm.VersionManager { return logtmse.New() }, 4, 0.1},
+		{"kmeans", "FasTM", func() htm.VersionManager { return fastm.New() }, 4, 0.1},
+		{"bank", "SUV-TM", func() htm.VersionManager { return suvtm.New() }, 8, 0.2},
+		{"genome", "SUV-TM", func() htm.VersionManager { return suvtm.New() }, 8, 0.05},
+	}
+	for _, tc := range cases {
+		t.Run(tc.app+"/"+tc.scheme, func(t *testing.T) {
+			_, want, seqMem := parRun(t, tc.app, tc.mk(), tc.cores, tc.scale, 0)
+			wantImage := seqMem.Snapshot()
+			for _, k := range shardCounts {
+				m, got, parMem := parRun(t, tc.app, tc.mk(), tc.cores, tc.scale, k)
+				if got.Cycles != want.Cycles {
+					t.Errorf("shards=%d: cycles %d, sequential %d", k, got.Cycles, want.Cycles)
+				}
+				if got.Breakdown != want.Breakdown {
+					t.Errorf("shards=%d: breakdown diverged:\npar %+v\nseq %+v", k, got.Breakdown, want.Breakdown)
+				}
+				if got.Counters != want.Counters {
+					t.Errorf("shards=%d: counters diverged:\npar %+v\nseq %+v", k, got.Counters, want.Counters)
+				}
+				if !reflect.DeepEqual(got.PerCore, want.PerCore) {
+					t.Errorf("shards=%d: per-core breakdowns diverged", k)
+				}
+				gotImage := parMem.Snapshot()
+				if len(gotImage) != len(wantImage) {
+					t.Fatalf("shards=%d: memory image %d words, sequential %d", k, len(gotImage), len(wantImage))
+				}
+				for addr, w := range wantImage {
+					if gotImage[addr] != w {
+						t.Fatalf("shards=%d: memory diverged at %#x: par %#x, seq %#x", k, addr, gotImage[addr], w)
+					}
+				}
+				ps := m.ParallelStats()
+				if ps.Shards == 0 {
+					t.Fatalf("shards=%d: parallel engine did not engage", k)
+				}
+			}
+		})
+	}
+}
+
+// TestParallelEngagement pins down that the engine actually executes
+// windows (not just falls through to sequential pops) on the workload
+// built for it, and that the per-run counters are coherent.
+func TestParallelEngagement(t *testing.T) {
+	m, _, _ := parRun(t, "sessionstore", suvtm.New(), 4, 0.5, 4)
+	ps := m.ParallelStats()
+	if ps.Shards != 4 {
+		t.Fatalf("Shards = %d, want 4", ps.Shards)
+	}
+	if ps.Workers < 1 {
+		t.Fatalf("Workers = %d, want >= 1", ps.Workers)
+	}
+	if ps.Windows == 0 {
+		t.Fatal("no windows executed on the window-friendly workload")
+	}
+	if ps.ChainOps == 0 {
+		t.Fatal("windows executed but no chain ops recorded")
+	}
+	if ps.Attempts < ps.Windows {
+		t.Fatalf("Attempts (%d) < Windows (%d)", ps.Attempts, ps.Windows)
+	}
+	t.Logf("shards=%d workers=%d windows=%d chainOps=%d seqSteps=%d attempts=%d",
+		ps.Shards, ps.Workers, ps.Windows, ps.ChainOps, ps.SeqSteps, ps.Attempts)
+}
+
+// TestParallelIneligibleFallsBack checks that runs the engine cannot
+// parallelize (a scheme without a LocalPeeker, or attached observers)
+// silently use the sequential loop.
+func TestParallelIneligibleFallsBack(t *testing.T) {
+	// DynTM has no LocalPeeker: Shards must be ignored.
+	memory := mem.NewMemory()
+	alloc := mem.NewAllocator(arenaHeapBase, arenaHeapSize)
+	gen, err := workload.Get("counter")
+	if err != nil {
+		t.Fatal(err)
+	}
+	a := gen(workload.GenConfig{Cores: 2, Seed: 1, Scale: 0.05}, alloc, memory)
+	cfg := htm.DefaultConfig(2)
+	cfg.Shards = 4
+	cfg.CheckInterval = 1000 // observers also force the sequential loop
+	m := htm.New(cfg, suvtm.New(), a.Programs, memory, alloc)
+	if _, err := m.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if ps := m.ParallelStats(); ps.Shards != 0 {
+		t.Fatalf("engine engaged despite CheckInterval: %+v", ps)
+	}
+}

@@ -178,6 +178,56 @@ func (v *VM) Abort(m *htm.Machine, c *htm.Core) sim.Cycles {
 // versions live at real addresses.
 func (v *VM) OnSpecEviction(m *htm.Machine, c *htm.Core, line sim.Line) {}
 
+// PeekLoad implements htm.LocalPeeker: a load is core-local exactly when
+// the summary filter would dismiss it — no transient entry of c's own
+// (write signature) and no committed entry anywhere (summary signature),
+// so Translate takes the zero-latency filtered path and Load is a plain
+// word read at the program address. The signatures never report false
+// negatives, so a clean answer proves the redirect tables hold nothing
+// for the line; a positive answer (even an alias) conservatively parks
+// the access on the sequential engine.
+func (v *VM) PeekLoad(m *htm.Machine, c *htm.Core, line sim.Line) htm.AccessPeek {
+	if c.TxActive() && c.WriteSig.Test(line) {
+		return htm.AccessPeek{}
+	}
+	if m.Summary.Test(line) {
+		return htm.AccessPeek{}
+	}
+	return htm.AccessPeek{Target: line, Lat: 0, OK: true}
+}
+
+// PeekStore implements htm.LocalPeeker. Only non-transactional stores
+// through the identity mapping are core-local: the core must be outside
+// any transaction (InTx, not just TxActive — a suspended transaction's
+// transient redirect entries would still resolve the store elsewhere)
+// and the summary must clear the line, which proves Resolve is the
+// identity and Store is a plain word write. Transactional stores always
+// walk the redirect table (journal transitions, pool allocation) and
+// stay sequential.
+func (v *VM) PeekStore(m *htm.Machine, c *htm.Core, line sim.Line) htm.AccessPeek {
+	if c.InTx() || m.Summary.Test(line) {
+		return htm.AccessPeek{}
+	}
+	return htm.AccessPeek{Target: line, Lat: 0, OK: true}
+}
+
+// LoadLocal implements htm.LocalPeeker: a load PeekLoad certified takes
+// Translate's summary-filtered path — one counter bump, identity
+// mapping, zero latency — and reads the word in place.
+func (v *VM) LoadLocal(m *htm.Machine, c *htm.Core, addr sim.Addr) (sim.Word, sim.Cycles) {
+	c.Counters.SummaryFiltered++
+	return m.Memory.Read(addr), 0
+}
+
+// StoreLocal implements htm.LocalPeeker: a store PeekStore certified is
+// non-transactional with a clear summary, so Translate filters it (one
+// counter bump) and Resolve is the identity — the write lands in place.
+func (v *VM) StoreLocal(m *htm.Machine, c *htm.Core, addr sim.Addr, val sim.Word) sim.Cycles {
+	c.Counters.SummaryFiltered++
+	m.Memory.Write(addr, val)
+	return 0
+}
+
 // translatedAddr rebases addr into target, keeping the in-line offset.
 func translatedAddr(target sim.Line, addr sim.Addr) sim.Addr {
 	return sim.AddrOf(target) | (addr & (sim.LineBytes - 1))

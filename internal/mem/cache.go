@@ -146,6 +146,14 @@ func (c *Cache) Config() CacheConfig { return c.cfg }
 // geometry, which stores L1 set-index bits — Figure 3).
 func (c *Cache) SetIndex(line sim.Line) int { return int(line & c.setMask) }
 
+// find locates line's way, moving a hit to way 0 so the repeat lookups
+// that dominate the access pattern (peek + demand + dirty-mark on the
+// same line) match on the first tag probe. The swap changes only the
+// physical way a line occupies, which nothing observes: ways within a
+// set are interchangeable, every scan (reuse, free-way, victim) covers
+// the whole set, and victim selection compares the lru stamps — unique,
+// and carried along in the swap — never positions.
+//
 //suv:hotpath
 func (c *Cache) find(line sim.Line) *cacheWay {
 	si := line & c.setMask
@@ -153,6 +161,11 @@ func (c *Cache) find(line sim.Line) *cacheWay {
 	set := c.sets[si]
 	for i := range tags {
 		if tags[i] == line && set[i].state != Invalid {
+			if i != 0 {
+				tags[0], tags[i] = tags[i], tags[0]
+				set[0], set[i] = set[i], set[0]
+				return &set[0]
+			}
 			return &set[i]
 		}
 	}

@@ -52,6 +52,7 @@ type Memory struct {
 	pages    []*memPage          // page table, indexed by wordIndex >> memPageWordShift
 	far      map[uint64]*memPage // overflow for page indices >= memDirectPages
 	written  int                 // distinct words ever written
+	journal  *WriteLog           // non-nil while StartJournal is recording
 	zeroLine [sim.WordsPerLine]sim.Word
 }
 
@@ -123,10 +124,30 @@ func (m *Memory) Read(addr sim.Addr) sim.Word {
 	return 0
 }
 
+// Written reports whether the word at addr has ever been stored to.
+// For such a word, a subsequent Write is a pure in-place overwrite: no
+// page materialization, no footprint-bitmap mutation — which is what
+// lets the parallel window engine issue concurrent Writes to disjoint
+// already-written words without synchronization.
+//
+//suv:hotpath
+func (m *Memory) Written(addr sim.Addr) bool {
+	w := addr >> 3
+	p := m.peek(w)
+	if p == nil {
+		return false
+	}
+	off := w & memPageWordMask
+	return p.written[off>>6]&(1<<(off&63)) != 0
+}
+
 // Write stores val at addr (aligned down to 8 bytes).
 //
 //suv:hotpath
 func (m *Memory) Write(addr sim.Addr, val sim.Word) {
+	if m.journal != nil {
+		m.journal.word(addr, val)
+	}
 	w := addr >> 3
 	p := m.page(w)
 	off := w & memPageWordMask
@@ -152,6 +173,9 @@ func (m *Memory) ReadLine(line sim.Line) [sim.WordsPerLine]sim.Word {
 //
 //suv:hotpath
 func (m *Memory) WriteLine(line sim.Line, vals [sim.WordsPerLine]sim.Word) {
+	if m.journal != nil {
+		m.journal.line(line, vals)
+	}
 	w := line << (sim.LineShift - 3)
 	p := m.page(w)
 	off := w & memPageWordMask
@@ -193,6 +217,11 @@ func (m *Memory) CopyLine(src, dst sim.Line) {
 		copy(dp.words[doff:doff+sim.WordsPerLine], sp.words[soff:soff+sim.WordsPerLine])
 	}
 	m.markLineWritten(dp, doff)
+	if m.journal != nil {
+		// Journal the copy as a value line-write: replay does not depend
+		// on the source line still holding the same contents.
+		m.journal.line(dst, [sim.WordsPerLine]sim.Word(dp.words[doff:doff+sim.WordsPerLine]))
+	}
 }
 
 // Reset returns the memory to the empty image while keeping the backing
@@ -209,6 +238,7 @@ func (m *Memory) Reset() {
 	}
 	m.far = nil
 	m.written = 0
+	m.journal = nil
 }
 
 // Footprint returns the number of distinct words ever written, used by

@@ -1,0 +1,91 @@
+// Package parrun provides the deterministic fork-join primitive under
+// the parallel window engine: Run executes n index-addressed jobs on up
+// to w host workers and returns only when all have finished.
+//
+// The determinism contract is structural, not scheduled: each job i may
+// touch only state owned by index i (its shard's heap, its chain's core,
+// its private result slot), so which worker executes which index — the
+// only thing the host scheduler controls — cannot be observed in
+// simulated state. Any cross-index effect must happen before Run is
+// called or after it returns, in code that orders work by index. The
+// suvlint detmap/wallclock analyzers patrol this package like the rest
+// of the deterministic core.
+package parrun
+
+import (
+	"runtime"
+	"sync"
+	"sync/atomic"
+)
+
+// forcedWorkers, when positive, overrides the host-derived worker count.
+// Test-only: it lets a single-CPU host drive the w>1 code path (and the
+// race detector across it) that GOMAXPROCS would otherwise optimize
+// away to an inline loop.
+var forcedWorkers atomic.Int32
+
+// SetForcedWorkersForTest overrides the worker count computed by
+// Workers; pass 0 to restore host-derived behavior. It returns the
+// previous override so tests can defer-restore.
+func SetForcedWorkersForTest(w int) int {
+	return int(forcedWorkers.Swap(int32(w)))
+}
+
+// Workers returns how many host workers to use for k logical shards:
+// min(k, GOMAXPROCS), at least 1. Logical shards stay fixed by config —
+// only the number of goroutines servicing them adapts to the host, so
+// the same config produces the same simulation on any machine.
+func Workers(k int) int {
+	w := runtime.GOMAXPROCS(0)
+	if forced := int(forcedWorkers.Load()); forced > 0 {
+		w = forced
+	}
+	if w > k {
+		w = k
+	}
+	if w < 1 {
+		w = 1
+	}
+	return w
+}
+
+// Run executes fn(i) for every i in [0, n) and returns once all calls
+// have completed. With w <= 1 (or a single job) it runs inline on the
+// calling goroutine — zero overhead on single-core hosts. With w > 1 it
+// spawns w-1 helper goroutines that claim indices from a shared atomic
+// cursor; claim order is scheduler-dependent, completion of Run is not,
+// and fn's index-ownership contract keeps results identical either way.
+func Run(w, n int, fn func(i int)) {
+	if n <= 0 {
+		return
+	}
+	if w > n {
+		w = n
+	}
+	if w <= 1 {
+		for i := 0; i < n; i++ {
+			fn(i)
+		}
+		return
+	}
+	var cursor atomic.Int64
+	work := func() {
+		for {
+			i := int(cursor.Add(1)) - 1
+			if i >= n {
+				return
+			}
+			fn(i)
+		}
+	}
+	var wg sync.WaitGroup
+	wg.Add(w - 1)
+	for g := 1; g < w; g++ {
+		go func() {
+			defer wg.Done()
+			work()
+		}()
+	}
+	work()
+	wg.Wait()
+}

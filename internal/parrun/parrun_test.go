@@ -1,0 +1,69 @@
+package parrun
+
+import (
+	"runtime"
+	"testing"
+)
+
+// TestParallelRunCoversAllIndices checks every index runs exactly once
+// for inline, forced-multi-worker, and over-subscribed configurations.
+func TestParallelRunCoversAllIndices(t *testing.T) {
+	defer SetForcedWorkersForTest(SetForcedWorkersForTest(0))
+	for _, w := range []int{0, 1, 2, 4, 100} {
+		const n = 237
+		hits := make([]int32, n)
+		Run(w, n, func(i int) { hits[i]++ })
+		for i, h := range hits {
+			if h != 1 {
+				t.Fatalf("w=%d: index %d ran %d times", w, i, h)
+			}
+		}
+	}
+	Run(4, 0, func(int) { t.Fatal("ran a job for n=0") })
+}
+
+// TestParallelRunResultsWorkerInvariant verifies the structural
+// determinism contract: per-index results are identical whatever the
+// worker count, because each job writes only its own slot.
+func TestParallelRunResultsWorkerInvariant(t *testing.T) {
+	defer SetForcedWorkersForTest(SetForcedWorkersForTest(0))
+	const n = 512
+	compute := func(w int) []int {
+		out := make([]int, n)
+		Run(w, n, func(i int) { out[i] = i*i + 7 })
+		return out
+	}
+	want := compute(1)
+	for _, w := range []int{2, 3, 8} {
+		got := compute(w)
+		for i := range want {
+			if got[i] != want[i] {
+				t.Fatalf("w=%d: slot %d = %d, want %d", w, i, got[i], want[i])
+			}
+		}
+	}
+}
+
+// TestParallelWorkersClamp pins the Workers policy: never above
+// GOMAXPROCS (unless forced by a test), never above the shard count,
+// never below 1.
+func TestParallelWorkersClamp(t *testing.T) {
+	defer SetForcedWorkersForTest(SetForcedWorkersForTest(0))
+	host := runtime.GOMAXPROCS(0)
+	for _, k := range []int{1, 2, 4, 1000} {
+		w := Workers(k)
+		if w < 1 || w > host || w > k {
+			t.Fatalf("Workers(%d) = %d with GOMAXPROCS %d", k, w, host)
+		}
+	}
+	if Workers(0) != 1 {
+		t.Fatalf("Workers(0) = %d, want 1", Workers(0))
+	}
+	SetForcedWorkersForTest(3)
+	if got := Workers(8); got != 3 {
+		t.Fatalf("forced Workers(8) = %d, want 3", got)
+	}
+	if got := Workers(2); got != 2 {
+		t.Fatalf("forced Workers(2) = %d, want clamp to 2", got)
+	}
+}

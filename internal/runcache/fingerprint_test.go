@@ -18,7 +18,7 @@ import (
 // model must never be served for the new one, so you must:
 //  1. bump runcache.Version, and
 //  2. update this constant to the new digest the failure message prints.
-const goldenDefaultConfigDigest = "6dd5eed90368e9b566afa23b8cad027683fbf099998f652f959f1a9a5222e8d8"
+const goldenDefaultConfigDigest = "b9ee9e17d5b6be354726269523d0621263ea9bdeb77be7419045a389f220f425"
 
 func TestGoldenConfigDigest(t *testing.T) {
 	text := CanonicalConfig(htm.DefaultConfig(16))

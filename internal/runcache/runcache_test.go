@@ -2,6 +2,7 @@ package runcache
 
 import (
 	"encoding/json"
+	"fmt"
 	"os"
 	"path/filepath"
 	"strings"
@@ -60,7 +61,7 @@ func TestDiskTierRoundTrip(t *testing.T) {
 		t.Fatal(err)
 	}
 	path := c.EntryPath(k)
-	if !strings.Contains(path, filepath.Join(dir, "v1")) {
+	if !strings.Contains(path, filepath.Join(dir, fmt.Sprintf("v%d", Version))) {
 		t.Fatalf("entry path %q is not under the versioned dir", path)
 	}
 	if _, err := os.Stat(path); err != nil {

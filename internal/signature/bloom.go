@@ -63,9 +63,8 @@ func (b *Bloom) Test(line sim.Line) bool {
 	if b.saturated {
 		return true
 	}
-	var idx [NumHashes]uint32
-	hashIndices(b.kind, line, b.bits, &idx)
-	for _, i := range idx {
+	for n := 0; n < NumHashes; n++ { // lazy probes: most misses die on hash 0
+		i := indexN(b.kind, line, b.bits, n)
 		if b.word[i/64]&(1<<(i%64)) == 0 {
 			return false
 		}

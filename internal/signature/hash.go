@@ -57,6 +57,31 @@ func hashIndices(kind HashKind, line sim.Line, bits uint32, idx *[NumHashes]uint
 	Indices(kind, line, bits, idx)
 }
 
+// indexN computes just the nth (0-based) of the NumHashes bit indices —
+// the lazy form of Indices for membership tests: a sparse signature
+// rejects most lines on the first probe, so computing the later hashes
+// up front is wasted work on the hottest path in the simulator.
+//
+//suv:hotpath
+func indexN(kind HashKind, line sim.Line, bits uint32, n int) uint32 {
+	switch kind {
+	case HashFig5:
+		mask := uint64(bits - 1)
+		if n == 0 {
+			return uint32(line & mask)
+		}
+		return uint32((line ^ (2 * line)) & mask)
+	case HashH3:
+		mask := bits - 1
+		if n == 0 {
+			return uint32(mix(line*0x9e3779b97f4a7c15)) & mask
+		}
+		return uint32(mix(line*0xc2b2ae3d27d4eb4f+0x165667b19e3779f9)) & mask
+	default:
+		panic("signature: unknown HashKind")
+	}
+}
+
 func mix(z uint64) uint64 {
 	z = (z ^ (z >> 33)) * 0xff51afd7ed558ccd
 	z = (z ^ (z >> 33)) * 0xc4ceb9fe1a85ec53

@@ -25,6 +25,11 @@ type Summary struct {
 	// maintaining the real bits underneath so behavior is exact again
 	// the moment the flag drops, and Clear does not reset it.
 	saturated bool
+	// live counts the set signature bits, giving Test an O(1) negative
+	// when no address is redirected — the common steady state, and the
+	// one every single memory access starts from (strong isolation makes
+	// Test a universal prefix of the load/store path).
+	live int
 }
 
 // NewSummary creates a summary signature with numBits bits (a power of
@@ -49,6 +54,7 @@ func (s *Summary) Add(line sim.Line) {
 		if s.sig[w]&b == 0 {
 			s.sig[w] |= b
 			s.once[w] |= b // first writer: the bit is unique
+			s.live++
 		} else {
 			s.once[w] &^= b // second writer: no longer unique
 		}
@@ -66,6 +72,7 @@ func (s *Summary) Delete(line sim.Line) {
 		if s.once[w]&b != 0 {
 			s.sig[w] &^= b
 			s.once[w] &^= b
+			s.live--
 		}
 	}
 }
@@ -77,9 +84,11 @@ func (s *Summary) Test(line sim.Line) bool {
 	if s.saturated {
 		return true
 	}
-	var idx [NumHashes]uint32
-	hashIndices(s.kind, line, s.bits, &idx)
-	for _, i := range idx {
+	if s.live == 0 {
+		return false
+	}
+	for n := 0; n < NumHashes; n++ { // lazy probes: most misses die on hash 0
+		i := indexN(s.kind, line, s.bits, n)
 		if s.sig[i/64]&(1<<(i%64)) == 0 {
 			return false
 		}
@@ -100,6 +109,7 @@ func (s *Summary) Clear() {
 		s.sig[i] = 0
 		s.once[i] = 0
 	}
+	s.live = 0
 }
 
 // SigBitString renders the low n signature bits MSB-first (Figure 5 tests).

@@ -1,0 +1,132 @@
+package sim
+
+// ShardedHeap partitions the engine's ready queue into K per-shard
+// binary heaps so the parallel window engine can push and pop entries
+// for different shards without sharing mutable state. The global pop
+// order — smallest (cycle, id) across all shards — is identical to a
+// single ReadyHeap's order for every K, which is what keeps sharded
+// scheduling bit-compatible with the sequential engine.
+//
+// Shard ownership is fixed up front by Reset: entry ids (core IDs) map
+// to shards through a caller-supplied pure function, so the assignment
+// can never depend on host scheduling.
+type ShardedHeap struct {
+	shards []ReadyHeap
+	owner  []int // id -> shard index
+}
+
+// Reset configures the heap for n ids across k shards, dropping any
+// queued entries. shardOf must be a pure function of its argument.
+func (s *ShardedHeap) Reset(n, k int, shardOf func(id int) int) {
+	if k < 1 {
+		k = 1
+	}
+	if k > n && n > 0 {
+		k = n
+	}
+	if cap(s.shards) >= k {
+		s.shards = s.shards[:k]
+	} else {
+		s.shards = make([]ReadyHeap, k)
+	}
+	for i := range s.shards {
+		s.shards[i].items = s.shards[i].items[:0]
+	}
+	if cap(s.owner) >= n {
+		s.owner = s.owner[:n]
+	} else {
+		s.owner = make([]int, n)
+	}
+	for id := 0; id < n; id++ {
+		sh := shardOf(id)
+		if sh < 0 || sh >= k {
+			sh = 0
+		}
+		s.owner[id] = sh
+	}
+}
+
+// Shards reports the configured shard count.
+func (s *ShardedHeap) Shards() int { return len(s.shards) }
+
+// ShardFor reports which shard owns id's entries.
+func (s *ShardedHeap) ShardFor(id int) int { return s.owner[id] }
+
+// Shard exposes shard i's private heap so a worker bound to that shard
+// can push and pop locally during a window without synchronization.
+func (s *ShardedHeap) Shard(i int) *ReadyHeap { return &s.shards[i] }
+
+// Len reports the total number of queued entries across all shards.
+func (s *ShardedHeap) Len() int {
+	n := 0
+	for i := range s.shards {
+		n += s.shards[i].Len()
+	}
+	return n
+}
+
+// Push queues id to become ready at cycle at, on id's owning shard.
+func (s *ShardedHeap) Push(at Cycles, id int) {
+	s.shards[s.owner[id]].Push(at, id)
+}
+
+// Pop removes and returns the globally smallest (cycle, id) entry by
+// scanning the K shard tops. Ties on cycle break on the lower id, the
+// same total order as ReadyHeap, so results cannot depend on K.
+// It panics if every shard is empty.
+func (s *ShardedHeap) Pop() (at Cycles, id int) {
+	best := -1
+	var bestAt Cycles
+	bestID := 0
+	for i := range s.shards {
+		a, d, ok := s.shards[i].Peek()
+		if !ok {
+			continue
+		}
+		if best < 0 || a < bestAt || (a == bestAt && d < bestID) {
+			best, bestAt, bestID = i, a, d
+		}
+	}
+	if best < 0 {
+		panic("sim: Pop on empty ShardedHeap")
+	}
+	return s.shards[best].Pop()
+}
+
+// Peek returns the globally smallest entry without removing it.
+func (s *ShardedHeap) Peek() (at Cycles, id int, ok bool) {
+	best := -1
+	var bestAt Cycles
+	bestID := 0
+	for i := range s.shards {
+		a, d, k := s.shards[i].Peek()
+		if !k {
+			continue
+		}
+		if best < 0 || a < bestAt || (a == bestAt && d < bestID) {
+			best, bestAt, bestID = i, a, d
+		}
+	}
+	if best < 0 {
+		return 0, 0, false
+	}
+	return bestAt, bestID, true
+}
+
+// Remove deletes the entry (at, id) from id's owning shard. It reports
+// whether such an entry was present.
+func (s *ShardedHeap) Remove(at Cycles, id int) bool {
+	return s.shards[s.owner[id]].Remove(at, id)
+}
+
+// ForEach calls fn for every queued entry. The visit order is the
+// shards' internal array order, NOT (cycle, id) order; callers must be
+// order-insensitive (the window engine folds entries into per-id
+// minima and counts).
+func (s *ShardedHeap) ForEach(fn func(at Cycles, id int)) {
+	for i := range s.shards {
+		for _, it := range s.shards[i].items {
+			fn(it.at, it.id)
+		}
+	}
+}

@@ -1,0 +1,119 @@
+package sim
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// TestParallelShardedHeapOrder drives a ShardedHeap and a plain
+// ReadyHeap with the same random push/pop script for several shard
+// counts and requires the pop sequences to be identical: the global
+// (cycle, id) order must be independent of K.
+func TestParallelShardedHeapOrder(t *testing.T) {
+	const ids = 16
+	for _, k := range []int{1, 2, 3, 4, 16, 64} {
+		rng := rand.New(rand.NewSource(42))
+		var ref ReadyHeap
+		var sh ShardedHeap
+		sh.Reset(ids, k, func(id int) int { return id * k / ids })
+		for step := 0; step < 2000; step++ {
+			if ref.Len() == 0 || rng.Intn(3) != 0 {
+				at := Cycles(rng.Intn(50))
+				id := rng.Intn(ids)
+				ref.Push(at, id)
+				sh.Push(at, id)
+			} else {
+				wa, wi := ref.Pop()
+				ga, gi := sh.Pop()
+				if wa != ga || wi != gi {
+					t.Fatalf("k=%d step %d: pop = (%d,%d), want (%d,%d)", k, step, ga, gi, wa, wi)
+				}
+			}
+			if ref.Len() != sh.Len() {
+				t.Fatalf("k=%d: Len mismatch %d vs %d", k, sh.Len(), ref.Len())
+			}
+		}
+		for ref.Len() > 0 {
+			wa, wi := ref.Pop()
+			ga, gi := sh.Pop()
+			if wa != ga || wi != gi {
+				t.Fatalf("k=%d drain: pop = (%d,%d), want (%d,%d)", k, ga, gi, wa, wi)
+			}
+		}
+	}
+}
+
+// TestParallelShardedHeapRemove checks entry removal on both heap
+// flavors: removing a queued (at, id) preserves order among survivors,
+// and removing something absent reports false without disturbing state.
+func TestParallelShardedHeapRemove(t *testing.T) {
+	var h ReadyHeap
+	h.Push(5, 1)
+	h.Push(3, 2)
+	h.Push(9, 0)
+	h.Push(3, 0)
+	if h.Remove(4, 2) {
+		t.Fatal("removed an entry that was never pushed")
+	}
+	if !h.Remove(3, 2) {
+		t.Fatal("failed to remove (3,2)")
+	}
+	wantAt := []Cycles{3, 5, 9}
+	wantID := []int{0, 1, 0}
+	for i := range wantAt {
+		at, id := h.Pop()
+		if at != wantAt[i] || id != wantID[i] {
+			t.Fatalf("pop %d = (%d,%d), want (%d,%d)", i, at, id, wantAt[i], wantID[i])
+		}
+	}
+
+	var sh ShardedHeap
+	sh.Reset(8, 4, func(id int) int { return id / 2 })
+	for id := 0; id < 8; id++ {
+		sh.Push(Cycles(10+id), id)
+	}
+	if sh.Remove(99, 5) {
+		t.Fatal("removed phantom sharded entry")
+	}
+	if !sh.Remove(15, 5) {
+		t.Fatal("failed to remove sharded (15,5)")
+	}
+	if sh.Len() != 7 {
+		t.Fatalf("Len = %d after remove, want 7", sh.Len())
+	}
+	prev := Cycles(0)
+	for sh.Len() > 0 {
+		at, id := sh.Pop()
+		if at < prev {
+			t.Fatalf("out of order pop at (%d,%d)", at, id)
+		}
+		if id == 5 {
+			t.Fatal("removed entry resurfaced")
+		}
+		prev = at
+	}
+}
+
+// TestParallelShardedHeapReset verifies Reset drops stale entries and
+// rebinds ownership, including the k > n clamp.
+func TestParallelShardedHeapReset(t *testing.T) {
+	var sh ShardedHeap
+	sh.Reset(4, 2, func(id int) int { return id / 2 })
+	sh.Push(1, 0)
+	sh.Push(2, 3)
+	sh.Reset(4, 8, func(id int) int { return id })
+	if sh.Len() != 0 {
+		t.Fatalf("Len = %d after Reset, want 0", sh.Len())
+	}
+	if sh.Shards() != 4 {
+		t.Fatalf("Shards = %d, want clamp to 4", sh.Shards())
+	}
+	for id := 0; id < 4; id++ {
+		if sh.ShardFor(id) != id {
+			t.Fatalf("ShardFor(%d) = %d", id, sh.ShardFor(id))
+		}
+	}
+	if _, _, ok := sh.Peek(); ok {
+		t.Fatal("Peek found entries in a reset heap")
+	}
+}
