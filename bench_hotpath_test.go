@@ -111,6 +111,70 @@ func BenchmarkMachineSteadyStateParallel(b *testing.B) {
 	benchMachineSteady(spec)(b)
 }
 
+// parallelConflictSpec is the window engine's conflict-heavy workload:
+// intruderscan alternates barrier-fenced private-buffer sweeps (the
+// phase the cross-core certified-miss tier parallelizes) with
+// intruder-style bursts on a shared queue and dictionary (the phase
+// that aborts often and must run on the sequential pocket loop). The
+// pair below pins how much of that mix the engine recovers.
+var parallelConflictSpec = suvtm.Spec{App: "intruderscan", Scheme: suvtm.SUVTM, Cores: 8, Scale: 1.0}
+
+// BenchmarkMachineConflictSequential is the conflict pair's sequential
+// baseline — the denominator of its speedup ratio.
+func BenchmarkMachineConflictSequential(b *testing.B) {
+	benchMachineSteady(parallelConflictSpec)(b)
+}
+
+// BenchmarkMachineConflictParallel runs the conflict workload with the
+// window engine engaged at Shards=4.
+func BenchmarkMachineConflictParallel(b *testing.B) {
+	spec := parallelConflictSpec
+	spec.Shards = 4
+	benchMachineSteady(spec)(b)
+}
+
+// TestHotPathAllocsParallelEngine pins the warm-path allocation budget
+// of a window-engine run. testing.AllocsPerRun is unusable here — it
+// forces GOMAXPROCS to 1, which routes parrun.Run onto its inline path
+// — so the test measures the Mallocs delta across warm RunManyWith
+// batches directly. The budget covers everything a warm fleet worker
+// allocates per run (outcome, result, check closure, engine scratch the
+// arena could not retain); the parallel engine itself must stay at
+// effectively zero thanks to the ParArena and the pooled parrun workers.
+func TestHotPathAllocsParallelEngine(t *testing.T) {
+	if testing.Short() {
+		t.Skip("allocation budget needs full-length runs")
+	}
+	spec := parallelSteadySpec
+	spec.Shards = 4
+	const batch = 8
+	specs := make([]suvtm.Spec, batch)
+	for i := range specs {
+		s := spec
+		s.Seed = uint64(i + 1)
+		specs[i] = s
+	}
+	run := func() {
+		if _, err := suvtm.RunManyWith(specs, suvtm.BatchOptions{Jobs: 1, NoCache: true}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	run() // warm the fleet arena, the ParArena and the parrun pool
+	var before, after runtime.MemStats
+	runtime.GC()
+	runtime.ReadMemStats(&before)
+	const rounds = 2
+	for i := 0; i < rounds; i++ {
+		run()
+	}
+	runtime.ReadMemStats(&after)
+	perRun := float64(after.Mallocs-before.Mallocs) / (rounds * batch)
+	t.Logf("parallel warm path: %.0f allocs/run", perRun)
+	if perRun > 1500 {
+		t.Fatalf("parallel warm path allocates %.0f objects/run, budget is 1500 — a hot path grew an allocation", perRun)
+	}
+}
+
 // benchMemoryLine, benchDirectoryRoundtrip and benchLineSet mirror the
 // package-local micro-benchmarks (internal/mem, internal/coherence,
 // internal/sim) so TestWriteBench can record all four hot structures in
@@ -241,6 +305,16 @@ func TestWriteBench(t *testing.T) {
 	if seq.McyclesPS > 0 {
 		par.Speedup = par.McyclesPS / seq.McyclesPS
 		t.Logf("parallel speedup: %.2fx", par.Speedup)
+	}
+	// The conflict pair: same ratio discipline on the workload whose
+	// windows must coexist with abort-heavy sequential pockets.
+	cseq := record("BenchmarkMachineConflictSequential", BenchmarkMachineConflictSequential)
+	record("BenchmarkMachineConflictParallel", BenchmarkMachineConflictParallel)
+	cpar := &dump.Results[len(dump.Results)-1]
+	cpar.Shards = 4
+	if cseq.McyclesPS > 0 {
+		cpar.Speedup = cpar.McyclesPS / cseq.McyclesPS
+		t.Logf("conflict speedup: %.2fx", cpar.Speedup)
 	}
 	f, err := os.Create(path)
 	if err != nil {

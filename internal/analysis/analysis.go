@@ -57,6 +57,7 @@ func Analyzers() []*xanalysis.Analyzer {
 // tables, so detmap patrols them.
 var detCorePkgs = []string{
 	"suvtm/internal/sim",
+	"suvtm/internal/bank",
 	"suvtm/internal/mem",
 	"suvtm/internal/coherence",
 	"suvtm/internal/interconnect",

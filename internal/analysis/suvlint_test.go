@@ -30,6 +30,14 @@ func TestDetMapParrun(t *testing.T) {
 	analyzertest.Run(t, "testdata/detmap/parrun", "suvtm/internal/parrun", analysis.DetMapAnalyzer)
 }
 
+// TestDetMapBank pins the line→bank map's membership in the
+// deterministic core: the banked directory and L2 promise bit-identical
+// stats merges for every bank count, which holds only while per-bank
+// state is visited in bank-ID order — never map-iteration order.
+func TestDetMapBank(t *testing.T) {
+	analyzertest.Run(t, "testdata/detmap/bank", "suvtm/internal/bank", analysis.DetMapAnalyzer)
+}
+
 func TestWallClockMachine(t *testing.T) {
 	analyzertest.Run(t, "testdata/wallclock/machine", "suvtm/internal/htm", analysis.WallClockAnalyzer)
 }

@@ -1,0 +1,60 @@
+// Package bank exercises detmap over the directory/L2 banking idioms
+// (the harness type-checks it as suvtm/internal/bank): per-bank state
+// must always be visited in bank-ID order — the banked structures
+// promise bit-identical stats merges for every bank count, and a
+// map-ordered walk over bank state is exactly the silent way to break
+// that promise.
+package bank
+
+import (
+	"maps"
+	"slices"
+)
+
+// mergeStatsByMapOrder is the bug: per-bank counters keyed by bank ID,
+// folded in map-iteration order. The fold is order-sensitive (first
+// nonzero bank wins the tiebreak), so the merged stats — and any
+// fingerprint over them — can differ between two identical runs.
+func mergeStatsByMapOrder(perBank map[int]uint64) (first uint64) {
+	for _, v := range perBank { // want `range over map in deterministic core`
+		if first == 0 {
+			first = v
+		}
+	}
+	return first
+}
+
+// claimOrderFromMap is the same bug feeding the window certifier: bank
+// claims collected from a map in iteration order would make the
+// certified/fallback decision depend on runtime hash seeds.
+func claimOrderFromMap(claims map[int]bool) []int {
+	out := make([]int, 0, len(claims))
+	for _, b := range slices.Collect(maps.Keys(claims)) { // want `maps.Keys in deterministic core`
+		if claims[b] {
+			out = append(out, b)
+		}
+	}
+	return out
+}
+
+// mergeStatsByBankID is the fix the banked directory and L2 use: bank
+// state lives in a slice indexed by bank ID and every merge walks it
+// ascending — the canonical order exists by construction.
+func mergeStatsByBankID(perBank []uint64) (total uint64) {
+	for _, v := range perBank { // slices are ordered: no finding
+		total += v
+	}
+	return total
+}
+
+// claimOrderSorted is the acceptable map-shaped fix: sort the bank IDs
+// before deciding anything.
+func claimOrderSorted(claims map[int]bool) []int {
+	out := make([]int, 0, len(claims))
+	for _, b := range slices.Sorted(maps.Keys(claims)) { // immediately sorted: no finding
+		if claims[b] {
+			out = append(out, b)
+		}
+	}
+	return out
+}

@@ -1,0 +1,141 @@
+// Package bank defines the deterministic line→bank geometry shared by
+// the coherence directory and the shared L2 cache, plus the epoch-stamp
+// claim table the parallel window engine uses to prove that no two
+// shards touch the same bank inside one window.
+//
+// The bank of a line is a contiguous run of set-index bits:
+//
+//	bank(line) = (line >> shift) & (banks-1)
+//
+// with shift chosen by the machine so the bank bits are the TOP bits of
+// the L2 set index. Two consequences carry the whole design:
+//
+//   - Banking the L2 is a pure relabeling: lines that share an L2 set
+//     share a bank (set = bank·2^shift + localSet), so per-bank LRU
+//     clocks and stats partition the monolithic cache's behaviour
+//     without changing a single victim choice.
+//   - The granule is coarse (L2 sets / banks sets, i.e. megabytes/banks
+//     of address space per stripe), so a workload whose phases give each
+//     core its own arena naturally gives each core its own banks — which
+//     is exactly what lets cross-core window chains certify as
+//     bank-disjoint.
+//
+// Like Config.Shards, the bank count is a host-structure knob, never a
+// model parameter: simulated results are bit-identical for every bank
+// count, which TestParallelBitIdentical and the banked-vs-monolithic
+// oracle tests enforce.
+//
+// This package is part of the deterministic core (suvlint detmap
+// patrol): any per-bank aggregation must iterate in bank-ID order,
+// never map order.
+package bank
+
+import (
+	"fmt"
+
+	"suvtm/internal/sim"
+)
+
+// Map is the line→bank geometry. The zero value is a single-bank map
+// (every line in bank 0, Local the identity).
+type Map struct {
+	banks int
+	shift uint
+	logK  uint
+}
+
+// NewMap builds a map of `banks` banks (a power of two) whose bank bits
+// are line bits [shift, shift+log2(banks)).
+func NewMap(banks int, shift uint) Map {
+	if banks <= 0 || banks&(banks-1) != 0 {
+		panic(fmt.Sprintf("bank: bank count %d is not a positive power of two", banks))
+	}
+	logK := uint(0)
+	for 1<<logK < banks {
+		logK++
+	}
+	return Map{banks: banks, shift: shift, logK: logK}
+}
+
+// Banks returns the bank count (1 for the zero Map).
+func (m Map) Banks() int {
+	if m.banks == 0 {
+		return 1
+	}
+	return m.banks
+}
+
+// Shift returns the position of the lowest bank bit.
+func (m Map) Shift() uint { return m.shift }
+
+// Of returns line's bank.
+//
+//suv:hotpath
+func (m Map) Of(line sim.Line) int {
+	return int((line >> m.shift) & sim.Line(m.Banks()-1))
+}
+
+// Local returns line's dense in-bank index: the bank bits are compressed
+// out, so each bank's paged storage is indexed as densely as the
+// monolithic structure was. For a single-bank map this is the identity.
+//
+//suv:hotpath
+func (m Map) Local(line sim.Line) sim.Line {
+	lo := line & (sim.Line(1)<<m.shift - 1)
+	return lo | (line>>(m.shift+m.logK))<<m.shift
+}
+
+// Line reconstructs the line from (bank, local) — Local's inverse, used
+// by the oracle tests to prove the partition is lossless.
+func (m Map) Line(bankID int, local sim.Line) sim.Line {
+	lo := local & (sim.Line(1)<<m.shift - 1)
+	hi := local >> m.shift
+	return lo | sim.Line(bankID)<<m.shift | hi<<(m.shift+m.logK)
+}
+
+// Stamps is a per-bank epoch claim table. The window engine begins one
+// epoch per window attempt; a bank claimed by one core this epoch
+// rejects claims by every other core, proving the certified chains'
+// directory/L2 footprints are bank-disjoint without clearing anything
+// between attempts.
+type Stamps struct {
+	mark  []uint32
+	owner []int32
+	epoch uint32
+}
+
+// Reset sizes the table for `banks` banks and invalidates every claim.
+func (s *Stamps) Reset(banks int) {
+	if cap(s.mark) < banks {
+		s.mark = make([]uint32, banks)
+		s.owner = make([]int32, banks)
+	} else {
+		s.mark = s.mark[:banks]
+		s.owner = s.owner[:banks]
+		clear(s.mark)
+	}
+	s.epoch = 0
+}
+
+// Begin opens a new claim epoch; prior epochs' claims lapse implicitly.
+func (s *Stamps) Begin() {
+	s.epoch++
+	if s.epoch == 0 { // uint32 wrap: stale marks could alias the new epoch
+		clear(s.mark)
+		s.epoch = 1
+	}
+}
+
+// Claim records that `core` will touch bank b this epoch. It reports
+// false when another core already claimed b — the caller must park the
+// op on the sequential loop. Re-claims by the owning core succeed.
+//
+//suv:hotpath
+func (s *Stamps) Claim(b, core int) bool {
+	if s.mark[b] != s.epoch {
+		s.mark[b] = s.epoch
+		s.owner[b] = int32(core)
+		return true
+	}
+	return s.owner[b] == int32(core)
+}

@@ -1,0 +1,99 @@
+package bank
+
+import (
+	"testing"
+
+	"suvtm/internal/sim"
+)
+
+// TestMapPartition proves (Of, Local) is a bijection with Line as its
+// inverse: every line lands in exactly one bank at a dense local index,
+// and distinct lines never collide.
+func TestMapPartition(t *testing.T) {
+	for _, banks := range []int{1, 2, 4, 8} {
+		m := NewMap(banks, 11) // the default geometry: 16384 L2 sets
+		seen := map[sim.Line]sim.Line{}
+		for _, line := range []sim.Line{0, 1, 2047, 2048, 4095, 4096, 16383, 16384, 1 << 20, 1<<20 + 7, 1<<30 + 12345} {
+			b := m.Of(line)
+			if b < 0 || b >= banks {
+				t.Fatalf("banks=%d: Of(%d) = %d out of range", banks, line, b)
+			}
+			local := m.Local(line)
+			if got := m.Line(b, local); got != line {
+				t.Fatalf("banks=%d: Line(%d, %d) = %d, want %d", banks, b, local, got, line)
+			}
+			key := sim.Line(b)<<40 | local
+			if prev, dup := seen[key]; dup {
+				t.Fatalf("banks=%d: lines %d and %d collide at bank %d local %d", banks, prev, line, b, local)
+			}
+			seen[key] = line
+		}
+	}
+}
+
+// TestMapZeroValue: the zero Map is a working single-bank identity map.
+func TestMapZeroValue(t *testing.T) {
+	var m Map
+	if m.Banks() != 1 {
+		t.Fatalf("zero Map banks = %d, want 1", m.Banks())
+	}
+	if m.Of(12345) != 0 || m.Local(12345) != 12345 {
+		t.Fatalf("zero Map is not the identity: Of=%d Local=%d", m.Of(12345), m.Local(12345))
+	}
+}
+
+// TestMapDense: with the bank bits inside the set-index range, local
+// indices of one bank's lines are consecutive across each granule
+// boundary (the directory's paged storage stays as dense as monolithic).
+func TestMapDense(t *testing.T) {
+	m := NewMap(4, 11)
+	granule := sim.Line(1) << 11
+	// Lines granule*k + i of bank b map to local granule*floor(k/4)+i.
+	for k := sim.Line(0); k < 16; k++ {
+		base := k * granule
+		wantLocal := (k/4)*granule + 3
+		if got := m.Local(base + 3); got != wantLocal {
+			t.Fatalf("Local(%d) = %d, want %d", base+3, got, wantLocal)
+		}
+		if got := m.Of(base); got != int(k%4) {
+			t.Fatalf("Of(%d) = %d, want %d", base, got, k%4)
+		}
+	}
+}
+
+func TestStamps(t *testing.T) {
+	var s Stamps
+	s.Reset(8)
+	s.Begin()
+	if !s.Claim(3, 1) || !s.Claim(3, 1) {
+		t.Fatal("owner re-claim must succeed")
+	}
+	if s.Claim(3, 2) {
+		t.Fatal("cross-core claim of a held bank must fail")
+	}
+	if !s.Claim(4, 2) {
+		t.Fatal("claim of a free bank must succeed")
+	}
+	s.Begin()
+	if !s.Claim(3, 2) {
+		t.Fatal("claims must lapse at the next epoch")
+	}
+}
+
+// TestStampsEpochWrap: a uint32 epoch wrap must not resurrect claims.
+func TestStampsEpochWrap(t *testing.T) {
+	var s Stamps
+	s.Reset(2)
+	s.epoch = ^uint32(0) - 1
+	s.Begin() // -> MaxUint32
+	if !s.Claim(0, 7) {
+		t.Fatal("claim before wrap")
+	}
+	s.Begin() // wraps: marks cleared, epoch 1
+	if s.epoch != 1 {
+		t.Fatalf("epoch after wrap = %d, want 1", s.epoch)
+	}
+	if !s.Claim(0, 3) {
+		t.Fatal("stale pre-wrap claim must not block a new core")
+	}
+}

@@ -1,0 +1,85 @@
+package coherence
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"suvtm/internal/sim"
+)
+
+// TestBankedDirectoryMatchesMonolithic is the banking oracle: a banked
+// directory is a pure partition of the monolithic one, so an identical
+// operation stream must leave every K-banked instance (K ∈ {1,2,4,8})
+// in a state indistinguishable from the single-bank reference — same
+// answers to every query after every step, same tracked-line count,
+// same aggregated protocol stats at the end. Lines are drawn from a
+// pool that collides across banks (dense low lines, aliased high lines,
+// far-map giants) so bank selection, in-bank index folding, and the
+// map fallback all get exercised.
+func TestBankedDirectoryMatchesMonolithic(t *testing.T) {
+	const cores = 8
+	const shift = 4 // bank bits well inside the pool's line spread
+	lines := make([]sim.Line, 0, 80)
+	for i := sim.Line(0); i < 48; i++ {
+		lines = append(lines, i)
+	}
+	for i := sim.Line(0); i < 16; i++ {
+		lines = append(lines, 1<<20+i*13) // spread over banks, shared pages
+	}
+	for i := sim.Line(0); i < 16; i++ {
+		lines = append(lines, 1<<40+i*512) // beyond dirDirectPages: map path
+	}
+
+	for _, banks := range []int{1, 2, 4, 8} {
+		t.Run(fmt.Sprintf("banks=%d", banks), func(t *testing.T) {
+			mono := NewDirectory(cores)
+			banked := NewDirectoryBanked(cores, banks, shift)
+			rng := rand.New(rand.NewSource(int64(banks) * 1237))
+			for step := 0; step < 20000; step++ {
+				line := lines[rng.Intn(len(lines))]
+				core := rng.Intn(cores)
+				switch rng.Intn(4) {
+				case 0:
+					mono.AddSharer(line, core)
+					banked.AddSharer(line, core)
+				case 1:
+					if got, want := banked.SetOwner(line, core), mono.SetOwner(line, core); got != want {
+						t.Fatalf("step %d: SetOwner(%d, %d) invalidated %d, mono %d", step, line, core, got, want)
+					}
+				case 2:
+					mono.Downgrade(line, core)
+					banked.Downgrade(line, core)
+				case 3:
+					mono.Drop(line, core)
+					banked.Drop(line, core)
+				}
+				if got, want := banked.Owner(line), mono.Owner(line); got != want {
+					t.Fatalf("step %d: Owner(%d) = %d, mono %d", step, line, got, want)
+				}
+				if got, want := banked.Sharers(line), mono.Sharers(line); got != want {
+					t.Fatalf("step %d: Sharers(%d) = %#x, mono %#x", step, line, got, want)
+				}
+				if got, want := banked.HolderCount(line), mono.HolderCount(line); got != want {
+					t.Fatalf("step %d: HolderCount(%d) = %d, mono %d", step, line, got, want)
+				}
+			}
+			for _, line := range lines {
+				if got, want := banked.SharerList(line), mono.SharerList(line); fmt.Sprint(got) != fmt.Sprint(want) {
+					t.Fatalf("final SharerList(%d) = %v, mono %v", line, got, want)
+				}
+				for c := 0; c < cores; c++ {
+					if got, want := banked.HoldsModified(line, c), mono.HoldsModified(line, c); got != want {
+						t.Fatalf("final HoldsModified(%d, %d) = %v, mono %v", line, c, got, want)
+					}
+				}
+			}
+			if got, want := banked.Tracked(), mono.Tracked(); got != want {
+				t.Fatalf("Tracked = %d, mono %d", got, want)
+			}
+			if got, want := banked.Stats(), mono.Stats(); got != want {
+				t.Fatalf("Stats = %+v, mono %+v", got, want)
+			}
+		})
+	}
+}

@@ -428,7 +428,7 @@ func (a *machineArena) keep(m *htm.Machine) {
 	for _, c := range m.Cores {
 		l1s = append(l1s, c.L1)
 	}
-	a.pre = htm.Prebuilt{Dir: m.Dir, Redirect: m.Redirect, L2: m.L2, L1s: l1s}
+	a.pre = htm.Prebuilt{Dir: m.Dir, Redirect: m.Redirect, L2: m.L2, L1s: l1s, Par: m.ParArena()}
 }
 
 // ---------------------------------------------------------------------
@@ -573,9 +573,11 @@ func fingerprintOf(spec Spec) (runcache.Key, error) {
 	if spec.Tweak != nil {
 		spec.Tweak(&cfg)
 	}
-	// Shards is a host-throughput knob with bit-identical results, so a
-	// sharded and a sequential run share one cache entry.
+	// Shards and Banks are host-throughput knobs with bit-identical
+	// results, so sharded/banked and sequential/monolithic runs share
+	// one cache entry.
 	cfg.Shards = 0
+	cfg.Banks = 0
 	var planText string
 	if plan != nil {
 		var err error

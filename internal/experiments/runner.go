@@ -107,6 +107,12 @@ type Spec struct {
 	// per-run shard workers never oversubscribe GOMAXPROCS (the clamp is
 	// counted in FleetStats.ShardClamps).
 	Shards int
+	// Banks overrides the directory/L2 bank count (htm.Config.Banks).
+	// Like Shards it is a host-structure knob with bit-identical results
+	// for every value, excluded from the run cache fingerprint; it only
+	// moves the window engine's certification rate (bank sweeps in
+	// EXPERIMENTS.md). 0 keeps the default.
+	Banks int
 	// ForensicsTopK bounds the report's hot-site and hot-line tables
 	// (0 = the forensics default).
 	ForensicsTopK int
@@ -149,6 +155,11 @@ type Outcome struct {
 	Series    *metrics.Series      // non-nil when SampleInterval > 0
 	Chrome    *metrics.ChromeTrace // non-nil when ChromeTrace was set
 	Forensics *forensics.Report    // non-nil when Spec.Forensics was set
+
+	// Parallel reports how much of the run the parallel window engine
+	// covered and why the remainder fell back to the sequential engine
+	// (zero-valued for sequential runs and cache-served outcomes).
+	Parallel htm.ParallelStats
 }
 
 // Run executes one simulation, cold: fresh memory, directory and
@@ -210,6 +221,7 @@ func runSpec(spec Spec, arena *machineArena, shardCap int) (*Outcome, error) {
 		cfg = cfg.WithProgressLadder()
 	}
 	cfg.Shards = spec.Shards
+	cfg.Banks = spec.Banks
 	if spec.Tweak != nil {
 		spec.Tweak(&cfg)
 	}
@@ -256,6 +268,7 @@ func runSpec(spec Spec, arena *machineArena, shardCap int) (*Outcome, error) {
 		PoolPages:  machine.Redirect.Pool().Pages(),
 		RedirectEn: machine.Redirect.EntryCount(),
 		Chrome:     chrome,
+		Parallel:   machine.ParallelStats(),
 	}
 	if spec.TraceEvents > 0 {
 		out.Trace = rec

@@ -201,6 +201,18 @@ func (v *VM) PeekStore(m *htm.Machine, c *htm.Core, line sim.Line) htm.AccessPee
 	return htm.AccessPeek{Target: line, Lat: 0, OK: true}
 }
 
+// PeekDirOp implements htm.LocalPeeker: FasTM keeps no per-line
+// state at the directory or the L2, so every coherence request is
+// scheme-neutral and carries no extra latency.
+func (v *VM) PeekDirOp(m *htm.Machine, c *htm.Core, line sim.Line, write bool) htm.AccessPeek {
+	return htm.AccessPeek{Target: line, Lat: 0, OK: true}
+}
+
+// DirOpLocal implements htm.LocalPeeker: nothing to do (see PeekDirOp).
+func (v *VM) DirOpLocal(m *htm.Machine, c *htm.Core, line sim.Line, write bool) sim.Cycles {
+	return 0
+}
+
 // LoadLocal implements htm.LocalPeeker: Translate is the identity and a
 // load is a plain in-place word read.
 func (v *VM) LoadLocal(m *htm.Machine, c *htm.Core, addr sim.Addr) (sim.Word, sim.Cycles) {

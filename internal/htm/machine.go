@@ -58,8 +58,10 @@ type Machine struct {
 	nextCheckAt  sim.Cycles
 
 	// par is the deterministic parallel window engine (parallel.go),
-	// non-nil only while a Shards>=1 run is using it.
-	par *parEngine
+	// non-nil only while a Shards>=1 run is using it; prePar is the
+	// arena its scratch is drawn from and returned to (Prebuilt.Par).
+	par    *parEngine
+	prePar *ParArena
 }
 
 type barrierState struct {
@@ -86,6 +88,11 @@ type Prebuilt struct {
 	Redirect *redirect.Redirect
 	L2       *mem.Cache
 	L1s      []*mem.Cache // per-core; shorter slices fall back to fresh L1s
+	// Par retains the parallel window engine's scratch (sharded heaps,
+	// per-core window parts, bank claim tables) across runs; nil builds
+	// fresh on first sharded run. Purely host-side state: reuse cannot
+	// affect simulated results.
+	Par *ParArena
 }
 
 // New builds a machine executing one program per core under vm. Programs
@@ -100,11 +107,20 @@ func NewWith(cfg Config, vm VersionManager, programs []workload.Program, memory 
 	if len(programs) > cfg.Cores {
 		panic(fmt.Sprintf("htm: %d programs for %d cores", len(programs), cfg.Cores))
 	}
+	// One line→bank map serves the directory and the L2: the bank bits
+	// are the top log2(banks) bits of the L2 set index, so "bank b" names
+	// the same address stripe in both structures and one claim in the
+	// window engine covers both.
+	banks := cfg.resolvedBanks()
+	bankShift := uint(0)
+	for 1<<bankShift < cfg.L2.Sets()/banks {
+		bankShift++
+	}
 	dir := pre.Dir
 	if dir == nil {
-		dir = coherence.NewDirectory(cfg.Cores)
+		dir = coherence.NewDirectoryBanked(cfg.Cores, banks, bankShift)
 	} else {
-		dir.Reset(cfg.Cores)
+		dir.ResetBanked(cfg.Cores, banks, bankShift)
 	}
 	rd := pre.Redirect
 	if rd == nil {
@@ -112,11 +128,13 @@ func NewWith(cfg Config, vm VersionManager, programs []workload.Program, memory 
 	} else {
 		rd.Reset(cfg.Redirect, alloc)
 	}
+	l2cfg := cfg.L2
+	l2cfg.Banks = banks
 	l2 := pre.L2
 	if l2 == nil {
-		l2 = mem.NewCache(cfg.L2)
+		l2 = mem.NewCache(l2cfg)
 	} else {
-		l2.Reset(cfg.L2)
+		l2.Reset(l2cfg)
 	}
 	m := &Machine{
 		cfg:       cfg,
@@ -131,6 +149,7 @@ func NewWith(cfg Config, vm VersionManager, programs []workload.Program, memory 
 		barriers:  make(map[uint32]*barrierState),
 		tokenCore: -1,
 	}
+	m.prePar = pre.Par
 	m.Dir.Retry = coherence.RetryPolicy{Timeout: cfg.ProtocolTimeout, MaxRetries: cfg.MeshMaxRetries}
 	rng := sim.NewRNG(cfg.Seed)
 	for i := 0; i < cfg.Cores; i++ {

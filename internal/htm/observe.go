@@ -70,14 +70,14 @@ func (m *Machine) EnableMetrics(col *metrics.Collector) {
 	// via its own cache stats.
 	col.Watch("mem.l1.hits", metrics.Cumulative, sum(func(c *stats.Counters) uint64 { return c.L1Hits }))
 	col.Watch("mem.l1.misses", metrics.Cumulative, sum(func(c *stats.Counters) uint64 { return c.L1Misses }))
-	col.Watch("mem.l2.lookups", metrics.Cumulative, func() float64 { return float64(m.L2.Stats.Lookups.Value()) })
-	col.Watch("mem.l2.hits", metrics.Cumulative, func() float64 { return float64(m.L2.Stats.Hits.Value()) })
-	col.Watch("mem.l2.evictions", metrics.Cumulative, func() float64 { return float64(m.L2.Stats.Evictions.Value()) })
+	col.Watch("mem.l2.lookups", metrics.Cumulative, func() float64 { s := m.L2.Stats(); return float64(s.Lookups.Value()) })
+	col.Watch("mem.l2.hits", metrics.Cumulative, func() float64 { s := m.L2.Stats(); return float64(s.Hits.Value()) })
+	col.Watch("mem.l2.evictions", metrics.Cumulative, func() float64 { s := m.L2.Stats(); return float64(s.Evictions.Value()) })
 	// Interconnect and directory traffic.
 	col.Watch("mesh.msgs", metrics.Cumulative, func() float64 { return float64(m.Mesh.Messages()) })
-	col.Watch("dir.gets", metrics.Cumulative, func() float64 { return float64(m.Dir.Stats.GETS.Value()) })
-	col.Watch("dir.getm", metrics.Cumulative, func() float64 { return float64(m.Dir.Stats.GETM.Value()) })
-	col.Watch("dir.invalidations", metrics.Cumulative, func() float64 { return float64(m.Dir.Stats.Invalidations.Value()) })
+	col.Watch("dir.gets", metrics.Cumulative, func() float64 { s := m.Dir.Stats(); return float64(s.GETS.Value()) })
+	col.Watch("dir.getm", metrics.Cumulative, func() float64 { s := m.Dir.Stats(); return float64(s.GETM.Value()) })
+	col.Watch("dir.invalidations", metrics.Cumulative, func() float64 { s := m.Dir.Stats(); return float64(s.Invalidations.Value()) })
 	// Robustness: injected-fault activity, protocol recovery and
 	// forward-progress escalation (flat zero series on fault-free runs).
 	col.Watch("faults.injected-nacks", metrics.Cumulative, sum(func(c *stats.Counters) uint64 { return c.InjectedNACKs }))
@@ -136,7 +136,7 @@ func (o *observer) onAbort(m *Machine, c *Core) {
 func (o *observer) finish(m *Machine, end uint64) {
 	o.col.Finish(end)
 
-	ds := &m.Dir.Stats
+	ds := m.Dir.Stats() // banks merged in bank-ID order
 	o.col.AddBreakout("dir.mix", []metrics.LabeledValue{
 		{Label: "GETS", Value: float64(ds.GETS.Value())},
 		{Label: "GETM", Value: float64(ds.GETM.Value())},

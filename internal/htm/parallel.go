@@ -3,6 +3,7 @@ package htm
 import (
 	"fmt"
 
+	"suvtm/internal/bank"
 	"suvtm/internal/mem"
 	"suvtm/internal/parrun"
 	"suvtm/internal/sim"
@@ -17,35 +18,71 @@ import (
 // The sequential engine is one global event loop: pop the earliest
 // (cycle, core) event, step that core by one operation, push its
 // continuation. The parallel engine keeps that loop — every operation
-// that can touch shared state (cache fills, directory traffic, NACKs,
-// begins/commits/aborts, barriers, the token ladder) still executes
-// through it, one event at a time, in exactly the sequential order. What
-// it adds is the *window*: a scan phase proves, before anything runs,
-// that every core's next H-minAt cycles consist purely of core-local
-// operations (register ops, computes, L1-hit loads, L1-Modified-hit
-// stores the scheme's LocalPeeker certifies); those instruction chains
-// then execute concurrently, one shard of cores per worker, each with a
-// private clock, and merge back in canonical core-ID order.
+// that can touch shared state in a way the scans below cannot certify
+// (NACKs, begins/commits/aborts, barriers, the token ladder) still
+// executes through it, one event at a time, in exactly the sequential
+// order. What it adds is the *window*: a scan phase proves, before
+// anything runs, that every core's next H-minAt cycles consist purely
+// of certified operations; those instruction chains then execute
+// concurrently, one shard of cores per worker, each with a private
+// clock, and merge back in canonical core-ID order.
+//
+// Certified operations come in two tiers:
+//
+//   - Core-local (pass 2): register ops, computes, L1-hit loads,
+//     L1-Modified-hit stores the scheme's LocalPeeker certifies. These
+//     touch only state owned by their core.
+//   - Cross-core (pass 3): L1 misses and Shared→Modified upgrades whose
+//     coherence footprint — the home directory bank, the L2 bank under
+//     it, and the banks of every possible L1 victim — this core CLAIMS
+//     for the window through per-bank epoch stamps (bank.Stamps). The
+//     directory and the L2 are partitioned into independent banks by one
+//     shared line→bank map, so a claimed fill's directory update, L2
+//     lookup/insert and victim write-back all land in banks no other
+//     chain of the window touches. Cross-core certification additionally
+//     requires that no core holds an open transaction (so conflict
+//     detection, NACKs and signature updates are all provably dead) and
+//     that the op's classification inputs are still clean (the dirty-set
+//     marks below).
 //
 // Soundness rests on three facts:
 //
-//  1. Core-locality: a certified operation reads and writes only state
-//     owned by its core (registers, L1 LRU/dirty bits, signatures,
-//     counters) plus flat-memory words on lines the core holds Modified
-//     — which MESI makes exclusive — or reads of lines it holds at all.
-//     Operations of different cores therefore commute within a window,
-//     so any interleaving — including concurrent execution — produces
-//     the state the sequential order would.
+//  1. Footprint ownership: a certified op reads and writes only state
+//     owned by its core (registers, L1, signatures, counters), memory
+//     words certified word-written (disjoint across cores: a word write
+//     needs the line Modified in L1 or absent from every other L1 and
+//     unshared in the directory — both parked otherwise), and — for
+//     pass-3 ops — directory/L2 banks its chain claimed. Ops of
+//     different cores therefore commute within a window, so any
+//     interleaving produces the state the sequential order would.
 //  2. Horizon safety: H never exceeds the cycle of the earliest
 //     possibly-unsafe event of ANY core (each chain's scan stops at the
 //     first op it cannot certify; cores that are aborting, parked, or
 //     mid-compensation bound H at their next event), and chains execute
 //     strictly below H. No shared-state event can interleave a window.
-//  3. Classification stability: certified ops never mutate any
+//     This depends on the scan's latency predictions being EXACT: the
+//     chain clock at execution time must reach each op at the cycle the
+//     scan certified it for, or an op past the certified prefix could
+//     run. Every arm of peekOp mirrors its sequential twin's latency
+//     verbatim for this reason.
+//  3. Classification stability: a certified op must not invalidate the
+//     scan's verdict on any LATER op. Core-local ops never mutate any
 //     classification input (summary signature, first-touch maps, L1
-//     contents — LRU touches reorder ways but evict nothing), so the
-//     scan's verdict still holds when the chain executes, and the
-//     chain's own exec-time re-classification agrees with the scan.
+//     contents — LRU touches reorder ways but evict nothing). Cross-core
+//     ops DO mutate classification inputs — a fill changes its L1 set's
+//     contents, an upgrade flips Shared to Modified, an L2 insert
+//     changes its set — so certifying one marks the mutated L1 set
+//     (l1Dirty) and L2 sets (l2Ins) with the attempt's epoch, and every
+//     later op whose classification depends on a marked set parks —
+//     with one exact exception: the mark records WHICH line the fill
+//     installed and in which state (l1Fill), so a later op on that very
+//     line is classified against the tracked state instead of the stale
+//     L1 (a read-modify-write sweep would otherwise park at every
+//     store). A second fill into a marked set always parks, so the
+//     tracked line can never be evicted mid-chain and the record stays
+//     exact for the whole attempt.
+//     Marks and claims from chains that later park anyway are retained:
+//     that is conservative only.
 //
 // The mesh's physical lookahead (interconnect.Mesh.Lookahead, >= one
 // hop: no cross-tile effect propagates faster) is the window floor: a
@@ -77,17 +114,42 @@ const (
 	// backoff between failed window attempts.
 	parMinBackoff = 8
 	parMaxBackoff = 4096
-	// parVerifyChains re-certifies every chained op at execution time and
-	// cross-checks its latency against the scan's prediction. The checks
-	// are redundant while classification stability (soundness fact 3)
-	// holds — and they roughly double the per-op cost of a chain — so
-	// they are compiled out; flip the constant when touching peekOp, a
+	// parVerifyChains records every scanned op's certified latency and
+	// cross-checks it against what execution actually charges, and routes
+	// hit-path scheme work through the full VM path instead of the Local
+	// twins. The checks are redundant while horizon safety (soundness
+	// fact 2) holds — and they cost memory and time per chain — so they
+	// are compiled out; flip the constant when touching peekOp, a
 	// LocalPeeker, or any sequential fast path they mirror.
 	parVerifyChains = false
 )
 
-// parEngine is the per-run state of the parallel engine.
+// parkCause classifies why a scan parked a chain at an op — equivalently,
+// which subsystem forced a window attempt back onto the sequential loop.
+type parkCause uint8
+
+const (
+	// parkNone marks a certified op (no park).
+	parkNone parkCause = iota
+	// parkEngine: the op belongs to the engine (begin, commit, barrier,
+	// suspend/resume), or the core is in an engine-driven state (abort,
+	// compensation replay) that pins the horizon at its next event.
+	parkEngine
+	// parkScheme: the version-management scheme declined to certify its
+	// part of the access (redirected line, first transactional touch,
+	// lazy mode).
+	parkScheme
+	// parkCrossCore: the access crosses core boundaries in a way the
+	// bank claims cannot cover — another core holds the line, its bank
+	// is claimed by another chain, a transaction is open somewhere, or a
+	// dirty-set mark invalidated its classification.
+	parkCrossCore
+)
+
+// parEngine is the engine's scratch state, owned by a ParArena and wired
+// to one Machine per run by resetFor.
 type parEngine struct {
+	m       *Machine
 	sh      sim.ShardedHeap
 	peeker  LocalPeeker
 	shards  int     // logical shard count (clamped Config.Shards)
@@ -97,11 +159,165 @@ type parEngine struct {
 	order   []int      // scratch: candidate cores by ascending event time
 	span    sim.Cycles // adaptive scan horizon (see tryWindow)
 
+	// Cross-core certification state, reset per attempt (claims.Begin /
+	// nextEpoch). One claim space covers directory bank b and L2 bank b:
+	// both are keyed by the same line→bank map.
+	claims  bank.Stamps
+	epoch   uint32
+	l1Dirty []uint32 // cores × L1 sets: marks for sets a certified fill/upgrade mutates
+	l1Fill  []uint64 // line<<1|modified the marked set's fill installed (valid iff l1Dirty holds the epoch)
+	l1Sets  int
+	l2Ins   []uint32 // L2 sets a certified miss may insert into (fills + victim write-backs)
+	noTx    bool     // no core holds an open transaction at this attempt
+
+	// Window-execution plumbing for the persistent worker pool: shardFn
+	// is allocated once per arena and reads the current window's horizon
+	// from execH (Run is a barrier, so one window is in flight at a time).
+	execH   sim.Cycles
+	shardFn func(int)
+
+	// verifyLat records each scanned chain's per-op certified latencies
+	// (parVerifyChains only), so execution can cross-check its own
+	// latencies without re-running peekOp — whose dirty-set marks would
+	// misread the re-peek of the very op that set them.
+	verifyLat [][]sim.Cycles
+
 	windows  uint64 // windows executed
 	chainOps uint64 // ops executed inside windows
 	seqSteps uint64 // events executed by the sequential pocket loop
 	attempts uint64 // window attempts (incl. rejected)
 	scanOps  uint64 // ops certified by scans (incl. rejected attempts)
+
+	// Rejected attempts by the cause that pinned the final horizon, plus
+	// the too-small rejection (enough certified ops were found, just not
+	// parMinWindowOps of them).
+	fbEngine uint64
+	fbScheme uint64
+	fbCross  uint64
+	fbSmall  uint64
+}
+
+// ParArena owns the parallel window engine's scratch — sharded heap
+// storage, per-core window parts, bank claim tables, dirty-set marks —
+// so a campaign worker can carry it across consecutive runs
+// (Prebuilt.Par). All of it is host-side bookkeeping: reuse cannot
+// affect simulated results.
+type ParArena struct {
+	eng parEngine
+}
+
+// ParArena returns the arena holding this machine's parallel-engine
+// scratch (creating an empty one if the machine never ran sharded).
+// Pass it back through Prebuilt.Par to make the next sharded run reuse
+// the allocations.
+func (m *Machine) ParArena() *ParArena {
+	if m.prePar == nil {
+		m.prePar = &ParArena{}
+	}
+	return m.prePar
+}
+
+// resetFor rewires the engine to m, reusing every slice the previous
+// run left in the arena.
+func (p *parEngine) resetFor(m *Machine) {
+	k := m.cfg.Shards
+	if k > len(m.Cores) {
+		k = len(m.Cores)
+	}
+	p.m = m
+	p.peeker = m.VM.(LocalPeeker)
+	p.shards = k
+	p.workers = parrun.Workers(k)
+	p.sh.Reset(len(m.Cores), k, func(id int) int { return m.Mesh.ShardOf(id, k) })
+	n := p.sh.Shards()
+	if cap(p.coresBy) >= n {
+		p.coresBy = p.coresBy[:n]
+		for i := range p.coresBy {
+			p.coresBy[i] = p.coresBy[i][:0]
+		}
+	} else {
+		p.coresBy = make([][]int, n)
+	}
+	for id := range m.Cores {
+		s := p.sh.ShardFor(id)
+		p.coresBy[s] = append(p.coresBy[s], id)
+	}
+	if cap(p.parts) >= len(m.Cores) {
+		p.parts = p.parts[:len(m.Cores)]
+	} else {
+		p.parts = make([]parPart, len(m.Cores))
+	}
+	if cap(p.order) < len(m.Cores) {
+		p.order = make([]int, 0, len(m.Cores))
+	}
+	p.span = 4 * m.Mesh.Lookahead()
+
+	p.claims.Reset(m.L2.Banks())
+	p.l1Sets = m.cfg.L1.Sets()
+	if need := len(m.Cores) * p.l1Sets; cap(p.l1Dirty) >= need {
+		p.l1Dirty = p.l1Dirty[:need]
+		clear(p.l1Dirty)
+		p.l1Fill = p.l1Fill[:need] // stale entries are dead: their dirty marks were just cleared
+	} else {
+		p.l1Dirty = make([]uint32, need)
+		p.l1Fill = make([]uint64, need)
+	}
+	if need := m.cfg.L2.Sets(); cap(p.l2Ins) >= need {
+		p.l2Ins = p.l2Ins[:need]
+		clear(p.l2Ins)
+	} else {
+		p.l2Ins = make([]uint32, need)
+	}
+	p.epoch = 0
+	if parVerifyChains && len(p.verifyLat) < len(m.Cores) {
+		p.verifyLat = make([][]sim.Cycles, len(m.Cores))
+	}
+	if p.shardFn == nil {
+		// p is owned by its arena and stable across runs, so the closure
+		// is allocated once per arena, not once per window or run.
+		p.shardFn = p.runShard
+	}
+
+	p.windows, p.chainOps, p.seqSteps, p.attempts, p.scanOps = 0, 0, 0, 0, 0
+	p.fbEngine, p.fbScheme, p.fbCross, p.fbSmall = 0, 0, 0, 0
+}
+
+// nextEpoch starts a fresh dirty-set epoch for a window attempt. A wrap
+// of the uint32 epoch counter clears the mark arrays so stale marks from
+// 2^32 attempts ago cannot read as current.
+func (p *parEngine) nextEpoch() {
+	p.epoch++
+	if p.epoch == 0 {
+		clear(p.l1Dirty)
+		clear(p.l2Ins)
+		p.epoch = 1
+	}
+}
+
+//suv:hotpath
+func (p *parEngine) l1SetDirty(c *Core, line sim.Line) bool {
+	return p.l1Dirty[c.ID*p.l1Sets+c.L1.SetIndex(line)] == p.epoch
+}
+
+//suv:hotpath
+func (p *parEngine) markL1Dirty(c *Core, line sim.Line, modified bool) {
+	idx := c.ID*p.l1Sets + c.L1.SetIndex(line)
+	p.l1Dirty[idx] = p.epoch
+	f := uint64(line) << 1
+	if modified {
+		f |= 1
+	}
+	p.l1Fill[idx] = f
+}
+
+// l1FillOf returns the line a certified op installed (or upgraded) in
+// the marked set this attempt, and whether it left it Modified. Only
+// meaningful when l1SetDirty is true for the same set.
+//
+//suv:hotpath
+func (p *parEngine) l1FillOf(c *Core, line sim.Line) (sim.Line, bool) {
+	f := p.l1Fill[c.ID*p.l1Sets+c.L1.SetIndex(line)]
+	return sim.Line(f >> 1), f&1 != 0
 }
 
 // parPart is one core's scratch state for the current window attempt.
@@ -118,12 +334,23 @@ type parPart struct {
 // zeros when the run used the sequential engine.
 type ParallelStats struct {
 	Shards   int
+	Banks    int // directory/L2 banks backing the cross-core claims
 	Workers  int
 	Windows  uint64
 	ChainOps uint64
 	SeqSteps uint64
 	Attempts uint64
 	ScanOps  uint64 // certification work, including overscan past the final horizon
+
+	// Rejected window attempts by the subsystem that pinned the horizon
+	// below the lookahead floor, plus the attempts that certified a
+	// window but fewer than parMinWindowOps ops. Attempts - Windows -
+	// (sum of the four) is the residue of trivial rejections (empty
+	// queue, watchdog cap).
+	FallbackEngine    uint64
+	FallbackScheme    uint64
+	FallbackCrossCore uint64
+	FallbackSmall     uint64
 }
 
 // ParallelStats returns the engine's counters for the last/current Run.
@@ -132,10 +359,12 @@ func (m *Machine) ParallelStats() ParallelStats {
 		return ParallelStats{}
 	}
 	return ParallelStats{
-		Shards: m.par.shards, Workers: m.par.workers,
+		Shards: m.par.shards, Banks: m.L2.Banks(), Workers: m.par.workers,
 		Windows: m.par.windows, ChainOps: m.par.chainOps,
 		SeqSteps: m.par.seqSteps, Attempts: m.par.attempts,
-		ScanOps: m.par.scanOps,
+		ScanOps:        m.par.scanOps,
+		FallbackEngine: m.par.fbEngine, FallbackScheme: m.par.fbScheme,
+		FallbackCrossCore: m.par.fbCross, FallbackSmall: m.par.fbSmall,
 	}
 }
 
@@ -160,25 +389,13 @@ func (m *Machine) parallelEligible() bool {
 }
 
 // runParallel is Run's parallel twin: the same event loop, with window
-// execution spliced between sequential pockets.
+// execution spliced between sequential pockets. Its scratch lives in the
+// machine's ParArena, so campaign workers that pass the arena between
+// runs (Prebuilt.Par) pay no per-run engine allocation.
 func (m *Machine) runParallel() (*Result, error) {
-	p := &parEngine{peeker: m.VM.(LocalPeeker)}
+	p := &m.ParArena().eng
+	p.resetFor(m)
 	m.par = p
-	k := m.cfg.Shards
-	if k > len(m.Cores) {
-		k = len(m.Cores)
-	}
-	p.shards = k
-	p.workers = parrun.Workers(k)
-	p.sh.Reset(len(m.Cores), k, func(id int) int { return m.Mesh.ShardOf(id, k) })
-	p.coresBy = make([][]int, p.sh.Shards())
-	for id := range m.Cores {
-		s := p.sh.ShardFor(id)
-		p.coresBy[s] = append(p.coresBy[s], id)
-	}
-	p.parts = make([]parPart, len(m.Cores))
-	p.order = make([]int, 0, len(m.Cores))
-	p.span = 4 * m.Mesh.Lookahead()
 
 	for i, c := range m.Cores {
 		if c.atEnd() {
@@ -231,10 +448,23 @@ func (m *Machine) runParallel() (*Result, error) {
 	return m.buildResult(), nil
 }
 
+// fallback attributes a rejected window attempt to the cause that pinned
+// its final horizon.
+func (p *parEngine) fallback(cause parkCause) {
+	switch cause { //suv:nonexhaustive parkNone never reaches here; parkEngine and anything new count as engine-structural fallbacks
+	case parkScheme:
+		p.fbScheme++
+	case parkCrossCore:
+		p.fbCross++
+	default:
+		p.fbEngine++
+	}
+}
+
 // tryWindow attempts one conservative time window: compute the horizon
 // H, and if it clears the mesh lookahead and carries enough work,
 // execute every certified chain below H concurrently. Returns false —
-// having changed nothing — when the window is rejected.
+// having changed nothing simulated — when the window is rejected.
 func (m *Machine) tryWindow() bool {
 	p := m.par
 	p.attempts++
@@ -268,10 +498,25 @@ func (m *Machine) tryWindow() bool {
 		return false
 	}
 
+	// Arm the cross-core certification state for this attempt: fresh
+	// bank claims, fresh dirty-set epoch, and the machine-wide no-open-
+	// transaction gate (InTx cannot change inside a window — begins and
+	// commits are engine events — so one check covers the whole attempt).
+	p.claims.Begin()
+	p.nextEpoch()
+	p.noTx = true
+	for _, c := range m.Cores {
+		if c.InTx() {
+			p.noTx = false
+			break
+		}
+	}
+
 	// Pass 1: fold the queue into per-core (earliest, count) and mark
 	// the cores whose chains may be scanned. Cores in any engine-driven
 	// state (aborting, doom pending, compensation replay, a duplicated
 	// queue entry) bound the horizon at their next event instead.
+	boundCause := parkEngine
 	parts := p.parts
 	for i := range parts {
 		parts[i] = parPart{}
@@ -297,12 +542,14 @@ func (m *Machine) tryWindow() bool {
 		e.take = true
 	}
 	if bound < minAt+la {
+		p.fallback(boundCause)
 		return false
 	}
 
-	// Pass 2: scan each candidate chain up to the current bound,
+	// Pass 2+3: scan each candidate chain up to the current bound,
 	// shrinking the bound to the earliest uncertified op found anywhere.
 	// Candidates go in ascending event-time order (ties by core ID —
+	// deterministic, which also makes the bank-claim contest
 	// deterministic), so the chain most likely to pin the bound is
 	// scanned first: when the earliest pending op is itself uncertified
 	// — the common state right after a window — the attempt dies after
@@ -321,16 +568,30 @@ func (m *Machine) tryWindow() bool {
 	totalOps := 0
 	for _, id := range order {
 		e := &parts[id]
-		park, ops := m.scanChain(m.Cores[id], e.at, bound)
+		park, ops, cause := m.scanChain(m.Cores[id], e.at, bound)
 		totalOps += ops
 		if park < bound {
 			bound = park
+			if cause != parkNone {
+				boundCause = cause
+			}
 			if bound < minAt+la {
+				p.fallback(boundCause)
 				return false
 			}
 		}
 	}
 	if totalOps < parMinWindowOps {
+		if capped && bound == minAt+span {
+			// Every chain certified clean out to the span cap, yet the
+			// window still carries too few ops: they are long-latency
+			// (a miss-heavy sweep). Scan farther next attempt — without
+			// this the span only ever grows after a SUCCESS, and a
+			// workload whose ops each cost tens of cycles could never
+			// have one at the initial four-hop span.
+			p.span = span
+		}
+		p.fbSmall++
 		return false
 	}
 	h := bound
@@ -358,25 +619,16 @@ func (m *Machine) tryWindow() bool {
 
 	// Execute: one worker per shard; each worker advances only cores of
 	// its shard and pushes continuations onto its shard's private heap,
-	// so no two goroutines ever share mutable state.
-	parrun.Run(p.workers, len(p.coresBy), func(s int) {
-		sh := p.sh.Shard(s)
-		for _, id := range p.coresBy[s] {
-			e := &parts[id]
-			if !e.take {
-				continue
-			}
-			end, fin, ops := m.execChain(m.Cores[id], e.at, h)
-			e.endT, e.fin, e.ops = end, fin, ops
-			if !fin {
-				sh.Push(end, id)
-			}
-		}
-	})
+	// so no two goroutines ever share mutable state — chains touching
+	// directory/L2 banks hold exclusive window claims on them.
+	p.execH = h
+	parrun.Run(p.workers, len(p.coresBy), p.shardFn)
 
-	// Merge in canonical core-ID order. (Today's merge is commutative —
-	// a finish count and op totals — but the order is load-bearing
-	// documentation: any future cross-core effect folds in here.)
+	// Merge in canonical core-ID order; the directory and L2 fold their
+	// per-bank stats in bank-ID order (Stats()). (Today's merge here is
+	// commutative — a finish count and op totals — but the order is
+	// load-bearing documentation: any future cross-core effect folds in
+	// here.)
 	for id := range parts {
 		e := &parts[id]
 		if !e.take {
@@ -391,20 +643,44 @@ func (m *Machine) tryWindow() bool {
 	return true
 }
 
+// runShard is the worker body for one window: advance every
+// participating core of shard s and push continuations on the shard's
+// private heap. It reads the window horizon from execH, set by tryWindow
+// before the fork.
+func (p *parEngine) runShard(s int) {
+	m, h := p.m, p.execH
+	sh := p.sh.Shard(s)
+	for _, id := range p.coresBy[s] {
+		e := &p.parts[id]
+		if !e.take {
+			continue
+		}
+		end, fin, ops := m.execChain(m.Cores[id], e.at, h)
+		e.endT, e.fin, e.ops = end, fin, ops
+		if !fin {
+			sh.Push(end, id)
+		}
+	}
+}
+
 // scanChain walks c's program from its pending event at cycle `at`,
 // certifying ops until the first one it cannot, the bound, or the op
 // cap. It returns the cycle the chain is certified through (no unsafe
-// op of c's starts below it) and how many ops it saw.
-func (m *Machine) scanChain(c *Core, at, bound sim.Cycles) (park sim.Cycles, ops int) {
+// op of c's starts below it), how many ops it saw, and — when it parked
+// — why.
+func (m *Machine) scanChain(c *Core, at, bound sim.Cycles) (park sim.Cycles, ops int, cause parkCause) {
 	t := at
 	pc := c.PC
 	prog := c.Prog.Ops
 	n := len(prog)
+	if parVerifyChains {
+		m.par.verifyLat[c.ID] = m.par.verifyLat[c.ID][:0]
+	}
 	for t < bound {
 		if pc >= n {
 			// The chain finishes inside the window: no constraint beyond.
 			m.par.scanOps += uint64(ops)
-			return bound, ops
+			return bound, ops, parkNone
 		}
 		// Pure-register ops — the bulk of an instruction-grain trace —
 		// classify inline; the arms must return exactly what peekOp's
@@ -420,92 +696,261 @@ func (m *Machine) scanChain(c *Core, at, bound sim.Cycles) (park sim.Cycles, ops
 				lat = 1
 			}
 		} else {
-			var safe bool
-			lat, safe = m.peekOp(c, pc)
-			if !safe {
+			var why parkCause
+			lat, why = m.peekOp(c, pc)
+			if why != parkNone {
 				m.par.scanOps += uint64(ops)
-				return t, ops
+				return t, ops, why
 			}
 			if lat == 0 {
 				lat = 1
 			}
+		}
+		if parVerifyChains {
+			m.par.verifyLat[c.ID] = append(m.par.verifyLat[c.ID], lat)
 		}
 		t += lat
 		pc++
 		ops++
 		if ops >= parScanOpsCap {
 			m.par.scanOps += uint64(ops)
-			return t, ops
+			return t, ops, parkNone
 		}
 	}
 	m.par.scanOps += uint64(ops)
-	return t, ops
+	return t, ops, parkNone
 }
 
-// peekOp classifies the op at pc without side effects: can it run as
-// part of a core-local chain, and at exactly what latency? Both the
-// scan and the exec phases use this single classifier, so they cannot
-// disagree. The conditions mirror the sequential fast paths verbatim:
-// an L1-hit load, an L1-Modified-hit store to an already-materialized
-// word, with the scheme certifying its own part via LocalPeeker.
-func (m *Machine) peekOp(c *Core, pc int) (lat sim.Cycles, safe bool) {
+// peekOp classifies the op at pc without side effects on simulated
+// state: can it run as part of a certified chain, and at exactly what
+// latency? (It may claim banks and set dirty-set marks — host-side
+// attempt state.) Both the scan and the exec phases use this single
+// classifier, so they cannot disagree. The hit arms mirror the
+// sequential fast paths verbatim; misses and upgrades go through the
+// pass-3 certifiers below.
+func (m *Machine) peekOp(c *Core, pc int) (lat sim.Cycles, cause parkCause) {
 	op := c.Prog.Ops[pc]
 	//suv:nonexhaustive every op kind not listed is handled by the sequential loop via the default arm
 	switch op.Kind {
 	case workload.OpCompute:
-		return sim.Cycles(op.N), true
+		return sim.Cycles(op.N), parkNone
 	case workload.OpLoadImm, workload.OpAddImm, workload.OpAddReg:
-		return 1, true
+		return 1, parkNone
 	case workload.OpLoad:
 		pk := m.par.peeker.PeekLoad(m, c, sim.LineOf(op.Addr))
 		if !pk.OK {
-			return 0, false
+			return 0, parkScheme
+		}
+		if m.par.l1SetDirty(c, pk.Target) {
+			// An earlier certified fill mutated this L1 set, so the hit/miss
+			// classification below would read stale contents — except for
+			// the tracked fill line itself, which is a plain hit in
+			// whatever state the fill left it.
+			if fl, _ := m.par.l1FillOf(c, pk.Target); fl == pk.Target {
+				return pk.Lat + m.cfg.L1Latency, parkNone
+			}
+			return 0, parkCrossCore
 		}
 		if _, hit := c.L1.Peek(pk.Target); !hit {
-			return 0, false
+			return m.peekMissLoad(c, pk)
 		}
-		return pk.Lat + m.cfg.L1Latency, true
+		return pk.Lat + m.cfg.L1Latency, parkNone
 	case workload.OpStore, workload.OpStoreImm:
 		line := sim.LineOf(op.Addr)
 		if c.TxActive() && m.modeOf(c) == ModeLazy {
-			return 0, false
+			return 0, parkScheme
 		}
 		pk := m.par.peeker.PeekStore(m, c, line)
 		if !pk.OK {
-			return 0, false
-		}
-		if state, hit := c.L1.Peek(pk.Target); !hit || state != mem.Modified {
-			return 0, false
+			return 0, parkScheme
 		}
 		if !m.Memory.Written(translatedAddr(pk.Target, op.Addr)) {
 			// A first-ever store materializes its backing page and
 			// footprint bit — shared structures — so it runs sequentially.
-			return 0, false
+			return 0, parkCrossCore
 		}
-		return pk.Lat + m.cfg.L1Latency, true
+		if m.par.l1SetDirty(c, pk.Target) {
+			fl, mod := m.par.l1FillOf(c, pk.Target)
+			if fl != pk.Target {
+				return 0, parkCrossCore
+			}
+			if mod {
+				// The chain already owns the line Modified: a plain hit.
+				return pk.Lat + m.cfg.L1Latency, parkNone
+			}
+			return m.peekUpgradeOwnFill(c, pk)
+		}
+		state, hit := c.L1.Peek(pk.Target)
+		if !hit || state != mem.Modified {
+			return m.peekMissStore(c, pk, hit)
+		}
+		return pk.Lat + m.cfg.L1Latency, parkNone
 	default:
 		// Begin/Commit/CommitOpen/Barrier/Suspend/Resume and anything
 		// new: engine events, never part of a chain.
-		return 0, false
+		return 0, parkEngine
 	}
+}
+
+// claimVictims certifies the install side of a fill into c's L1 set for
+// line: whatever way Insert later evicts, its directory drop and its
+// write-back (dirty victims re-enter the L2) stay inside banks this
+// chain owns, its L2 set is marked so later classifications in the
+// attempt cannot trust it, and it is not speculative (spec evictions
+// call into the scheme mid-window). The enumeration is conservative —
+// it claims every valid way of the set, not the one LRU will pick — so
+// certification can never depend on predicting the victim.
+func (p *parEngine) claimVictims(c *Core, line sim.Line) bool {
+	m := p.m
+	ok := true
+	c.L1.ForEachWayOf(line, func(way sim.Line, state mem.LineState, dirty, spec bool) {
+		if !ok {
+			return
+		}
+		// One claim covers the way's directory bank and L2 bank: both
+		// structures share the line→bank map.
+		if spec || !p.claims.Claim(m.L2.BankOf(way), c.ID) {
+			ok = false
+			return
+		}
+		p.l2Ins[m.L2.SetIndex(way)] = p.epoch
+	})
+	return ok
+}
+
+// peekMissLoad certifies a load miss for cross-core window execution:
+// the fill's whole coherence footprint — home directory bank, L2 bank,
+// victim banks — must be claimable by this chain, no other core may own
+// the line Modified, and no core may be in a transaction (which makes
+// acquire's conflict detection provably dead). The latency mirrors
+// doLoad/acquire's miss path exactly; see soundness fact 2.
+func (m *Machine) peekMissLoad(c *Core, pk AccessPeek) (sim.Cycles, parkCause) {
+	p := m.par
+	line := pk.Target
+	if !p.noTx {
+		return 0, parkCrossCore
+	}
+	pkd := p.peeker.PeekDirOp(m, c, line, false)
+	if !pkd.OK {
+		return 0, parkScheme
+	}
+	if owner := m.Dir.Owner(line); owner >= 0 && owner != c.ID {
+		// Cache-to-cache transfer: would touch the owner's L1.
+		return 0, parkCrossCore
+	}
+	if !p.claims.Claim(m.L2.BankOf(line), c.ID) {
+		return 0, parkCrossCore
+	}
+	if !p.claimVictims(c, line) {
+		return 0, parkCrossCore
+	}
+	set := m.L2.SetIndex(line)
+	if p.l2Ins[set] == p.epoch {
+		// An earlier certified insert mutated this L2 set; the Peek
+		// below would classify against stale contents.
+		return 0, parkCrossCore
+	}
+	lat := pk.Lat + pkd.Lat + m.Mesh.RoundTrip(c.ID, m.Mesh.HomeTile(line)) + m.cfg.DirLatency
+	if _, l2hit := m.L2.Peek(line); l2hit {
+		lat += m.cfg.L2Latency
+	} else {
+		lat += m.cfg.MemLatency
+		p.l2Ins[set] = p.epoch // the fill will insert into this set
+	}
+	p.markL1Dirty(c, line, false) // loads fill Shared
+	return lat, parkNone
+}
+
+// peekMissStore certifies a store miss or a Shared→Modified upgrade.
+// On top of peekMissLoad's conditions, no OTHER core may hold the line
+// at all (else acquire would invalidate its copy — a cross-core L1
+// write). The upgrade case (hit with a non-Modified state) skips the L2
+// branch: data is already present, only the directory changes — but it
+// still dirties the L1 set, because flipping the state to Modified
+// changes how a later store to the line would classify, and with it the
+// chain's timing.
+func (m *Machine) peekMissStore(c *Core, pk AccessPeek, hit bool) (sim.Cycles, parkCause) {
+	p := m.par
+	line := pk.Target
+	if !p.noTx {
+		return 0, parkCrossCore
+	}
+	pkd := p.peeker.PeekDirOp(m, c, line, true)
+	if !pkd.OK {
+		return 0, parkScheme
+	}
+	if owner := m.Dir.Owner(line); owner >= 0 && owner != c.ID {
+		return 0, parkCrossCore
+	}
+	if m.Dir.Sharers(line)&^(1<<uint(c.ID)) != 0 {
+		return 0, parkCrossCore
+	}
+	if !p.claims.Claim(m.L2.BankOf(line), c.ID) {
+		return 0, parkCrossCore
+	}
+	lat := pk.Lat + pkd.Lat + m.Mesh.RoundTrip(c.ID, m.Mesh.HomeTile(line)) + m.cfg.DirLatency
+	if !hit {
+		if !p.claimVictims(c, line) {
+			return 0, parkCrossCore
+		}
+		set := m.L2.SetIndex(line)
+		if p.l2Ins[set] == p.epoch {
+			return 0, parkCrossCore
+		}
+		if _, l2hit := m.L2.Peek(line); l2hit {
+			lat += m.cfg.L2Latency
+		} else {
+			lat += m.cfg.MemLatency
+			p.l2Ins[set] = p.epoch
+		}
+	}
+	p.markL1Dirty(c, line, true)
+	return lat, parkNone
+}
+
+// peekUpgradeOwnFill certifies a Shared→Modified upgrade on the line the
+// chain's own certified load fill installed earlier in this attempt (the
+// read-modify-write sweep pattern). The directory still shows the
+// pre-fill state, but the fill's only directory effect is adding c as a
+// sharer, so the owner/sharer reads below yield the same verdict the
+// exec-time upgrade will compute. noTx necessarily held already: dirty
+// marks only exist downstream of a certified cross-core op. The latency
+// mirrors acquire's upgrade arm — a directory round trip, no data
+// movement, no victims.
+func (m *Machine) peekUpgradeOwnFill(c *Core, pk AccessPeek) (sim.Cycles, parkCause) {
+	p := m.par
+	line := pk.Target
+	pkd := p.peeker.PeekDirOp(m, c, line, true)
+	if !pkd.OK {
+		return 0, parkScheme
+	}
+	if owner := m.Dir.Owner(line); owner >= 0 && owner != c.ID {
+		return 0, parkCrossCore
+	}
+	if m.Dir.Sharers(line)&^(1<<uint(c.ID)) != 0 {
+		return 0, parkCrossCore
+	}
+	if !p.claims.Claim(m.L2.BankOf(line), c.ID) {
+		return 0, parkCrossCore
+	}
+	lat := pk.Lat + pkd.Lat + m.Mesh.RoundTrip(c.ID, m.Mesh.HomeTile(line)) + m.cfg.DirLatency
+	p.markL1Dirty(c, line, true)
+	return lat, parkNone
 }
 
 // execChain runs c's certified instruction chain with a private clock
 // from t strictly below the horizon h, replicating the sequential
 // step/finishOp paths for exactly the op shapes peekOp certifies. It
 // returns the chain's clock, whether the program finished, and the op
-// count.
+// count. Hit-vs-miss dispatch re-peeks the L1; the dirty-set marks
+// guarantee the answer matches what the scan saw.
 func (m *Machine) execChain(c *Core, t, h sim.Cycles) (sim.Cycles, bool, int) {
 	ops := 0
 	for t < h {
 		var want sim.Cycles
 		if parVerifyChains {
-			var safe bool
-			want, safe = m.peekOp(c, c.PC)
-			if !safe {
-				// Unreachable while classification stability holds (the
-				// scan certified this chain through h).
-				panic(fmt.Sprintf("htm: core %d pc %d: chained op decertified between scan and exec", c.ID, c.PC))
+			if vl := m.par.verifyLat[c.ID]; ops < len(vl) {
+				want = vl[ops]
 			}
 		}
 		op := c.op()
@@ -524,11 +969,15 @@ func (m *Machine) execChain(c *Core, t, h sim.Cycles) (sim.Cycles, bool, int) {
 			c.Regs[op.Reg] += c.Regs[op.Reg2]
 			lat = 1
 		case workload.OpLoad:
-			lat = m.execLoad(c, op)
+			if _, hit := c.L1.Peek(sim.LineOf(op.Addr)); hit {
+				lat = m.execLoad(c, op)
+			} else {
+				lat = m.execMissLoad(c, op)
+			}
 		case workload.OpStore:
-			lat = m.execStore(c, op.Addr, c.Regs[op.Reg], t)
+			lat = m.execAnyStore(c, op.Addr, c.Regs[op.Reg], t)
 		case workload.OpStoreImm:
-			lat = m.execStore(c, op.Addr, op.Val, t)
+			lat = m.execAnyStore(c, op.Addr, op.Val, t)
 		default:
 			panic(fmt.Sprintf("htm: parallel chain reached non-local op %v", op))
 		}
@@ -555,6 +1004,15 @@ func (m *Machine) execChain(c *Core, t, h sim.Cycles) (sim.Cycles, bool, int) {
 		t += lat
 	}
 	return t, false, ops
+}
+
+// execAnyStore dispatches a certified store to its hit or miss twin by
+// re-peeking the L1 state, mirroring peekOp's classification.
+func (m *Machine) execAnyStore(c *Core, addr sim.Addr, val sim.Word, t sim.Cycles) sim.Cycles {
+	if state, hit := c.L1.Peek(sim.LineOf(addr)); hit && state == mem.Modified {
+		return m.execStore(c, addr, val, t)
+	}
+	return m.execMissStore(c, addr, val)
 }
 
 // execLoad is doLoad's L1-hit fast path for certified loads: LRU touch,
@@ -586,6 +1044,44 @@ func (m *Machine) execLoad(c *Core, op workloadOp) sim.Cycles {
 		c.trackRead(line)
 	}
 	return lat + m.cfg.L1Latency
+}
+
+// execMissLoad is doLoad's fill path for certified cross-core loads.
+// acquire runs UNCHANGED — directory read, L2 lookup/fill, victim
+// handling through installL1 — because the scan's bank claims make its
+// entire footprint exclusive to this chain for the window, and the
+// machine-wide no-transaction gate makes its conflict detection a
+// provable no-op. The scheme contributes through its certified twins
+// (DirOpLocal, LoadLocal).
+func (m *Machine) execMissLoad(c *Core, op workloadOp) sim.Cycles {
+	line := sim.LineOf(op.Addr)
+	flat, holder := m.acquire(c, line, line, false)
+	if holder != nil {
+		panic(fmt.Sprintf("htm: core %d: certified fill of line %d found a conflict holder", c.ID, line))
+	}
+	dlat := m.par.peeker.DirOpLocal(m, c, line, false)
+	val, vlat := m.par.peeker.LoadLocal(m, c, op.Addr)
+	c.Regs[op.Reg] = val
+	// doLoad's trackRead tail is dead here: cross-core certification
+	// requires no open transactions machine-wide.
+	return flat + dlat + vlat
+}
+
+// execMissStore is doStore's fill/upgrade path for certified cross-core
+// stores, under the same exclusivity argument as execMissLoad. The
+// sequential path's transactional tails, lazy-reader broadcast and
+// serialization-token guard are all provably dead: no core is in a
+// transaction and no token is outstanding while windows run.
+func (m *Machine) execMissStore(c *Core, addr sim.Addr, val sim.Word) sim.Cycles {
+	line := sim.LineOf(addr)
+	flat, holder := m.acquire(c, line, line, true)
+	if holder != nil {
+		panic(fmt.Sprintf("htm: core %d: certified store fill of line %d found a conflict holder", c.ID, line))
+	}
+	dlat := m.par.peeker.DirOpLocal(m, c, line, true)
+	slat := m.par.peeker.StoreLocal(m, c, addr, val)
+	c.L1.MarkDirty(line)
+	return flat + dlat + slat
 }
 
 // execStore is doStore's exclusive-L1-hit fast path for certified

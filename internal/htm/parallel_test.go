@@ -18,6 +18,12 @@ import (
 // returning the machine, result, and final memory image.
 func parRun(t *testing.T, app string, vm htm.VersionManager, cores int, scale float64, shards int) (*htm.Machine, *htm.Result, *mem.Memory) {
 	t.Helper()
+	return parRunBanked(t, app, vm, cores, scale, shards, 0)
+}
+
+// parRunBanked is parRun with an explicit directory/L2 bank count.
+func parRunBanked(t *testing.T, app string, vm htm.VersionManager, cores int, scale float64, shards, banks int) (*htm.Machine, *htm.Result, *mem.Memory) {
+	t.Helper()
 	memory := mem.NewMemory()
 	alloc := mem.NewAllocator(arenaHeapBase, arenaHeapSize)
 	gen, err := workload.Get(app)
@@ -27,6 +33,7 @@ func parRun(t *testing.T, app string, vm htm.VersionManager, cores int, scale fl
 	a := gen(workload.GenConfig{Cores: cores, Seed: 1, Scale: scale}, alloc, memory)
 	cfg := htm.DefaultConfig(cores)
 	cfg.Shards = shards
+	cfg.Banks = banks
 	m := htm.New(cfg, vm, a.Programs, memory, alloc)
 	res, err := m.Run()
 	if err != nil {
@@ -96,6 +103,56 @@ func TestParallelBitIdentical(t *testing.T) {
 				ps := m.ParallelStats()
 				if ps.Shards == 0 {
 					t.Fatalf("shards=%d: parallel engine did not engage", k)
+				}
+			}
+		})
+	}
+}
+
+// TestParallelBitIdenticalBanks is the bank-count half of the identity
+// gate: Banks, like Shards, is a host-structure knob, so for a fixed
+// workload every (shards, banks) combination must reproduce the
+// sequential default-bank run bit for bit — fewer banks may only cost
+// window certifications (more fallbacks), never change a simulated
+// cycle. intruderscan is the adversarial case: its layout deliberately
+// stresses bank placement, so any banking leak shows up here first.
+func TestParallelBitIdenticalBanks(t *testing.T) {
+	prev := parrun.SetForcedWorkersForTest(4)
+	defer parrun.SetForcedWorkersForTest(prev)
+
+	cases := []struct {
+		app   string
+		cores int
+		scale float64
+	}{
+		{"sessionstore", 4, 0.2},
+		{"intruderscan", 4, 0.25},
+	}
+	for _, tc := range cases {
+		t.Run(tc.app, func(t *testing.T) {
+			_, want, seqMem := parRun(t, tc.app, suvtm.New(), tc.cores, tc.scale, 0)
+			wantImage := seqMem.Snapshot()
+			for _, banks := range []int{1, 2, 4, 8, 16} {
+				for _, shards := range []int{0, 4} {
+					m, got, parMem := parRunBanked(t, tc.app, suvtm.New(), tc.cores, tc.scale, shards, banks)
+					if got.Cycles != want.Cycles {
+						t.Errorf("banks=%d shards=%d: cycles %d, reference %d", banks, shards, got.Cycles, want.Cycles)
+					}
+					if got.Counters != want.Counters {
+						t.Errorf("banks=%d shards=%d: counters diverged:\ngot %+v\nref %+v", banks, shards, got.Counters, want.Counters)
+					}
+					if !reflect.DeepEqual(got.PerCore, want.PerCore) {
+						t.Errorf("banks=%d shards=%d: per-core breakdowns diverged", banks, shards)
+					}
+					gotImage := parMem.Snapshot()
+					for addr, w := range wantImage {
+						if gotImage[addr] != w {
+							t.Fatalf("banks=%d shards=%d: memory diverged at %#x", banks, shards, addr)
+						}
+					}
+					if ps := m.ParallelStats(); shards != 0 && ps.Shards == 0 {
+						t.Fatalf("banks=%d shards=%d: parallel engine did not engage", banks, shards)
+					}
 				}
 			}
 		})

@@ -146,4 +146,21 @@ type LocalPeeker interface {
 	// L1 hit — which must equal the AccessPeek.Lat the peek reported.
 	LoadLocal(m *Machine, c *Core, addr sim.Addr) (sim.Word, sim.Cycles)
 	StoreLocal(m *Machine, c *Core, addr sim.Addr, val sim.Word) sim.Cycles
+
+	// PeekDirOp and DirOpLocal extend the contract to the engine's
+	// cross-core tier: a certified L1 miss or upgrade routes one
+	// coherence request through the line's home directory bank and
+	// possibly the L2 bank under it. PeekDirOp answers — with no side
+	// effects — whether the scheme permits that request inside a window
+	// (no scheme metadata may hang off the line's directory/L2 path) and
+	// what extra scheme latency the request carries; DirOpLocal is the
+	// execution twin, performing any scheme-side effect of a certified
+	// request and returning that same latency. Today every scheme folds
+	// its directory-op costs into Translate/Load/Store, so all three
+	// implementations answer Lat 0 and DirOpLocal returns 0; the seam
+	// exists so a scheme with bank-local directory state can join
+	// cross-core windows without the engine changing. The Target of a
+	// certified answer is the line itself (identity, as for the peeks).
+	PeekDirOp(m *Machine, c *Core, line sim.Line, write bool) AccessPeek
+	DirOpLocal(m *Machine, c *Core, line sim.Line, write bool) sim.Cycles
 }

@@ -1,0 +1,91 @@
+package mem
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"suvtm/internal/sim"
+)
+
+// TestBankedCacheMatchesMonolithic is the banking oracle for the shared
+// cache: banking only splits the LRU clock and the stats counters per
+// bank — every set still belongs to exactly one bank, so relative LRU
+// order inside a set, and with it every victim choice, must be
+// identical to the single-bank reference under any operation stream.
+// The line pool is sized to overflow sets (forcing real evictions) and
+// spans several banks of the 8-set geometry.
+func TestBankedCacheMatchesMonolithic(t *testing.T) {
+	for _, banks := range []int{1, 2, 4, 8} {
+		t.Run(fmt.Sprintf("banks=%d", banks), func(t *testing.T) {
+			cfg := CacheConfig{SizeBytes: 8 * 2 * sim.LineBytes, Ways: 2} // 8 sets, 2 ways
+			mono := NewCache(cfg)
+			cfgB := cfg
+			cfgB.Banks = banks
+			banked := NewCache(cfgB)
+			if banked.Banks() != banks {
+				t.Fatalf("Banks() = %d, want %d", banked.Banks(), banks)
+			}
+
+			lines := make([]sim.Line, 0, 48)
+			for i := sim.Line(0); i < 48; i++ {
+				lines = append(lines, i*5) // 6 distinct tags per set
+			}
+			states := []LineState{Shared, Modified}
+			rng := rand.New(rand.NewSource(int64(banks) * 733))
+			for step := 0; step < 20000; step++ {
+				line := lines[rng.Intn(len(lines))]
+				switch rng.Intn(6) {
+				case 0:
+					sm, okm := mono.Lookup(line)
+					sb, okb := banked.Lookup(line)
+					if sm != sb || okm != okb {
+						t.Fatalf("step %d: Lookup(%d) = (%v,%v), mono (%v,%v)", step, line, sb, okb, sm, okm)
+					}
+				case 1:
+					st := states[rng.Intn(len(states))]
+					avoid := rng.Intn(4) == 0
+					vm := mono.Insert(line, st, avoid)
+					vb := banked.Insert(line, st, avoid)
+					if vm != vb {
+						t.Fatalf("step %d: Insert(%d) victim %+v, mono %+v", step, line, vb, vm)
+					}
+				case 2:
+					dm, pm := mono.Invalidate(line)
+					db, pb := banked.Invalidate(line)
+					if dm != db || pm != pb {
+						t.Fatalf("step %d: Invalidate(%d) = (%v,%v), mono (%v,%v)", step, line, db, pb, dm, pm)
+					}
+				case 3:
+					mono.MarkDirty(line)
+					banked.MarkDirty(line)
+				case 4:
+					spec := rng.Intn(2) == 0
+					mono.MarkSpec(line, spec)
+					banked.MarkSpec(line, spec)
+					if mono.IsSpec(line) != banked.IsSpec(line) {
+						t.Fatalf("step %d: IsSpec(%d) diverged", step, line)
+					}
+				case 5:
+					st := states[rng.Intn(len(states))]
+					mono.SetState(line, st)
+					banked.SetState(line, st)
+				}
+				sm, okm := mono.Peek(line)
+				sb, okb := banked.Peek(line)
+				if sm != sb || okm != okb {
+					t.Fatalf("step %d: Peek(%d) = (%v,%v), mono (%v,%v)", step, line, sb, okb, sm, okm)
+				}
+				if mono.IsDirty(line) != banked.IsDirty(line) {
+					t.Fatalf("step %d: IsDirty(%d) diverged", step, line)
+				}
+			}
+			if got, want := banked.CountValid(), mono.CountValid(); got != want {
+				t.Fatalf("CountValid = %d, mono %d", got, want)
+			}
+			if got, want := banked.Stats(), mono.Stats(); got != want {
+				t.Fatalf("Stats = %+v, mono %+v", got, want)
+			}
+		})
+	}
+}

@@ -10,6 +10,13 @@
 // called or after it returns, in code that orders work by index. The
 // suvlint detmap/wallclock analyzers patrol this package like the rest
 // of the deterministic core.
+//
+// Workers are pooled process-wide: the first parallel Run starts
+// GOMAXPROCS persistent goroutines that service all subsequent calls
+// from every engine in the process. The window engine forms thousands
+// of small windows per run, and spawning w-1 goroutines per window —
+// the previous design — dominated its allocation profile; a persistent
+// pool makes the steady-state cost of a fork-join zero allocations.
 package parrun
 
 import (
@@ -49,12 +56,59 @@ func Workers(k int) int {
 	return w
 }
 
+// job is one fork-join: helpers claim indices from the cursor until it
+// passes n, then signal the WaitGroup. Jobs are pooled; a job is only
+// returned to the pool by the caller of Run, after wg.Wait proved every
+// helper is done touching it.
+type job struct {
+	fn     func(i int)
+	n      int
+	cursor atomic.Int64
+	wg     sync.WaitGroup
+}
+
+func (j *job) work() {
+	for {
+		i := int(j.cursor.Add(1)) - 1
+		if i >= j.n {
+			return
+		}
+		j.fn(i)
+	}
+}
+
+var jobPool = sync.Pool{New: func() any { return new(job) }}
+
+// poolOnce guards the lazy start of the persistent worker pool; jobs is
+// its feed. The buffer only smooths bursts — a blocked send just waits
+// for a worker to come free, and cannot deadlock: job bodies never
+// enqueue jobs themselves (Run's caller participates in its own join
+// instead of blocking idle, so even w == GOMAXPROCS+1 helpers make
+// progress through the caller).
+var (
+	poolOnce sync.Once
+	jobs     chan *job
+)
+
+func startPool() {
+	jobs = make(chan *job, 4*runtime.GOMAXPROCS(0))
+	for i := 0; i < runtime.GOMAXPROCS(0); i++ {
+		go func() {
+			for j := range jobs {
+				j.work()
+				j.wg.Done()
+			}
+		}()
+	}
+}
+
 // Run executes fn(i) for every i in [0, n) and returns once all calls
 // have completed. With w <= 1 (or a single job) it runs inline on the
 // calling goroutine — zero overhead on single-core hosts. With w > 1 it
-// spawns w-1 helper goroutines that claim indices from a shared atomic
-// cursor; claim order is scheduler-dependent, completion of Run is not,
-// and fn's index-ownership contract keeps results identical either way.
+// enlists w-1 pooled workers that claim indices from a shared atomic
+// cursor alongside the caller; claim order is scheduler-dependent,
+// completion of Run is not, and fn's index-ownership contract keeps
+// results identical either way.
 func Run(w, n int, fn func(i int)) {
 	if n <= 0 {
 		return
@@ -68,24 +122,16 @@ func Run(w, n int, fn func(i int)) {
 		}
 		return
 	}
-	var cursor atomic.Int64
-	work := func() {
-		for {
-			i := int(cursor.Add(1)) - 1
-			if i >= n {
-				return
-			}
-			fn(i)
-		}
-	}
-	var wg sync.WaitGroup
-	wg.Add(w - 1)
+	poolOnce.Do(startPool)
+	j := jobPool.Get().(*job)
+	j.fn, j.n = fn, n
+	j.cursor.Store(0)
+	j.wg.Add(w - 1)
 	for g := 1; g < w; g++ {
-		go func() {
-			defer wg.Done()
-			work()
-		}()
+		jobs <- j
 	}
-	work()
-	wg.Wait()
+	j.work()
+	j.wg.Wait()
+	j.fn = nil // do not retain the closure beyond the join
+	jobPool.Put(j)
 }

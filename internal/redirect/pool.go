@@ -11,10 +11,24 @@ import (
 // (Section III: "SUV-TM automatically allocates a page in the preserved
 // redirect pool"); lines freed by committed redirect-backs or aborted
 // transient adds are recycled through a free list.
+//
+// Pages are claimed in groups of poolGroupPages, each page placed at a
+// PoolInterleave-aligned address so the group covers one full bank-
+// stripe period, and line handout round-robins across the group's
+// pages. Redirected lines are exactly the hottest shared data in the
+// system; packing them onto a single page — a single bank stripe —
+// would funnel every redirected access, and every L1 eviction of a
+// redirected copy, through one directory/L2 bank, which serializes the
+// parallel window engine on it. The skipped alignment padding is dead
+// address space (the simulated memory is sparse). The interleave is a
+// fixed layout constant, NOT a function of the configured bank count:
+// results must stay bit-identical across bank counts (the
+// banked-vs-monolithic oracle), so the layout cannot depend on one.
 type Pool struct {
 	alloc     *mem.Allocator
 	free      []sim.Line
-	nextLine  sim.Line
+	group     []sim.Line // base lines of the current page group
+	groupIdx  int        // next handout slot in the group rotation
 	linesLeft int
 	pages     uint64
 	// exhausted simulates preserved-pool exhaustion (the fault
@@ -25,6 +39,15 @@ type Pool struct {
 	exhausted bool
 	reclaims  uint64
 }
+
+// PoolInterleave is the placement alignment of preserved-pool pages: 64
+// KB, one bank stripe of the default machine's L2 at its finest common
+// banking (1 MB way-size / 16 banks). See the type comment.
+const PoolInterleave = 64 << 10
+
+// poolGroupPages is how many stripe-spread pages one group claims — a
+// full 16-stripe period, so round-robined pool lines cover every bank.
+const poolGroupPages = 16
 
 // NewPool creates a pool drawing pages from alloc.
 func NewPool(alloc *mem.Allocator) *Pool {
@@ -38,7 +61,8 @@ func NewPool(alloc *mem.Allocator) *Pool {
 func (p *Pool) Reset(alloc *mem.Allocator) {
 	p.alloc = alloc
 	p.free = p.free[:0]
-	p.nextLine = 0
+	p.group = p.group[:0]
+	p.groupIdx = 0
 	p.linesLeft = 0
 	p.pages = 0
 	p.exhausted = false
@@ -46,7 +70,9 @@ func (p *Pool) Reset(alloc *mem.Allocator) {
 }
 
 // Alloc returns a fresh pool line, reusing freed lines first and
-// claiming a new page when the current one is exhausted.
+// claiming a new page group when the current one is exhausted. Handout
+// rotates across the group's stripe-spread pages, so consecutive
+// allocations land on different banks.
 func (p *Pool) Alloc() sim.Line {
 	if p.exhausted {
 		p.reclaims++
@@ -57,15 +83,19 @@ func (p *Pool) Alloc() sim.Line {
 		return line
 	}
 	if p.linesLeft == 0 {
-		base := p.alloc.AllocPage()
-		p.nextLine = sim.LineOf(base)
-		p.linesLeft = mem.PageBytes / sim.LineBytes
-		p.pages++
+		p.group = p.group[:0]
+		for i := 0; i < poolGroupPages; i++ {
+			base := p.alloc.Alloc(mem.PageBytes, PoolInterleave)
+			p.group = append(p.group, sim.LineOf(base))
+			p.pages++
+		}
+		p.groupIdx = 0
+		p.linesLeft = poolGroupPages * (mem.PageBytes / sim.LineBytes)
 	}
-	line := p.nextLine
-	p.nextLine++
+	k := p.groupIdx
+	p.groupIdx++
 	p.linesLeft--
-	return line
+	return p.group[k%poolGroupPages] + sim.Line(k/poolGroupPages)
 }
 
 // Release returns a pool line to the free list.

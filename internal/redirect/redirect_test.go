@@ -412,14 +412,30 @@ func TestPoolRecycling(t *testing.T) {
 	if c := p.Alloc(); c != a {
 		t.Fatalf("free list not reused: got %d want %d", c, a)
 	}
-	if p.Pages() != 1 {
+	// Pages are claimed a stripe-spread group at a time.
+	if p.Pages() != 16 {
 		t.Fatalf("pages = %d", p.Pages())
 	}
-	for i := 0; i < mem.PageBytes/sim.LineBytes; i++ {
+	for i := 0; i < 16*mem.PageBytes/sim.LineBytes; i++ {
 		p.Alloc()
 	}
-	if p.Pages() != 2 {
+	if p.Pages() != 32 {
 		t.Fatalf("pages after exhaustion = %d", p.Pages())
+	}
+}
+
+// TestPoolStripeInterleave: consecutive pool lines land on different
+// 64 KB stripes — the bank-spreading property the parallel window
+// engine depends on (see the Pool type comment).
+func TestPoolStripeInterleave(t *testing.T) {
+	alloc := mem.NewAllocator(0x8000_0000, 1<<30)
+	p := NewPool(alloc)
+	stripes := make(map[uint64]bool)
+	for i := 0; i < 16; i++ {
+		stripes[uint64(sim.AddrOf(p.Alloc()))/PoolInterleave] = true
+	}
+	if len(stripes) != 16 {
+		t.Fatalf("16 consecutive pool lines cover %d stripes, want 16", len(stripes))
 	}
 }
 

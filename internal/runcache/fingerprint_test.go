@@ -18,7 +18,7 @@ import (
 // model must never be served for the new one, so you must:
 //  1. bump runcache.Version, and
 //  2. update this constant to the new digest the failure message prints.
-const goldenDefaultConfigDigest = "b9ee9e17d5b6be354726269523d0621263ea9bdeb77be7419045a389f220f425"
+const goldenDefaultConfigDigest = "c234f7dc0d97edb9014dc0362e3f8d82d63fc68f59d696d039ead4f2140e050e"
 
 func TestGoldenConfigDigest(t *testing.T) {
 	text := CanonicalConfig(htm.DefaultConfig(16))

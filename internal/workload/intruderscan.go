@@ -1,0 +1,158 @@
+package workload
+
+import (
+	"fmt"
+
+	"suvtm/internal/mem"
+	"suvtm/internal/sim"
+)
+
+func init() { Register("intruderscan", GenIntruderScan) }
+
+// GenIntruderScan is the phase-alternating variant of intruder built for
+// the parallel window engine's conflict benchmark: rounds of a long
+// non-transactional scan over a private, L1-overflowing buffer — the
+// phase the cross-core certified-miss tier should parallelize — fenced
+// by barriers from short intruder-style bursts on the shared work queue
+// and detector dictionary, the conflict-heavy phase that must fall back
+// to the sequential engine.
+//
+// The layout is bank-aware: the directory/L2 bank stripe repeats every
+// L2-way-size bytes (1 MB on the default machine), so every capture
+// buffer is 64 KB (twice the L1, so each sweep round misses throughout)
+// aligned to 128 KB — an even 64 KB stripe — while the shared detector
+// structures are hash-distributed across the odd stripes, the way a
+// real intruder dictionary scatters its buckets across the heap. At
+// the default 16 banks the odd stripes are disjoint from every buffer
+// stripe, so a sweep's fills and upgrades never contest a detector
+// bank, and the residual evictions of detector lines left in the L1s
+// by the transactional bursts spread over eight banks instead of
+// serializing the window engine on one.
+func GenIntruderScan(cfg GenConfig, alloc *mem.Allocator, m *mem.Memory) *App {
+	const (
+		scanLines = 1024      // 64 KB per core: twice the 32 KB L1, every scan round misses
+		stripe    = 64 << 10  // one bank stripe: 1 MB L2 way-size / 16 banks
+		bankAlign = 128 << 10 // buffers sit on even stripes; detector chunks on odd ones
+		dictLines = 256
+		dictChunk = 32 // dictLines/dictChunk chunks, one per odd stripe
+		rounds    = 4
+		txPerRnd  = 10
+	)
+	// oddStripe positions the allocator inside the next odd stripe; the
+	// skipped padding is dead address space (the simulated memory is
+	// sparse, so it costs nothing).
+	oddStripe := func() {
+		if base := alloc.Alloc(sim.LineBytes, stripe); (uint64(base)/stripe)%2 == 0 {
+			alloc.Alloc(sim.LineBytes, stripe)
+		}
+	}
+	var dictChunks [dictLines / dictChunk]Region
+	for k := range dictChunks {
+		oddStripe()
+		dictChunks[k] = NewRegion(alloc, dictChunk)
+	}
+	// The queue is the hottest shared line of all — every transaction
+	// pops it — so it rides on the LAST chunk's stripe: buckets are laid
+	// out in index order and the Zipf sampler skews toward low indices,
+	// making that the coldest detector bank.
+	queue := NewRegion(alloc, 1)
+	// dictWord addresses word idx%8 of bucket idx through the chunked
+	// layout.
+	dictWord := func(idx int) sim.Addr {
+		return dictChunks[idx/dictChunk].WordAddr(idx%dictChunk, idx%8)
+	}
+	zipfD := NewZipf(dictLines, 0.6)
+
+	bufs := make([]Region, cfg.Cores)
+	for c := range bufs {
+		base := alloc.Alloc(scanLines*sim.LineBytes, bankAlign)
+		bufs[c] = Region{Base: base, Lines: scanLines}
+		// Materialize every scanned word at generation time: certified
+		// stores require already-written targets, and a real capture
+		// buffer is mapped before the detector loop starts.
+		for i := 0; i < scanLines; i++ {
+			m.Write(bufs[c].WordAddr(i, 0), 0)
+		}
+	}
+
+	rnds := cfg.scaled(rounds)
+	programs := make([]Program, cfg.Cores)
+	var deqs, dictAdds int64
+	for c := 0; c < cfg.Cores; c++ {
+		rng := cfg.rng(uint64(c)*23 + 509)
+		b := NewBuilder()
+		b.Reserve(rnds*(2+scanLines*10+txPerRnd*9) + 1)
+		for r := 0; r < rnds; r++ {
+			// Scan phase: every core sweeps its private capture buffer,
+			// checksumming and stamping each fragment in place. The
+			// barrier guarantees no transaction is live anywhere during
+			// the sweep, so the engine's machine-wide noTx gate holds.
+			b.Barrier(uint32(2 * r))
+			for i := 0; i < scanLines; i++ {
+				// One fragment: fetch the header (the L1 miss), read the
+				// payload words out of the now-resident line, fold them
+				// through the checksum registers, stamp the header and
+				// write it back in place (Shared→Modified upgrade).
+				b.Load(1, bufs[c].WordAddr(i, 0))
+				b.Load(3, bufs[c].WordAddr(i, 2))
+				b.Load(4, bufs[c].WordAddr(i, 4))
+				b.Load(5, bufs[c].WordAddr(i, 6))
+				b.AddReg(2, 1)
+				b.AddReg(2, 3)
+				b.AddReg(2, 4)
+				b.AddReg(2, 5)
+				b.AddImm(1, 1)
+				b.Store(bufs[c].WordAddr(i, 0), 1)
+			}
+			// Conflict phase: intruder-shaped bursts — pop the shared
+			// queue (one hot word) and fold the fragment into the
+			// Zipf-skewed dictionary.
+			b.Barrier(uint32(2*r + 1))
+			for t := 0; t < txPerRnd; t++ {
+				b.Begin(0)
+				rmwAdd(b, queue.WordAddr(0, 0), 1)
+				idx := zipfD.Sample(rng)
+				rmwAdd(b, dictWord(idx), 1)
+				b.Commit()
+				deqs++
+				dictAdds++
+				b.Compute(20)
+			}
+		}
+		b.Barrier(uint32(2 * rnds))
+		programs[c] = b.Build()
+	}
+	scanAdds := int64(cfg.Cores) * int64(rnds) * scanLines
+	return &App{
+		Name:           "intruderscan",
+		HighContention: true,
+		InputDesc:      fmt.Sprintf("-b%d -r%d -t%d", scanLines, rnds, txPerRnd),
+		MeanTxLen:      9,
+		Programs:       programs,
+		Check: combineChecks(
+			checkRegionSum("intruderscan/queue", queue, 1, deqs),
+			func(mr MemReader) error {
+				var sum int64
+				for i := 0; i < dictLines; i++ {
+					sum += int64(mr.Read(dictWord(i)))
+				}
+				if sum != dictAdds {
+					return fmt.Errorf("intruderscan: dict sum = %d, want %d", sum, dictAdds)
+				}
+				return nil
+			},
+			func(mr MemReader) error {
+				var sum int64
+				for c := range bufs {
+					for i := 0; i < scanLines; i++ {
+						sum += int64(mr.Read(bufs[c].WordAddr(i, 0)))
+					}
+				}
+				if sum != scanAdds {
+					return fmt.Errorf("intruderscan: buffer sum = %d, want %d", sum, scanAdds)
+				}
+				return nil
+			},
+		),
+	}
+}
