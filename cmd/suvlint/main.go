@@ -1,5 +1,6 @@
 // Command suvlint runs the repo's static-analysis suite (detmap,
-// wallclock, hotalloc, exhaustive — see internal/analysis).
+// wallclock, hotalloc, exhaustive, peekpure, stalesuppress — see
+// internal/analysis).
 //
 // It speaks two protocols:
 //
@@ -96,7 +97,9 @@ func usage() {
 	fmt.Fprint(os.Stderr, `usage: suvlint [-json] [packages]
 
 Runs the suvtm static-analysis suite (detmap, wallclock, hotalloc,
-exhaustive) over the given package patterns (default ./...) by
-re-executing itself under "go vet -vettool".
+exhaustive, peekpure, stalesuppress) over the given package patterns
+(default ./...) by re-executing itself under "go vet -vettool", which
+also propagates peekpure's cross-package purity facts in dependency
+order.
 `)
 }

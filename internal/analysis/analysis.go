@@ -13,6 +13,15 @@
 //     enum-like types (cache-line states, fault kinds, redirect states,
 //     trace kinds, ...) to cover every declared constant or carry a
 //     default that panics.
+//   - the LocalPeeker purity contract: peekpure proves, over ssalite
+//     single-assignment effect summaries with interprocedural isPure
+//     facts, that every PeekLoad/PeekStore/PeekDirOp method performs no
+//     observable mutation — the property the parallel window engine's
+//     chain certification silently depends on.
+//   - suppression hygiene: stalesuppress cross-references every //suv:
+//     directive against the findings it suppressed or the checks it
+//     armed this run, and flags annotations that no longer do anything
+//     (plus unknown directive names).
 //
 // The analyzers are built on golang.org/x/tools/go/analysis and run
 // under "go vet -vettool" via cmd/suvlint (which also self-drives, so
@@ -27,10 +36,12 @@
 //	//suv:orderinsensitive <why order cannot leak into simulated state>
 //	//suv:allocok <why this allocation is acceptable on the hot path>
 //	//suv:nonexhaustive <why this switch intentionally ignores values>
+//	//suv:peekimpure <why this mutation cannot be observed via a peek>
 //	//suv:hotpath          (on a function doc comment; enables hotalloc)
 //
 // A suppression directive applies to the source line it sits on or the
-// line directly below it.
+// line directly below it. An annotation that stops matching any finding
+// is itself a finding (stalesuppress), so the set in tree cannot rot.
 package analysis
 
 import (
@@ -46,6 +57,8 @@ func Analyzers() []*xanalysis.Analyzer {
 		WallClockAnalyzer,
 		HotAllocAnalyzer,
 		ExhaustiveAnalyzer,
+		PeekPureAnalyzer,
+		StaleSuppressAnalyzer,
 	}
 }
 

@@ -3,10 +3,34 @@ package analysis
 import (
 	"go/ast"
 	"go/token"
+	"reflect"
 	"strings"
 
 	xanalysis "golang.org/x/tools/go/analysis"
 )
+
+// An annotUse records which //suv: directives did real work during one
+// analyzer's pass: a directive is "used" when it suppressed a finding,
+// armed a check (//suv:hotpath), or was itself reported (a bare
+// directive missing its justification). Every suppression-consuming
+// analyzer returns its annotUse as the pass result so the stalesuppress
+// analyzer can flag, in both unitchecker and vet-tool driver modes, any
+// annotation that no longer does anything.
+type annotUse struct {
+	used map[token.Pos]bool
+}
+
+func newAnnotUse() *annotUse { return &annotUse{used: map[token.Pos]bool{}} }
+
+func (u *annotUse) mark(pos token.Pos) {
+	if u != nil {
+		u.used[pos] = true
+	}
+}
+
+// annotUseType is the shared ResultType of the suppression-consuming
+// analyzers.
+var annotUseType = reflect.TypeOf((*annotUse)(nil))
 
 // A directive is one parsed //suv: line annotation.
 type directive struct {
@@ -47,14 +71,16 @@ func collectAnnots(fset *token.FileSet, file *ast.File) fileAnnots {
 // directive on the same line or the line directly above. Directives
 // without a justification do not suppress; instead they are themselves
 // reported (once, at the directive) so that every annotation in the
-// tree carries an auditable reason.
-func (fa fileAnnots) suppressed(pass *xanalysis.Pass, pos token.Pos, name string) bool {
+// tree carries an auditable reason. Either way the directive did work
+// this pass, so it is marked used for stalesuppress.
+func (fa fileAnnots) suppressed(pass *xanalysis.Pass, use *annotUse, pos token.Pos, name string) bool {
 	line := pass.Fset.Position(pos).Line
 	for _, l := range [2]int{line, line - 1} {
 		for _, d := range fa[l] {
 			if d.name != name {
 				continue
 			}
+			use.mark(d.pos)
 			if d.reason == "" {
 				pass.Reportf(d.pos, "//suv:%s annotation requires a justification (write //suv:%s <reason>)", name, name)
 				continue
@@ -65,13 +91,16 @@ func (fa fileAnnots) suppressed(pass *xanalysis.Pass, pos token.Pos, name string
 	return false
 }
 
-// funcHotPath reports whether decl's doc comment carries //suv:hotpath.
-func funcHotPath(decl *ast.FuncDecl) bool {
+// funcHotPath reports whether decl's doc comment carries //suv:hotpath,
+// and marks the directive used (it armed the hot-path check for this
+// function) when it does.
+func funcHotPath(decl *ast.FuncDecl, use *annotUse) bool {
 	if decl.Doc == nil {
 		return false
 	}
 	for _, c := range decl.Doc.List {
 		if strings.HasPrefix(c.Text, "//suv:hotpath") {
+			use.mark(c.Pos())
 			return true
 		}
 	}

@@ -22,13 +22,15 @@ var DetMapAnalyzer = &xanalysis.Analyzer{
 		"deterministic-core packages must either be rewritten over a sorted\n" +
 		"key slice or carry //suv:orderinsensitive <reason> explaining why\n" +
 		"iteration order cannot leak into simulated state or canonical output.",
-	Requires: []*xanalysis.Analyzer{inspect.Analyzer},
-	Run:      runDetMap,
+	Requires:   []*xanalysis.Analyzer{inspect.Analyzer},
+	ResultType: annotUseType,
+	Run:        runDetMap,
 }
 
 func runDetMap(pass *xanalysis.Pass) (any, error) {
+	use := newAnnotUse()
 	if !inDetCore(pass.Pkg.Path()) {
-		return nil, nil
+		return use, nil
 	}
 	ins := pass.ResultOf[inspect.Analyzer].(*inspector.Inspector)
 
@@ -51,7 +53,7 @@ func runDetMap(pass *xanalysis.Pass) (any, error) {
 			if skipFile || !isMapType(pass.TypesInfo.TypeOf(n.X)) {
 				return
 			}
-			if annots.suppressed(pass, n.Pos(), "orderinsensitive") {
+			if annots.suppressed(pass, use, n.Pos(), "orderinsensitive") {
 				return
 			}
 			pass.Reportf(n.Pos(), "range over map in deterministic core package %s: iteration order is randomized and can break bit-identical replay; iterate a sorted key slice or annotate //suv:orderinsensitive <reason>", pass.Pkg.Path())
@@ -72,11 +74,11 @@ func runDetMap(pass *xanalysis.Pass) (any, error) {
 			if !ok || (name != "Keys" && name != "Values") {
 				return
 			}
-			if sortedArgs[n] || annots.suppressed(pass, n.Pos(), "orderinsensitive") {
+			if sortedArgs[n] || annots.suppressed(pass, use, n.Pos(), "orderinsensitive") {
 				return
 			}
 			pass.Reportf(n.Pos(), "maps.%s in deterministic core package %s yields keys in randomized order; wrap in slices.Sorted or annotate //suv:orderinsensitive <reason>", name, pass.Pkg.Path())
 		}
 	})
-	return nil, nil
+	return use, nil
 }

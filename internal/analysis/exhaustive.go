@@ -26,13 +26,15 @@ var ExhaustiveAnalyzer = &xanalysis.Analyzer{
 		"least two package-level constants. Switches over such a type must\n" +
 		"either list every constant value, have a default that panics, or be\n" +
 		"annotated //suv:nonexhaustive <reason>.",
-	Requires: []*xanalysis.Analyzer{inspect.Analyzer},
-	Run:      runExhaustive,
+	Requires:   []*xanalysis.Analyzer{inspect.Analyzer},
+	ResultType: annotUseType,
+	Run:        runExhaustive,
 }
 
 func runExhaustive(pass *xanalysis.Pass) (any, error) {
+	use := newAnnotUse()
 	if p := pass.Pkg.Path(); p != "suvtm" && !strings.HasPrefix(p, "suvtm/") {
-		return nil, nil // the contract binds this module, not dependencies
+		return use, nil // the contract binds this module, not dependencies
 	}
 	ins := pass.ResultOf[inspect.Analyzer].(*inspector.Inspector)
 
@@ -49,13 +51,13 @@ func runExhaustive(pass *xanalysis.Pass) (any, error) {
 			if skipFile || n.Tag == nil {
 				return
 			}
-			checkSwitch(pass, annots, n)
+			checkSwitch(pass, use, annots, n)
 		}
 	})
-	return nil, nil
+	return use, nil
 }
 
-func checkSwitch(pass *xanalysis.Pass, annots fileAnnots, sw *ast.SwitchStmt) {
+func checkSwitch(pass *xanalysis.Pass, use *annotUse, annots fileAnnots, sw *ast.SwitchStmt) {
 	tagType := pass.TypesInfo.TypeOf(sw.Tag)
 	if tagType == nil {
 		return
@@ -99,7 +101,7 @@ func checkSwitch(pass *xanalysis.Pass, annots fileAnnots, sw *ast.SwitchStmt) {
 	if defaultClause != nil && clausePanics(pass.TypesInfo, defaultClause) {
 		return
 	}
-	if annots.suppressed(pass, sw.Pos(), "nonexhaustive") {
+	if annots.suppressed(pass, use, sw.Pos(), "nonexhaustive") {
 		return
 	}
 	sort.Strings(missing)

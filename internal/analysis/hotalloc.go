@@ -25,11 +25,13 @@ var HotAllocAnalyzer = &xanalysis.Analyzer{
 		"string<->[]byte conversions, concrete-to-interface conversions,\n" +
 		"appends to un-presized local slices, and func literals (closures).\n" +
 		"Suppress an intentional allocation with //suv:allocok <reason>.",
-	Requires: []*xanalysis.Analyzer{inspect.Analyzer},
-	Run:      runHotAlloc,
+	Requires:   []*xanalysis.Analyzer{inspect.Analyzer},
+	ResultType: annotUseType,
+	Run:        runHotAlloc,
 }
 
 func runHotAlloc(pass *xanalysis.Pass) (any, error) {
+	use := newAnnotUse()
 	ins := pass.ResultOf[inspect.Analyzer].(*inspector.Inspector)
 
 	var annots fileAnnots
@@ -41,21 +43,21 @@ func runHotAlloc(pass *xanalysis.Pass) (any, error) {
 				annots = collectAnnots(pass.Fset, n)
 			}
 		case *ast.FuncDecl:
-			if annots == nil || !funcHotPath(n) || n.Body == nil {
+			if annots == nil || !funcHotPath(n, use) || n.Body == nil {
 				return
 			}
-			checkHotFunc(pass, annots, n)
+			checkHotFunc(pass, use, annots, n)
 		}
 	})
-	return nil, nil
+	return use, nil
 }
 
 // checkHotFunc walks one annotated function body.
-func checkHotFunc(pass *xanalysis.Pass, annots fileAnnots, decl *ast.FuncDecl) {
+func checkHotFunc(pass *xanalysis.Pass, use *annotUse, annots fileAnnots, decl *ast.FuncDecl) {
 	unpresized := collectUnpresizedSlices(pass.TypesInfo, decl.Body)
 
 	flag := func(n ast.Node, format string, args ...any) {
-		if annots.suppressed(pass, n.Pos(), "allocok") {
+		if annots.suppressed(pass, use, n.Pos(), "allocok") {
 			return
 		}
 		pass.Reportf(n.Pos(), "hot path %s: %s (hoist the allocation out of the hot path or annotate //suv:allocok <reason>)",

@@ -1,0 +1,205 @@
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"path/filepath"
+	"strings"
+
+	"suvtm/internal/analysis/ssalite"
+
+	xanalysis "golang.org/x/tools/go/analysis"
+)
+
+// isPure is the analyzer fact exported for every function proven
+// observably side-effect-free, so purity crosses package boundaries:
+// suvtm/internal/sim, signature, redirect, and htm helpers certified
+// there let the scheme packages' Peek* methods certify here.
+type isPure struct{}
+
+func (*isPure) AFact()         {}
+func (*isPure) String() string { return "pure" }
+
+// peekMethods names the htm.LocalPeeker methods bound by the purity
+// contract: the parallel window engine calls them during certification
+// and relies on replaying the same access later producing the same
+// result, which only holds if peeking mutated nothing.
+var peekMethods = map[string]bool{
+	"PeekLoad":  true,
+	"PeekStore": true,
+	"PeekDirOp": true,
+}
+
+// pureStdPkgs is a tiny allowlist of std packages whose exported
+// functions are side-effect-free by construction; no facts exist for
+// std, so calls into these are accepted without proof. Kept minimal on
+// purpose — peek chains should not grow std dependencies casually.
+var pureStdPkgs = map[string]bool{
+	"math/bits": true,
+}
+
+// PeekPureAnalyzer certifies the LocalPeeker purity contract: every
+// method named PeekLoad/PeekStore/PeekDirOp must perform no observable
+// mutation — no stores to the receiver, *Machine, *Core, or any heap
+// state reachable from them; no map/slice/channel writes; no calls to
+// functions not themselves proven pure. The proof is interprocedural:
+// an optimistic fixpoint over the ssalite effect summaries inside each
+// package, with isPure facts carrying certification across package
+// boundaries in dependency order.
+var PeekPureAnalyzer = &xanalysis.Analyzer{
+	Name: "peekpure",
+	Doc: "certify LocalPeeker Peek* methods observably side-effect-free\n\n" +
+		"The parallel window engine certifies core-local chains by peeking\n" +
+		"the scheme (PeekLoad/PeekStore/PeekDirOp) and replaying the access\n" +
+		"later; any mutation during the peek silently breaks bit-identical\n" +
+		"replay. This analyzer proves the peek call graph mutation-free via\n" +
+		"ssalite effect summaries and cross-package isPure facts. Escape a\n" +
+		"deliberate impurity with //suv:peekimpure <reason>.",
+	Requires:   []*xanalysis.Analyzer{ssalite.Analyzer},
+	FactTypes:  []xanalysis.Fact{(*isPure)(nil)},
+	ResultType: annotUseType,
+	Run:        runPeekPure,
+}
+
+func runPeekPure(pass *xanalysis.Pass) (any, error) {
+	use := newAnnotUse()
+	if p := pass.Pkg.Path(); p != "suvtm" && !strings.HasPrefix(p, "suvtm/") {
+		return use, nil // the contract binds this module, not dependencies
+	}
+	spkg := pass.ResultOf[ssalite.Analyzer].(*ssalite.Pkg)
+
+	posLabel := func(p token.Pos) string {
+		pp := pass.Fset.Position(p)
+		return fmt.Sprintf("%s:%d", filepath.Base(pp.Filename), pp.Line)
+	}
+
+	// calleeOK resolves a call edge that does not land on an analyzed
+	// function of this package: std allowlist or an imported isPure fact.
+	calleeOK := func(fn *types.Func) bool {
+		if fn.Pkg() != nil && pureStdPkgs[fn.Pkg().Path()] {
+			return true
+		}
+		return pass.ImportObjectFact(fn, &isPure{})
+	}
+
+	// Optimistic fixpoint: every function starts presumed pure; direct
+	// effects and calls to impure callees knock functions out until the
+	// impure set stops growing. reason records the first cause, for the
+	// diagnostic on Peek* methods.
+	impure := map[*ssalite.Func]string{}
+	for changed := true; changed; {
+		changed = false
+		for _, f := range spkg.Funcs {
+			if _, bad := impure[f]; bad {
+				continue
+			}
+			if r := impureCause(spkg, impure, calleeOK, posLabel, f); r != "" {
+				impure[f] = r
+				changed = true
+			}
+		}
+	}
+
+	// Export facts for this package's proven-pure functions so
+	// downstream packages can lean on them.
+	for _, f := range spkg.Funcs {
+		if _, bad := impure[f]; !bad {
+			pass.ExportObjectFact(f.Obj, &isPure{})
+		}
+	}
+
+	// Diagnostics: only Peek* methods are bound by the contract; every
+	// root cause inside one is reported (or suppressed) individually so
+	// a single //suv:peekimpure covers exactly one mutation site.
+	annotsByFile := map[*ast.File]fileAnnots{}
+	for _, f := range spkg.Funcs {
+		if f.Decl.Recv == nil || !peekMethods[f.Decl.Name.Name] {
+			continue
+		}
+		if _, bad := impure[f]; !bad {
+			continue
+		}
+		file := enclosingFile(pass, f.Decl.Pos())
+		if file == nil || isTestFile(pass.Fset, file) {
+			continue
+		}
+		annots, ok := annotsByFile[file]
+		if !ok {
+			annots = collectAnnots(pass.Fset, file)
+			annotsByFile[file] = annots
+		}
+		method := f.Decl.Name.Name
+		for _, e := range f.Effects {
+			if annots.suppressed(pass, use, e.Pos, "peekimpure") {
+				continue
+			}
+			pass.Reportf(e.Pos, "%s %s (htm.LocalPeeker contract: peeks must be observably side-effect-free; make the mutation unreachable or annotate //suv:peekimpure <reason>)",
+				method, e.Desc)
+		}
+		for _, c := range f.Calls {
+			r, bad := calleeImpure(spkg, impure, calleeOK, c)
+			if !bad {
+				continue
+			}
+			if annots.suppressed(pass, use, c.Pos, "peekimpure") {
+				continue
+			}
+			pass.Reportf(c.Pos, "%s calls %s (htm.LocalPeeker contract: peeks must be observably side-effect-free; certify the callee or annotate //suv:peekimpure <reason>)",
+				method, r)
+		}
+	}
+	return use, nil
+}
+
+// impureCause returns the first reason f is impure, or "" while it can
+// still be presumed pure.
+func impureCause(spkg *ssalite.Pkg, impure map[*ssalite.Func]string, calleeOK func(*types.Func) bool, posLabel func(token.Pos) string, f *ssalite.Func) string {
+	if len(f.Effects) > 0 {
+		e := f.Effects[0]
+		return fmt.Sprintf("%s at %s", e.Desc, posLabel(e.Pos))
+	}
+	for _, c := range f.Calls {
+		if r, bad := calleeImpure(spkg, impure, calleeOK, c); bad {
+			return fmt.Sprintf("calls %s at %s", r, posLabel(c.Pos))
+		}
+	}
+	return ""
+}
+
+// calleeImpure classifies one static call edge against the current
+// fixpoint state: in-package callees by their summary, cross-package
+// callees by fact or allowlist.
+func calleeImpure(spkg *ssalite.Pkg, impure map[*ssalite.Func]string, calleeOK func(*types.Func) bool, c ssalite.Call) (string, bool) {
+	if g, ok := spkg.ByObj[c.Callee]; ok {
+		if r, bad := impure[g]; bad {
+			return fmt.Sprintf("%s, which %s", c.Callee.Name(), r), true
+		}
+		return "", false
+	}
+	if calleeOK(c.Callee) {
+		return "", false
+	}
+	return fmt.Sprintf("%s, which is not proven side-effect-free", qualifiedFuncName(c.Callee)), true
+}
+
+func qualifiedFuncName(fn *types.Func) string {
+	if fn.Pkg() == nil {
+		return fn.Name()
+	}
+	if recv := fn.Type().(*types.Signature).Recv(); recv != nil {
+		return fmt.Sprintf("(%s).%s", typeLabel(recv.Type()), fn.Name())
+	}
+	return fn.Pkg().Name() + "." + fn.Name()
+}
+
+// enclosingFile finds the *ast.File containing pos.
+func enclosingFile(pass *xanalysis.Pass, pos token.Pos) *ast.File {
+	for _, f := range pass.Files {
+		if f.FileStart <= pos && pos < f.FileEnd {
+			return f
+		}
+	}
+	return nil
+}

@@ -1,0 +1,601 @@
+// Package ssalite lowers type-checked function bodies into flat
+// single-assignment effect summaries for the suvlint purity analyzers.
+// It is a minimal stand-in for golang.org/x/tools/go/ssa and its
+// buildssa analyzer glue (which are not part of the toolchain-vendored
+// x/tools subset this repo builds against): instead of full SSA form it
+// keeps exactly the information a side-effect certifier needs —
+//
+//   - every observable mutation a function performs, classified by the
+//     region it targets (a global, heap memory reached through a
+//     pointer, a map/slice element, a channel), with provenance so that
+//     writes into memory the function itself allocated ("fresh" values,
+//     the single-assignment part of the lowering) do not count;
+//   - every call edge, split into statically resolved callees (which a
+//     later interprocedural pass can chase, in-package or across
+//     packages via analyzer facts) and dynamic calls (function values,
+//     interface dispatch, type-parameter methods) that no static
+//     analysis can certify.
+//
+// Like buildssa, the Analyzer exposes the lowered package as its result
+// so downstream analyzers (peekpure) share one construction per
+// package.
+package ssalite
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"reflect"
+
+	"golang.org/x/tools/go/analysis"
+	"golang.org/x/tools/go/analysis/passes/inspect"
+	"golang.org/x/tools/go/ast/inspector"
+)
+
+// EffectKind classifies one observable side effect.
+type EffectKind uint8
+
+const (
+	// StoreHeap is a store through a pointer into memory the function
+	// did not allocate (receiver fields, *Machine/*Core state, any
+	// pointed-to heap object).
+	StoreHeap EffectKind = iota
+	// StoreGlobal is an assignment to a package-level variable.
+	StoreGlobal
+	// MapWrite is an update or delete of a map the function did not
+	// allocate.
+	MapWrite
+	// SliceWrite is a store into the backing array of a slice the
+	// function did not allocate (including growth via append/copy).
+	SliceWrite
+	// ChanOp is any channel operation: send, receive, close, select.
+	ChanOp
+	// DynamicCall is a call no static analysis can resolve: a function
+	// value, an interface method, or a type-parameter method.
+	DynamicCall
+	// GoSpawn is a go statement.
+	GoSpawn
+	// ImpureBuiltin is a builtin with observable effects (print,
+	// println, recover) or an effectful use of one (clear/delete/copy
+	// into shared state is classified as MapWrite/SliceWrite instead).
+	ImpureBuiltin
+	// UnsafeOp is a non-constant use of package unsafe (conversions
+	// through unsafe.Pointer defeat all region reasoning).
+	UnsafeOp
+	// External marks a declaration without a body (assembly or
+	// linkname): nothing can be proven about it.
+	External
+)
+
+// An Effect is one observable side effect at a source position.
+type Effect struct {
+	Kind EffectKind
+	Pos  token.Pos
+	Desc string // human-readable, e.g. "stores to v.hits through receiver pointer"
+}
+
+// A Call is a statically resolved call edge. Callee is always the
+// origin (uninstantiated) object so generic callees unify with their
+// declarations and with analyzer facts.
+type Call struct {
+	Pos    token.Pos
+	Callee *types.Func
+}
+
+// A Func is one declared function or method with its effect summary.
+type Func struct {
+	Obj     *types.Func
+	Decl    *ast.FuncDecl
+	Effects []Effect
+	Calls   []Call
+}
+
+// A Pkg is the lowered package: every function declared in it, indexed
+// by its (origin) object.
+type Pkg struct {
+	Funcs []*Func
+	ByObj map[*types.Func]*Func
+}
+
+// Analyzer lowers the package being analyzed; its result is the *Pkg.
+var Analyzer = &analysis.Analyzer{
+	Name:       "ssalite",
+	Doc:        "lower functions to single-assignment effect summaries for purity analysis",
+	Requires:   []*analysis.Analyzer{inspect.Analyzer},
+	ResultType: reflect.TypeOf((*Pkg)(nil)),
+	Run:        run,
+}
+
+func run(pass *analysis.Pass) (any, error) {
+	pkg := &Pkg{ByObj: map[*types.Func]*Func{}}
+	ins := pass.ResultOf[inspect.Analyzer].(*inspector.Inspector)
+	ins.Preorder([]ast.Node{(*ast.FuncDecl)(nil)}, func(n ast.Node) {
+		decl := n.(*ast.FuncDecl)
+		obj, ok := pass.TypesInfo.Defs[decl.Name].(*types.Func)
+		if !ok {
+			return
+		}
+		f := &Func{Obj: obj, Decl: decl}
+		if decl.Body == nil {
+			f.Effects = append(f.Effects, Effect{External, decl.Pos(),
+				"is declared without a Go body (assembly or external linkage)"})
+		} else {
+			b := &builder{info: pass.TypesInfo, pkg: pass.Pkg, f: f}
+			b.fresh = collectFresh(pass.TypesInfo, decl)
+			ast.Inspect(decl.Body, b.visit)
+		}
+		pkg.Funcs = append(pkg.Funcs, f)
+		pkg.ByObj[origin(obj)] = f
+	})
+	return pkg, nil
+}
+
+// origin maps an instantiated generic function/method to its
+// declaration object (the identity for non-generic functions).
+func origin(fn *types.Func) *types.Func {
+	if o := fn.Origin(); o != nil {
+		return o
+	}
+	return fn
+}
+
+// builder walks one function body emitting effects and call edges.
+type builder struct {
+	info  *types.Info
+	pkg   *types.Package
+	f     *Func
+	fresh map[*types.Var]bool
+}
+
+func (b *builder) effect(k EffectKind, pos token.Pos, desc string) {
+	b.f.Effects = append(b.f.Effects, Effect{k, pos, desc})
+}
+
+// visit is the ast.Inspect callback: it classifies every statement and
+// expression form that can mutate observable state. Function literals
+// are skipped — their bodies execute only when called, and calling a
+// function value is itself a DynamicCall effect — except when invoked
+// or deferred directly, in which case call() inlines them.
+func (b *builder) visit(n ast.Node) bool {
+	switch n := n.(type) {
+	case *ast.FuncLit:
+		return false
+	case *ast.AssignStmt:
+		if n.Tok != token.DEFINE {
+			for _, lhs := range n.Lhs {
+				b.lvalue(lhs)
+			}
+		}
+		return true
+	case *ast.IncDecStmt:
+		b.lvalue(n.X)
+		return true
+	case *ast.SendStmt:
+		b.effect(ChanOp, n.Pos(), "sends on channel "+types.ExprString(n.Chan))
+		return true
+	case *ast.UnaryExpr:
+		if n.Op == token.ARROW {
+			b.effect(ChanOp, n.Pos(), "receives from channel "+types.ExprString(n.X))
+		}
+		return true
+	case *ast.SelectStmt:
+		b.effect(ChanOp, n.Pos(), "selects over channel operations")
+		return true
+	case *ast.RangeStmt:
+		if t := b.typeOf(n.X); t != nil {
+			if _, ok := t.Underlying().(*types.Chan); ok {
+				b.effect(ChanOp, n.Pos(), "ranges over channel "+types.ExprString(n.X))
+			}
+		}
+		if n.Tok == token.ASSIGN {
+			if n.Key != nil {
+				b.lvalue(n.Key)
+			}
+			if n.Value != nil {
+				b.lvalue(n.Value)
+			}
+		}
+		return true
+	case *ast.GoStmt:
+		b.effect(GoSpawn, n.Pos(), "spawns a goroutine")
+		return true
+	case *ast.CallExpr:
+		b.call(n)
+		return true
+	}
+	return true
+}
+
+func (b *builder) typeOf(e ast.Expr) types.Type {
+	return b.info.TypeOf(e)
+}
+
+// lvalue classifies an assignment target. Writes to the function's own
+// variables (parameters, receiver variable, locals) are pure; the
+// effects start where a write escapes the frame.
+func (b *builder) lvalue(e ast.Expr) {
+	e = ast.Unparen(e)
+	switch e := e.(type) {
+	case *ast.Ident:
+		if e.Name == "_" {
+			return
+		}
+		obj := b.info.Defs[e]
+		if obj == nil {
+			obj = b.info.Uses[e]
+		}
+		v, ok := obj.(*types.Var)
+		if !ok {
+			return
+		}
+		if v.Pkg() != nil && v.Parent() == v.Pkg().Scope() {
+			b.effect(StoreGlobal, e.Pos(), "assigns to package-level variable "+v.Name())
+		}
+	case *ast.SelectorExpr:
+		// Qualified package-level variable: pkg.Var = x.
+		if id, ok := e.X.(*ast.Ident); ok {
+			if _, isPkg := b.info.Uses[id].(*types.PkgName); isPkg {
+				if v, ok := b.info.Uses[e.Sel].(*types.Var); ok {
+					b.effect(StoreGlobal, e.Pos(), "assigns to package-level variable "+id.Name+"."+v.Name())
+				}
+				return
+			}
+		}
+		if sel := b.info.Selections[e]; sel != nil && sel.Indirect() {
+			if !b.freshExpr(e.X) {
+				b.effect(StoreHeap, e.Pos(), "stores to "+types.ExprString(e)+" through a pointer it did not allocate")
+			}
+			return
+		}
+		b.lvalue(e.X) // field of a value: the write lands wherever the value lives
+	case *ast.IndexExpr:
+		t := b.typeOf(e.X)
+		if t == nil {
+			b.effect(StoreHeap, e.Pos(), "stores through "+types.ExprString(e))
+			return
+		}
+		switch t.Underlying().(type) {
+		case *types.Map:
+			if !b.freshExpr(e.X) {
+				b.effect(MapWrite, e.Pos(), "writes map "+types.ExprString(e.X))
+			}
+		case *types.Slice:
+			if !b.freshExpr(e.X) {
+				b.effect(SliceWrite, e.Pos(), "writes element of slice "+types.ExprString(e.X))
+			}
+		case *types.Pointer: // *[N]T auto-deref
+			if !b.freshExpr(e.X) {
+				b.effect(StoreHeap, e.Pos(), "stores through array pointer "+types.ExprString(e.X))
+			}
+		case *types.Array:
+			b.lvalue(e.X)
+		default:
+			b.effect(StoreHeap, e.Pos(), "stores through "+types.ExprString(e))
+		}
+	case *ast.StarExpr:
+		if !b.freshExpr(e.X) {
+			b.effect(StoreHeap, e.Pos(), "stores through pointer "+types.ExprString(e.X))
+		}
+	default:
+		b.effect(StoreHeap, e.Pos(), "stores through computed expression "+types.ExprString(e))
+	}
+}
+
+// call classifies one call expression: conversions and pure builtins
+// vanish, effectful builtins and dynamic calls become effects,
+// immediately invoked or deferred function literals are inlined, and
+// everything else becomes a static call edge.
+func (b *builder) call(n *ast.CallExpr) {
+	fun := ast.Unparen(n.Fun)
+
+	// Type conversion T(x): pure, except through unsafe.Pointer.
+	if tv, ok := b.info.Types[n.Fun]; ok && tv.IsType() {
+		if isUnsafePointer(tv.Type) {
+			b.effect(UnsafeOp, n.Pos(), "converts through unsafe.Pointer")
+		}
+		return
+	}
+
+	// Builtins (len, append, ...) and unsafe.* pseudo-functions.
+	if id := builtinIdent(fun); id != nil {
+		if bi, ok := b.info.Uses[id].(*types.Builtin); ok {
+			b.builtin(bi.Name(), n)
+			return
+		}
+	}
+
+	// func(){...}() and defer func(){...}(): the literal runs on this
+	// frame, so its effects are this function's effects.
+	if lit, ok := fun.(*ast.FuncLit); ok {
+		ast.Inspect(lit.Body, b.visit)
+		return
+	}
+
+	fn := staticCallee(b.info, n)
+	if fn == nil {
+		b.effect(DynamicCall, n.Pos(), "calls "+types.ExprString(fun)+" through a function value")
+		return
+	}
+	if recv := fn.Type().(*types.Signature).Recv(); recv != nil {
+		rt := recv.Type()
+		if p, ok := rt.Underlying().(*types.Pointer); ok {
+			rt = p.Elem()
+		}
+		if types.IsInterface(rt.Underlying()) {
+			b.effect(DynamicCall, n.Pos(), "dynamically dispatches interface method "+fn.Name())
+			return
+		}
+		if _, ok := types.Unalias(rt).(*types.TypeParam); ok {
+			b.effect(DynamicCall, n.Pos(), "dynamically dispatches type-parameter method "+fn.Name())
+			return
+		}
+	}
+	b.f.Calls = append(b.f.Calls, Call{n.Pos(), origin(fn)})
+}
+
+// builtin classifies a call to a builtin (or unsafe.*) function.
+func (b *builder) builtin(name string, n *ast.CallExpr) {
+	switch name {
+	case "append":
+		if len(n.Args) > 0 && !b.freshExpr(n.Args[0]) {
+			b.effect(SliceWrite, n.Pos(), "appends to slice "+types.ExprString(n.Args[0])+" it did not allocate (may write a shared backing array)")
+		}
+	case "copy":
+		if len(n.Args) > 0 && !b.freshExpr(n.Args[0]) {
+			b.effect(SliceWrite, n.Pos(), "copies into "+types.ExprString(n.Args[0]))
+		}
+	case "clear":
+		if len(n.Args) > 0 && !b.freshExpr(n.Args[0]) {
+			b.effect(MapWrite, n.Pos(), "clears "+types.ExprString(n.Args[0]))
+		}
+	case "delete":
+		if len(n.Args) > 0 && !b.freshExpr(n.Args[0]) {
+			b.effect(MapWrite, n.Pos(), "deletes from map "+types.ExprString(n.Args[0]))
+		}
+	case "close":
+		b.effect(ChanOp, n.Pos(), "closes a channel")
+	case "print", "println", "recover":
+		b.effect(ImpureBuiltin, n.Pos(), "calls builtin "+name)
+	case "Sizeof", "Alignof", "Offsetof", "Add", "Slice", "SliceData", "String", "StringData":
+		// unsafe.*: constant-folded uses (Sizeof of a concrete type)
+		// are pure; anything that survives to runtime is an unsafe op.
+		if b.info.Types[n].Value == nil {
+			b.effect(UnsafeOp, n.Pos(), "uses unsafe."+name)
+		}
+	}
+	// len, cap, make, new, min, max, complex, real, imag, panic: no
+	// observable mutation of existing state.
+}
+
+// builtinIdent returns the identifier naming a builtin or unsafe.*
+// pseudo-function callee, or nil.
+func builtinIdent(fun ast.Expr) *ast.Ident {
+	switch fun := fun.(type) {
+	case *ast.Ident:
+		return fun
+	case *ast.SelectorExpr:
+		if id, ok := fun.X.(*ast.Ident); ok {
+			return id // resolved below only if it names a builtin (unsafe.Sizeof)
+		}
+	}
+	return nil
+}
+
+// staticCallee resolves the call's callee to a declared function or
+// method, or nil for calls through function values.
+func staticCallee(info *types.Info, call *ast.CallExpr) *types.Func {
+	var id *ast.Ident
+	switch fun := ast.Unparen(call.Fun).(type) {
+	case *ast.Ident:
+		id = fun
+	case *ast.SelectorExpr:
+		id = fun.Sel
+	case *ast.IndexExpr: // generic instantiation f[T](...)
+		if base, ok := ast.Unparen(fun.X).(*ast.Ident); ok {
+			id = base
+		}
+	case *ast.IndexListExpr:
+		if base, ok := ast.Unparen(fun.X).(*ast.Ident); ok {
+			id = base
+		}
+	default:
+		return nil
+	}
+	fn, _ := info.Uses[id].(*types.Func)
+	return fn
+}
+
+func isUnsafePointer(t types.Type) bool {
+	b, ok := t.Underlying().(*types.Basic)
+	return ok && b.Kind() == types.UnsafePointer
+}
+
+// collectFresh computes the function's fresh variables: locals declared
+// in the body whose every assignment is a fresh allocation (new, make,
+// &T{...}, a composite literal, or append to themselves) and whose
+// address is never taken. Writes into memory reached through a fresh
+// variable stay inside the frame until the value escapes — and if it
+// escapes through a global or heap store, that store is its own effect.
+//
+// Parameters, the receiver, and named results are never fresh: their
+// incoming values alias caller state, and this summary is
+// flow-insensitive, so one external assignment anywhere poisons the
+// variable everywhere. Function-literal bodies are included in the scan
+// (a closure can reassign or alias an outer local even though its
+// effects are not ours).
+func collectFresh(info *types.Info, decl *ast.FuncDecl) map[*types.Var]bool {
+	inBody := map[*types.Var]bool{}
+	status := map[*types.Var]bool{} // true while every seen assignment is an allocation
+	note := func(id *ast.Ident, rhs ast.Expr) {
+		obj := info.Defs[id]
+		if obj == nil {
+			obj = info.Uses[id]
+		}
+		v, ok := obj.(*types.Var)
+		if !ok || !inBody[v] {
+			return
+		}
+		ok = isAllocExpr(info, rhs) || isSelfAppend(info, id, rhs)
+		if cur, seen := status[v]; seen {
+			status[v] = cur && ok
+		} else {
+			status[v] = ok
+		}
+	}
+	// First pass: which vars are declared inside the body (parameters
+	// and named results live in the signature and never qualify).
+	ast.Inspect(decl.Body, func(n ast.Node) bool {
+		if id, ok := n.(*ast.Ident); ok {
+			if v, ok := info.Defs[id].(*types.Var); ok {
+				inBody[v] = true
+			}
+		}
+		return true
+	})
+	ast.Inspect(decl.Body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.AssignStmt:
+			if len(n.Lhs) == len(n.Rhs) {
+				for i := range n.Lhs {
+					if id, ok := ast.Unparen(n.Lhs[i]).(*ast.Ident); ok {
+						note(id, n.Rhs[i])
+					}
+				}
+			} else { // multi-value: nothing on the RHS is an allocation form
+				for _, lhs := range n.Lhs {
+					if id, ok := ast.Unparen(lhs).(*ast.Ident); ok {
+						note(id, nil)
+					}
+				}
+			}
+		case *ast.ValueSpec:
+			for i, name := range n.Names {
+				if i < len(n.Values) {
+					note(name, n.Values[i])
+				}
+				// var x T with no initializer: zero value; a nil
+				// map/slice/pointer cannot reach shared state, so it
+				// does not kill freshness.
+			}
+		case *ast.UnaryExpr:
+			// &x: the variable's address escapes this analysis.
+			if n.Op == token.AND {
+				if id, ok := ast.Unparen(n.X).(*ast.Ident); ok {
+					if v, ok := objOf(info, id).(*types.Var); ok {
+						status[v] = false
+					}
+				}
+			}
+		case *ast.RangeStmt:
+			if n.Tok == token.ASSIGN {
+				if id, ok := ast.Unparen(n.Key).(*ast.Ident); ok {
+					note(id, nil)
+				}
+				if n.Value != nil {
+					if id, ok := ast.Unparen(n.Value).(*ast.Ident); ok {
+						note(id, nil)
+					}
+				}
+			}
+		}
+		return true
+	})
+	out := map[*types.Var]bool{}
+	for v, ok := range status {
+		if ok {
+			out[v] = true
+		}
+	}
+	return out
+}
+
+func objOf(info *types.Info, id *ast.Ident) types.Object {
+	if o := info.Defs[id]; o != nil {
+		return o
+	}
+	return info.Uses[id]
+}
+
+// isAllocExpr reports whether e yields freshly allocated (or nil)
+// storage: new/make calls, composite literals and their addresses, nil,
+// and type conversions of those.
+func isAllocExpr(info *types.Info, e ast.Expr) bool {
+	if e == nil {
+		return false
+	}
+	e = ast.Unparen(e)
+	switch e := e.(type) {
+	case *ast.CompositeLit:
+		return true
+	case *ast.UnaryExpr:
+		if e.Op != token.AND {
+			return false
+		}
+		_, ok := ast.Unparen(e.X).(*ast.CompositeLit)
+		return ok
+	case *ast.Ident:
+		return e.Name == "nil"
+	case *ast.CallExpr:
+		if id, ok := ast.Unparen(e.Fun).(*ast.Ident); ok {
+			if b, ok := info.Uses[id].(*types.Builtin); ok {
+				return b.Name() == "new" || b.Name() == "make"
+			}
+		}
+		if tv, ok := info.Types[e.Fun]; ok && tv.IsType() && len(e.Args) == 1 {
+			return isAllocExpr(info, e.Args[0]) // T(nil), []T(x)…
+		}
+	}
+	return false
+}
+
+// isSelfAppend reports the `s = append(s, ...)` shape, which preserves
+// freshness: growth reallocates, in-place extension writes storage that
+// was already fresh.
+func isSelfAppend(info *types.Info, lhs *ast.Ident, rhs ast.Expr) bool {
+	call, ok := ast.Unparen(rhs).(*ast.CallExpr)
+	if !ok || len(call.Args) == 0 {
+		return false
+	}
+	id, ok := ast.Unparen(call.Fun).(*ast.Ident)
+	if !ok {
+		return false
+	}
+	if b, ok := info.Uses[id].(*types.Builtin); !ok || b.Name() != "append" {
+		return false
+	}
+	arg, ok := ast.Unparen(call.Args[0]).(*ast.Ident)
+	return ok && objOf(info, arg) == objOf(info, lhs)
+}
+
+// freshExpr reports whether e denotes storage this function allocated:
+// a fresh variable, an allocation expression, or the address of a local
+// value variable (writing through &x writes x, which is ours).
+func (b *builder) freshExpr(e ast.Expr) bool {
+	e = ast.Unparen(e)
+	switch e := e.(type) {
+	case *ast.Ident:
+		if v, ok := objOf(b.info, e).(*types.Var); ok {
+			return b.fresh[v]
+		}
+	case *ast.UnaryExpr:
+		if e.Op != token.AND {
+			return false
+		}
+		if _, ok := ast.Unparen(e.X).(*ast.CompositeLit); ok {
+			return true
+		}
+		if id, ok := ast.Unparen(e.X).(*ast.Ident); ok {
+			if v, ok := objOf(b.info, id).(*types.Var); ok {
+				// &x of a body-declared value variable: x itself is ours.
+				if _, ptr := v.Type().Underlying().(*types.Pointer); !ptr {
+					return v.Parent() != nil && v.Pkg() != nil && v.Parent() != v.Pkg().Scope()
+				}
+			}
+		}
+	case *ast.CompositeLit:
+		return true
+	case *ast.CallExpr:
+		return isAllocExpr(b.info, e)
+	}
+	return false
+}

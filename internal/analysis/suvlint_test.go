@@ -77,6 +77,65 @@ func TestExhaustive(t *testing.T) {
 	analyzertest.Run(t, "testdata/exhaustive/enums", "suvtm/internal/mem", analysis.ExhaustiveAnalyzer)
 }
 
+// TestPeekPureScheme runs the purity certifier over a fake LocalPeeker
+// package: receiver stores, map writes, impure callees, and dynamic
+// calls fire; pure helpers, fresh-allocation scratch space, and
+// justified //suv:peekimpure escapes stay silent.
+func TestPeekPureScheme(t *testing.T) {
+	analyzertest.Run(t, "testdata/peekpure/scheme", "suvtm/internal/htm/fakescheme", analysis.PeekPureAnalyzer)
+}
+
+// TestPeekPureFactsCrossPackage pins the interprocedural half of the
+// contract: a helper proven pure in suvtm/internal/simx certifies a
+// downstream Peek* caller through an exported isPure fact, while the
+// helper that mutates package state stays uncertifiable.
+func TestPeekPureFactsCrossPackage(t *testing.T) {
+	analyzertest.RunPkgs(t, analysis.PeekPureAnalyzer,
+		analyzertest.Pkg{Dir: "testdata/peekpure/helpers", Path: "suvtm/internal/simx"},
+		analyzertest.Pkg{Dir: "testdata/peekpure/cross", Path: "suvtm/internal/htm/crossscheme"},
+	)
+}
+
+// TestPeekPureScopeIsModuleSensitive pins that the contract binds this
+// module only: the same violating sources are clean outside suvtm.
+func TestPeekPureScopeIsModuleSensitive(t *testing.T) {
+	diags := analyzertest.Diagnostics(t, "testdata/peekpure/scheme", "example.com/other", analysis.PeekPureAnalyzer)
+	if len(diags) != 0 {
+		t.Fatalf("peekpure fired outside the suvtm module: %v", diags)
+	}
+}
+
+// TestStaleSuppress runs the suppression-hygiene analyzer over a
+// deterministic-core fixture where live suppressions and armed
+// //suv:hotpath annotations stay silent while refactored-away and
+// unknown directives fire.
+func TestStaleSuppress(t *testing.T) {
+	analyzertest.Run(t, "testdata/stalesuppress/pkg", "suvtm/internal/sim", analysis.StaleSuppressAnalyzer)
+}
+
+// TestSuiteArmsV2Analyzers is the canary for the v2 suite: the driver
+// list cmd/suvlint feeds to both protocols must include peekpure and
+// stalesuppress, and each must actually fire on its broken fixture —
+// a tree-wide green run proves nothing if the analyzer silently
+// stopped matching.
+func TestSuiteArmsV2Analyzers(t *testing.T) {
+	armed := map[string]bool{}
+	for _, a := range analysis.Analyzers() {
+		armed[a.Name] = true
+	}
+	for _, name := range []string{"detmap", "wallclock", "hotalloc", "exhaustive", "peekpure", "stalesuppress"} {
+		if !armed[name] {
+			t.Errorf("analyzer %s missing from the suvlint suite", name)
+		}
+	}
+	if n := len(analyzertest.Diagnostics(t, "testdata/peekpure/scheme", "suvtm/internal/htm/fakescheme", analysis.PeekPureAnalyzer)); n == 0 {
+		t.Error("peekpure canary did not fire on the broken scheme fixture")
+	}
+	if n := len(analyzertest.Diagnostics(t, "testdata/stalesuppress/pkg", "suvtm/internal/sim", analysis.StaleSuppressAnalyzer)); n == 0 {
+		t.Error("stalesuppress canary did not fire on the stale-annotation fixture")
+	}
+}
+
 // TestDetMapScopeIsPackagePathSensitive pins the scope predicate: the
 // same sources that fire inside suvtm/internal/sim are clean when the
 // package sits outside the deterministic core.

@@ -1,0 +1,27 @@
+// Package crossscheme is the downstream half of the cross-package fact
+// fixture: its Peek* methods call helpers from suvtm/internal/simx,
+// and certification hinges entirely on the isPure facts exported when
+// that package was analyzed.
+package crossscheme
+
+import "suvtm/internal/simx"
+
+type Core struct {
+	ID int
+}
+
+type VM struct {
+	bits uint64
+}
+
+// PeekLoad leans on a helper proven pure in another package: the
+// imported fact certifies it, so this stays clean.
+func (v *VM) PeekLoad(c *Core, line uint64) bool {
+	return v.bits&(1<<simx.Mask(line)) != 0
+}
+
+// PeekStore calls the helper that mutates package state upstream; no
+// fact was exported for it, so the call cannot be certified.
+func (v *VM) PeekStore(c *Core, line uint64) bool {
+	return simx.Record(line) != 0 // want `PeekStore calls simx\.Record, which is not proven side-effect-free`
+}

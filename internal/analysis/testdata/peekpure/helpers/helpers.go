@@ -1,0 +1,20 @@
+// Package simx is the upstream half of the cross-package fact fixture:
+// peekpure analyzes it first, proves Mask pure, and exports an isPure
+// fact; Record mutates package state and gets none. The downstream
+// scheme package then certifies against those facts exactly as the
+// unitchecker driver propagates them between vet runs.
+package simx
+
+// Mask is read-only arithmetic: proven pure, fact exported.
+func Mask(line uint64) uint64 {
+	return line & 0x3f
+}
+
+// total is package state; writing it is an observable effect.
+var total int
+
+// Record mutates a global: never certified.
+func Record(line uint64) uint64 {
+	total++
+	return line
+}

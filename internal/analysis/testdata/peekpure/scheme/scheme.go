@@ -1,0 +1,102 @@
+// Package fakescheme exercises the peekpure purity contract: methods
+// named PeekLoad/PeekStore/PeekDirOp must be observably side-effect
+// free, everything else may mutate freely. Positives, justified and
+// bare //suv:peekimpure annotations, and clean shapes (pure helpers,
+// fresh local allocation) live side by side.
+package fakescheme
+
+// Core mirrors the shape of the per-core state a scheme peeks.
+type Core struct {
+	ID   int
+	hits int
+}
+
+// VM is a fake LocalPeeker implementation.
+type VM struct {
+	logged map[uint64]bool
+	stats  [4]int
+}
+
+// pureHelper only reads; the fixpoint certifies it, so PeekLoad below
+// stays clean.
+func pureHelper(v *VM, line uint64) bool {
+	return v.logged[line]
+}
+
+// PeekLoad calling a certified-pure helper is clean.
+func (v *VM) PeekLoad(c *Core, line uint64) bool {
+	return pureHelper(v, line)
+}
+
+// PeekStore mutates receiver state: the canonical violation.
+func (v *VM) PeekStore(c *Core, line uint64) bool {
+	v.stats[1]++ // want `PeekStore stores to v\.stats`
+	return false
+}
+
+// PeekDirOp writes a map reachable from the receiver.
+func (v *VM) PeekDirOp(c *Core, line uint64) bool {
+	v.logged[line] = true // want `PeekDirOp writes map v\.logged`
+	return true
+}
+
+// StoreLocal is not bound by the contract: mutation is fine here.
+func (v *VM) StoreLocal(c *Core, line uint64) {
+	v.stats[2]++
+	c.hits++
+}
+
+// VM2 exercises the interprocedural direction inside one package.
+type VM2 struct {
+	st [2]int
+}
+
+func impureHelper(v *VM2) {
+	v.st[0]++
+}
+
+// PeekLoad is flagged because its callee mutates, even though this
+// body contains no store of its own.
+func (v *VM2) PeekLoad(c *Core, line uint64) bool {
+	impureHelper(v) // want `PeekLoad calls impureHelper, which stores to v\.st`
+	return true
+}
+
+// PeekStore is clean: every write lands in memory this call allocated
+// (fresh make/composite-literal provenance), so nothing is observable
+// after it returns.
+func (v *VM2) PeekStore(c *Core, line uint64) bool {
+	scratch := make([]uint64, 0, 4)
+	scratch = append(scratch, line)
+	seen := map[uint64]bool{}
+	seen[line] = true
+	return len(scratch) == 1 && seen[line]
+}
+
+// VM3 exercises the escape hatch and dynamic dispatch.
+type VM3 struct {
+	prof [8]uint64
+	fn   func(uint64) bool
+}
+
+// PeekStore carries a justified escape: suppressed, and the annotation
+// counts as used for stalesuppress.
+func (v *VM3) PeekStore(c *Core, line uint64) bool {
+	//suv:peekimpure per-core scratch counter is invisible to simulated state and reset each window
+	v.prof[0]++
+	return false
+}
+
+// PeekDirOp carries a bare escape: it does not suppress, and is itself
+// reported.
+func (v *VM3) PeekDirOp(c *Core, line uint64) bool {
+	//suv:peekimpure // want `//suv:peekimpure annotation requires a justification`
+	v.prof[1]++ // want `PeekDirOp stores to v\.prof`
+	return true
+}
+
+// PeekLoad through a function value cannot be certified statically.
+func (v *VM3) PeekLoad(c *Core, line uint64) bool {
+	f := v.fn
+	return f(line) // want `PeekLoad calls f through a function value`
+}

@@ -1,0 +1,50 @@
+// Package fixture exercises stale-suppression detection under the
+// deterministic-core import path suvtm/internal/sim: live suppressions
+// and armed //suv:hotpath annotations stay silent, while directives
+// whose construct was refactored away — and unknown directive names —
+// are findings.
+package fixture
+
+// stats maps counter names to values.
+var stats = map[string]int{}
+
+// Sum folds the counters; addition commutes, so the suppression below
+// is live (it suppresses a real detmap finding) and must not be
+// flagged stale.
+func Sum() int {
+	total := 0
+	//suv:orderinsensitive addition commutes; iteration order cannot reach output
+	for _, v := range stats {
+		total += v
+	}
+	return total
+}
+
+// Reset carries a suppression that no longer matches anything: the map
+// range it once justified was refactored into a clear().
+func Reset() {
+	//suv:orderinsensitive the range this justified is gone // want `stale //suv:orderinsensitive annotation`
+	clear(stats)
+}
+
+// Tight is allocation-free now, so its old suppression is dead.
+func Tight() int {
+	//suv:allocok the interface boxing this justified was removed // want `stale //suv:allocok annotation`
+	return 1
+}
+
+//suv:hotpath
+func Inc(k string) {
+	stats[k]++
+}
+
+//suv:hotpath // want `stale //suv:hotpath annotation`
+
+// floating: the blank line above detaches the directive from any
+// function, so it arms nothing.
+var generation int
+
+//suv:frobnicate tuned for speed // want `unknown //suv:frobnicate directive`
+func Frob() {
+	generation++
+}

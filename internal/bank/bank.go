@@ -118,6 +118,11 @@ func (s *Stamps) Reset(banks int) {
 }
 
 // Begin opens a new claim epoch; prior epochs' claims lapse implicitly.
+// It runs once per window attempt on the engine's certification path,
+// so like Claim it must stay allocation-free (the wrap-clear reuses the
+// table in place).
+//
+//suv:hotpath
 func (s *Stamps) Begin() {
 	s.epoch++
 	if s.epoch == 0 { // uint32 wrap: stale marks could alias the new epoch

@@ -97,3 +97,41 @@ func TestStampsEpochWrap(t *testing.T) {
 		t.Fatal("stale pre-wrap claim must not block a new core")
 	}
 }
+
+// TestBankHotPathAllocs is the runtime counterpart of the //suv:hotpath
+// annotations on Of/Local/Begin/Claim: the epoch-claim path runs once
+// per certified op per window attempt inside the parallel engine, so a
+// single allocation here multiplies across every window of every run.
+// The wrap-clear branch in Begin is exercised too (epoch forced to the
+// uint32 boundary) since that is where an accidental reallocation would
+// hide.
+func TestBankHotPathAllocs(t *testing.T) {
+	m := NewMap(16, 4)
+	var s Stamps
+	s.Reset(16)
+	line := sim.Line(0)
+	allocs := testing.AllocsPerRun(100, func() {
+		s.Begin()
+		for i := 0; i < 16; i++ {
+			b := m.Of(line)
+			_ = m.Local(line)
+			if !s.Claim(b, i&3) && !s.Claim(b, 0) {
+				line++
+			}
+			line += 1 << 4 // walk the bank bits
+		}
+	})
+	if allocs != 0 {
+		t.Fatalf("epoch-claim path allocated %.1f times per run, want 0", allocs)
+	}
+
+	// Wrap path: Begin must clear in place, not reallocate.
+	s.epoch = ^uint32(0)
+	allocs = testing.AllocsPerRun(10, func() {
+		s.Begin()
+		s.epoch = ^uint32(0)
+	})
+	if allocs != 0 {
+		t.Fatalf("epoch wrap-clear allocated %.1f times per run, want 0", allocs)
+	}
+}

@@ -1,0 +1,13 @@
+package htm
+
+// SetParVerifyChainsForTest arms or disarms the parallel engine's
+// chain-verification mode and returns the previous value, so external
+// tests (package htm_test cannot live inside htm: the scheme packages
+// it needs import htm) can exercise the verify path the way a developer
+// flipping parVerifyChains by hand would. Callers must toggle it only
+// while no Machine is running.
+func SetParVerifyChainsForTest(on bool) bool {
+	prev := parVerifyChains
+	parVerifyChains = on
+	return prev
+}

@@ -114,15 +114,20 @@ const (
 	// backoff between failed window attempts.
 	parMinBackoff = 8
 	parMaxBackoff = 4096
-	// parVerifyChains records every scanned op's certified latency and
-	// cross-checks it against what execution actually charges, and routes
-	// hit-path scheme work through the full VM path instead of the Local
-	// twins. The checks are redundant while horizon safety (soundness
-	// fact 2) holds — and they cost memory and time per chain — so they
-	// are compiled out; flip the constant when touching peekOp, a
-	// LocalPeeker, or any sequential fast path they mirror.
-	parVerifyChains = false
 )
+
+// parVerifyChains records every scanned op's certified latency and
+// cross-checks it against what execution actually charges, and routes
+// hit-path scheme work through the full VM path instead of the Local
+// twins. The checks are redundant while horizon safety (soundness
+// fact 2) holds — and they cost memory and time per chain — so they
+// default off. It is a variable, not a constant, so the CI-exercised
+// TestParallelVerifyChains can arm it (via SetParVerifyChainsForTest,
+// always outside Run, so the toggle is race-clean) as the runtime
+// counterpart of the static peekpure certification; flip it when
+// touching peekOp, a LocalPeeker, or any sequential fast path they
+// mirror.
+var parVerifyChains = false
 
 // parkCause classifies why a scan parked a chain at an op — equivalently,
 // which subsystem forced a window attempt back onto the sequential loop.
@@ -955,7 +960,6 @@ func (m *Machine) execChain(c *Core, t, h sim.Cycles) (sim.Cycles, bool, int) {
 		}
 		op := c.op()
 		var lat sim.Cycles
-		//suv:nonexhaustive peekOp certified this op as one of the chain-executable kinds; the default arm guards the contract
 		switch op.Kind {
 		case workload.OpCompute:
 			lat = sim.Cycles(op.N)

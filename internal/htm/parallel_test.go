@@ -159,6 +159,56 @@ func TestParallelBitIdenticalBanks(t *testing.T) {
 	}
 }
 
+// TestParallelVerifyChains runs one steady-state workload per scheme
+// with the parVerifyChains debug switch armed: every scanned op's
+// certified latency is cross-checked against what execution actually
+// charges, and hit-path scheme work is routed through the full VM path
+// with identity-translation panics armed. It is the runtime counterpart
+// of the static peekpure certification — peekpure proves the Peek*
+// methods mutate nothing, this test proves what they answer matches
+// what execution then observes — and keeps the verify mode itself from
+// rotting (it used to be a hand-flipped constant, compiled out in CI).
+func TestParallelVerifyChains(t *testing.T) {
+	prevVerify := htm.SetParVerifyChainsForTest(true)
+	defer htm.SetParVerifyChainsForTest(prevVerify)
+	prev := parrun.SetForcedWorkersForTest(4)
+	defer parrun.SetForcedWorkersForTest(prev)
+
+	cases := []struct {
+		scheme string
+		mk     func() htm.VersionManager
+	}{
+		{"SUV-TM", func() htm.VersionManager { return suvtm.New() }},
+		{"LogTM-SE", func() htm.VersionManager { return logtmse.New() }},
+		{"FasTM", func() htm.VersionManager { return fastm.New() }},
+	}
+	for _, tc := range cases {
+		t.Run(tc.scheme, func(t *testing.T) {
+			// A verify-mode disagreement panics inside Run; reaching the
+			// identity checks below means every chain survived them.
+			_, want, seqMem := parRun(t, "sessionstore", tc.mk(), 4, 0.2, 0)
+			m, got, parMem := parRun(t, "sessionstore", tc.mk(), 4, 0.2, 4)
+			if got.Cycles != want.Cycles {
+				t.Errorf("verify mode: cycles %d, sequential %d", got.Cycles, want.Cycles)
+			}
+			if got.Counters != want.Counters {
+				t.Errorf("verify mode: counters diverged:\npar %+v\nseq %+v", got.Counters, want.Counters)
+			}
+			wantImage := seqMem.Snapshot()
+			gotImage := parMem.Snapshot()
+			for addr, w := range wantImage {
+				if gotImage[addr] != w {
+					t.Fatalf("verify mode: memory diverged at %#x", addr)
+				}
+			}
+			ps := m.ParallelStats()
+			if ps.Windows == 0 {
+				t.Fatal("verify mode: no windows executed — the switch was never exercised")
+			}
+		})
+	}
+}
+
 // TestParallelEngagement pins down that the engine actually executes
 // windows (not just falls through to sequential pops) on the workload
 // built for it, and that the per-run counters are coherent.

@@ -25,7 +25,6 @@ func (s *Snapshot) WriteProm(w io.Writer) error {
 	labels := promLabels(s.Meta)
 
 	names := make([]string, 0, len(s.Counters))
-	//suv:orderinsensitive keys are collected then sorted before any use
 	for name := range s.Counters {
 		names = append(names, name)
 	}
@@ -37,7 +36,6 @@ func (s *Snapshot) WriteProm(w io.Writer) error {
 	}
 
 	names = names[:0]
-	//suv:orderinsensitive keys are collected then sorted before any use
 	for name := range s.Gauges {
 		names = append(names, name)
 	}
@@ -101,7 +99,6 @@ func promLabels(meta map[string]string) string {
 // (skipped when extraKey is empty).
 func promLabelsWith(meta map[string]string, extraKey, extraVal string) string {
 	keys := make([]string, 0, len(meta))
-	//suv:orderinsensitive keys are collected then sorted before any use
 	for k := range meta {
 		keys = append(keys, k)
 	}
